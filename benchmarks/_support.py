@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+prints a paper-vs-measured comparison via :func:`report`.  Output is
+shown with ``pytest benchmarks/ --benchmark-only -s`` (and summarised
+in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro import MonitoringSession, monitoring_session
+from repro.cluster import JobSpec, make_app
+
+#: standard workload used by several pipeline benchmarks
+STANDARD_MIX = (
+    ("alice", "wrf", 4),
+    ("bob", "namd", 2),
+    ("carol", "vasp", 2),
+    ("dave", "openfoam", 2),
+    ("erin", "io_heavy", 2),
+)
+
+
+def report(title: str, rows: Iterable[Sequence], headers: Sequence[str]) -> None:
+    """Print one experiment's comparison table."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def standard_session(
+    nodes: int = 10, seed: int = 404, hours: int = 12, **kw
+) -> MonitoringSession:
+    """A monitored cluster that ran the standard mix to completion."""
+    sess = monitoring_session(nodes=nodes, seed=seed, tick=300, **kw)
+    for user, app, n in STANDARD_MIX:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=4000.0, fail_prob=0.0,
+                         runtime_sigma=0.2),
+            nodes=n,
+        ))
+    sess.cluster.run_for(hours * 3600)
+    return sess
+
+
+def once(benchmark, fn):
+    """Run a heavy scenario exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

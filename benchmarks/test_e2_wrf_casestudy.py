@@ -1,0 +1,66 @@
+"""E2 — §V-B WRF case study at database scale.
+
+Paper numbers (Q4 2015):
+
+===============  ==========  ============
+quantity         bad user    population
+===============  ==========  ============
+jobs             105         16,741
+CPU_Usage        67 %        80 %
+MetaDataRate     563,905/s   3,870/s
+LLiteOpenClose   30,884/s    2/s
+===============  ==========  ============
+
+We synthesise a quarter at 1/4 scale (the ratios, not the absolute
+counts, are the reproduction target) and run the identical ORM
+analysis: find the outlier user, aggregate their cohort vs the rest.
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro.analysis.casestudy import wrf_case_study
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+N_JOBS = 50_000  # ~1/4 of the paper's 404k-job quarter at equal mix
+
+
+def run_study():
+    db = Database()
+    generate_population(db, N_JOBS, seed=2015)
+    JobRecord.bind(db)
+    return wrf_case_study()
+
+
+def test_e2_case_study(benchmark):
+    cs = once(benchmark, run_study)
+    rows = [
+        ("jobs", cs.bad.jobs, cs.population.jobs, "105", "16,741"),
+        ("CPU_Usage", f"{cs.bad.cpu_usage:.2f}",
+         f"{cs.population.cpu_usage:.2f}", "0.67", "0.80"),
+        ("MetaDataRate (req/s)", f"{cs.bad.metadata_rate:,.0f}",
+         f"{cs.population.metadata_rate:,.0f}", "563,905", "3,870"),
+        ("LLiteOpenClose (/s)", f"{cs.bad.open_close:,.1f}",
+         f"{cs.population.open_close:,.1f}", "30,884", "2"),
+    ]
+    report("E2 — WRF case study: outlier user vs WRF population", rows,
+           ["quantity", "bad (meas)", "pop (meas)", "bad (paper)",
+            "pop (paper)"])
+
+    assert cs.user == "baduser01"
+    # CPU band: bad ~0.67, population ~0.80
+    assert cs.bad.cpu_usage == pytest.approx(0.67, abs=0.08)
+    assert cs.population.cpu_usage == pytest.approx(0.80, abs=0.06)
+    # metadata: same orders of magnitude as the paper
+    assert 2e5 < cs.bad.metadata_rate < 2e6
+    assert 1e3 < cs.population.metadata_rate < 2e4
+    assert cs.metadata_ratio > 50
+    # open/close: ~3e4 vs ~2
+    assert 1e4 < cs.bad.open_close < 1e5
+    assert cs.population.open_close < 20
+    # cohort ratio preserved (~0.6 %)
+    assert cs.bad.jobs / cs.population.jobs == pytest.approx(
+        105 / 16741, rel=0.5
+    )

@@ -1,0 +1,51 @@
+"""E4 — §V-A population characterisation searches.
+
+Paper fractions over the Q4-2015 Stampede job population:
+
+* MIC usage > 1 % of CPU time:   1.3 % of jobs
+* VecPercent > 1 %:              52 %
+* VecPercent > 50 %:             25 %
+* MemUsage > 20 of 32 GB:         3 %
+* jobs with idle nodes:          > 2 %
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro.analysis.popgen import generate_population
+from repro.analysis.populations import PAPER_FRACTIONS, population_fractions
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+N_JOBS = 60_000
+
+
+def run_searches():
+    db = Database()
+    generate_population(db, N_JOBS, seed=404002)
+    JobRecord.bind(db)
+    return population_fractions()
+
+
+def test_e4_population_fractions(benchmark):
+    f = once(benchmark, run_searches)
+    measured = f.as_dict()
+    rows = [
+        (name, f"{measured[name] * 100:.2f}%",
+         f"{PAPER_FRACTIONS[name] * 100:.1f}%")
+        for name in PAPER_FRACTIONS
+    ]
+    rows.append(("total jobs", f"{f.total_jobs:,}", "404,002"))
+    report("E4 — §V-A population searches", rows,
+           ["search", "measured", "paper"])
+
+    assert measured["mic_over_1pct"] == pytest.approx(0.013, abs=0.006)
+    assert measured["vec_over_1pct"] == pytest.approx(0.52, abs=0.07)
+    assert measured["vec_over_50pct"] == pytest.approx(0.25, abs=0.06)
+    assert measured["mem_over_20gb"] == pytest.approx(0.03, abs=0.02)
+    assert measured["idle_nodes"] >= 0.015  # paper: "over 2%"
+    # the paper's qualitative readings hold:
+    # "a quarter effectively vectorized, almost half not"
+    assert 1 - measured["vec_over_1pct"] > 0.4
+    # "for the vast majority larger amounts of memory are not required"
+    assert measured["mem_over_20gb"] < 0.1

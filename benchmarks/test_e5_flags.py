@@ -1,0 +1,78 @@
+"""E5 — §V-A automatic job flagging, through the full pipeline.
+
+One offender per flag category is injected into a mixed workload on
+a fully monitored cluster; the ingest pass must raise exactly the
+right flag on exactly the right job (precision AND recall).
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.pipeline.records import JobRecord
+
+#: (user, app, nodes, queue, the flag their job must raise)
+OFFENDERS = (
+    ("mduser", "metadata_thrash", 2, "normal", "high_metadata_rate"),
+    ("ethuser", "gige_mpi", 2, "normal", "high_gige"),
+    ("memuser", "largemem_misuse", 1, "largemem", "largemem_waste"),
+    ("idleuser", "idle_half", 4, "normal", "idle_nodes"),
+    ("crashuser", "crasher", 2, "normal", "sudden_drop"),
+    ("builduser", "compile_then_run", 2, "normal", "sudden_rise"),
+    ("ptruser", "hicpi", 2, "normal", "high_cpi"),
+)
+
+#: clean controls that must raise nothing
+CONTROLS = (
+    ("good1", "namd", 2, "normal"),
+    ("good2", "vasp", 2, "normal"),
+    ("good3", "largemem_hog", 1, "largemem"),
+)
+
+
+def run_flagging():
+    sess = monitoring_session(nodes=16, largemem_nodes=2, seed=5, tick=300)
+    for user, app, nodes, queue, _flag in OFFENDERS:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=4500.0, runtime_sigma=0.05,
+                         **({} if app == "crasher" else {"fail_prob": 0.0})),
+            nodes=nodes, queue=queue,
+        ))
+    for user, app, nodes, queue in CONTROLS:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=4500.0, runtime_sigma=0.05,
+                         fail_prob=0.0),
+            nodes=nodes, queue=queue,
+        ))
+    sess.cluster.run_for(14 * 3600)
+    sess.ingest()
+    JobRecord.bind(sess.db)
+    return {r.user: set(r.flags) for r in JobRecord.objects.all()}
+
+
+def test_e5_flag_precision_and_recall(benchmark):
+    flags_by_user = once(benchmark, run_flagging)
+    rows = []
+    hits = 0
+    for user, app, _n, _q, expected in OFFENDERS:
+        got = flags_by_user.get(user, set())
+        ok = expected in got
+        hits += ok
+        rows.append((user, app, expected, ",".join(sorted(got)) or "-",
+                     "hit" if ok else "MISS"))
+    for user, app, _n, _q in CONTROLS:
+        got = flags_by_user.get(user, set())
+        rows.append((user, app, "(none)", ",".join(sorted(got)) or "-",
+                     "clean" if not got else "FALSE POSITIVE"))
+    report("E5 — automatic flags: injected offenders vs controls", rows,
+           ["user", "app", "expected flag", "raised", "outcome"])
+
+    # recall: every offender caught with its expected flag
+    for user, _app, _n, _q, expected in OFFENDERS:
+        assert expected in flags_by_user.get(user, set()), user
+    # precision: controls stay clean
+    for user, _app, _n, _q in CONTROLS:
+        assert not flags_by_user.get(user, set()), user

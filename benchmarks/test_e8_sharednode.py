@@ -1,0 +1,91 @@
+"""E8 — §VI-C: the shared-node monitoring scheme.
+
+Paper guarantees measured here:
+
+* at least two data collections per process regardless of runtime;
+* two simultaneous process signals handled correctly, further ones
+  within the 0.09 s service window missed;
+* with cgroup pinning, core-level user time attributes cleanly per
+  job; with overlapping affinities it is honestly ambiguous.
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.sharednode import SharedNodeTracker, attribute_core_time
+
+
+def place(cluster, host, user, app, wayness, offset, runtime=4000.0):
+    spec = JobSpec(
+        user=user,
+        app=make_app(app, runtime_mean=runtime, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=1, wayness=wayness, core_offset=offset,
+    )
+    job = cluster.scheduler.submit(spec, cluster.now())
+    cluster.scheduler.pending.remove(job)
+    job.mark_started(cluster.now(), [host], int(runtime))
+    cluster.scheduler.running[job.jobid] = job
+    cluster.nodes[host].assign(job, 0)
+    cluster.jobs[job.jobid] = job
+    return job
+
+
+def run_scenario():
+    sess = monitoring_session(nodes=3, seed=81, tick=300)
+    tracker = SharedNodeTracker(sess.cluster, sess.collector)
+    tracker.attach()
+    j1 = sess.cluster.submit(JobSpec(
+        user="u_md",
+        app=make_app("namd", runtime_mean=4000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=1, wayness=8, core_offset=0,
+    ))
+    host = j1.assigned_nodes[0]
+    j2 = place(sess.cluster, host, "u_py", "python_serial",
+               wayness=4, offset=8)
+    sess.cluster.run_for(3 * 3600)
+    node_samples = sorted(
+        (s for s in tracker.samples if s.host == host),
+        key=lambda s: s.timestamp,
+    )
+    attribution = attribute_core_time(node_samples)
+    return sess, tracker, (j1, j2), attribution
+
+
+def test_e8_shared_node_scheme(benchmark):
+    sess, tracker, (j1, j2), attr = once(benchmark, run_scenario)
+    st = tracker.total_stats()
+    pids = {p.pid for s in tracker.samples for p in s.procs}
+    coverage = min(
+        len(tracker.samples_for_pid(pid)) for pid in pids
+    )
+    rows = [
+        ("signals received", st.received, "-"),
+        ("serviced immediately", st.serviced_immediately, "1 per burst"),
+        ("serviced via pending slot", st.serviced_pending,
+         "exactly 1 per busy window"),
+        ("missed", st.missed, "rest of a simultaneous burst"),
+        ("min collections per process", coverage, ">= 2 (guaranteed)"),
+        (f"core-s attributed to {j1.jobid} (8 cores)",
+         f"{attr.per_job.get(j1.jobid, 0):,.0f}", "-"),
+        (f"core-s attributed to {j2.jobid} (4 cores)",
+         f"{attr.per_job.get(j2.jobid, 0):,.0f}", "-"),
+        ("attributed fraction", f"{attr.attributed_fraction:.1%}",
+         "reliable when cgroup-pinned"),
+    ]
+    report("E8 — shared-node signals and attribution", rows,
+           ["quantity", "measured", "paper"])
+
+    # the ≥2 samples guarantee
+    assert coverage >= 2
+    # the one-pending-signal policy: per simultaneous start burst of
+    # 8 (j1) and 4 (j2) ranks, 2 are serviced and the rest missed
+    assert st.serviced_immediately >= 2
+    assert st.serviced_pending >= 1
+    assert st.missed >= st.received - 2 * 4
+    # clean attribution under pinning, 8-core job ahead of 4-core job
+    assert attr.attributed_fraction > 0.9
+    assert attr.per_job[j1.jobid] > attr.per_job[j2.jobid]

@@ -1,0 +1,79 @@
+"""E9 — §III-B: runtime auto-configuration across architectures.
+
+Paper: the collector *"identifies the processor architecture and
+uncore devices automatically at runtime"*, detects node topology and
+hardware threading, and only three options (Infiniband / Xeon Phi /
+Lustre) are fixed at build time — a flag without matching hardware
+still executes successfully.
+
+The benchmark sweeps all five supported architectures × build-flag
+combinations and runs a collection on each, verifying the device set
+matches what the silicon offers.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks._support import report
+from repro.core.config import BuildConfig
+from repro.hardware import ARCHITECTURES, Activity, build_device_tree
+from repro.hardware.arch import cpuinfo_for
+from repro.sim import RngRegistry
+
+FLAG_COMBOS = list(itertools.product((False, True), repeat=3))
+
+
+def detect_and_collect():
+    """One sweep: every arch × every build-flag combination."""
+    rng = RngRegistry(9).get("e9")
+    results = []
+    for name, arch in ARCHITECTURES.items():
+        for ib, phi, lustre in FLAG_COMBOS:
+            tree = build_device_tree(
+                cpuinfo=cpuinfo_for(arch),
+                infiniband=ib, xeon_phi=phi, lustre=lustre,
+            )
+            act = Activity.idle(tree.topology.cpus)
+            act.cpu_user_frac[:] = 0.5
+            tree.advance(act, 600, rng)
+            build = BuildConfig(infiniband=ib, xeon_phi=phi, lustre=lustre)
+            collected = {
+                t for t in tree.devices if t in build.wanted_types()
+            }
+            results.append((name, (ib, phi, lustre), tree, collected))
+    return results
+
+
+def test_e9_autodetection_matrix(benchmark):
+    results = benchmark(detect_and_collect)
+    rows = []
+    for name, flags, tree, collected in results:
+        if flags == (True, True, True):
+            rows.append((
+                name, tree.arch.codename,
+                f"{tree.topology.sockets}x{tree.topology.cores_per_socket}"
+                f"x{tree.topology.threads_per_core}",
+                "HT" if tree.hyperthreaded else "no-HT",
+                ",".join(sorted(collected)),
+            ))
+    report("E9 — auto-detected configuration (all build flags on)", rows,
+           ["arch", "codename", "topology", "threading", "device types"])
+
+    assert len(results) == 5 * 8
+    for name, (ib, phi, lustre), tree, collected in results:
+        arch = ARCHITECTURES[name]
+        # architecture identified from cpuinfo
+        assert tree.arch.name == name
+        # topology + hyperthreading detection
+        assert tree.hyperthreaded == (arch.threads_per_core > 1)
+        assert len(tree.devices[name].instances) == arch.cpus
+        # uncore devices appear exactly where the silicon has them
+        assert ("imc" in collected) == arch.has_uncore_pci
+        assert ("rapl" in collected) == arch.rapl
+        # the three build flags gate exactly their devices
+        assert ("ib" in collected) == ib
+        assert ("mic" in collected) == phi
+        assert bool(collected & {"mdc", "osc", "llite", "lnet"}) == lustre
+        # and collection always succeeded (devices advanced cleanly)
+        assert tree.read_all()["cpu"]["0"].sum() > 0

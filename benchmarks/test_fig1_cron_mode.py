@@ -1,0 +1,63 @@
+"""F1 — Fig. 1: the cron operation mode.
+
+The figure's message is architectural: data buffers on the compute
+node and a daily staggered rsync centralises it, so (a) data lag is
+hours-to-a-day and (b) a node failure destroys locally buffered
+samples.  Both consequences are measured here.
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.core import CentralStore, Collector, CronMode
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+def run_cron_scenario(tmp_path):
+    c = Cluster(ClusterConfig(
+        normal_nodes=8, largemem_nodes=0, development_nodes=0,
+        tick=300, seed=11,
+    ))
+    col = Collector(c)
+    store = CentralStore(tmp_path / "central")
+    cron = CronMode(c, col, store)
+    cron.start()
+    for i in range(4):
+        c.submit(JobSpec(
+            user=f"u{i}", app=make_app("wrf", runtime_mean=5000.0,
+                                       fail_prob=0.0),
+            nodes=2,
+        ))
+    # day 1 runs; one node dies mid-afternoon with a day of data buffered
+    c.run_for(15 * 3600)
+    c.fail_node("c401-108")
+    lost = cron.account_node_failure("c401-108")
+    c.run_for(2 * SECONDS_PER_DAY - 15 * 3600)
+    cron.final_sync()
+    return store, cron, lost
+
+
+def test_fig1_cron_mode(benchmark, tmp_path):
+    store, cron, lost = once(
+        benchmark, lambda: run_cron_scenario(tmp_path)
+    )
+    lag = store.lag_stats()
+    report(
+        "Fig. 1 — cron mode: daily rsync lag and failure loss",
+        [
+            ("samples centralised", f"{lag['count']}", "-"),
+            ("data lag mean (h)", f"{lag['mean'] / 3600:.1f}",
+             "hours (next-morning rsync)"),
+            ("data lag p95 (h)", f"{lag['p95'] / 3600:.1f}", "up to ~1 day"),
+            ("data lag max (h)", f"{lag['max'] / 3600:.1f}", "~1 day+"),
+            ("samples lost to 1 node failure", f"{lost}",
+             "everything unsynced on that node"),
+        ],
+        ["quantity", "measured", "paper expectation"],
+    )
+    # shape assertions: lag is hours; loss is the full local buffer
+    assert lag["mean"] > 4 * 3600
+    assert lag["max"] > 18 * 3600
+    assert lost >= 80  # ~15 h of 10-min samples + job begin/end points
+    assert cron.synced_samples > 1000

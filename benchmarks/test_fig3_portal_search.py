@@ -1,0 +1,56 @@
+"""F3 — Fig. 3: the portal front page's query surface.
+
+The figure shows: metadata fields, up to three metric Search fields
+with operator suffixes and threshold values, and date browsing.  The
+benchmark drives each of those query shapes against a synthesised
+quarter of jobs and times the search layer itself.
+"""
+
+import pytest
+
+from benchmarks._support import report
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+from repro.portal.search import JobSearch, SearchField, browse_date
+
+
+@pytest.fixture(scope="module")
+def popdb():
+    db = Database()
+    generate_population(db, 30_000, seed=33)
+    JobRecord.bind(db)
+    return db
+
+
+def test_fig3_portal_queries(benchmark, popdb):
+    searches = {
+        "by user": JobSearch(user="baduser01"),
+        "by executable substring": JobSearch(executable="wrf"),
+        "exe + 1 field": JobSearch(
+            executable="wrf.exe",
+            fields=[SearchField.parse("MetaDataRate__gt", 10_000)],
+        ),
+        "3 fields (limit)": JobSearch(fields=[
+            SearchField.parse("CPU_Usage__lt", 0.5),
+            SearchField.parse("MDCReqs__gt", 10),
+            SearchField.parse("MemUsage__gt", 4),
+        ]),
+        "queue + status": JobSearch(queue="largemem", status="COMPLETED"),
+    }
+
+    def run_all():
+        return {name: len(s.run()) for name, s in searches.items()}
+
+    counts = benchmark(run_all)
+    day0 = 1443657600
+    by_date = len(browse_date(day0, day0 + 86_400 * 7))
+    rows = [(name, n) for name, n in counts.items()]
+    rows.append(("browse first week by date", by_date))
+    report("Fig. 3 — portal search shapes over a 30k-job quarter",
+           rows, ["query", "hits"])
+
+    assert counts["by user"] >= 5
+    assert counts["exe + 1 field"] >= 5
+    assert counts["by executable substring"] > counts["exe + 1 field"]
+    assert by_date > 100

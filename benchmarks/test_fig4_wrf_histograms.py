@@ -1,0 +1,86 @@
+"""F4 — Fig. 4: histograms for a WRF population search.
+
+Paper: *"the search for all jobs running the WRF executable wrf.exe
+on Stampede from the dates Jan 1, 2016 to Jan 14, 2016 over 10
+minutes in runtime returns 558 jobs"* and the four auto-generated
+histograms (runtime, nodes, queue wait, maximum metadata requests)
+show outliers in the metadata panel attributable to one user.
+
+This benchmark runs a 558-job WRF campaign through the *full*
+pipeline — simulator, daemon transport, raw files, job mapping,
+metrics, database — then regenerates the histogram quartet.
+"""
+
+import pytest
+
+from benchmarks._support import once, report
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.pipeline.records import JobRecord
+from repro.portal.histograms import job_histograms
+from repro.portal.search import JobSearch
+
+N_JOBS = 558
+N_BAD = 6  # the pathological user's share of this window
+DAYS = 10
+
+
+def run_campaign():
+    sess = monitoring_session(nodes=24, seed=14, tick=600)
+    c = sess.cluster
+    rng = c.rngs.get("bench/f4")
+    t0 = c.now()
+    for i in range(N_JOBS - N_BAD):
+        user = f"wrf{int(rng.integers(0, 60)):02d}"
+        when = t0 + int(rng.uniform(0, DAYS * 86_400 * 0.9))
+        # diurnal bursts create genuine queue waits
+        when -= when % 21_600
+        c.submit(JobSpec(
+            user=user,
+            app=make_app("wrf", runtime_mean=2700.0, runtime_sigma=0.5,
+                         fail_prob=0.01),
+            nodes=int(rng.choice([4, 4, 8, 8, 16])),
+            requested_runtime=4 * 3600,
+        ), when=max(t0, when))
+    for i in range(N_BAD):
+        c.submit(JobSpec(
+            user="baduser01",
+            app=make_app("wrf_pathological", runtime_mean=2700.0,
+                         runtime_sigma=0.3, fail_prob=0.0),
+            nodes=16,
+            requested_runtime=4 * 3600,
+        ), when=t0 + int(rng.uniform(0, DAYS * 86_400 * 0.9)))
+    c.run_for(DAYS * 86_400 + 6 * 3600)
+    sess.ingest()
+    return sess
+
+
+def test_fig4_wrf_histograms(benchmark):
+    sess = once(benchmark, run_campaign)
+    JobRecord.bind(sess.db)
+    matches = JobSearch(executable="wrf.exe", min_run_time=600).run()
+    hists = job_histograms(matches)
+
+    md = hists["MetaDataRate"]
+    rows = [
+        ("jobs returned", len(matches), "558"),
+        ("runtime panel total", hists["run_time"].total, "= job count"),
+        ("nodes panel max (nodes)", f"{hists['nodes'].edges[-1]:.0f}", "-"),
+        ("queue-wait panel p>0 (h)",
+         f"{hists['queue_wait'].edges[-1]:.1f}", "nonzero tail"),
+        ("metadata outliers (4 sigma)", md.outlier_count(),
+         "a visible outlier clump"),
+    ]
+    report("Fig. 4 — WRF search histograms", rows,
+           ["quantity", "measured", "paper"])
+
+    # shape: hundreds of jobs, outliers exist and trace to one user
+    assert len(matches) > 0.8 * N_JOBS
+    assert md.outlier_count() >= N_BAD - 1
+    outlier_cut = md.edges[len(md.edges) // 2]
+    outlier_users = {
+        r.user for r in matches if (r.MetaDataRate or 0) > outlier_cut
+    }
+    assert outlier_users == {"baduser01"}
+    # queue waits exist (bursty submission on a finite machine)
+    assert hists["queue_wait"].edges[-1] > 0.01

@@ -1,0 +1,74 @@
+"""F5 — Fig. 5: per-node time-series panels for a pathological WRF job.
+
+Paper signatures to reproduce, per panel:
+
+* every line is one node of the job;
+* Lustre filesystem bandwidth is *small* despite the metadata storm —
+  "the small bandwidth ... suggests these requests are unnecessary" —
+  and restricted to (essentially) one node for ordinary output;
+* the CPU user fraction is low for a WRF job and varies strongly
+  from node to node.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._support import once, report
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.pipeline.records import JobRecord
+from repro.portal.views import JobDetailView
+
+
+def run_job():
+    sess = monitoring_session(nodes=18, seed=55, tick=600)
+    job = sess.cluster.submit(JobSpec(
+        user="baduser01",
+        app=make_app("wrf_pathological", runtime_mean=7200.0,
+                     runtime_sigma=0.05, fail_prob=0.0),
+        nodes=16,
+    ))
+    sess.cluster.run_for(5 * 3600)
+    sess.ingest()
+    JobRecord.bind(sess.db)
+    record = JobRecord.objects.get(jobid=job.jobid)
+    detail = JobDetailView.load(
+        job.jobid, sess.store, sess.cluster.jobs, record=record
+    )
+    return detail
+
+
+def test_fig5_panels(benchmark):
+    detail = once(benchmark, run_job)
+    panels = detail.panels
+    cpu = panels["cpu_user"].series  # (16, T)
+    lustre = panels["lustre_bw"].series
+    gflops = panels["gflops"].series
+    mem = panels["mem_usage"].series
+
+    per_node_cpu = cpu.mean(axis=1)
+    rows = [
+        ("nodes (lines per panel)", cpu.shape[0], "16"),
+        ("samples per node", cpu.shape[1] + 1, ">= 2"),
+        ("CPU user fraction (job mean)", f"{per_node_cpu.mean():.2f}",
+         "low for WRF (~0.67)"),
+        ("CPU user fraction node spread",
+         f"{per_node_cpu.min():.2f} .. {per_node_cpu.max():.2f}",
+         "varies greatly node to node"),
+        ("Lustre BW mean (MB/s)", f"{np.nanmean(lustre):.2f}",
+         "small despite the request storm"),
+        ("Gigaflops per node", f"{np.nanmean(gflops):.1f}", "-"),
+        ("Memory usage (GB, max)", f"{mem.max():.1f}", "-"),
+    ]
+    report("Fig. 5 — per-node time series of the pathological WRF job",
+           rows, ["quantity", "measured", "paper"])
+
+    assert cpu.shape[0] == 16
+    # low CPU for a WRF job, with node-to-node variation
+    assert per_node_cpu.mean() < 0.78
+    assert per_node_cpu.max() - per_node_cpu.min() > 0.08
+    # Lustre bandwidth small (MBs, not GBs) despite ~500k metadata req/s
+    assert np.nanmean(lustre) < 100.0
+    assert detail.metrics["MetaDataRate"] > 1e5
+    # the flag engine catches it
+    assert any(f.name == "high_metadata_rate" for f in detail.flags)

@@ -1,0 +1,115 @@
+"""Throughput of the pipeline's hot paths.
+
+Not a paper table — an engineering benchmark guarding the costs that
+determine whether the backend keeps up with a real system's data rate
+(the paper's deployments: 132–1984 nodes at 10-minute cadence):
+
+* raw stats text parse rate (the ingest consumer's hot loop),
+* per-job metric computation,
+* ORM bulk-insert rate,
+* TSDB point insert + query rate.
+
+pytest-benchmark runs these multiple rounds, so regressions show as
+statistically solid slowdowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collector import Sample
+from repro.core.rawfile import RawFileParser, RawFileWriter
+from repro.db import Database
+from repro.hardware.devices.base import Schema, SchemaEntry
+from repro.metrics import compute_metrics
+from repro.pipeline.records import JobRecord
+from repro.tsdb import TimeSeriesDB
+from repro.tsdb.query import query
+from tests.test_metrics.test_table1 import make_accum
+
+SCHEMAS = {
+    "cpu": Schema([SchemaEntry(n, unit="cs") for n in
+                   ("user", "nice", "system", "idle", "iowait",
+                    "irq", "softirq")]),
+    "mdc": Schema([SchemaEntry("reqs", width=64),
+                   SchemaEntry("wait_us", width=64)]),
+}
+
+
+def _raw_text(n_samples: int = 200, cpus: int = 16) -> str:
+    w = RawFileWriter("c401-101", "intel_snb", SCHEMAS)
+    rng = np.random.default_rng(0)
+    parts = [w.header()]
+    for i in range(n_samples):
+        data = {
+            "cpu": {
+                str(c): rng.integers(0, 1 << 30, size=7).astype(float)
+                for c in range(cpus)
+            },
+            "mdc": {"t": rng.integers(0, 1 << 40, size=2).astype(float)},
+        }
+        parts.append(w.record(Sample(
+            host="c401-101", timestamp=1_443_657_600 + 600 * i,
+            jobids=["1"], data=data, procs=[],
+        )))
+    return "".join(parts)
+
+
+def test_rawfile_parse_rate(benchmark):
+    text = _raw_text(200)
+
+    def parse():
+        return sum(1 for _ in RawFileParser().parse(text))
+
+    n = benchmark(parse)
+    assert n == 200
+
+
+def test_metric_computation_rate(benchmark):
+    rng = np.random.default_rng(1)
+    accums = [
+        make_accum(
+            n_hosts=8, T=24,
+            mdc_reqs=rng.gamma(2, 300, (8, 23)),
+            cpu_user=rng.gamma(2, 30_000, (8, 23)),
+            cpu_total=np.full((8, 23), 96_000.0) * 8,
+        )
+        for _ in range(20)
+    ]
+
+    def compute_all():
+        return [compute_metrics(a) for a in accums]
+
+    out = benchmark(compute_all)
+    assert len(out) == 20
+
+
+def test_orm_bulk_insert_rate(benchmark):
+    def insert_block():
+        db = Database()
+        JobRecord.bind(db)
+        JobRecord.create_table()
+        rows = [
+            JobRecord(jobid=str(i), user=f"u{i % 40}", flags=[],
+                      CPU_Usage=0.5, MetaDataRate=float(i))
+            for i in range(2000)
+        ]
+        JobRecord.objects.bulk_create(rows)
+        return JobRecord.objects.count()
+
+    assert benchmark(insert_block) == 2000
+
+
+def test_tsdb_insert_and_query_rate(benchmark):
+    def run():
+        db = TimeSeriesDB()
+        for host in range(20):
+            for i in range(100):
+                db.put("stats",
+                       {"host": f"n{host}", "type": "mdc", "event": "reqs"},
+                       600 * i, float(i * host))
+        res = query(db, "stats", tags={"type": "mdc"},
+                    group_by=("host",), rate=True)
+        return db.n_points(), len(res)
+
+    points, groups = benchmark(run)
+    assert points == 2000 and groups == 20

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quarterly fleet report — the XDMOD-style rollup (paper §I).
+
+TACC Stats data feeds reports "spanning from reports on individual
+jobs to reports for funding agencies".  This example synthesises a
+Q4-2015-style quarter, rolls it up (utilisation by queue, top users
+and applications, failure rates, flag incidence, population health,
+energy), and adds the XALT environment summary consultants use to set
+user-education priorities.
+
+Run:  python examples/fleet_quarterly.py
+"""
+
+from repro.analysis.fleet import fleet_report
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+def main() -> None:
+    db = Database()
+    print("synthesising a quarter of jobs ...")
+    gp = generate_population(db, 40_000, seed=20154)
+    JobRecord.bind(db)
+
+    rep = fleet_report(top=8)
+    print()
+    print(rep.render_text(top=8))
+
+    # the §V-A takeaways, verbatim from the data
+    f = rep.fractions
+    print("\n-- consultant takeaways (§V-A) --")
+    print(f"* Only {f.mic_over_1pct:.1%} of jobs use the Xeon Phi: "
+          "additional instruction may be of value.")
+    print(f"* {f.vec_over_50pct:.0%} of applications are effectively "
+          f"vectorised while {1 - f.vec_over_1pct:.0%} are not: "
+          "targeted documentation on vector ISAs.")
+    print(f"* {f.mem_over_20gb:.1%} of jobs use more than 20 of 32 GB: "
+          "larger memory is not required for the vast majority.")
+    print(f"* {f.idle_nodes:.1%} of multi-node jobs leave nodes idle: "
+          "a definite waste of resources (dozens daily).")
+    top_md = max(rep.flag_incidence.items(), key=lambda kv: kv[1],
+                 default=("-", 0))
+    print(f"* Most common flag: {top_md[0]} ({top_md[1]} jobs).")
+
+
+if __name__ == "__main__":
+    main()

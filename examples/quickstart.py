@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: monitor a simulated cluster end to end.
+
+Builds a daemon-mode monitored cluster (the Fig. 2 architecture),
+runs a small mixed workload, ingests metrics into the database, and
+shows the portal views: job list, flags, histograms, and a Fig. 5
+style per-node detail page.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.pipeline.records import JobRecord
+from repro.portal.histograms import job_histograms
+from repro.portal.reports import render_detail_text, render_front_page_text
+from repro.portal.search import JobSearch, SearchField
+from repro.portal.views import JobDetailView, JobListView
+
+
+def main() -> None:
+    # 1. A 12-node simulated system with tacc_statsd on every node,
+    #    publishing through the message broker into the central store.
+    sess = monitoring_session(nodes=12, largemem_nodes=1, seed=42)
+    cluster = sess.cluster
+
+    # 2. A user population submits work.
+    workload = [
+        ("alice", "wrf", 4, {}),
+        ("bob", "namd", 2, {}),
+        ("carol", "vasp", 2, {}),
+        ("dave", "hicpi", 2, {}),  # will be flagged: high cpi
+        ("erin", "idle_half", 4, {}),  # will be flagged: idle nodes
+        ("frank", "crasher", 2, {}),  # will be flagged: sudden drop
+        ("grace", "largemem_misuse", 1, {"queue": "largemem"}),
+    ]
+    for user, app, nodes, extra in workload:
+        cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=4000.0, runtime_sigma=0.3),
+            nodes=nodes,
+            **extra,
+        ))
+
+    # 3. Let twelve simulated hours pass (collections every 10 min,
+    #    prolog/epilog samples at each job boundary).
+    cluster.run_for(12 * 3600)
+
+    # 4. ETL: raw stats -> job mapping -> Table I metrics -> database.
+    result = sess.ingest()
+    print(f"ingested {result.ingested} jobs; "
+          f"flagged: { {k: v for k, v in result.flagged.items()} }\n")
+
+    # 5. Portal: search with metadata filters + metric search fields.
+    search = JobSearch(fields=[SearchField.parse("CPU_Usage__gt", 0.0)])
+    matches = search.run()
+    flagged = search.flagged_sublist()
+    print(render_front_page_text(
+        matches, flagged, job_histograms(matches)
+    ))
+
+    # 6. Fig. 5-style detail page for the first flagged job.
+    JobRecord.bind(sess.db)
+    if flagged:
+        record = flagged[0]
+        detail = JobDetailView.load(
+            record.jobid, sess.store, cluster.jobs, record=record
+        )
+        print(render_detail_text(detail))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Render the paper's Fig. 4 and Fig. 5 as SVG files.
+
+Runs the two underlying scenarios (a WRF population for the histogram
+quartet; one pathological WRF job for the per-node panels) and writes
+`figures/fig4_histograms.svg` and `figures/fig5_detail.svg` — visual
+artefacts directly comparable to the paper's figures.
+
+Run:  python examples/render_figures.py  [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import monitoring_session
+from repro.analysis.popgen import generate_population
+from repro.cluster import JobSpec, make_app
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+from repro.portal.histograms import job_histograms
+from repro.portal.plots import PANEL_LABELS, render_panel_svg
+from repro.portal.search import JobSearch
+from repro.portal.svgcharts import compose_figure, render_histogram_svg
+from repro.portal.views import JobDetailView
+
+
+def fig4(out: Path) -> None:
+    db = Database()
+    generate_population(db, 25_000, seed=2015)
+    JobRecord.bind(db)
+    jobs = JobSearch(executable="wrf.exe", min_run_time=600).run()
+    hists = job_histograms(jobs)
+    fragments = [render_histogram_svg(h) for h in hists.values()]
+    svg = compose_figure(
+        fragments, columns=2,
+        title=f"Fig. 4 — histograms for {len(jobs)} wrf.exe jobs",
+    )
+    path = out / "fig4_histograms.svg"
+    path.write_text(svg)
+    print(f"wrote {path} ({len(svg):,} bytes)")
+
+
+def fig5(out: Path) -> None:
+    sess = monitoring_session(nodes=18, seed=55, tick=600)
+    job = sess.cluster.submit(JobSpec(
+        user="baduser01",
+        app=make_app("wrf_pathological", runtime_mean=7200.0,
+                     runtime_sigma=0.05, fail_prob=0.0),
+        nodes=16,
+    ))
+    sess.cluster.run_for(4 * 3600)
+    sess.ingest()
+    JobRecord.bind(sess.db)
+    detail = JobDetailView.load(
+        job.jobid, sess.store, sess.cluster.jobs,
+        record=JobRecord.objects.get(jobid=job.jobid),
+    )
+    fragments = [
+        render_panel_svg(detail.panels[key], width=640, height=110)
+        for key, _ in PANEL_LABELS
+    ]
+    svg = compose_figure(
+        fragments, columns=1, gap=4,
+        title=f"Fig. 5 — job {job.jobid}: per-node performance over time",
+    )
+    path = out / "fig5_detail.svg"
+    path.write_text(svg)
+    print(f"wrote {path} ({len(svg):,} bytes)")
+
+
+def main(out_dir: str = "figures") -> None:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    fig4(out)
+    fig5(out)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""§VI-C: monitoring shared nodes with per-process attribution.
+
+Two jobs share one node, cgroup-pinned to disjoint cores.  The
+LD_PRELOAD-style tracker collects at every process start/stop (two
+simultaneous signals handled, further ones missed — the paper's
+policy), guaranteeing at least two samples per process.  Core-level
+user time is then attributed per job from the procfs CPU affinities,
+and a deliberately unpinned third case shows the honest "ambiguous"
+accounting the paper warns about.
+
+Run:  python examples/shared_nodes.py
+"""
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.sharednode import SharedNodeTracker, attribute_core_time
+
+
+def place_shared(cluster, host, user, app, wayness, core_offset, runtime):
+    """Hand-place a job on an occupied node (shared-node centres
+    schedule by core, not by node; our scheduler is whole-node)."""
+    spec = JobSpec(
+        user=user,
+        app=make_app(app, runtime_mean=runtime, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=1, wayness=wayness, core_offset=core_offset,
+    )
+    job = cluster.scheduler.submit(spec, cluster.now())
+    cluster.scheduler.pending.remove(job)
+    job.mark_started(cluster.now(), [host], int(runtime))
+    cluster.scheduler.running[job.jobid] = job
+    cluster.nodes[host].assign(job, 0)
+    cluster.jobs[job.jobid] = job
+    return job
+
+
+def main() -> None:
+    sess = monitoring_session(nodes=3, seed=2016)
+    cluster = sess.cluster
+    tracker = SharedNodeTracker(cluster, sess.collector)
+    tracker.attach()
+
+    # job A: 8 ranks pinned to cores 0-7
+    job_a = cluster.submit(JobSpec(
+        user="u_md",
+        app=make_app("namd", runtime_mean=3000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=1, wayness=8, core_offset=0,
+    ))
+    host = job_a.assigned_nodes[0]
+    # job B: 4 ranks pinned to cores 8-11, same node
+    job_b = place_shared(cluster, host, "u_py", "python_serial",
+                         wayness=4, core_offset=8, runtime=3000.0)
+
+    cluster.run_for(2 * 3600)
+
+    stats = tracker.total_stats()
+    print("signal policy accounting (paper: 2 simultaneous OK, rest missed):")
+    print(f"  received={stats.received}  immediate={stats.serviced_immediately}"
+          f"  pending-slot={stats.serviced_pending}  missed={stats.missed}")
+
+    pids = {p.pid for s in tracker.samples for p in s.procs}
+    coverage = [len(tracker.samples_for_pid(pid)) for pid in pids]
+    print(f"\nprocesses tracked: {len(pids)}; samples per process: "
+          f"min={min(coverage)} (guarantee: >=2)")
+
+    node_samples = sorted(
+        (s for s in tracker.samples if s.host == host),
+        key=lambda s: s.timestamp,
+    )
+    res = attribute_core_time(node_samples)
+    print("\nper-job attributed user core-seconds (cgroup-pinned):")
+    for jid, secs in sorted(res.per_job.items()):
+        who = cluster.jobs[jid].user
+        print(f"  job {jid} ({who}): {secs:,.0f} core-s")
+    print(f"  attributed fraction: {res.attributed_fraction:.1%}")
+
+    # the cautionary tale: overlapping affinities cannot be attributed
+    sess2 = monitoring_session(nodes=2, seed=7)
+    t2 = SharedNodeTracker(sess2.cluster, sess2.collector)
+    t2.attach()
+    j1 = sess2.cluster.submit(JobSpec(
+        user="x", app=make_app("namd", runtime_mean=2000.0, fail_prob=0.0),
+        nodes=1, wayness=8, core_offset=0,
+    ))
+    place_shared(sess2.cluster, j1.assigned_nodes[0], "y", "openfoam",
+                 wayness=8, core_offset=0, runtime=2000.0)  # SAME cores
+    sess2.cluster.run_for(3600)
+    samples2 = sorted(
+        (s for s in t2.samples if s.host == j1.assigned_nodes[0]),
+        key=lambda s: s.timestamp,
+    )
+    res2 = attribute_core_time(samples2)
+    print(f"\nunpinned control: attributed fraction "
+          f"{res2.attributed_fraction:.1%} "
+          f"(ambiguous {res2.ambiguous:,.0f} core-s) — without cgroup "
+          f"pinning the data cannot be split, as §VI-C notes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on offline hosts
+where the `wheel` package (needed by PEP-660 editable installs) is
+unavailable. Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

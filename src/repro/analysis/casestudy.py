@@ -1,0 +1,109 @@
+"""The §V-B WRF / Lustre I/O case study.
+
+*"A simple query shows this user's 105 WRF jobs run in the last
+quarter of 2015 averaged 67 % CPU_Usage and an average MetaDataRate of
+563,905 requests per second.  We can compare this to the average 80 %
+CPU_Usage and 3,870 MetaDataRate for the entire WRF population of
+16,741 jobs ... the average value for LLiteOpenClose ... of the
+general WRF population of 2 per second to this user's rate of 30,884
+per second."*
+
+:func:`wrf_case_study` reproduces that exact analysis with ORM
+aggregation: identify the metadata outlier user among WRF jobs, then
+compare their averages to the rest of the WRF population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.db.aggregates import Avg, Count, Max
+from repro.pipeline.records import JobRecord
+
+
+@dataclass
+class CohortStats:
+    """Aggregates over one group of jobs."""
+
+    jobs: int
+    cpu_usage: float
+    metadata_rate: float
+    open_close: float
+    mdc_reqs: float
+
+
+@dataclass
+class CaseStudyResult:
+    """Bad user vs population comparison (§V-B)."""
+
+    user: str
+    bad: CohortStats
+    population: CohortStats
+
+    @property
+    def metadata_ratio(self) -> float:
+        """How many times the population's MetaDataRate the user runs at."""
+        if self.population.metadata_rate <= 0:
+            return float("inf")
+        return self.bad.metadata_rate / self.population.metadata_rate
+
+    @property
+    def open_close_ratio(self) -> float:
+        if self.population.open_close <= 0:
+            return float("inf")
+        return self.bad.open_close / self.population.open_close
+
+    @property
+    def cpu_penalty(self) -> float:
+        """CPU_Usage lost relative to the population (fraction)."""
+        return self.population.cpu_usage - self.bad.cpu_usage
+
+
+def find_metadata_outlier_user(executable: str = "wrf.exe") -> Optional[str]:
+    """The user whose jobs average the highest MetaDataRate.
+
+    This is the programmatic equivalent of spotting the Fig. 4
+    outliers and following them to a user.
+    """
+    rows = JobRecord.objects.filter(executable=executable).group_aggregate(
+        "user", avg_md=Avg("MetaDataRate"), n=Count()
+    )
+    rows = [r for r in rows if r["n"] >= 3]
+    if not rows:
+        return None
+    rows.sort(key=lambda r: r["avg_md"], reverse=True)
+    return rows[0]["user"]
+
+
+def _cohort(qs) -> CohortStats:
+    agg = qs.aggregate(
+        n=Count(),
+        cpu=Avg("CPU_Usage"),
+        md=Avg("MetaDataRate"),
+        oc=Avg("LLiteOpenClose"),
+        mdc=Avg("MDCReqs"),
+    )
+    return CohortStats(
+        jobs=int(agg["n"] or 0),
+        cpu_usage=float(agg["cpu"] or 0.0),
+        metadata_rate=float(agg["md"] or 0.0),
+        open_close=float(agg["oc"] or 0.0),
+        mdc_reqs=float(agg["mdc"] or 0.0),
+    )
+
+
+def wrf_case_study(
+    executable: str = "wrf.exe", user: Optional[str] = None
+) -> CaseStudyResult:
+    """Run the full §V-B comparison; auto-detects the outlier user."""
+    if user is None:
+        user = find_metadata_outlier_user(executable)
+        if user is None:
+            raise LookupError("no WRF jobs in the database")
+    wrf = JobRecord.objects.filter(executable=executable)
+    return CaseStudyResult(
+        user=user,
+        bad=_cohort(wrf.filter(user=user)),
+        population=_cohort(wrf.exclude(user=user)),
+    )

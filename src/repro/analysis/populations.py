@@ -1,0 +1,73 @@
+"""§V-A population characterisation.
+
+The searches the paper runs over Q4-2015 Stampede jobs, with the
+fractions it reports:
+
+* jobs using >1 % of CPU time on the MIC — **1.3 %** (*"our user
+  community is having difficulty taking advantage of the Xeon Phi"*);
+* jobs with >1 % vectorised FP operations — **52 %**; with >50 % —
+  **25 %** (*"a quarter of our applications are effectively
+  vectorized, while almost half are not"*);
+* jobs using >20 GB of the possible 32 GB — **3 %**;
+* jobs with idle nodes — **>2 %** (*"dozens of jobs with idle nodes
+  identified daily"*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.pipeline.records import JobRecord
+
+#: paper-reported fractions for comparison in EXPERIMENTS.md
+PAPER_FRACTIONS: Dict[str, float] = {
+    "mic_over_1pct": 0.013,
+    "vec_over_1pct": 0.52,
+    "vec_over_50pct": 0.25,
+    "mem_over_20gb": 0.03,
+    "idle_nodes": 0.02,  # "over 2% of jobs" — a lower bound
+}
+
+
+@dataclass
+class PopulationFractions:
+    """Measured fractions over the job table."""
+
+    total_jobs: int
+    mic_over_1pct: float
+    vec_over_1pct: float
+    vec_over_50pct: float
+    mem_over_20gb: float
+    idle_nodes: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mic_over_1pct": self.mic_over_1pct,
+            "vec_over_1pct": self.vec_over_1pct,
+            "vec_over_50pct": self.vec_over_50pct,
+            "mem_over_20gb": self.mem_over_20gb,
+            "idle_nodes": self.idle_nodes,
+        }
+
+
+def population_fractions(idle_threshold: float = 0.05) -> PopulationFractions:
+    """Run the §V-A searches over all ingested jobs."""
+    O = JobRecord.objects
+    n = O.count()
+    if n == 0:
+        raise LookupError("job table is empty")
+
+    def frac(qs) -> float:
+        return qs.count() / n
+
+    return PopulationFractions(
+        total_jobs=n,
+        mic_over_1pct=frac(O.filter(MIC_Usage__gt=0.01)),
+        vec_over_1pct=frac(O.filter(VecPercent__gt=1.0)),
+        vec_over_50pct=frac(O.filter(VecPercent__gt=50.0)),
+        # "more than 20GB of the possible 32GB on every node": exclude
+        # largemem, whose nodes have 1 TB
+        mem_over_20gb=O.filter(MemUsage__gt=20.0, queue="normal").count() / n,
+        idle_nodes=frac(O.filter(idle__lt=idle_threshold, nodes__gt=1)),
+    )

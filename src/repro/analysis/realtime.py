@@ -1,0 +1,154 @@
+"""§VI-B automated real-time analysis.
+
+*"Combining this time-series analysis capability with the real time
+reporting recently enabled in TACC Stats will allow problem jobs to be
+quickly identified and suspended before they create system-wide
+slowdowns or crashes.  This identification process could be automated
+and a system administrator notified immediately."*
+
+:class:`RealTimeDetector` subscribes its own queue to the daemon-mode
+exchange (the same stream the ingest consumer reads), converts each
+host's metadata counter into a rate online, aggregates rates per job,
+and — after a configurable number of consecutive over-threshold
+samples — notifies the administrator callback and optionally suspends
+the job.  Detection latency (storm start → suspension) is what the E7
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.broker import Broker, Channel, Delivery
+from repro.cluster.cluster import Cluster
+from repro.core.daemon import EXCHANGE
+from repro.core.rawfile import RawFileParser
+
+DETECTOR_QUEUE = "tacc_stats_rt"
+
+
+@dataclass
+class Detection:
+    """One job identified as a problem."""
+
+    jobid: str
+    time: int
+    rate: float
+    suspended: bool
+
+
+class RealTimeDetector:
+    """Streaming metadata-storm detector with optional auto-suspend.
+
+    Parameters
+    ----------
+    broker:
+        The daemon-mode broker to subscribe to.
+    cluster:
+        Used to suspend offending jobs (optional: detection-only mode).
+    threshold:
+        Job-aggregate metadata requests/s considered a storm.
+    confirm:
+        Consecutive over-threshold samples before acting (debounce —
+        a single output burst should not kill a job).
+    notify:
+        Administrator callback invoked with each :class:`Detection`.
+    auto_suspend:
+        Whether to actually suspend, or only notify.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        cluster: Optional[Cluster] = None,
+        threshold: float = 50_000.0,
+        confirm: int = 2,
+        notify: Optional[Callable[[Detection], None]] = None,
+        auto_suspend: bool = True,
+    ) -> None:
+        self.broker = broker
+        self.cluster = cluster
+        self.threshold = float(threshold)
+        self.confirm = int(confirm)
+        self.notify = notify
+        self.auto_suspend = auto_suspend
+        self.detections: List[Detection] = []
+        self._parser_per_host: Dict[str, RawFileParser] = {}
+        #: host → (timestamp, total mdc reqs counter, jobids)
+        self._last: Dict[str, Tuple[int, float]] = {}
+        self._host_rate: Dict[str, Tuple[int, float, List[str]]] = {}
+        self._strikes: Dict[str, int] = {}
+        self._strike_t: Dict[str, int] = {}
+        self._acted: set = set()
+
+    def start(self) -> None:
+        self.broker.declare_exchange(EXCHANGE, kind="topic")
+        self.broker.declare_queue(DETECTOR_QUEUE)
+        self.broker.bind(DETECTOR_QUEUE, EXCHANGE, "stats.#")
+        ch = self.broker.channel()
+        ch.basic_consume(DETECTOR_QUEUE, self._on_delivery, auto_ack=True)
+
+    # -- streaming ingestion --------------------------------------------------
+    def _on_delivery(self, channel: Channel, delivery: Delivery) -> None:
+        msg = delivery.message
+        host = str(msg.headers.get("host", "?"))
+        parser = self._parser_per_host.setdefault(host, RawFileParser())
+        for sample in parser.parse(msg.body):
+            self._observe(host, sample)
+
+    def _observe(self, host: str, sample) -> None:
+        mdc = sample.data.get("mdc")
+        if not mdc:
+            return
+        schema = self._parser_per_host[host].schemas.get("mdc")
+        if schema is None or "reqs" not in schema.index:
+            return
+        i = schema.index["reqs"]
+        total = float(sum(vals[i] for vals in mdc.values()))
+        prev = self._last.get(host)
+        self._last[host] = (sample.timestamp, total)
+        if prev is None:
+            return
+        t0, v0 = prev
+        dt = sample.timestamp - t0
+        if dt <= 0:
+            return
+        dv = total - v0
+        if dv < 0:  # counter reset (node reboot)
+            return
+        self._host_rate[host] = (sample.timestamp, dv / dt, sample.jobids)
+        self._evaluate(sample.timestamp)
+
+    # -- decision ----------------------------------------------------------
+    def _evaluate(self, now: int) -> None:
+        per_job: Dict[str, float] = {}
+        for host, (ts, rate, jobids) in self._host_rate.items():
+            if now - ts > 3 * 600:  # stale host data
+                continue
+            for jid in jobids:
+                per_job[jid] = per_job.get(jid, 0.0) + rate
+        for jid, rate in per_job.items():
+            if jid in self._acted:
+                continue
+            if rate > self.threshold:
+                # at most one strike per collection timestamp, so a job
+                # on N nodes is not convicted N times faster
+                if self._strike_t.get(jid) == now:
+                    continue
+                self._strike_t[jid] = now
+                self._strikes[jid] = self._strikes.get(jid, 0) + 1
+                if self._strikes[jid] >= self.confirm:
+                    self._act(jid, now, rate)
+            elif self._strike_t.get(jid, -1) != now:
+                self._strikes[jid] = 0
+
+    def _act(self, jobid: str, now: int, rate: float) -> None:
+        self._acted.add(jobid)
+        suspended = False
+        if self.auto_suspend and self.cluster is not None:
+            suspended = self.cluster.suspend_job(jobid)
+        det = Detection(jobid=jobid, time=now, rate=rate, suspended=suspended)
+        self.detections.append(det)
+        if self.notify is not None:
+            self.notify(det)

@@ -1,0 +1,137 @@
+"""§VI-A cross-job interference analysis on the time-series database.
+
+*"For instance, a particular user's metadata requests in a particular
+time interval from multiple jobs could be related to other users'
+increased Lustre operation wait times."*
+
+The analysis:
+
+1. aggregate the suspect user's metadata request *rate* over all the
+   hosts their jobs occupied (tag-sliced TSDB query, summed),
+2. aggregate every *other* host's MDC wait-time rate,
+3. correlate the two series over the window.
+
+A strong positive correlation indicts the suspect: when they hammer
+the MDS, everyone else waits longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.jobs import Job
+from repro.tsdb.query import ResultSeries, correlate, query
+from repro.tsdb.store import TimeSeriesDB
+
+
+def hosts_of_user(
+    jobs: Mapping[str, Job], user: str, window: Optional[Tuple[int, int]] = None
+) -> List[str]:
+    """Hosts occupied by a user's jobs (optionally within a window)."""
+    hosts = set()
+    for job in jobs.values():
+        if job.user != user or job.start_time is None:
+            continue
+        if window is not None:
+            lo, hi = window
+            end = job.end_time or hi
+            if job.start_time >= hi or end <= lo:
+                continue
+        hosts.update(job.assigned_nodes)
+    return sorted(hosts)
+
+
+@dataclass
+class InterferenceReport:
+    """Outcome of the §VI-A analysis for one suspect user."""
+
+    user: str
+    suspect_hosts: List[str]
+    bystander_hosts: List[str]
+    suspect_mdc_rate: ResultSeries
+    bystander_wait_rate: ResultSeries
+    correlation: float
+    wait_inflation: float  # bystander wait rate, storm vs quiet, ratio
+    load_share: float  # suspect's share of the cluster's MDS request rate
+
+    @property
+    def implicated(self) -> bool:
+        """Cause, not coincidence: waits must track the suspect's
+        traffic AND the suspect must dominate the offered load.  The
+        share test is what keeps innocents who merely ran *alongside*
+        a storm (their activity co-times with the slowdown) from
+        being blamed."""
+        return (
+            self.correlation > 0.5
+            and self.wait_inflation > 2.0
+            and self.load_share > 0.3
+        )
+
+
+def interference_report(
+    tsdb: TimeSeriesDB,
+    jobs: Mapping[str, Job],
+    user: str,
+    window: Optional[Tuple[int, int]] = None,
+    downsample: int = 600,
+) -> InterferenceReport:
+    """Relate one user's metadata traffic to other users' MDC waits."""
+    suspects = hosts_of_user(jobs, user, window)
+    all_hosts = set(tsdb.tag_values("host"))
+    bystanders = sorted(all_hosts - set(suspects))
+    if not suspects:
+        raise LookupError(f"user {user!r} occupied no hosts in the window")
+
+    kw = dict(
+        rate=True,
+        downsample=(downsample, "avg"),
+        time_range=window,
+        aggregate="sum",
+    )
+    suspect_q = query(
+        tsdb, "stats",
+        tags={"type": "mdc", "event": "reqs", "host": suspects}, **kw
+    )
+    total_q = query(
+        tsdb, "stats", tags={"type": "mdc", "event": "reqs"}, **kw
+    )
+    bystander_q = query(
+        tsdb, "stats",
+        tags={"type": "mdc", "event": "wait_us", "host": bystanders}, **kw
+    )
+    if not suspect_q.series or not bystander_q.series:
+        raise LookupError("no TSDB series matched the interference query")
+    s = suspect_q.series[0]
+    b = bystander_q.series[0]
+    corr = correlate(s, b)
+
+    # inflation: bystander wait rate when the suspect is loud vs quiet
+    common, ia, ib = np.intersect1d(
+        s.times, b.times, return_indices=True
+    )
+    sv, bv = s.values[ia], b.values[ib]
+    ok = ~(np.isnan(sv) | np.isnan(bv))
+    sv, bv = sv[ok], bv[ok]
+    inflation = float("nan")
+    if len(sv) >= 4:
+        cut = np.nanmedian(sv)
+        loud, quiet = bv[sv > cut], bv[sv <= cut]
+        if len(loud) and len(quiet) and np.nanmean(quiet) > 0:
+            inflation = float(np.nanmean(loud) / np.nanmean(quiet))
+
+    total_mean = total_q.series[0].mean() if total_q.series else 0.0
+    load_share = s.mean() / total_mean if total_mean > 0 else 0.0
+
+    return InterferenceReport(
+        user=user,
+        suspect_hosts=suspects,
+        bystander_hosts=bystanders,
+        suspect_mdc_rate=s,
+        bystander_wait_rate=b,
+        correlation=corr,
+        wait_inflation=inflation,
+        load_share=load_share,
+    )

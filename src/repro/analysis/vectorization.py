@@ -1,0 +1,130 @@
+"""The §V-A vectorisation deep-dive.
+
+*"An examination of jobs with low vectorization shows that many
+applications were not compiled with the most advanced vector
+instruction set available.  This may be addressed through targeted
+documentation."*
+
+That examination is a join between two systems: TACC Stats measures
+*how vectorised the work actually was* (VecPercent), XALT records
+*how the binary was built* (compiler, ISA provenance).  This module
+performs the join and produces the consultant's output: which
+low-vectorisation executables are merely mis-built (re-compile and
+win) versus genuinely scalar codes (documentation won't help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.aggregates import Avg, Count
+from repro.pipeline.records import JobRecord
+from repro.xalt.catalog import lookup
+from repro.xalt.plugin import XaltPlugin
+
+
+@dataclass
+class ExecutableVecProfile:
+    """One executable's vectorisation picture."""
+
+    executable: str
+    jobs: int
+    avg_vec_percent: float
+    compiler: str
+    uses_best_isa: bool
+
+    @property
+    def rebuild_candidate(self) -> bool:
+        """Low measured vectorisation AND built without the best ISA:
+        the case targeted documentation can actually fix."""
+        return self.avg_vec_percent < 10.0 and not self.uses_best_isa
+
+
+@dataclass
+class VectorizationStudy:
+    """The full §V-A examination."""
+
+    profiles: List[ExecutableVecProfile]
+    low_vec_job_fraction: float  # jobs with VecPercent < 1 %
+
+    def rebuild_candidates(self) -> List[ExecutableVecProfile]:
+        return [p for p in self.profiles if p.rebuild_candidate]
+
+    def misbuilt_share_of_low_vec(self) -> float:
+        """Of the low-vectorisation jobs, the share whose binary was
+        built without the best ISA — the paper's "many applications"."""
+        low = [p for p in self.profiles if p.avg_vec_percent < 10.0]
+        low_jobs = sum(p.jobs for p in low)
+        if low_jobs == 0:
+            return 0.0
+        misbuilt = sum(p.jobs for p in low if not p.uses_best_isa)
+        return misbuilt / low_jobs
+
+    def render_text(self) -> str:
+        lines = [
+            "=== vectorisation study (§V-A) ===",
+            f"jobs with <1% vectorised FP: {self.low_vec_job_fraction:.1%}",
+            f"of low-vec jobs, built without the best ISA: "
+            f"{self.misbuilt_share_of_low_vec():.0%}",
+            "",
+            f"{'executable':<18}{'jobs':>8}{'VecPct':>8}"
+            f"{'compiler':>14}{'best ISA':>10}{'rebuild?':>10}",
+        ]
+        for p in sorted(self.profiles, key=lambda p: p.avg_vec_percent):
+            lines.append(
+                f"{p.executable:<18}{p.jobs:>8}{p.avg_vec_percent:>8.1f}"
+                f"{p.compiler:>14}{str(p.uses_best_isa):>10}"
+                f"{'YES' if p.rebuild_candidate else '-':>10}"
+            )
+        return "\n".join(lines)
+
+
+def vectorization_study(
+    xalt: Optional[XaltPlugin] = None, min_jobs: int = 5
+) -> VectorizationStudy:
+    """Join measured VecPercent with build provenance per executable.
+
+    With an :class:`XaltPlugin`, provenance comes from its launch
+    records; without one, from the static link-time catalogue (the
+    information XALT would have recorded).
+    """
+    rows = JobRecord.objects.group_aggregate(
+        "executable", n=Count(), vec=Avg("VecPercent")
+    )
+    total = JobRecord.objects.count()
+    low = JobRecord.objects.filter(VecPercent__lt=1.0).count()
+    profiles: List[ExecutableVecProfile] = []
+    for r in rows:
+        if r["n"] < min_jobs:
+            continue
+        exe = str(r["executable"])
+        if xalt is not None:
+            recs = [x for x in _xalt_records(xalt, exe)]
+            if recs:
+                compiler = recs[0].compiler
+                best = bool(recs[0].uses_best_isa)
+            else:
+                info = lookup(exe)
+                compiler, best = info.compiler, info.uses_best_isa
+        else:
+            info = lookup(exe)
+            compiler, best = info.compiler, info.uses_best_isa
+        profiles.append(ExecutableVecProfile(
+            executable=exe,
+            jobs=int(r["n"]),
+            avg_vec_percent=float(r["vec"] or 0.0),
+            compiler=compiler,
+            uses_best_isa=best,
+        ))
+    return VectorizationStudy(
+        profiles=profiles,
+        low_vec_job_fraction=low / total if total else 0.0,
+    )
+
+
+def _xalt_records(xalt: XaltPlugin, executable: str):
+    from repro.xalt.plugin import XaltRecord
+
+    XaltRecord.bind(xalt.db)
+    return list(XaltRecord.objects.filter(executable=executable)[:1])

@@ -1,0 +1,17 @@
+"""In-process AMQP-style message broker (RabbitMQ substitute).
+
+§III-A: the daemon mode of TACC Stats sends data *"directly over the
+Ethernet network to a RMQ server"* where a consumer processes it as
+soon as it is available.  This package reproduces the broker semantics
+that mode depends on: named exchanges (direct / fanout / topic),
+bindings with topic patterns, durable queues, per-consumer delivery
+with explicit acks, redelivery of unacked messages on consumer failure,
+and simple transport-delay modelling so end-to-end data latency (Fig. 2
+vs Fig. 1) is measurable.
+"""
+
+from repro.broker.broker import Broker, Channel
+from repro.broker.message import Delivery, Message
+from repro.broker.routing import topic_matches
+
+__all__ = ["Broker", "Channel", "Message", "Delivery", "topic_matches"]

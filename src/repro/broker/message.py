@@ -1,0 +1,31 @@
+"""Broker message and delivery envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class Message:
+    """A published message.
+
+    ``body`` may be any Python object (the daemon publishes raw stats
+    text blocks); ``headers`` carry host/timestamp metadata.
+    """
+
+    body: Any
+    routing_key: str = ""
+    headers: Dict[str, Any] = field(default_factory=dict)
+    published_at: Optional[int] = None  # simulation timestamp
+
+
+@dataclass
+class Delivery:
+    """A message as handed to one consumer."""
+
+    message: Message
+    delivery_tag: int
+    queue: str
+    redelivered: bool = False
+    delivered_at: Optional[int] = None

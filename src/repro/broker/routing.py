@@ -1,0 +1,43 @@
+"""AMQP topic-pattern matching.
+
+Topic exchange binding keys are dot-separated words where ``*`` matches
+exactly one word and ``#`` matches zero or more words — e.g. the
+consumer binds ``stats.#`` and nodes publish ``stats.<host>``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+
+@lru_cache(maxsize=4096)
+def _split(key: str) -> Tuple[str, ...]:
+    return tuple(key.split("."))
+
+
+def topic_matches(pattern: str, routing_key: str) -> bool:
+    """Return True when ``routing_key`` matches the binding ``pattern``.
+
+    >>> topic_matches("stats.#", "stats.c401-101")
+    True
+    >>> topic_matches("stats.*.rapl", "stats.c401-101.rapl")
+    True
+    >>> topic_matches("stats.*", "stats.a.b")
+    False
+    """
+    return _match(_split(pattern), _split(routing_key))
+
+
+def _match(pat: Tuple[str, ...], key: Tuple[str, ...]) -> bool:
+    if not pat:
+        return not key
+    head, rest = pat[0], pat[1:]
+    if head == "#":
+        # '#' may swallow zero or more words
+        return any(_match(rest, key[i:]) for i in range(len(key) + 1))
+    if not key:
+        return False
+    if head == "*" or head == key[0]:
+        return _match(rest, key[1:])
+    return False

@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+The real TACC Stats ships operational entry points (collection,
+pickling, ingest, portal management); the reproduction exposes the
+analogous workflow over the simulator::
+
+    python -m repro.cli simulate --db quarter.db --nodes 12 --hours 12
+    python -m repro.cli popgen   --db quarter.db --jobs 30000
+    python -m repro.cli search   --db quarter.db --exe wrf \\
+                                 --field MetaDataRate__gt=10000
+    python -m repro.cli report   --db quarter.db --jobid 2000017
+    python -m repro.cli casestudy --db quarter.db
+    python -m repro.cli fleet    --db quarter.db --top 10
+
+``simulate`` runs a monitored cluster (daemon mode) on a preset
+workload and ingests the results; ``popgen`` synthesises a
+database-scale population; the remaining commands are portal-style
+queries over the resulting job table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import monitoring_session
+from repro.analysis.casestudy import wrf_case_study
+from repro.analysis.popgen import generate_population
+from repro.cluster import JobSpec, make_app
+from repro.db import Database
+from repro.metrics.table1 import METRIC_REGISTRY
+from repro.pipeline.records import JobRecord
+from repro.portal.histograms import job_histograms, render_ascii
+from repro.portal.reports import render_job_list_text
+from repro.portal.search import JobSearch, SearchField
+from repro.portal.views import JobListView
+
+#: workload presets for `simulate`
+PRESETS = {
+    "standard": (
+        ("alice", "wrf", 4), ("bob", "namd", 2), ("carol", "vasp", 2),
+        ("dave", "openfoam", 2), ("erin", "io_heavy", 2),
+    ),
+    "offenders": (
+        ("mduser", "metadata_thrash", 2), ("ethuser", "gige_mpi", 2),
+        ("idleuser", "idle_half", 4), ("crashuser", "crasher", 2),
+        ("ptruser", "hicpi", 2), ("good", "namd", 2),
+    ),
+    "wrfstorm": (
+        ("baduser01", "wrf_pathological", 8),
+        ("wrf01", "wrf", 4), ("wrf02", "wrf", 4), ("wrf03", "wrf", 8),
+    ),
+}
+
+
+def _open_db(path: str) -> Database:
+    db = Database(path)
+    JobRecord.bind(db)
+    return db
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    sess = monitoring_session(nodes=args.nodes, seed=args.seed, tick=300)
+    preset = PRESETS[args.preset]
+    for user, app, nodes in preset:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=args.runtime),
+            nodes=min(nodes, args.nodes),
+        ))
+    sess.cluster.run_for(args.hours * 3600)
+    db = _open_db(args.db)
+    from repro.pipeline import ingest_jobs
+
+    result = ingest_jobs(sess.store, sess.cluster.jobs, db)
+    db.commit()
+    print(f"simulated {args.hours}h on {args.nodes} nodes "
+          f"(preset={args.preset}); ingested {result.ingested} jobs "
+          f"into {args.db}")
+    for jid, flags in result.flagged.items():
+        print(f"  flagged {jid}: {', '.join(flags)}")
+    return 0
+
+
+def cmd_popgen(args: argparse.Namespace) -> int:
+    db = _open_db(args.db)
+    gp = generate_population(db, args.jobs, seed=args.seed)
+    db.commit()
+    print(f"synthesised {gp.n_jobs} jobs into {args.db}")
+    top = sorted(gp.per_app.items(), key=lambda kv: -kv[1])[:8]
+    for app, n in top:
+        print(f"  {app:<20} {n}")
+    return 0
+
+
+def _parse_fields(specs: Optional[List[str]]) -> List[SearchField]:
+    out = []
+    for spec in specs or []:
+        name, _, value = spec.partition("=")
+        if not value:
+            raise SystemExit(
+                f"--field wants Metric__op=value, got {spec!r}"
+            )
+        out.append(SearchField.parse(name, float(value)))
+    return out
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    _open_db(args.db)
+    search = JobSearch(
+        user=args.user,
+        executable=args.exe,
+        queue=args.queue,
+        status=args.status,
+        min_run_time=args.min_runtime,
+        fields=_parse_fields(args.field),
+    )
+    matches = search.run()
+    print(render_job_list_text(JobListView(matches), limit=args.limit))
+    flagged = [r for r in matches if r.flags]
+    if flagged:
+        print(f"\nflagged ({len(flagged)}):")
+        for r in flagged[:20]:
+            print(f"  {r.jobid} {r.user} {r.executable}: "
+                  f"{', '.join(r.flags)}")
+    if args.histograms and matches:
+        print()
+        for h in job_histograms(matches).values():
+            print(render_ascii(h))
+            print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    _open_db(args.db)
+    try:
+        r = JobRecord.objects.get(jobid=args.jobid)
+    except LookupError:
+        print(f"job {args.jobid} not found", file=sys.stderr)
+        return 1
+    print(f"Job {r.jobid}: user={r.user} exe={r.executable} "
+          f"queue={r.queue} status={r.status}")
+    print(f"  nodes={r.nodes} wayness={r.wayness} "
+          f"run={r.run_time / 3600:.2f}h wait={r.queue_wait / 3600:.2f}h "
+          f"node-hours={r.node_hours:.1f}")
+    if r.flags:
+        print(f"  FLAGS: {', '.join(r.flags)}")
+    by_cat = {}
+    for name, mdef in METRIC_REGISTRY.items():
+        by_cat.setdefault(mdef.category, []).append(
+            (name, getattr(r, name), mdef.unit)
+        )
+    for cat in ("Lustre", "Network", "Processor", "OS", "Energy"):
+        print(f"  [{cat}]")
+        for name, value, unit in by_cat.get(cat, []):
+            v = "-" if value is None else f"{value:,.4g}"
+            print(f"    {name:<18} {v:>14} {unit}")
+    from repro.analysis.io_advisor import diagnose_io
+
+    metrics = {
+        name: getattr(r, name)
+        for name in METRIC_REGISTRY
+        if getattr(r, name) is not None
+    }
+    print()
+    print(diagnose_io(r.jobid, metrics).render_text())
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    _open_db(args.db)
+    from repro.analysis.fleet import fleet_report
+
+    try:
+        rep = fleet_report(top=args.top)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(rep.render_text(top=args.top))
+    return 0
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    _open_db(args.db)
+    try:
+        cs = wrf_case_study()
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"metadata outlier user: {cs.user}")
+    print(f"{'':>22}{'outlier':>14}{'population':>14}")
+    print(f"{'jobs':>22}{cs.bad.jobs:>14}{cs.population.jobs:>14}")
+    print(f"{'CPU_Usage':>22}{cs.bad.cpu_usage:>14.2f}"
+          f"{cs.population.cpu_usage:>14.2f}")
+    print(f"{'MetaDataRate':>22}{cs.bad.metadata_rate:>14,.0f}"
+          f"{cs.population.metadata_rate:>14,.0f}")
+    print(f"{'LLiteOpenClose':>22}{cs.bad.open_close:>14,.1f}"
+          f"{cs.population.open_close:>14,.1f}")
+    print(f"metadata ratio {cs.metadata_ratio:,.0f}x; "
+          f"CPU penalty {cs.cpu_penalty * 100:.1f} points")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a monitored cluster")
+    sim.add_argument("--db", required=True)
+    sim.add_argument("--nodes", type=int, default=12)
+    sim.add_argument("--hours", type=int, default=12)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--runtime", type=float, default=4000.0)
+    sim.add_argument("--preset", choices=sorted(PRESETS), default="standard")
+    sim.set_defaults(fn=cmd_simulate)
+
+    pop = sub.add_parser("popgen", help="synthesise a job population")
+    pop.add_argument("--db", required=True)
+    pop.add_argument("--jobs", type=int, default=20_000)
+    pop.add_argument("--seed", type=int, default=2015)
+    pop.set_defaults(fn=cmd_popgen)
+
+    sr = sub.add_parser("search", help="portal-style job search")
+    sr.add_argument("--db", required=True)
+    sr.add_argument("--user")
+    sr.add_argument("--exe")
+    sr.add_argument("--queue")
+    sr.add_argument("--status")
+    sr.add_argument("--min-runtime", type=int, default=None)
+    sr.add_argument("--field", action="append",
+                    help="Metric__op=value (repeatable, max 3)")
+    sr.add_argument("--limit", type=int, default=25)
+    sr.add_argument("--histograms", action="store_true")
+    sr.set_defaults(fn=cmd_search)
+
+    rp = sub.add_parser("report", help="one job's metric report")
+    rp.add_argument("--db", required=True)
+    rp.add_argument("--jobid", required=True)
+    rp.set_defaults(fn=cmd_report)
+
+    cs = sub.add_parser("casestudy", help="the §V-B WRF analysis")
+    cs.add_argument("--db", required=True)
+    cs.set_defaults(fn=cmd_casestudy)
+
+    fl = sub.add_parser("fleet", help="XDMOD-style fleet rollup")
+    fl.add_argument("--db", required=True)
+    fl.add_argument("--top", type=int, default=10)
+    fl.set_defaults(fn=cmd_fleet)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

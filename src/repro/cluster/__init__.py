@@ -1,0 +1,53 @@
+"""Synthetic HPC cluster: nodes, scheduler, applications, workloads.
+
+This package is the substrate the monitor observes.  It provides:
+
+* :class:`Job` / :class:`JobSpec` — batch job lifecycle with queue
+  wait, wayness, prolog/epilog hooks and completion status.
+* :class:`ApplicationModel` and a library of named applications
+  (including the WRF model and the pathological open/close-per-
+  iteration variant from paper §V-B).
+* :class:`Node` — one compute node: device tree + running job set,
+  merging per-job activities each simulation step.
+* :class:`Scheduler` — FCFS first-fit scheduler over named queues
+  (normal / largemem / development), mirroring Stampede's layout.
+* :class:`Cluster` — ties nodes, scheduler and the event queue
+  together and drives the simulation.
+* Workload generators and failure injection for the experiments.
+"""
+
+from repro.cluster.apps import (
+    APP_LIBRARY,
+    AppProfile,
+    ApplicationModel,
+    Phase,
+    make_app,
+)
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.jobs import Job, JobSpec, JobState
+from repro.cluster.node import Node
+from repro.cluster.scheduler import Queue, Scheduler
+from repro.cluster.workload import (
+    DEFAULT_MIX,
+    WorkloadEntry,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "WorkloadEntry",
+    "DEFAULT_MIX",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "ApplicationModel",
+    "AppProfile",
+    "Phase",
+    "APP_LIBRARY",
+    "make_app",
+    "Node",
+    "Queue",
+    "Scheduler",
+    "Cluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,275 @@
+"""The cluster: nodes + scheduler + event queue, driven lazily.
+
+Nodes advance their counters *lazily*: whenever a collection (or any
+other observer) needs current counters it calls :meth:`Cluster.catch_up`
+for that node, which integrates the node's activity forward in chunks
+of ``tick`` seconds.  This keeps large simulations affordable — idle
+periods cost nothing — while preserving the piecewise behaviour
+(phases, noise) at ``tick`` resolution.
+
+Job lifecycle events (start, crash, end) and scheduler cycles ride the
+shared :class:`~repro.sim.events.EventQueue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.jobs import Job, JobSpec, JobState
+from repro.cluster.node import Node
+from repro.cluster.scheduler import Queue, Scheduler
+from repro.hardware.arch import ARCHITECTURES, Architecture
+from repro.hardware.tree import DEFAULT_MEM_BYTES, build_device_tree
+from repro.sim import EventQueue, RngRegistry, SimClock
+
+GB = 1 << 30
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of the simulated system.
+
+    Defaults model a scaled-down Stampede: Sandy Bridge nodes with
+    32 GB, a few 1 TB largemem nodes, Xeon Phi on the normal queue.
+    """
+
+    name: str = "stampede-sim"
+    arch: str = "intel_snb"
+    normal_nodes: int = 32
+    largemem_nodes: int = 2
+    development_nodes: int = 2
+    mem_bytes: int = DEFAULT_MEM_BYTES
+    largemem_bytes: int = 1024 * GB
+    xeon_phi: bool = True
+    infiniband: bool = True
+    lustre: bool = True
+    tick: int = 600  # counter integration resolution, seconds
+    scheduler_cycle: int = 60
+    backfill: bool = True  # EASY backfill (head never delayed)
+    seed: int = 20151001
+    #: multiplicative counter jitter (0 disables: ground-truth tests)
+    device_noise: float = 0.02
+    #: couple client-observed Lustre waits to cluster-wide load (§VI-A)
+    shared_filesystem: bool = False
+    mds_capacity: float = 60_000.0
+    oss_capacity: float = 30_000.0
+
+
+def _node_name(rack: int, slot: int) -> str:
+    """TACC-style node names: c401-101, c401-102, ..."""
+    return f"c{400 + rack}-{100 + slot}"
+
+
+class Cluster:
+    """A running simulated system."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.rngs = RngRegistry(cfg.seed)
+        self.clock = SimClock()
+        self.events = EventQueue(self.clock)
+        arch = ARCHITECTURES[cfg.arch]
+
+        self.shared_fs = None
+        if cfg.shared_filesystem:
+            from repro.cluster.filesystem import SharedFilesystem
+
+            self.shared_fs = SharedFilesystem(
+                mds_capacity=cfg.mds_capacity,
+                oss_capacity=cfg.oss_capacity,
+                epoch=float(cfg.tick),
+            )
+        self.nodes: Dict[str, Node] = {}
+        queues: List[Queue] = []
+        specs: List[Tuple[str, int, int, bool]] = [
+            ("normal", cfg.normal_nodes, cfg.mem_bytes, cfg.xeon_phi),
+            ("largemem", cfg.largemem_nodes, cfg.largemem_bytes, False),
+            ("development", cfg.development_nodes, cfg.mem_bytes, cfg.xeon_phi),
+        ]
+        slot = 0
+        for qname, count, mem, phi in specs:
+            names = []
+            for _ in range(count):
+                name = _node_name(rack=1 + slot // 24, slot=slot % 24 + 1)
+                slot += 1
+                tree = build_device_tree(
+                    arch,
+                    infiniband=cfg.infiniband,
+                    xeon_phi=phi,
+                    lustre=cfg.lustre,
+                    mem_bytes=mem,
+                    noise=cfg.device_noise,
+                )
+                self.nodes[name] = Node(
+                    name,
+                    tree,
+                    self.rngs.get(f"node/{name}"),
+                    mem_bytes=mem,
+                    shared_fs=self.shared_fs,
+                )
+                names.append(name)
+            if names:
+                queues.append(Queue(name=qname, node_names=names))
+        self.scheduler = Scheduler(self.nodes, queues, backfill=cfg.backfill)
+        self._last_advance: Dict[str, int] = {
+            n: self.clock.now() for n in self.nodes
+        }
+        # scheduler cycle keeps pending jobs flowing
+        self.events.schedule_every(
+            cfg.scheduler_cycle, self._scheduler_cycle, label="sched"
+        )
+        self.jobs: Dict[str, Job] = {}
+
+    # -- time --------------------------------------------------------------
+    def now(self) -> int:
+        return self.clock.now()
+
+    def run_until(self, time: int) -> int:
+        """Drive the event queue to ``time``."""
+        return self.events.run_until(time)
+
+    def run_for(self, seconds: int) -> int:
+        return self.run_until(self.clock.now() + seconds)
+
+    # -- node counter integration -----------------------------------------
+    def catch_up(self, node_name: str, now: Optional[int] = None) -> None:
+        """Advance one node's counters to ``now`` in tick-sized chunks."""
+        now = self.clock.now() if now is None else int(now)
+        node = self.nodes[node_name]
+        last = self._last_advance[node_name]
+        if node.failed:
+            self._last_advance[node_name] = now
+            return
+        tick = self.config.tick
+        while last < now:
+            dt = min(tick, now - last)
+            node.step(dt, last + dt)
+            last += dt
+        self._last_advance[node_name] = now
+
+    def catch_up_all(self, now: Optional[int] = None) -> None:
+        for name in self.nodes:
+            self.catch_up(name, now)
+
+    # -- job lifecycle -----------------------------------------------------
+    def submit(self, spec: JobSpec, when: Optional[int] = None) -> Job:
+        """Submit a job (optionally at a future time) and return it."""
+        if when is None or when <= self.clock.now():
+            job = self.scheduler.submit(spec, self.clock.now())
+            self.jobs[job.jobid] = job
+            self._scheduler_cycle()
+            return job
+        # deferred submission: create the job when the event fires
+        placeholder: List[Job] = []
+
+        def do_submit() -> None:
+            job = self.scheduler.submit(spec, self.clock.now())
+            self.jobs[job.jobid] = job
+            placeholder.append(job)
+            self._scheduler_cycle()
+
+        self.events.schedule(when, do_submit, label="submit")
+        # caller gets a lazy handle
+        raise_deferred = DeferredJob(placeholder, spec)
+        return raise_deferred  # type: ignore[return-value]
+
+    def _scheduler_cycle(self) -> None:
+        now = self.clock.now()
+
+        def runtime_for(job: Job) -> int:
+            rng = self.rngs.get(f"job/{job.jobid}/runtime")
+            return job.spec.app.duration(rng)
+
+        started = self.scheduler.schedule_pending(now, runtime_for)
+        for job in started:
+            # nodes must be current up to the start (they were idle)
+            for n in job.assigned_nodes:
+                self.catch_up(n, now)
+            rng = self.rngs.get(f"job/{job.jobid}/fate")
+            fails, crash_frac = job.spec.app.sample_failure(rng)
+            assert job.planned_runtime is not None
+            if fails:
+                crash_at = now + max(1, int(job.planned_runtime * crash_frac))
+                self.events.schedule(
+                    crash_at, lambda j=job: self._crash(j), label="crash"
+                )
+                end_state, status = JobState.FAILED, "FAILED"
+            else:
+                end_state, status = JobState.COMPLETED, "COMPLETED"
+            end_at = now + job.planned_runtime
+            self.events.schedule(
+                end_at,
+                lambda j=job, s=end_state, st=status: self._finish(j, s, st),
+                label="end",
+            )
+
+    def _crash(self, job: Job) -> None:
+        """Application dies; nodes idle until the scheduler reaps it."""
+        if job.state is not JobState.RUNNING:
+            return
+        now = self.clock.now()
+        for n in job.assigned_nodes:
+            self.catch_up(n, now)
+            self.nodes[n].mark_crashed(job.jobid)
+
+    def _finish(self, job: Job, state: JobState, status: str) -> None:
+        if job.state is not JobState.RUNNING:
+            return
+        now = self.clock.now()
+        # if any assigned node died, the job dies with it
+        if any(self.nodes[n].failed for n in job.assigned_nodes):
+            state, status = JobState.FAILED, "NODE_FAIL"
+        for n in job.assigned_nodes:
+            self.catch_up(n, now)
+        self.scheduler.finish(job.jobid, now, state, status)
+        self._scheduler_cycle()
+
+    def suspend_job(self, jobid: str) -> bool:
+        """Administratively stop a running job (§VI-B intervention).
+
+        The job's nodes are released and the job ends with status
+        ``SUSPENDED``; returns False if the job was not running.
+        """
+        job = self.scheduler.running.get(jobid)
+        if job is None:
+            return False
+        now = self.clock.now()
+        for n in job.assigned_nodes:
+            self.catch_up(n, now)
+        self.scheduler.finish(jobid, now, JobState.CANCELLED, "SUSPENDED")
+        self._scheduler_cycle()
+        return True
+
+    # -- failures -----------------------------------------------------------
+    def fail_node(self, name: str, when: Optional[int] = None) -> None:
+        """Power-fail a node now or at ``when``."""
+
+        def do_fail() -> None:
+            now = self.clock.now()
+            self.catch_up(name, now)
+            self.nodes[name].fail()
+            for job in self.scheduler.jobs_on_failed_nodes():
+                if name in job.assigned_nodes:
+                    self.scheduler.finish(
+                        job.jobid, now, JobState.FAILED, "NODE_FAIL"
+                    )
+
+        if when is None or when <= self.clock.now():
+            do_fail()
+        else:
+            self.events.schedule(when, do_fail, label="node_fail")
+
+
+class DeferredJob:
+    """Handle for a job submitted at a future simulation time."""
+
+    def __init__(self, slot: List[Job], spec: JobSpec) -> None:
+        self._slot = slot
+        self.spec = spec
+
+    @property
+    def job(self) -> Optional[Job]:
+        """The real Job once the submit event has fired."""
+        return self._slot[0] if self._slot else None

@@ -1,0 +1,147 @@
+"""Infiniband fabric topology model.
+
+Stampede's FDR fabric is a two-level fat-tree: compute nodes hang off
+leaf switches; leaves uplink to a core layer.  The monitor's network
+metrics (InternodeIBAveBW etc.) are per-*node*; operators additionally
+care where that traffic lands in the fabric — a job spread across many
+leaves pushes its MPI traffic through the (oversubscribed) core, while
+a compact job stays switch-local.
+
+:class:`FabricModel` builds the tree as a :mod:`networkx` graph and
+answers placement questions:
+
+* hop count between any two nodes (2 intra-leaf, 4 through the core),
+* per-job placement quality (leaves spanned, mean pairwise hops),
+* a fabric load report: given per-node IB rates (from the live board
+  or job metrics), how much traffic crosses the core layer, and how
+  close the core is to its oversubscription limit.
+
+Observational only: placement does not feed back into the simulated
+application rates (the paper's metrics are node-level), but the model
+turns per-node monitor data into the fabric-level view an
+infrastructure team needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+LEAF_PORTS_DOWN = 20  # nodes per leaf switch
+FDR_GBS = 56.0 / 8.0  # FDR 4x link: 56 Gbit/s ≈ 7 GB/s
+
+
+@dataclass
+class PlacementReport:
+    """Fabric quality of one job's node placement."""
+
+    jobid: str
+    nodes: List[str]
+    leaves: List[str]
+    mean_pairwise_hops: float
+    core_traffic_fraction: float  # share of pairs crossing the core
+
+    @property
+    def compact(self) -> bool:
+        """True when the job fits within one leaf switch."""
+        return len(self.leaves) <= 1
+
+
+class FabricModel:
+    """A two-level fat-tree over a set of node names."""
+
+    def __init__(
+        self,
+        node_names: Iterable[str],
+        ports_per_leaf: int = LEAF_PORTS_DOWN,
+        core_switches: int = 2,
+        oversubscription: float = 1.25,
+    ) -> None:
+        self.node_names = sorted(node_names)
+        self.ports_per_leaf = int(ports_per_leaf)
+        self.oversubscription = float(oversubscription)
+        self.graph = nx.Graph()
+        self._leaf_of: Dict[str, str] = {}
+        n_leaves = max(
+            1, -(-len(self.node_names) // self.ports_per_leaf)
+        )
+        cores = [f"core{c}" for c in range(core_switches)]
+        for c in cores:
+            self.graph.add_node(c, kind="core")
+        for li in range(n_leaves):
+            leaf = f"leaf{li}"
+            self.graph.add_node(leaf, kind="leaf")
+            for c in cores:
+                self.graph.add_edge(leaf, c, kind="uplink")
+        for i, name in enumerate(self.node_names):
+            leaf = f"leaf{i // self.ports_per_leaf}"
+            self.graph.add_node(name, kind="node")
+            self.graph.add_edge(name, leaf, kind="downlink")
+            self._leaf_of[name] = leaf
+
+    # -- topology queries -----------------------------------------------------
+    def leaf_of(self, node: str) -> str:
+        return self._leaf_of[node]
+
+    def hops(self, a: str, b: str) -> int:
+        """Switch hops between two nodes (0 for a node and itself)."""
+        if a == b:
+            return 0
+        return nx.shortest_path_length(self.graph, a, b) - 1
+
+    def n_leaves(self) -> int:
+        return sum(
+            1 for _, d in self.graph.nodes(data=True) if d["kind"] == "leaf"
+        )
+
+    # -- placement ------------------------------------------------------------
+    def placement_report(self, jobid: str, nodes: List[str]) -> PlacementReport:
+        """Score one job's placement."""
+        nodes = list(nodes)
+        leaves = sorted({self._leaf_of[n] for n in nodes})
+        pairs = list(itertools.combinations(nodes, 2))
+        if pairs:
+            hop_counts = [self.hops(a, b) for a, b in pairs]
+            mean_hops = sum(hop_counts) / len(pairs)
+            crossing = sum(1 for h in hop_counts if h > 2) / len(pairs)
+        else:
+            mean_hops, crossing = 0.0, 0.0
+        return PlacementReport(
+            jobid=jobid,
+            nodes=nodes,
+            leaves=leaves,
+            mean_pairwise_hops=mean_hops,
+            core_traffic_fraction=crossing,
+        )
+
+    def core_load(
+        self, per_node_ib_mbs: Mapping[str, float],
+        job_nodes: Mapping[str, List[str]],
+    ) -> Dict[str, float]:
+        """Estimate core-layer utilisation from per-node IB rates.
+
+        Each job's traffic is assumed uniform across its node pairs;
+        the fraction of pairs whose path crosses the core sends that
+        share of the job's traffic through the uplinks.
+        """
+        core_mbs = 0.0
+        total_mbs = 0.0
+        for jobid, nodes in job_nodes.items():
+            rate = sum(per_node_ib_mbs.get(n, 0.0) for n in nodes)
+            total_mbs += rate
+            rep = self.placement_report(jobid, nodes)
+            core_mbs += rate * rep.core_traffic_fraction
+        n_up = sum(
+            1 for _, _, d in self.graph.edges(data=True)
+            if d["kind"] == "uplink"
+        )
+        capacity_mbs = n_up * FDR_GBS * 1e3 / self.oversubscription
+        return {
+            "total_mbs": total_mbs,
+            "core_mbs": core_mbs,
+            "core_capacity_mbs": capacity_mbs,
+            "core_utilization": core_mbs / capacity_mbs if capacity_mbs else 0.0,
+        }

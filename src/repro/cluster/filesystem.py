@@ -1,0 +1,107 @@
+"""Shared Lustre server load model.
+
+§VI-A: *"Simultaneously running jobs may individually use modest
+filesystem resources but in aggregate overwhelm the managing
+servers."*  The device counters are per client, but the *wait times*
+Lustre clients observe depend on the aggregate load all clients put on
+the metadata and object servers.  This module provides that coupling:
+
+* every node reports its Lustre request volume as it advances,
+* the filesystem accumulates request-seconds into fixed **epoch
+  buckets** (order-independent, so the cluster's lazy per-node
+  catch-up cannot corrupt the estimate), and
+* nodes query a **wait multiplier** — ~1 when the servers are
+  comfortable, growing quadratically once the offered metadata load
+  exceeds capacity (an M/M/1-flavoured congestion knee).  The
+  multiplier for epoch *e* is computed from epoch *e−1*'s completed
+  load, modelling the queue build-up lag.
+
+This is what makes one user's metadata storm measurably inflate *other
+users'* MDCWait (the §VI-A analysis) and what the §VI-B real-time
+detector is racing against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class SharedFilesystem:
+    """Aggregate load → client-observed wait multiplier.
+
+    Parameters
+    ----------
+    mds_capacity:
+        Metadata requests/s the MDS sustains before queueing.
+    oss_capacity:
+        Bulk requests/s across the object servers.
+    epoch:
+        Bucket width in seconds for the load accounting.
+    max_multiplier:
+        Cap on the wait amplification (clients time out and retry
+        rather than waiting forever).
+    """
+
+    def __init__(
+        self,
+        mds_capacity: float = 60_000.0,
+        oss_capacity: float = 30_000.0,
+        epoch: float = 600.0,
+        max_multiplier: float = 50.0,
+    ) -> None:
+        self.mds_capacity = float(mds_capacity)
+        self.oss_capacity = float(oss_capacity)
+        self.epoch = float(epoch)
+        self.max_multiplier = float(max_multiplier)
+        #: epoch index → request-seconds offered in that epoch
+        self._mds: Dict[int, float] = defaultdict(float)
+        self._oss: Dict[int, float] = defaultdict(float)
+
+    def _epoch_of(self, t: float) -> int:
+        return int(t // self.epoch)
+
+    def report(
+        self,
+        t: float,
+        dt: float,
+        mdc_reqs_per_s: float,
+        osc_reqs_per_s: float,
+    ) -> None:
+        """A node reports its request rates over the ``dt`` s ending at ``t``.
+
+        The request volume is credited to the epoch containing the
+        interval midpoint; reports may arrive in any order.
+        """
+        e = self._epoch_of(t - dt / 2.0)
+        self._mds[e] += mdc_reqs_per_s * dt
+        self._oss[e] += osc_reqs_per_s * dt
+
+    def mds_load(self, t: float) -> float:
+        """Cluster-wide MDS request rate during the last full epoch."""
+        return self._mds.get(self._epoch_of(t) - 1, 0.0) / self.epoch
+
+    def oss_load(self, t: float) -> float:
+        return self._oss.get(self._epoch_of(t) - 1, 0.0) / self.epoch
+
+    def _mult(self, load: float, capacity: float) -> float:
+        util = load / capacity
+        if util <= 1.0:
+            # mild queueing growth below the knee
+            return 1.0 + 0.25 * util
+        return min(self.max_multiplier, 1.25 + (util - 1.0) ** 2 * 4.0)
+
+    def mds_wait_multiplier(self, t: float) -> float:
+        """Amplification of metadata RPC wait times at time ``t``."""
+        return self._mult(self.mds_load(t), self.mds_capacity)
+
+    def oss_wait_multiplier(self, t: float) -> float:
+        """Amplification of bulk RPC wait times at time ``t``."""
+        return self._mult(self.oss_load(t), self.oss_capacity)
+
+    def overloaded(self, t: float) -> bool:
+        """True when either server class is past its knee at ``t``."""
+        return (
+            self.mds_load(t) > self.mds_capacity
+            or self.oss_load(t) > self.oss_capacity
+        )

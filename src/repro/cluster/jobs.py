@@ -1,0 +1,132 @@
+"""Batch job model.
+
+Jobs carry exactly the metadata the portal displays for every search
+hit (§IV-B): job id, username, executable, start/end time, run time,
+queue, job name, completion status, node wayness, number of reserved
+nodes and node-hours consumed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.apps import ApplicationModel
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class JobSpec:
+    """What a user submits: the request, before scheduling."""
+
+    user: str
+    app: "ApplicationModel"
+    nodes: int
+    queue: str = "normal"
+    wayness: int = 16  # MPI ranks per node
+    requested_runtime: int = 4 * 3600  # wall-limit seconds
+    name: str = ""
+    account: str = ""
+    #: first physical core this job's ranks pin to (shared nodes, §VI-C:
+    #: "if jobs are pinned to cores or sockets, such as through the use
+    #: of cgroups"); whole-node jobs leave it at 0
+    core_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"job needs >=1 node, got {self.nodes}")
+        if self.wayness < 1:
+            raise ValueError(f"wayness must be >=1, got {self.wayness}")
+        if self.requested_runtime <= 0:
+            raise ValueError("requested_runtime must be positive")
+        if not self.name:
+            self.name = self.app.executable.rsplit("/", 1)[-1]
+        if not self.account:
+            self.account = f"TG-{abs(hash(self.user)) % 90000 + 10000}"
+
+
+@dataclass
+class Job:
+    """A job instance moving through the scheduler."""
+
+    jobid: str
+    spec: JobSpec
+    submit_time: int
+    state: JobState = JobState.PENDING
+    start_time: Optional[int] = None
+    end_time: Optional[int] = None
+    assigned_nodes: List[str] = field(default_factory=list)
+    #: actual runtime drawn from the application model at start
+    planned_runtime: Optional[int] = None
+    status: str = ""  # scheduler-reported completion status string
+
+    # -- convenience accessors -------------------------------------------
+    @property
+    def user(self) -> str:
+        return self.spec.user
+
+    @property
+    def executable(self) -> str:
+        return self.spec.app.executable
+
+    @property
+    def queue(self) -> str:
+        return self.spec.queue
+
+    @property
+    def nodes(self) -> int:
+        return self.spec.nodes
+
+    @property
+    def wayness(self) -> int:
+        return self.spec.wayness
+
+    def queue_wait(self) -> Optional[int]:
+        """Seconds spent pending, or None while still pending."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def run_time(self) -> Optional[int]:
+        """Wall seconds the job ran, or None while running/pending."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def node_hours(self) -> Optional[float]:
+        rt = self.run_time()
+        if rt is None:
+            return None
+        return rt / 3600.0 * self.spec.nodes
+
+    def mark_started(self, time: int, nodes: List[str], runtime: int) -> None:
+        if self.state is not JobState.PENDING:
+            raise RuntimeError(f"job {self.jobid} already {self.state.value}")
+        self.state = JobState.RUNNING
+        self.start_time = int(time)
+        self.assigned_nodes = list(nodes)
+        self.planned_runtime = int(runtime)
+
+    def mark_finished(self, time: int, state: JobState, status: str) -> None:
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.jobid} is not running")
+        if not state.finished:
+            raise ValueError(f"{state} is not a terminal state")
+        self.state = state
+        self.end_time = int(time)
+        self.status = status

@@ -1,0 +1,177 @@
+"""One compute node: device tree plus the jobs running on it.
+
+Each simulation step the node asks every resident job's application
+model for its Activity, merges them with background system activity
+(management daemons, kernel threads) and advances the device tree.
+Nodes can fail (power loss) — a failed node stops advancing counters
+and, in cron mode, loses any raw data not yet rsynced off (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.jobs import Job
+from repro.hardware.activity import Activity, ProcessActivity
+from repro.hardware.tree import DeviceTree
+
+
+@dataclass
+class ResidentJob:
+    """A job's footprint on one node."""
+
+    job: Job
+    node_index: int  # this node's rank within the job's node list
+    crashed: bool = False
+
+
+class Node:
+    """A named compute node with devices and resident jobs."""
+
+    def __init__(
+        self,
+        name: str,
+        tree: DeviceTree,
+        rng: np.random.Generator,
+        mem_bytes: Optional[int] = None,
+        shared_fs=None,
+    ) -> None:
+        self.name = name
+        self.tree = tree
+        self.rng = rng
+        self.resident: Dict[str, ResidentJob] = {}
+        self.failed = False
+        self.mem_bytes = mem_bytes
+        #: optional SharedFilesystem coupling client waits to global load
+        self.shared_fs = shared_fs
+        #: observers notified on every process start/stop (shared-node
+        #: monitoring, §VI-C); signature (node, event, process)
+        self.process_observers: List[Callable[["Node", str, ProcessActivity], None]] = []
+        self._last_pids: Dict[int, ProcessActivity] = {}
+
+    # -- job residency -----------------------------------------------------
+    def assign(self, job: Job, node_index: int) -> None:
+        if job.jobid in self.resident:
+            raise RuntimeError(f"job {job.jobid} already on {self.name}")
+        self.resident[job.jobid] = ResidentJob(job=job, node_index=node_index)
+
+    def release(self, jobid: str) -> None:
+        self.resident.pop(jobid, None)
+
+    def mark_crashed(self, jobid: str) -> None:
+        rj = self.resident.get(jobid)
+        if rj is not None:
+            rj.crashed = True
+
+    @property
+    def jobids(self) -> List[str]:
+        return sorted(self.resident)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.resident)
+
+    # -- failure -----------------------------------------------------------
+    def fail(self) -> None:
+        """Power-fail the node: counters freeze, jobs on it are doomed."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    # -- simulation ---------------------------------------------------------
+    def compose_activity(self, now: int) -> Activity:
+        """Merge all resident jobs' activity plus system background."""
+        cpus = self.tree.topology.cpus
+        merged = self._background_activity(cpus)
+        for rj in self.resident.values():
+            job = rj.job
+            if job.start_time is None or job.planned_runtime in (None, 0):
+                continue
+            t_frac = min(
+                1.0, (now - job.start_time) / max(1, job.planned_runtime)
+            )
+            act = job.spec.app.activity(
+                jobid=job.jobid,
+                user=job.user,
+                node_index=rj.node_index,
+                n_nodes=job.nodes,
+                wayness=job.wayness,
+                t_frac=t_frac,
+                topology=self.tree.topology,
+                rng=self.rng,
+                crashed=rj.crashed,
+                core_offset=job.spec.core_offset,
+            )
+            merged = merged.merge(act)
+        return merged
+
+    def step(self, dt: float, now: int) -> None:
+        """Advance the node's hardware by ``dt`` seconds ending at ``now``."""
+        if self.failed:
+            return
+        act = self.compose_activity(now)
+        if self.shared_fs is not None:
+            act = self._apply_fs_congestion(act, dt, now)
+        self.tree.advance(act, dt, self.rng)
+        self._emit_process_events(act.processes)
+
+    def _apply_fs_congestion(self, act: Activity, dt: float, now: int):
+        """Inflate RPC waits by the shared servers' congestion (§VI-A).
+
+        Extra wait is time the ranks spend blocked instead of in user
+        space, so it also moves user fraction into iowait — which is
+        how one user's metadata storm degrades *other* jobs'
+        CPU_Usage.
+        """
+        fs = self.shared_fs
+        fs.report(now, dt, act.mdc_reqs, act.osc_reqs)
+        m_mds = fs.mds_wait_multiplier(now)
+        m_oss = fs.oss_wait_multiplier(now)
+        if m_mds <= 1.001 and m_oss <= 1.001:
+            return act
+        extra_s = (
+            (m_mds - 1.0) * act.mdc_wait_us
+            + (m_oss - 1.0) * act.osc_wait_us
+        ) / 1e6
+        act.mdc_wait_us *= m_mds
+        act.osc_wait_us *= m_oss
+        user = np.asarray(act.cpu_user_frac)
+        active = user > 0.01
+        n_active = int(active.sum())
+        if n_active and extra_s > 0:
+            shift = min(0.9, extra_s / n_active)
+            take = np.minimum(user[active], shift)
+            user[active] -= take
+            act.cpu_iowait_frac = np.asarray(act.cpu_iowait_frac, dtype=float)
+            act.cpu_iowait_frac[active] += take
+        return act.validated()
+
+    def _background_activity(self, cpus: int) -> Activity:
+        """System daemons: a whisper of system time and memory."""
+        act = Activity.idle(cpus)
+        act.cpu_system_frac[:] = 0.002
+        act.mem_used_bytes = 0.0  # MemDevice adds its own baseline
+        return act
+
+    def _emit_process_events(self, procs: List[ProcessActivity]) -> None:
+        """Diff the process table and notify observers of starts/stops."""
+        if not self.process_observers:
+            self._last_pids = {p.pid: p for p in procs}
+            return
+        current = {p.pid: p for p in procs}
+        previous = self._last_pids
+        # commit the diff before notifying: observers may trigger
+        # collections that re-enter the node's step
+        self._last_pids = current
+        for pid, p in current.items():
+            if pid not in previous:
+                for cb in self.process_observers:
+                    cb(self, "start", p)
+        for pid, p in previous.items():
+            if pid not in current:
+                for cb in self.process_observers:
+                    cb(self, "stop", p)

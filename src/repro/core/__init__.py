@@ -1,0 +1,39 @@
+"""TACC Stats proper: collection, transport and raw data management.
+
+The monitor has two halves:
+
+* **Collection** — :class:`Collector` snapshots every device on a node
+  into a :class:`Sample`, stamped with the current job list.  It is
+  invoked by the scheduler's prolog/epilog (guaranteeing two samples
+  per job, §III-A) and periodically by either operation mode.
+* **Transport** — :class:`CronMode` (local log files, daily rotation,
+  staggered rsync; Fig. 1) or :class:`DaemonMode` (tacc_statsd +
+  message broker + real-time consumer; Fig. 2).  Both end at a
+  :class:`CentralStore` of per-host raw stats files from which the
+  pipeline maps data to jobs.
+
+Raw stats files use the real tool's line-oriented format (schema lines,
+timestamp records) via :mod:`repro.core.rawfile`.
+"""
+
+from repro.core.collector import Collector, Sample
+from repro.core.config import BuildConfig, MonitorConfig
+from repro.core.cron import CronMode
+from repro.core.daemon import DaemonMode, StatsConsumer
+from repro.core.overhead import OverheadModel
+from repro.core.rawfile import RawFileParser, RawFileWriter
+from repro.core.store import CentralStore
+
+__all__ = [
+    "Collector",
+    "Sample",
+    "BuildConfig",
+    "MonitorConfig",
+    "CronMode",
+    "DaemonMode",
+    "StatsConsumer",
+    "OverheadModel",
+    "RawFileWriter",
+    "RawFileParser",
+    "CentralStore",
+]

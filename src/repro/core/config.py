@@ -1,0 +1,76 @@
+"""Monitor configuration.
+
+§III-B: *"Currently only 3 hardware configuration options for a given
+system are specified at build time: whether Infiniband is supported,
+whether a Xeon Phi coprocessor is present on a node, and whether a
+Lustre filesystem is present."*  Those are :class:`BuildConfig`.
+Everything else — architecture, uncore devices, topology — is detected
+at run time by the collector.
+
+:class:`MonitorConfig` carries the operational knobs: the sampling
+interval (10 minutes in production, sub-second possible at higher
+overhead, §I) and cron-mode rsync behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """The three build-time feature flags.
+
+    A flag being *on* only means the collector will look for the
+    feature; a node lacking it still executes successfully (§III-B) —
+    the collector simply finds no matching device.
+    """
+
+    infiniband: bool = True
+    xeon_phi: bool = True
+    lustre: bool = True
+
+    def wanted_types(self) -> set:
+        """Device types this build is willing to collect."""
+        always = {
+            "cpu",
+            "mem",
+            "imc",
+            "qpi",
+            "rapl",
+            "gige",
+            "block",
+            "vm",
+            "numa",
+            "ps",
+        }
+        # any architecture's core counters
+        always |= {"intel_nhm", "intel_wsm", "intel_snb", "intel_ivb", "intel_hsw"}
+        if self.infiniband:
+            always.add("ib")
+        if self.xeon_phi:
+            always.add("mic")
+        if self.lustre:
+            always |= {"mdc", "osc", "llite", "lnet"}
+        return always
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Operational parameters of the monitor."""
+
+    #: seconds between periodic collections (production default: 10 min)
+    interval: int = 600
+    #: wall-seconds of one core consumed per collection (§VI-C: ~0.09 s)
+    collect_seconds: float = 0.09
+    #: cron mode: earliest/latest second-of-day for the staggered rsync
+    rsync_window: tuple = (2 * 3600, 5 * 3600)  # 02:00–05:00
+    #: daemon mode: broker delivery latency, seconds
+    broker_latency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        lo, hi = self.rsync_window
+        if not (0 <= lo < hi <= 86400):
+            raise ValueError(f"bad rsync window {self.rsync_window}")

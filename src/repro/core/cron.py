@@ -1,0 +1,183 @@
+"""Cron operation mode (Fig. 1).
+
+§III-A: the original mode runs the ``tacc_stats`` executable from cron.
+Collected data is appended to a log file *local to the compute node*,
+created by a daily cron-triggered rotation.  Once a day — at a
+different random time per node, in the early morning when utilisation
+is low — the rotated log is rsynced to a central location on the shared
+filesystem.
+
+Consequences this module reproduces faithfully:
+
+* **Data lag** — a sample only becomes centrally visible at the next
+  rsync of the file it sits in; worst case ≳ a day.
+* **Data loss** — a node failure destroys every locally-buffered
+  sample not yet rsynced.
+* At least two samples per job via prolog/epilog hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.jobs import Job
+from repro.core.collector import Collector, Sample
+from repro.core.config import MonitorConfig
+from repro.core.rawfile import RawFileWriter
+from repro.core.store import CentralStore
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+@dataclass
+class _LocalLog:
+    """The node-local log: one open day file plus rotated, unsynced days."""
+
+    day: int
+    lines: List[str] = field(default_factory=list)
+    collect_times: List[int] = field(default_factory=list)
+    #: rotated but not yet rsynced: (day, text, collect_times)
+    rotated: List[Tuple[int, str, List[int]]] = field(default_factory=list)
+
+
+class CronMode:
+    """Drives cron-based collection for every node of a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        collector: Collector,
+        store: CentralStore,
+        monitor: Optional[MonitorConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.collector = collector
+        self.store = store
+        self.monitor = monitor or collector.monitor
+        self.rng = cluster.rngs.get("cron/rsync")
+        self._logs: Dict[str, _LocalLog] = {}
+        self._writers: Dict[str, RawFileWriter] = {}
+        self.lost_samples = 0
+        self.synced_samples = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Install cron entries and scheduler hooks."""
+        if self._started:
+            raise RuntimeError("cron mode already started")
+        self._started = True
+        ev = self.cluster.events
+        day0 = self.cluster.clock.day_index()
+        for name, node in self.cluster.nodes.items():
+            self._logs[name] = _LocalLog(day=day0)
+            self._writers[name] = RawFileWriter(
+                hostname=name,
+                arch_name=node.tree.arch.name,
+                schemas=self.collector.schemas_for(name),
+                mem_bytes=node.mem_bytes or 0,
+            )
+            self._logs[name].lines.append(self._writers[name].header())
+        # periodic collection, aligned like a crontab (*/10 * * * *)
+        ev.schedule_every(
+            self.monitor.interval, self._collect_all, label="cron:collect"
+        )
+        # rotation + per-node staggered rsync each midnight
+        ev.schedule_every(
+            SECONDS_PER_DAY,
+            self._rotate_and_schedule_rsync,
+            label="cron:rotate",
+            start=self.cluster.clock.epoch
+            + (day0 + 1) * SECONDS_PER_DAY,
+        )
+        # job begin/end samples via scheduler prolog/epilog (§III-A)
+        self.cluster.scheduler.prolog_hooks.append(self._job_hook)
+        self.cluster.scheduler.epilog_hooks.append(self._job_hook)
+
+    # -- collection ----------------------------------------------------------
+    def _collect_all(self) -> None:
+        for name in self.cluster.nodes:
+            self._collect(name, None)
+
+    def _job_hook(self, job: Job, now: int) -> None:
+        for name in job.assigned_nodes:
+            self._collect(name, job.jobid)
+
+    def _collect(self, node_name: str, jobid: Optional[str]) -> None:
+        sample = self.collector.collect(node_name, jobid_hint=jobid)
+        if sample is None:  # node down: cron simply doesn't run
+            return
+        log = self._logs[node_name]
+        log.lines.append(self._writers[node_name].record(sample))
+        log.collect_times.append(sample.timestamp)
+
+    # -- rotation & rsync ------------------------------------------------------
+    def _rotate_and_schedule_rsync(self) -> None:
+        now = self.cluster.clock.now()
+        lo, hi = self.monitor.rsync_window
+        for name, node in self.cluster.nodes.items():
+            log = self._logs[name]
+            if node.failed:
+                # a dead node neither rotates nor syncs; its buffered
+                # data is already lost (accounted in fail handling)
+                continue
+            if log.lines:
+                log.rotated.append(
+                    (log.day, "".join(log.lines), list(log.collect_times))
+                )
+            log.day = self.cluster.clock.day_index()
+            log.lines = [self._writers[name].header()]
+            log.collect_times = []
+            # stagger: each node picks its own random sync time today
+            offset = int(self.rng.uniform(lo, hi))
+            self.cluster.events.schedule(
+                now + offset, lambda n=name: self._rsync(n), label="cron:rsync"
+            )
+
+    def _rsync(self, node_name: str) -> None:
+        node = self.cluster.nodes[node_name]
+        if node.failed:
+            return  # nothing reachable to copy
+        log = self._logs[node_name]
+        now = self.cluster.clock.now()
+        for _day, text, times in log.rotated:
+            self.store.append(node_name, text, arrived_at=now, collect_times=times)
+            self.synced_samples += len(times)
+        log.rotated.clear()
+
+    # -- failure accounting ----------------------------------------------------
+    def account_node_failure(self, node_name: str) -> int:
+        """Count and discard samples lost with a failed node's disk."""
+        log = self._logs[node_name]
+        lost = len(log.collect_times) + sum(
+            len(times) for _d, _t, times in log.rotated
+        )
+        self.lost_samples += lost
+        log.lines = []
+        log.collect_times = []
+        log.rotated = []
+        return lost
+
+    def final_sync(self) -> None:
+        """End-of-simulation: rotate and sync every healthy node.
+
+        Lets analyses run on a complete dataset; the lag numbers keep
+        their honest per-day staggering for everything already synced.
+        """
+        now = self.cluster.clock.now()
+        for name, node in self.cluster.nodes.items():
+            if node.failed:
+                self.account_node_failure(name)
+                continue
+            log = self._logs[name]
+            if log.lines and log.collect_times:
+                log.rotated.append((log.day, "".join(log.lines), list(log.collect_times)))
+                log.lines = []
+                log.collect_times = []
+            for _day, text, times in log.rotated:
+                # a next-morning rsync would have delivered these
+                arrive = now + int(self.rng.uniform(*self.monitor.rsync_window))
+                self.store.append(name, text, arrived_at=arrive, collect_times=times)
+                self.synced_samples += len(times)
+            log.rotated.clear()

@@ -1,0 +1,252 @@
+"""Raw stats file format: writer and parser.
+
+The on-disk format follows the real tool's line-oriented layout::
+
+    $tacc_stats 2.3.2
+    $hostname c401-101
+    $arch intel_snb
+    !cpu user,E,U=cs nice,E,W=64 ...
+    !llite open,E,W=64 close,E,W=64 ...
+    1443657600 1000001,1000007
+    cpu 0 1234 0 56 78900 12 0 0
+    llite /scratch 10 10 1048576 0 55 1
+    ps 4001 wrf.exe alice 1000001 196608 196608 122880 122880 6144 98304 8192 2048 1 0,16 0
+    1443658200 1000001
+    ...
+
+* ``$``-lines: file header metadata.
+* ``!``-lines: per-device-type counter schemas (see
+  :class:`~repro.hardware.devices.base.Schema`).
+* A bare ``<timestamp> <jobid[,jobid...]|->`` line opens a record;
+  the following ``<type> <instance> <values...>`` lines belong to it.
+* ``ps`` lines carry procfs process records (§III-B item 4).
+
+Everything the pipeline consumes round-trips through this format, so
+rollover, schema evolution and data-loss behaviour are exercised for
+real.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.hardware.devices.base import Schema
+from repro.hardware.devices.procfs import ProcessRecord
+
+FORMAT_VERSION = "2.3.2"
+
+
+def _fmt_num(x: float) -> str:
+    """Counters are integers on the wire, like the real registers."""
+    return str(int(x))
+
+
+def _cpuset(ids: Iterable[int]) -> str:
+    s = ",".join(str(i) for i in ids)
+    return s if s else "-"
+
+
+def _parse_cpuset(s: str) -> Tuple[int, ...]:
+    if s == "-":
+        return ()
+    return tuple(int(x) for x in s.split(","))
+
+
+class RawFileWriter:
+    """Serialises samples for one host into raw stats text."""
+
+    def __init__(
+        self,
+        hostname: str,
+        arch_name: str,
+        schemas: Dict[str, Schema],
+        mem_bytes: int = 0,
+    ) -> None:
+        self.hostname = hostname
+        self.arch_name = arch_name
+        self.schemas = dict(schemas)
+        self.mem_bytes = mem_bytes
+
+    def header(self) -> str:
+        lines = [
+            f"$tacc_stats {FORMAT_VERSION}",
+            f"$hostname {self.hostname}",
+            f"$arch {self.arch_name}",
+            f"$mem {self.mem_bytes}",
+        ]
+        for type_name in sorted(self.schemas):
+            lines.append(self.schemas[type_name].spec_line(type_name))
+        return "\n".join(lines) + "\n"
+
+    def record(self, sample: "SampleLike") -> str:
+        """Render one sample as a record block."""
+        jobids = ",".join(sample.jobids) if sample.jobids else "-"
+        lines = [f"{int(sample.timestamp)} {jobids}"]
+        for type_name in sorted(sample.data):
+            for instance in sorted(sample.data[type_name]):
+                vals = sample.data[type_name][instance]
+                lines.append(
+                    f"{type_name} {instance} "
+                    + " ".join(_fmt_num(v) for v in vals)
+                )
+        for p in sample.procs:
+            lines.append(
+                "ps "
+                + " ".join(
+                    [
+                        str(p.pid),
+                        p.name.replace(" ", "_") or "-",
+                        p.owner,
+                        p.jobid or "-",
+                        str(p.vmsize_kb),
+                        str(p.vmhwm_kb),
+                        str(p.vmrss_kb),
+                        str(p.vmrss_hwm_kb),
+                        str(p.vmlck_kb),
+                        str(p.data_kb),
+                        str(p.stack_kb),
+                        str(p.text_kb),
+                        str(p.threads),
+                        _cpuset(p.cpu_affinity),
+                        _cpuset(p.mem_affinity),
+                    ]
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ParsedSample:
+    """One record block as read back from a raw stats file."""
+
+    host: str
+    timestamp: int
+    jobids: List[str]
+    data: Dict[str, Dict[str, np.ndarray]]
+    procs: List[ProcessRecord] = field(default_factory=list)
+
+
+class RawFileParser:
+    """Streaming parser for raw stats text (one host per stream)."""
+
+    def __init__(self) -> None:
+        self.hostname: Optional[str] = None
+        self.arch: Optional[str] = None
+        self.mem_bytes: int = 0
+        self.schemas: Dict[str, Schema] = {}
+
+    def parse(self, stream) -> Iterator[ParsedSample]:
+        """Yield samples from a text stream (file object or string)."""
+        if isinstance(stream, str):
+            stream = io.StringIO(stream)
+        current: Optional[ParsedSample] = None
+        for raw in stream:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            c = line[0]
+            if c == "$":
+                self._header_line(line)
+            elif c == "!":
+                type_name, schema = Schema.parse_line(line)
+                self.schemas[type_name] = schema
+            elif c.isdigit():
+                if current is not None:
+                    yield current
+                ts_str, _, jobs_str = line.partition(" ")
+                jobids = [] if jobs_str in ("-", "") else jobs_str.split(",")
+                current = ParsedSample(
+                    host=self.hostname or "?",
+                    timestamp=int(ts_str),
+                    jobids=jobids,
+                    data={},
+                )
+            else:
+                if current is None:
+                    raise ValueError(f"data line before any record: {line!r}")
+                self._data_line(current, line)
+        if current is not None:
+            yield current
+
+    def _header_line(self, line: str) -> None:
+        key, _, value = line[1:].partition(" ")
+        if key == "hostname":
+            self.hostname = value
+        elif key == "arch":
+            self.arch = value
+        elif key == "mem":
+            self.mem_bytes = int(value)
+        elif key == "tacc_stats":
+            if value.split(".")[0] != FORMAT_VERSION.split(".")[0]:
+                raise ValueError(f"unsupported format version {value}")
+
+    def _data_line(self, sample: ParsedSample, line: str) -> None:
+        parts = line.split(" ")
+        type_name = parts[0]
+        if type_name == "ps":
+            sample.procs.append(self._parse_ps(parts))
+            return
+        instance = parts[1]
+        values = np.array([float(v) for v in parts[2:]], dtype=np.float64)
+        schema = self.schemas.get(type_name)
+        if schema is not None and len(values) != len(schema):
+            raise ValueError(
+                f"{type_name}/{instance}: {len(values)} values vs "
+                f"schema of {len(schema)}"
+            )
+        sample.data.setdefault(type_name, {})[instance] = values
+
+    @staticmethod
+    def _parse_ps(parts: List[str]) -> ProcessRecord:
+        (
+            _,
+            pid,
+            name,
+            owner,
+            jobid,
+            vmsize,
+            vmhwm,
+            vmrss,
+            vmrsshwm,
+            vmlck,
+            data,
+            stack,
+            text,
+            threads,
+            cpus,
+            mems,
+        ) = parts
+        return ProcessRecord(
+            pid=int(pid),
+            name=name,
+            owner=owner,
+            jobid=jobid,
+            vmsize_kb=int(vmsize),
+            vmhwm_kb=int(vmhwm),
+            vmrss_kb=int(vmrss),
+            vmrss_hwm_kb=int(vmrsshwm),
+            vmlck_kb=int(vmlck),
+            data_kb=int(data),
+            stack_kb=int(stack),
+            text_kb=int(text),
+            threads=int(threads),
+            cpu_affinity=_parse_cpuset(cpus),
+            mem_affinity=_parse_cpuset(mems),
+        )
+
+
+class SampleLike:
+    """Protocol-ish base documenting what the writer needs.
+
+    Any object with ``timestamp``, ``jobids``, ``data`` and ``procs``
+    serialises; :class:`repro.core.collector.Sample` is the real one.
+    """
+
+    timestamp: int
+    jobids: List[str]
+    data: Dict[str, Dict[str, np.ndarray]]
+    procs: List[ProcessRecord]

@@ -1,0 +1,103 @@
+"""Central raw-data store: per-host stats files on a shared filesystem.
+
+Both operation modes end here — cron mode via the daily rsync, daemon
+mode via the broker consumer.  The store is a directory of per-host
+raw stats text files plus an arrival log recording, for every sample,
+when it was collected and when it became centrally visible; the
+difference is the *data lag* Fig. 1 vs Fig. 2 is about.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rawfile import ParsedSample, RawFileParser
+
+
+class CentralStore:
+    """Append-only per-host raw stats files with arrival accounting."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: host → list of (collect_ts, arrive_ts)
+        self.arrivals: Dict[str, List[Tuple[int, int]]] = {}
+        self._open_files: Dict[str, object] = {}
+
+    def path_for(self, host: str) -> Path:
+        return self.root / f"{host}.raw"
+
+    def append(
+        self,
+        host: str,
+        text: str,
+        arrived_at: int,
+        collect_times: Optional[List[int]] = None,
+    ) -> None:
+        """Append raw text for ``host``; log arrival for each sample."""
+        fh = self._open_files.get(host)
+        if fh is None:
+            fh = open(self.path_for(host), "a")
+            self._open_files[host] = fh
+        fh.write(text)
+        if collect_times:
+            log = self.arrivals.setdefault(host, [])
+            for ts in collect_times:
+                log.append((int(ts), int(arrived_at)))
+
+    def flush(self) -> None:
+        for fh in self._open_files.values():
+            fh.flush()
+
+    def close(self) -> None:
+        for fh in self._open_files.values():
+            fh.close()
+        self._open_files.clear()
+
+    def hosts(self) -> List[str]:
+        self.flush()
+        return sorted(p.stem for p in self.root.glob("*.raw"))
+
+    def samples(self, host: str) -> Iterator[ParsedSample]:
+        """Stream parsed samples for one host."""
+        self.flush()
+        path = self.path_for(host)
+        if not path.exists():
+            return iter(())
+        parser = RawFileParser()
+
+        def gen() -> Iterator[ParsedSample]:
+            with open(path) as fh:
+                yield from parser.parse(fh)
+
+        return gen()
+
+    def sample_count(self, host: str) -> int:
+        return sum(1 for _ in self.samples(host))
+
+    # -- data-lag accounting -------------------------------------------------
+    def lags(self) -> np.ndarray:
+        """Seconds from collection to central availability, all hosts."""
+        out = [
+            arrive - collect
+            for log in self.arrivals.values()
+            for collect, arrive in log
+        ]
+        return np.asarray(out, dtype=np.float64)
+
+    def lag_stats(self) -> Dict[str, float]:
+        lags = self.lags()
+        if lags.size == 0:
+            return {"count": 0, "mean": float("nan"), "p50": float("nan"),
+                    "p95": float("nan"), "max": float("nan")}
+        return {
+            "count": int(lags.size),
+            "mean": float(lags.mean()),
+            "p50": float(np.percentile(lags, 50)),
+            "p95": float(np.percentile(lags, 95)),
+            "max": float(lags.max()),
+        }

@@ -1,0 +1,38 @@
+"""SQL aggregate expressions for QuerySet.aggregate()."""
+
+from __future__ import annotations
+
+
+class Aggregate:
+    """Base aggregate over one column."""
+
+    func = "COUNT"
+
+    def __init__(self, field: str = "*") -> None:
+        self.field = field
+
+    def sql(self) -> str:
+        return f"{self.func}({self.field})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.field!r})"
+
+
+class Count(Aggregate):
+    func = "COUNT"
+
+
+class Avg(Aggregate):
+    func = "AVG"
+
+
+class Max(Aggregate):
+    func = "MAX"
+
+
+class Min(Aggregate):
+    func = "MIN"
+
+
+class Sum(Aggregate):
+    func = "SUM"

@@ -1,0 +1,106 @@
+"""Typed model fields.
+
+Fields convert between Python values and SQLite storage and contribute
+their column DDL.  The subset implemented is what the job table and
+the analyses need; adding a field type is one subclass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+
+class Field:
+    """Base field: a typed, optionally indexed column."""
+
+    sql_type = "TEXT"
+
+    def __init__(
+        self,
+        null: bool = False,
+        default: Any = None,
+        index: bool = False,
+        primary_key: bool = False,
+    ) -> None:
+        self.null = null
+        self.default = default
+        self.index = index
+        self.primary_key = primary_key
+        self.name: str = ""  # set by the metaclass
+
+    # -- conversion ---------------------------------------------------------
+    def to_db(self, value: Any) -> Any:
+        if value is None:
+            if not self.null and self.default is None and not self.primary_key:
+                raise ValueError(f"field {self.name!r} is not nullable")
+            return None
+        return self.adapt(value)
+
+    def from_db(self, value: Any) -> Any:
+        return value
+
+    def adapt(self, value: Any) -> Any:  # pragma: no cover - overridden
+        return value
+
+    # -- DDL -----------------------------------------------------------------
+    def ddl(self) -> str:
+        parts = [self.name, self.sql_type]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        elif not self.null:
+            parts.append("NOT NULL")
+        if self.default is not None:
+            parts.append(f"DEFAULT {self._default_literal()}")
+        return " ".join(parts)
+
+    def _default_literal(self) -> str:
+        d = self.default
+        if isinstance(d, str):
+            return "'" + d.replace("'", "''") + "'"
+        if isinstance(d, bool):
+            return "1" if d else "0"
+        return str(d)
+
+
+class IntegerField(Field):
+    sql_type = "INTEGER"
+
+    def adapt(self, value: Any) -> int:
+        return int(value)
+
+
+class FloatField(Field):
+    sql_type = "REAL"
+
+    def adapt(self, value: Any) -> float:
+        return float(value)
+
+
+class TextField(Field):
+    sql_type = "TEXT"
+
+    def adapt(self, value: Any) -> str:
+        return str(value)
+
+
+class BooleanField(Field):
+    sql_type = "INTEGER"
+
+    def adapt(self, value: Any) -> int:
+        return 1 if value else 0
+
+    def from_db(self, value: Any) -> Optional[bool]:
+        return None if value is None else bool(value)
+
+
+class JSONField(Field):
+    """Arbitrary JSON-serialisable payloads (e.g. flag lists)."""
+
+    sql_type = "TEXT"
+
+    def adapt(self, value: Any) -> str:
+        return json.dumps(value, sort_keys=True)
+
+    def from_db(self, value: Any) -> Any:
+        return None if value is None else json.loads(value)

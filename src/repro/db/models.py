@@ -1,0 +1,229 @@
+"""Declarative models.
+
+A model declares typed fields as class attributes; the metaclass
+collects them into ``_fields`` and derives the table name.  Models are
+bound to a :class:`~repro.db.connection.Database` with ``bind`` (tests
+and analyses often run several isolated databases side by side, so the
+binding is per model class, not global).
+
+Example
+-------
+>>> from repro.db import Database, Model, TextField, FloatField
+>>> class Widget(Model):
+...     name = TextField()
+...     mass = FloatField(default=0.0)
+>>> db = Database()
+>>> Widget.bind(db)
+>>> Widget.create_table()
+>>> _ = Widget.objects.create(name="w1", mass=2.5)
+>>> Widget.objects.filter(mass__gt=1).count()
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, List, Optional, Type
+
+from repro.db.connection import Database
+from repro.db.fields import Field, IntegerField
+from repro.db.queryset import Q, QuerySet
+
+
+class Manager:
+    """The model's query entry point (``Model.objects``)."""
+
+    def __init__(self, model: Type["Model"]) -> None:
+        self.model = model
+
+    def all(self) -> QuerySet:
+        return QuerySet(self.model)
+
+    def filter(self, *qs: Q, **lookups: Any) -> QuerySet:
+        return QuerySet(self.model).filter(*qs, **lookups)
+
+    def exclude(self, *qs: Q, **lookups: Any) -> QuerySet:
+        return QuerySet(self.model).exclude(*qs, **lookups)
+
+    def get(self, *qs: Q, **lookups: Any) -> "Model":
+        return QuerySet(self.model).get(*qs, **lookups)
+
+    def count(self) -> int:
+        return QuerySet(self.model).count()
+
+    def aggregate(self, **aggs) -> Dict[str, Any]:
+        return QuerySet(self.model).aggregate(**aggs)
+
+    def group_aggregate(self, group_by: str, **aggs) -> List[Dict[str, Any]]:
+        return QuerySet(self.model).group_aggregate(group_by, **aggs)
+
+    def create(self, **values: Any) -> "Model":
+        obj = self.model(**values)
+        obj.save()
+        return obj
+
+    def bulk_create(self, objs: List["Model"]) -> int:
+        """Insert many instances in one executemany round trip."""
+        if not objs:
+            return 0
+        model = self.model
+        cols = [n for n in model._fields if n != "id"]
+        rows = []
+        for obj in objs:
+            rows.append(
+                [model._fields[c].to_db(getattr(obj, c)) for c in cols]
+            )
+        marks = ",".join("?" for _ in cols)
+        model._db().executemany(
+            f"INSERT INTO {model._table} ({', '.join(cols)}) VALUES ({marks})",
+            rows,
+        )
+        model._db().commit()
+        return len(rows)
+
+
+class ModelMeta(type):
+    def __new__(mcls, name, bases, namespace):
+        fields: Dict[str, Field] = {}
+        for base in bases:
+            fields.update(getattr(base, "_fields", {}))
+        for key, value in list(namespace.items()):
+            if isinstance(value, Field):
+                value.name = key
+                fields[key] = value
+                namespace.pop(key)
+        cls = super().__new__(mcls, name, bases, namespace)
+        if name != "Model":
+            if "id" not in fields:
+                pk = IntegerField(primary_key=True, null=True)
+                pk.name = "id"
+                fields = {"id": pk, **fields}
+            cls._fields = fields
+            cls._table = getattr(cls, "table_name", name.lower())
+            cls.objects = Manager(cls)
+        return cls
+
+
+class Model(metaclass=ModelMeta):
+    """Base class for all persisted records."""
+
+    _fields: ClassVar[Dict[str, Field]]
+    _table: ClassVar[str]
+    objects: ClassVar[Manager]
+    _database: ClassVar[Optional[Database]] = None
+
+    def __init__(self, **values: Any) -> None:
+        unknown = set(values) - set(self._fields)
+        if unknown:
+            raise TypeError(f"unknown fields: {sorted(unknown)}")
+        for name, field in self._fields.items():
+            if name in values:
+                setattr(self, name, values[name])
+            else:
+                setattr(self, name, field.default)
+
+    # -- binding -----------------------------------------------------------
+    @classmethod
+    def bind(cls, db: Database) -> None:
+        """Attach this model class to a database connection."""
+        cls._database = db
+
+    @classmethod
+    def _db(cls) -> Database:
+        if cls._database is None:
+            raise RuntimeError(
+                f"{cls.__name__} is not bound to a Database; call bind()"
+            )
+        return cls._database
+
+    # -- schema -------------------------------------------------------------
+    @classmethod
+    def create_table(cls) -> None:
+        cols = ", ".join(f.ddl() for f in cls._fields.values())
+        cls._db().execute(f"CREATE TABLE IF NOT EXISTS {cls._table} ({cols})")
+        for f in cls._fields.values():
+            if f.index and not f.primary_key:
+                cls._db().execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{cls._table}_{f.name} "
+                    f"ON {cls._table} ({f.name})"
+                )
+        cls._db().commit()
+
+    @classmethod
+    def sync_table(cls) -> List[str]:
+        """Add columns for fields missing from an existing table.
+
+        The job table's metric columns are generated from the metric
+        registry; when a release adds metrics, databases written by
+        older code lack those columns.  ``sync_table`` performs the
+        additive migration (``ALTER TABLE ... ADD COLUMN``) and
+        returns the column names added.  Removals/renames are not
+        handled — additive evolution only, as in production ingest.
+        """
+        existing = {name for name, _ in cls._db().columns(cls._table)}
+        if not existing:
+            cls.create_table()
+            return sorted(cls._fields)
+        added = []
+        for name, fld in cls._fields.items():
+            if name in existing:
+                continue
+            ddl = fld.ddl()
+            # SQLite cannot add NOT NULL columns without default
+            if not fld.null and fld.default is None and not fld.primary_key:
+                ddl = f"{name} {fld.sql_type}"
+            cls._db().execute(
+                f"ALTER TABLE {cls._table} ADD COLUMN {ddl}"
+            )
+            if fld.index and not fld.primary_key:
+                cls._db().execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{cls._table}_{name} "
+                    f"ON {cls._table} ({name})"
+                )
+            added.append(name)
+        cls._db().commit()
+        return added
+
+    @classmethod
+    def drop_table(cls) -> None:
+        cls._db().execute(f"DROP TABLE IF EXISTS {cls._table}")
+        cls._db().commit()
+
+    # -- persistence -----------------------------------------------------------
+    def save(self) -> None:
+        cols = [n for n in self._fields if n != "id"]
+        vals = [self._fields[c].to_db(getattr(self, c)) for c in cols]
+        if getattr(self, "id", None) is None:
+            marks = ",".join("?" for _ in cols)
+            cur = self._db().execute(
+                f"INSERT INTO {self._table} ({', '.join(cols)}) "
+                f"VALUES ({marks})",
+                vals,
+            )
+            self.id = cur.lastrowid
+        else:
+            sets = ", ".join(f"{c} = ?" for c in cols)
+            self._db().execute(
+                f"UPDATE {self._table} SET {sets} WHERE id = ?",
+                vals + [self.id],
+            )
+        self._db().commit()
+
+    def delete(self) -> None:
+        if getattr(self, "id", None) is not None:
+            self._db().execute(
+                f"DELETE FROM {self._table} WHERE id = ?", [self.id]
+            )
+            self._db().commit()
+
+    # -- hydration -----------------------------------------------------------
+    @classmethod
+    def _from_row(cls, row) -> "Model":
+        obj = cls.__new__(cls)
+        for name, field in cls._fields.items():
+            raw = row[name] if name in row.keys() else None
+            setattr(obj, name, field.from_db(raw))
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pk = getattr(self, "id", None)
+        return f"<{type(self).__name__} id={pk}>"

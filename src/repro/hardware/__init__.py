@@ -1,0 +1,45 @@
+"""Synthetic node hardware substrate.
+
+The paper's collector reads hardware and OS counters from MSR files,
+PCI configuration space, ``/proc`` and ``/sys``.  This package provides
+the simulated equivalents: chip architecture definitions with runtime
+auto-detection (paper §III-B), node topology (sockets / cores /
+hardware threads), and a per-node device tree whose devices expose
+cumulative counters with exactly the semantics the metric definitions
+in paper §IV-A rely on (monotone counters, fixed register widths with
+rollover, gauges for memory usage).
+
+Public API
+----------
+``Architecture``, ``ARCHITECTURES``, ``detect_architecture``
+    Chip architecture catalogue and the cpuinfo-based detector.
+``Topology``
+    Socket/core/thread enumeration for a node.
+``Activity``
+    Per-interval description of what a node's workload is doing; the
+    device models translate an ``Activity`` into counter increments.
+``build_device_tree``
+    Construct the full set of devices for a node configuration.
+"""
+
+from repro.hardware.activity import Activity, ProcessActivity
+from repro.hardware.arch import (
+    ARCHITECTURES,
+    Architecture,
+    cpuinfo_for,
+    detect_architecture,
+)
+from repro.hardware.topology import Topology
+from repro.hardware.tree import DeviceTree, build_device_tree
+
+__all__ = [
+    "Architecture",
+    "ARCHITECTURES",
+    "cpuinfo_for",
+    "detect_architecture",
+    "Topology",
+    "Activity",
+    "ProcessActivity",
+    "DeviceTree",
+    "build_device_tree",
+]

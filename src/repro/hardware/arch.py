@@ -1,0 +1,206 @@
+"""Chip architecture catalogue and runtime auto-detection.
+
+Paper §III-B: *"TACC Stats has been modified to identify the processor
+architecture and uncore devices automatically at runtime"* for Nehalem,
+Westmere, Sandy Bridge, Ivy Bridge and Haswell processors.  Detection in
+the real tool keys off the CPUID family/model pair exposed through
+``/proc/cpuinfo``; the simulation reproduces that mechanism: every node
+carries a synthetic cpuinfo dictionary, and :func:`detect_architecture`
+maps (vendor, family, model) to an :class:`Architecture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """Static description of a processor microarchitecture.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in raw stats schemas (e.g. ``intel_hsw``).
+    codename:
+        Marketing codename (``Haswell``).
+    family, model:
+        CPUID signature used by the auto-detector.
+    sockets, cores_per_socket, threads_per_core:
+        Default node topology for systems built from this chip.
+    base_ghz:
+        Nominal clock, used to convert cycle counts to time.
+    vector_width_doubles:
+        Doubles per SIMD register (SSE=2, AVX=4); determines the peak
+        vector FLOP rate and the VecPercent signature of workloads.
+    flops_per_cycle_per_core:
+        Peak double-precision FLOPs/cycle/core (vector FMA included).
+    counter_width_bits:
+        Width of the fixed-function/general-purpose counters; reads
+        roll over modulo ``2**width``.
+    has_uncore_pci:
+        Whether uncore counters live in PCI config space (SNB onward)
+        as opposed to MSRs (NHM/WSM).
+    rapl:
+        Whether RAPL energy counters exist (SNB onward).
+    """
+
+    name: str
+    codename: str
+    family: int
+    model: int
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    base_ghz: float
+    vector_width_doubles: int
+    flops_per_cycle_per_core: float
+    counter_width_bits: int = 48
+    has_uncore_pci: bool = True
+    rapl: bool = True
+
+    @property
+    def cores(self) -> int:
+        """Total physical cores per node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def cpus(self) -> int:
+        """Total hardware threads (logical CPUs) per node."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak node double-precision GFLOP/s."""
+        return self.flops_per_cycle_per_core * self.base_ghz * self.cores
+
+
+#: The five architectures the paper's new release supports (§III-B item 1),
+#: with topologies matching the TACC systems they shipped in.
+ARCHITECTURES: Dict[str, Architecture] = {
+    "intel_nhm": Architecture(
+        name="intel_nhm",
+        codename="Nehalem",
+        family=6,
+        model=26,
+        sockets=2,
+        cores_per_socket=4,
+        threads_per_core=1,
+        base_ghz=2.93,
+        vector_width_doubles=2,
+        flops_per_cycle_per_core=4.0,
+        has_uncore_pci=False,
+        rapl=False,
+    ),
+    "intel_wsm": Architecture(
+        name="intel_wsm",
+        codename="Westmere",
+        family=6,
+        model=44,
+        sockets=2,
+        cores_per_socket=6,
+        threads_per_core=1,
+        base_ghz=3.33,
+        vector_width_doubles=2,
+        flops_per_cycle_per_core=4.0,
+        has_uncore_pci=False,
+        rapl=False,
+    ),
+    "intel_snb": Architecture(
+        # Stampede compute nodes: 2x Xeon E5-2680 (Sandy Bridge), 2.7 GHz.
+        name="intel_snb",
+        codename="Sandy Bridge",
+        family=6,
+        model=45,
+        sockets=2,
+        cores_per_socket=8,
+        threads_per_core=1,
+        base_ghz=2.7,
+        vector_width_doubles=4,
+        flops_per_cycle_per_core=8.0,
+    ),
+    "intel_ivb": Architecture(
+        name="intel_ivb",
+        codename="Ivy Bridge",
+        family=6,
+        model=62,
+        sockets=2,
+        cores_per_socket=10,
+        threads_per_core=1,
+        base_ghz=2.8,
+        vector_width_doubles=4,
+        flops_per_cycle_per_core=8.0,
+    ),
+    "intel_hsw": Architecture(
+        # Lonestar 5 compute nodes: 2x Xeon E5-2690 v3 (Haswell), 2.6 GHz.
+        name="intel_hsw",
+        codename="Haswell",
+        family=6,
+        model=63,
+        sockets=2,
+        cores_per_socket=12,
+        threads_per_core=2,
+        base_ghz=2.6,
+        vector_width_doubles=4,
+        flops_per_cycle_per_core=16.0,
+    ),
+}
+
+#: CPUID signature → architecture name.
+_SIGNATURES: Dict[Tuple[str, int, int], str] = {
+    ("GenuineIntel", a.family, a.model): a.name for a in ARCHITECTURES.values()
+}
+
+
+class UnknownArchitectureError(LookupError):
+    """Raised when cpuinfo does not match any supported architecture."""
+
+
+def cpuinfo_for(arch: Architecture) -> Dict[str, object]:
+    """Return a synthetic ``/proc/cpuinfo`` summary for ``arch``.
+
+    Only the fields the detector inspects are emitted, mirroring what
+    the real tool parses from the first processor stanza.
+    """
+    return {
+        "vendor_id": "GenuineIntel",
+        "cpu family": arch.family,
+        "model": arch.model,
+        "model name": f"Intel(R) Xeon(R) CPU ({arch.codename})",
+        "cpu MHz": arch.base_ghz * 1000.0,
+        "siblings": arch.cores_per_socket * arch.threads_per_core,
+        "cpu cores": arch.cores_per_socket,
+    }
+
+
+def detect_architecture(cpuinfo: Mapping[str, object]) -> Architecture:
+    """Identify the architecture from a cpuinfo mapping (paper §III-B).
+
+    Raises
+    ------
+    UnknownArchitectureError
+        If the (vendor, family, model) triple is not in the catalogue.
+    """
+    key = (
+        str(cpuinfo.get("vendor_id", "")),
+        int(cpuinfo.get("cpu family", -1)),
+        int(cpuinfo.get("model", -1)),
+    )
+    name = _SIGNATURES.get(key)
+    if name is None:
+        raise UnknownArchitectureError(
+            f"unsupported processor: vendor={key[0]!r} family={key[1]} model={key[2]}"
+        )
+    return ARCHITECTURES[name]
+
+
+def detect_hyperthreading(cpuinfo: Mapping[str, object]) -> bool:
+    """Return True when the node exposes hardware threads.
+
+    §III-B: the collector *"will detect the topology of a node and
+    modify its collection procedure appropriately for processors with
+    and without hardware threading"*.  Mirrors the real check:
+    siblings > cpu cores.
+    """
+    return int(cpuinfo.get("siblings", 1)) > int(cpuinfo.get("cpu cores", 1))

@@ -1,0 +1,59 @@
+"""Synthetic per-node devices.
+
+Each device mirrors one data source of the real collector (§III-B):
+
+================  ==============================================  =========
+device type       real source                                     per
+================  ==============================================  =========
+``intel_*``       core performance counters (MSR files)           hw thread
+``imc``           integrated memory controller (PCI config)       socket
+``qpi``           QPI link layer (PCI config)                     socket
+``rapl``          running-average-power-limit energy MSRs         socket
+``mic``           Xeon Phi host-side sysfs                        card
+``ib``            Infiniband port counters (/sys/class/infiniband) port
+``gige``          Ethernet (/sys/class/net)                       nic
+``mdc``           Lustre metadata client (/proc/fs/lustre/mdc)    target
+``osc``           Lustre object storage client                    target
+``llite``         Lustre llite layer                              mount
+``lnet``          Lustre networking                               system
+``cpu``           /proc/stat jiffies                              hw thread
+``mem``           /proc/meminfo + NUMA meminfo                    socket
+``ps``            /proc/<pid>/status, sched affinity              process
+================  ==============================================  =========
+"""
+
+from repro.hardware.devices.base import Device, Schema, SchemaEntry
+from repro.hardware.devices.cpu import CoreCounterDevice, CpuTimeDevice
+from repro.hardware.devices.gige import GigEDevice
+from repro.hardware.devices.ib import InfinibandDevice
+from repro.hardware.devices.lustre import (
+    LliteDevice,
+    LnetDevice,
+    MdcDevice,
+    OscDevice,
+)
+from repro.hardware.devices.mem import MemDevice
+from repro.hardware.devices.mic import MicDevice
+from repro.hardware.devices.procfs import ProcDevice
+from repro.hardware.devices.rapl import RaplDevice
+from repro.hardware.devices.uncore import ImcDevice, QpiDevice
+
+__all__ = [
+    "Device",
+    "Schema",
+    "SchemaEntry",
+    "CoreCounterDevice",
+    "CpuTimeDevice",
+    "ImcDevice",
+    "QpiDevice",
+    "RaplDevice",
+    "MicDevice",
+    "InfinibandDevice",
+    "GigEDevice",
+    "MdcDevice",
+    "OscDevice",
+    "LliteDevice",
+    "LnetDevice",
+    "MemDevice",
+    "ProcDevice",
+]

@@ -1,0 +1,215 @@
+"""Device base class and counter schema machinery.
+
+TACC Stats raw files carry a schema line per device type, e.g.::
+
+    !ib rx_bytes,E,W=64,U=B tx_bytes,E,W=64,U=B rx_packets,E,W=64 ...
+
+where ``E`` marks an event (cumulative) counter, ``W=<bits>`` the
+register width (reads roll over modulo ``2**bits``) and ``U=<unit>``
+the unit.  Entries without ``E`` are gauges (instantaneous values, e.g.
+memory in use).  This module reproduces those semantics: every device
+keeps an unbounded *true* accumulation internally, while ``read()``
+exposes what the hardware register would show — truncated to the
+register width.  Rollover correction is therefore the *reader's*
+responsibility, exactly as in the real tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SchemaEntry:
+    """One counter in a device schema."""
+
+    name: str
+    event: bool = True  # cumulative event counter vs gauge
+    width: int = 64  # register width in bits (events only)
+    unit: str = ""
+
+    def spec(self) -> str:
+        """Render as a raw-file schema token (``name,E,W=48,U=B``)."""
+        parts = [self.name]
+        if self.event:
+            parts.append("E")
+            parts.append(f"W={self.width}")
+        if self.unit:
+            parts.append(f"U={self.unit}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, token: str) -> "SchemaEntry":
+        """Parse a schema token produced by :meth:`spec`."""
+        fields = token.split(",")
+        name = fields[0]
+        event = False
+        width = 64
+        unit = ""
+        for f in fields[1:]:
+            if f == "E":
+                event = True
+            elif f.startswith("W="):
+                width = int(f[2:])
+            elif f.startswith("U="):
+                unit = f[2:]
+        return cls(name=name, event=event, width=width, unit=unit)
+
+
+class Schema:
+    """Ordered collection of :class:`SchemaEntry` for one device type."""
+
+    def __init__(self, entries: Sequence[SchemaEntry]) -> None:
+        self.entries: Tuple[SchemaEntry, ...] = tuple(entries)
+        self.index: Dict[str, int] = {
+            e.name: i for i, e in enumerate(self.entries)
+        }
+        if len(self.index) != len(self.entries):
+            raise ValueError("duplicate counter names in schema")
+        #: per-entry modulus for register truncation (0 → gauge, no wrap)
+        self._mods = np.array(
+            [2**e.width if e.event else 0 for e in self.entries],
+            dtype=np.float64,
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def names(self) -> List[str]:
+        return [e.name for e in self.entries]
+
+    def spec_line(self, type_name: str) -> str:
+        """Render the raw-file schema line (``!<type> <tok> <tok> ...``)."""
+        return "!" + type_name + " " + " ".join(e.spec() for e in self.entries)
+
+    @classmethod
+    def parse_line(cls, line: str) -> Tuple[str, "Schema"]:
+        """Parse a raw-file schema line; returns (type_name, Schema)."""
+        if not line.startswith("!"):
+            raise ValueError(f"not a schema line: {line!r}")
+        parts = line[1:].split()
+        return parts[0], cls([SchemaEntry.parse(tok) for tok in parts[1:]])
+
+    def truncate(self, true_values: np.ndarray) -> np.ndarray:
+        """Apply register-width truncation to true cumulative values."""
+        out = np.asarray(true_values, dtype=np.float64).copy()
+        wrap = self._mods > 0
+        out[wrap] = np.mod(np.floor(out[wrap]), self._mods[wrap])
+        return out
+
+
+class Device:
+    """Base class for all synthetic devices.
+
+    Subclasses define ``type_name``, build a :class:`Schema`, and
+    implement :meth:`advance` to convert an
+    :class:`~repro.hardware.activity.Activity` into counter increments.
+
+    Parameters
+    ----------
+    schema:
+        Counter layout shared by all instances of this device.
+    instances:
+        Instance names (core ids, port names, Lustre targets, ...).
+    noise:
+        Multiplicative jitter applied to increments — real counters
+        never advance perfectly smoothly.  0 disables.
+    """
+
+    type_name: str = "device"
+
+    def __init__(
+        self,
+        schema: Schema,
+        instances: Iterable[str],
+        noise: float = 0.02,
+    ) -> None:
+        self.schema = schema
+        self.noise = float(noise)
+        self._true: Dict[str, np.ndarray] = {
+            str(name): np.zeros(len(schema), dtype=np.float64)
+            for name in instances
+        }
+        if not self._true:
+            raise ValueError(f"{type(self).__name__} needs >=1 instance")
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def instances(self) -> List[str]:
+        return list(self._true)
+
+    def read(self) -> Dict[str, np.ndarray]:
+        """Return register values per instance (width-truncated)."""
+        return {
+            name: self.schema.truncate(vals)
+            for name, vals in self._true.items()
+        }
+
+    def read_true(self) -> Dict[str, np.ndarray]:
+        """Return the unbounded true accumulations (testing/validation)."""
+        return {name: vals.copy() for name, vals in self._true.items()}
+
+    # -- writing -----------------------------------------------------------
+    def bump(
+        self,
+        instance: str,
+        increments: Mapping[str, float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Add ``increments`` (by counter name) to one instance.
+
+        Event counters accumulate; gauges are *set* to the given value.
+        Negative increments to event counters are clipped to zero —
+        cumulative hardware counters never decrease.
+        """
+        row = self._true[str(instance)]
+        for name, value in increments.items():
+            i = self.schema.index[name]
+            entry = self.schema.entries[i]
+            v = float(value)
+            if entry.event:
+                if v < 0:
+                    v = 0.0
+                if rng is not None and self.noise > 0 and v > 0:
+                    v *= float(
+                        np.exp(rng.normal(0.0, self.noise))
+                    )
+                row[i] += v
+            else:
+                row[i] = max(v, 0.0)
+
+    def reset_instance(self, instance: str) -> None:
+        """Zero an instance's counters (device re-enumeration / reboot)."""
+        self._true[str(instance)][:] = 0.0
+
+    # -- workload coupling ---------------------------------------------------
+    def advance(
+        self, activity, dt: float, rng: np.random.Generator
+    ) -> None:  # pragma: no cover - abstract
+        """Advance counters by ``dt`` seconds of ``activity``."""
+        raise NotImplementedError
+
+
+def rollover_delta(
+    later: np.ndarray, earlier: np.ndarray, schema: Schema
+) -> np.ndarray:
+    """Difference of two register reads with rollover correction.
+
+    For event counters, a later read smaller than an earlier one is
+    interpreted as a wrap of the ``W``-bit register (§IV-A relies on
+    counters being cumulative; the reader must unwrap them).  Gauges
+    are returned as plain differences.
+    """
+    later = np.asarray(later, dtype=np.float64)
+    earlier = np.asarray(earlier, dtype=np.float64)
+    delta = later - earlier
+    for i, entry in enumerate(schema.entries):
+        if entry.event and delta[i] < 0:
+            delta[i] += 2.0**entry.width
+    return delta

@@ -1,0 +1,118 @@
+"""Core performance counters (MSR) and /proc/stat CPU time accounting.
+
+Two device types live here:
+
+* ``CoreCounterDevice`` — the per-hardware-thread programmable/fixed
+  counters read from MSR files on Nehalem through Haswell (§III-B
+  item 1).  Schema uses the architecture name (``intel_snb`` etc.) as
+  the device type, as the real tool does.  48-bit registers.
+* ``CpuTimeDevice`` — the ``cpu`` type sourced from ``/proc/stat``:
+  per-logical-CPU cumulative jiffies (USER_HZ = 100) in user, nice,
+  system, idle, iowait, irq and softirq.  These drive the CPU_Usage,
+  idle and catastrophe metrics of Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.activity import Activity
+from repro.hardware.arch import Architecture
+from repro.hardware.devices.base import Device, Schema, SchemaEntry
+
+USER_HZ = 100  # jiffies per second, as on stock Linux
+
+CORE_SCHEMA = Schema(
+    [
+        SchemaEntry("instructions", width=48),
+        SchemaEntry("cycles", width=48),
+        SchemaEntry("loads", width=48),
+        SchemaEntry("l1_hits", width=48),
+        SchemaEntry("l2_hits", width=48),
+        SchemaEntry("llc_hits", width=48),
+        SchemaEntry("fp_scalar", width=48),
+        SchemaEntry("fp_vector", width=48),
+    ]
+)
+
+CPUTIME_SCHEMA = Schema(
+    [
+        SchemaEntry("user", unit="cs"),
+        SchemaEntry("nice", unit="cs"),
+        SchemaEntry("system", unit="cs"),
+        SchemaEntry("idle", unit="cs"),
+        SchemaEntry("iowait", unit="cs"),
+        SchemaEntry("irq", unit="cs"),
+        SchemaEntry("softirq", unit="cs"),
+    ]
+)
+
+
+class CoreCounterDevice(Device):
+    """Per-hardware-thread core counters for one node.
+
+    Instances are logical CPU ids (``"0"`` ... ``"<cpus-1>"``).
+    """
+
+    def __init__(self, arch: Architecture, noise: float = 0.02) -> None:
+        self.arch = arch
+        self.type_name = arch.name
+        super().__init__(
+            CORE_SCHEMA, [str(i) for i in range(arch.cpus)], noise=noise
+        )
+
+    def advance(self, activity: Activity, dt: float, rng: np.random.Generator) -> None:
+        act = activity.with_cpus(self.arch.cpus)
+        hz = self.arch.base_ghz * 1e9
+        ipc = max(act.instr_per_cycle, 1e-9)
+        for i in range(self.arch.cpus):
+            busy = float(act.cpu_user_frac[i]) + float(act.cpu_system_frac[i])
+            if busy <= 0.0:
+                continue
+            cycles = busy * hz * dt
+            instructions = cycles * ipc
+            loads = instructions * act.loads_per_instr
+            self.bump(
+                str(i),
+                {
+                    "cycles": cycles,
+                    "instructions": instructions,
+                    "loads": loads,
+                    "l1_hits": loads * act.l1_hit_frac,
+                    "l2_hits": loads * act.l2_hit_frac,
+                    "llc_hits": loads * act.llc_hit_frac,
+                    "fp_scalar": instructions * act.fp_scalar_per_instr,
+                    "fp_vector": instructions * act.fp_vector_per_instr,
+                },
+                rng,
+            )
+
+
+class CpuTimeDevice(Device):
+    """``/proc/stat`` per-logical-CPU jiffy accounting."""
+
+    type_name = "cpu"
+
+    def __init__(self, cpus: int, noise: float = 0.0) -> None:
+        self.cpus = cpus
+        super().__init__(
+            CPUTIME_SCHEMA, [str(i) for i in range(cpus)], noise=noise
+        )
+
+    def advance(self, activity: Activity, dt: float, rng: np.random.Generator) -> None:
+        act = activity.with_cpus(self.cpus).validated()
+        for i in range(self.cpus):
+            user = float(act.cpu_user_frac[i])
+            system = float(act.cpu_system_frac[i])
+            iowait = float(act.cpu_iowait_frac[i])
+            idle = max(0.0, 1.0 - user - system - iowait)
+            self.bump(
+                str(i),
+                {
+                    "user": user * USER_HZ * dt,
+                    "system": system * USER_HZ * dt,
+                    "iowait": iowait * USER_HZ * dt,
+                    "idle": idle * USER_HZ * dt,
+                },
+                rng,
+            )

@@ -1,0 +1,123 @@
+"""Process-level data from the procfs filesystem (§III-B item 4).
+
+Collected per process: executable name, size and high-water mark of
+virtual memory, locked memory, size and high-water mark of physical
+(RSS) memory, data/stack/text segment sizes, thread count, CPU
+affinity and memory affinity.
+
+Unlike the numeric devices, this one snapshots a *process table*:
+``advance`` installs the currently-running processes (updating
+OS-maintained high-water marks for pids that persist across
+intervals), and ``read`` returns the table.  High-water marks survive
+as long as the pid lives — which is what lets the paper validate the
+MemUsage gauge against a true per-process maximum (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hardware.activity import Activity, ProcessActivity
+
+
+@dataclass
+class ProcessRecord:
+    """Snapshot of one ``/proc/<pid>`` at collection time."""
+
+    pid: int
+    name: str
+    owner: str
+    jobid: str
+    vmsize_kb: int
+    vmhwm_kb: int
+    vmrss_kb: int
+    vmrss_hwm_kb: int
+    vmlck_kb: int
+    data_kb: int
+    stack_kb: int
+    text_kb: int
+    threads: int
+    cpu_affinity: Tuple[int, ...]
+    mem_affinity: Tuple[int, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class ProcDevice:
+    """The ``ps`` device: per-process status snapshots.
+
+    Not a :class:`~repro.hardware.devices.base.Device` subclass — its
+    payload is a table of records rather than counter vectors — but it
+    exposes the same ``advance``/``read`` rhythm so the device tree can
+    drive it uniformly.
+    """
+
+    type_name = "ps"
+
+    def __init__(self) -> None:
+        # pid → running high-water marks maintained by "the OS"
+        self._hwm: Dict[int, Tuple[int, int]] = {}
+        self._table: List[ProcessRecord] = []
+
+    def advance(self, activity: Activity, dt: float, rng: np.random.Generator) -> None:
+        table: List[ProcessRecord] = []
+        live_pids = set()
+        for p in activity.processes:
+            live_pids.add(p.pid)
+            vh, rh = self._hwm.get(p.pid, (0, 0))
+            vh = max(vh, p.vmsize_kb, p.vmhwm_kb)
+            rh = max(rh, p.vmrss_kb, p.vmrss_hwm_kb)
+            self._hwm[p.pid] = (vh, rh)
+            table.append(
+                ProcessRecord(
+                    pid=p.pid,
+                    name=p.name,
+                    owner=p.owner,
+                    jobid=p.jobid or "-",
+                    vmsize_kb=int(p.vmsize_kb),
+                    vmhwm_kb=int(vh),
+                    vmrss_kb=int(p.vmrss_kb),
+                    vmrss_hwm_kb=int(rh),
+                    vmlck_kb=int(p.vmlck_kb),
+                    data_kb=int(p.data_kb),
+                    stack_kb=int(p.stack_kb),
+                    text_kb=int(p.text_kb),
+                    threads=int(p.threads),
+                    cpu_affinity=tuple(p.cpu_affinity),
+                    mem_affinity=tuple(p.mem_affinity),
+                )
+            )
+        # pids that exited take their high-water marks with them
+        for pid in list(self._hwm):
+            if pid not in live_pids:
+                del self._hwm[pid]
+        self._table = table
+
+    def read(self) -> List[ProcessRecord]:
+        """Return the current process table (most recent snapshot)."""
+        return list(self._table)
+
+
+def process_activity_from_record(rec: ProcessRecord) -> ProcessActivity:
+    """Invert a record back into a :class:`ProcessActivity` (testing)."""
+    return ProcessActivity(
+        pid=rec.pid,
+        name=rec.name,
+        owner=rec.owner,
+        jobid=None if rec.jobid == "-" else rec.jobid,
+        vmsize_kb=rec.vmsize_kb,
+        vmhwm_kb=rec.vmhwm_kb,
+        vmrss_kb=rec.vmrss_kb,
+        vmrss_hwm_kb=rec.vmrss_hwm_kb,
+        vmlck_kb=rec.vmlck_kb,
+        data_kb=rec.data_kb,
+        stack_kb=rec.stack_kb,
+        text_kb=rec.text_kb,
+        threads=rec.threads,
+        cpu_affinity=rec.cpu_affinity,
+        mem_affinity=rec.mem_affinity,
+    )

@@ -1,0 +1,99 @@
+"""Node topology: sockets, physical cores and hardware threads.
+
+The collector enumerates logical CPUs and groups them by socket so that
+core counters can be attributed per core and uncore/RAPL counters per
+socket.  Logical CPU numbering follows the common Linux convention on
+two-socket Xeons: physical cores first (round-robin across sockets is
+*not* used at TACC; cores are block-distributed), then the hyperthread
+siblings in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hardware.arch import Architecture
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Socket/core/thread layout of one node.
+
+    Attributes
+    ----------
+    sockets: number of CPU packages.
+    cores_per_socket: physical cores per package.
+    threads_per_core: hardware threads per physical core (1 or 2).
+    """
+
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+
+    @classmethod
+    def from_architecture(cls, arch: Architecture) -> "Topology":
+        """Build the default topology for an architecture."""
+        return cls(
+            sockets=arch.sockets,
+            cores_per_socket=arch.cores_per_socket,
+            threads_per_core=arch.threads_per_core,
+        )
+
+    @property
+    def cores(self) -> int:
+        """Total physical cores."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def cpus(self) -> int:
+        """Total logical CPUs (hardware threads)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def hyperthreaded(self) -> bool:
+        return self.threads_per_core > 1
+
+    def socket_of_core(self, core: int) -> int:
+        """Socket housing physical core ``core`` (block distribution)."""
+        if not 0 <= core < self.cores:
+            raise IndexError(f"core {core} out of range 0..{self.cores - 1}")
+        return core // self.cores_per_socket
+
+    def socket_of_cpu(self, cpu: int) -> int:
+        """Socket housing logical CPU ``cpu``."""
+        return self.socket_of_core(self.core_of_cpu(cpu))
+
+    def core_of_cpu(self, cpu: int) -> int:
+        """Physical core behind logical CPU ``cpu``.
+
+        Logical CPUs ``[0, cores)`` are the first thread of each core;
+        ``[cores, 2*cores)`` are the hyperthread siblings.
+        """
+        if not 0 <= cpu < self.cpus:
+            raise IndexError(f"cpu {cpu} out of range 0..{self.cpus - 1}")
+        return cpu % self.cores
+
+    def cpus_of_core(self, core: int) -> Tuple[int, ...]:
+        """All logical CPUs sharing physical core ``core``."""
+        if not 0 <= core < self.cores:
+            raise IndexError(f"core {core} out of range 0..{self.cores - 1}")
+        return tuple(core + t * self.cores for t in range(self.threads_per_core))
+
+    def cpus_of_socket(self, socket: int) -> Tuple[int, ...]:
+        """All logical CPUs on ``socket``."""
+        if not 0 <= socket < self.sockets:
+            raise IndexError(f"socket {socket} out of range 0..{self.sockets - 1}")
+        out: List[int] = []
+        lo = socket * self.cores_per_socket
+        for core in range(lo, lo + self.cores_per_socket):
+            out.extend(self.cpus_of_core(core))
+        return tuple(sorted(out))
+
+    def core_list(self) -> List[int]:
+        """All physical core ids."""
+        return list(range(self.cores))
+
+    def cpu_list(self) -> List[int]:
+        """All logical CPU ids."""
+        return list(range(self.cpus))

@@ -1,0 +1,43 @@
+"""Per-job metrics (Table I) and the automatic flagging engine.
+
+§IV-A defines two metric families:
+
+* **Average** metrics — the Average Rate of Change (ARC): *"computed
+  by first averaging the relevant data over time and then over
+  nodes"*.  For cumulative counters the time average is the endpoint
+  delta over elapsed time, which is why infrequent sampling still
+  yields exact averages.
+* **Maximum** metrics — *"first computing the relevant data's delta
+  over each time interval for each node, then summing over nodes and
+  taking the maximum resulting delta"* — an approximation to the peak
+  instantaneous rate.
+* Ratios are formed from averages (ratio-of-averages, not
+  average-of-ratios).
+
+:func:`compute_metrics` evaluates the full Table I set (plus the
+energy extension metrics the contributions section mentions) on a
+:class:`~repro.pipeline.accum.JobAccum`; :mod:`repro.metrics.flags`
+implements the §V-A automatic job flags.
+"""
+
+from repro.metrics.flags import FLAG_REGISTRY, FlagResult, evaluate_flags
+from repro.metrics.kernels import arc, max_rate, ratio_of_sums
+from repro.metrics.table1 import (
+    METRIC_REGISTRY,
+    MetricDef,
+    compute_metrics,
+    metric_names,
+)
+
+__all__ = [
+    "arc",
+    "max_rate",
+    "ratio_of_sums",
+    "MetricDef",
+    "METRIC_REGISTRY",
+    "compute_metrics",
+    "metric_names",
+    "FLAG_REGISTRY",
+    "FlagResult",
+    "evaluate_flags",
+]

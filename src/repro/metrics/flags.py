@@ -1,0 +1,179 @@
+"""Automatic job flagging (§V-A).
+
+*"Every search also returns a sublist of jobs that have been flagged
+for metric values that exceed thresholds such as high metadata rates,
+excessive use of the GigE network, running in the largemem queue but
+using little memory, idle nodes, sudden performance increases or
+drops, and a high average cycles per instruction."*
+
+Each flag is a named predicate over (metrics, accum, job metadata).
+Sudden-rise vs sudden-drop needs the time series, not just the
+scalar — the catastrophe ratio says *that* activity was uneven, the
+position of the quiet window relative to the busy one says *which
+way*: quiet-early → a compilation step before the run (rise);
+quiet-late → the application died (drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.pipeline.accum import JobAccum
+
+GB2 = float(1 << 30)
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Tunable flag thresholds (defaults per §V-A's motivations)."""
+
+    metadata_rate: float = 10_000.0  # req/s, "always cause for concern"
+    gige_bw_mb: float = 1.0  # MB/s sustained on the management network
+    largemem_waste_gb: float = 64.0  # < this on a 1 TB node is misuse
+    idle_ratio: float = 0.05  # min/max node usage below this → idle nodes
+    swing_ratio: float = 0.25  # catastrophe below this → sudden change
+    high_cpi: float = 2.0  # cycles per instruction
+    low_usage: float = 0.05  # a node's usage counted as "doing nothing"
+
+
+@dataclass(frozen=True)
+class FlagResult:
+    """One raised flag."""
+
+    name: str
+    value: float
+    threshold: float
+    detail: str
+
+
+FlagFn = Callable[
+    [Mapping[str, float], Optional[JobAccum], Mapping[str, object], Thresholds],
+    Optional[FlagResult],
+]
+
+FLAG_REGISTRY: Dict[str, FlagFn] = {}
+
+
+def _flag(name: str) -> Callable[[FlagFn], FlagFn]:
+    def deco(fn: FlagFn) -> FlagFn:
+        FLAG_REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+@_flag("high_metadata_rate")
+def _high_md(m, a, meta, th):
+    v = m.get("MetaDataRate", 0.0)
+    if v > th.metadata_rate:
+        return FlagResult(
+            "high_metadata_rate", v, th.metadata_rate,
+            f"peak MDS rate {v:,.0f} req/s stresses the filesystem",
+        )
+    return None
+
+
+@_flag("high_gige")
+def _high_gige(m, a, meta, th):
+    v = m.get("GigEBW", 0.0)
+    if v > th.gige_bw_mb:
+        return FlagResult(
+            "high_gige", v, th.gige_bw_mb,
+            "MPI appears to run over Ethernet instead of Infiniband",
+        )
+    return None
+
+
+@_flag("largemem_waste")
+def _largemem(m, a, meta, th):
+    if meta.get("queue") != "largemem":
+        return None
+    v = m.get("MemUsage", 0.0)
+    if v < th.largemem_waste_gb:
+        return FlagResult(
+            "largemem_waste", v, th.largemem_waste_gb,
+            f"only {v:.1f} GB used on a 1 TB node",
+        )
+    return None
+
+
+@_flag("idle_nodes")
+def _idle_nodes(m, a, meta, th):
+    if int(meta.get("nodes", 1) or 1) < 2:
+        return None
+    v = m.get("idle", 1.0)
+    if v < th.idle_ratio:
+        return FlagResult(
+            "idle_nodes", v, th.idle_ratio,
+            "at least one reserved node did essentially no work",
+        )
+    return None
+
+
+def _quiet_window_position(a: JobAccum) -> Optional[float]:
+    """Relative position (0..1) of the least-active time window."""
+    if a is None or a.n_intervals < 3:
+        return None
+    user = a.deltas["cpu_user"].sum(axis=0)
+    total = np.maximum(a.deltas["cpu_total"].sum(axis=0), 1e-300)
+    frac = user / total
+    return float(np.argmin(frac)) / max(1, len(frac) - 1)
+
+
+@_flag("sudden_drop")
+def _sudden_drop(m, a, meta, th):
+    v = m.get("catastrophe", 1.0)
+    if v >= th.swing_ratio:
+        return None
+    pos = _quiet_window_position(a)
+    if pos is None or pos < 0.5:
+        return None
+    return FlagResult(
+        "sudden_drop", v, th.swing_ratio,
+        "activity collapsed late in the run: likely application failure",
+    )
+
+
+@_flag("sudden_rise")
+def _sudden_rise(m, a, meta, th):
+    v = m.get("catastrophe", 1.0)
+    if v >= th.swing_ratio:
+        return None
+    pos = _quiet_window_position(a)
+    if pos is None or pos >= 0.5:
+        return None
+    return FlagResult(
+        "sudden_rise", v, th.swing_ratio,
+        "activity started low: likely a compilation step before the run",
+    )
+
+
+@_flag("high_cpi")
+def _high_cpi(m, a, meta, th):
+    v = m.get("cpi", 0.0)
+    if v > th.high_cpi:
+        return FlagResult(
+            "high_cpi", v, th.high_cpi,
+            "poor cycles/instruction: memory layout or I/O pattern issue",
+        )
+    return None
+
+
+def evaluate_flags(
+    metrics: Mapping[str, float],
+    accum: Optional[JobAccum] = None,
+    job_meta: Optional[Mapping[str, object]] = None,
+    thresholds: Optional[Thresholds] = None,
+) -> List[FlagResult]:
+    """Run every registered flag; returns the raised ones."""
+    th = thresholds or Thresholds()
+    meta = job_meta or {}
+    out: List[FlagResult] = []
+    for fn in FLAG_REGISTRY.values():
+        res = fn(metrics, accum, meta, th)
+        if res is not None:
+            out.append(res)
+    return out

@@ -1,0 +1,85 @@
+"""Vectorised metric primitives.
+
+All kernels take ``(N, T-1)`` per-node interval-delta arrays (or
+``(N, T)`` gauge arrays) and are pure NumPy — they are also reused by
+the batched population generator, where the same formulas run on
+``(jobs, T)`` arrays along the same axis conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EPS = 1e-300
+
+
+def arc(deltas: np.ndarray, elapsed: float) -> float:
+    """Average Rate of Change: per-node mean rate, averaged over nodes.
+
+    For cumulative counters the per-node time-average rate is the sum
+    of its interval deltas (= endpoint delta) over the elapsed time.
+    """
+    if elapsed <= 0 or deltas.size == 0:
+        return 0.0
+    per_node = deltas.sum(axis=-1) / elapsed
+    return float(per_node.mean())
+
+
+def max_rate(deltas: np.ndarray, dt: np.ndarray) -> float:
+    """Maximum metric: peak over intervals of the node-summed rate."""
+    if deltas.size == 0:
+        return 0.0
+    summed = deltas.sum(axis=0)  # (T-1,)
+    rates = summed / np.maximum(dt, EPS)
+    return float(rates.max())
+
+
+def ratio_of_sums(num: np.ndarray, den: np.ndarray) -> float:
+    """Ratio of totals — §IV-A: averages are computed before ratios.
+
+    Both numerator and denominator are summed over nodes and time, so
+    the elapsed-time factors cancel and the result is the
+    ratio-of-averages the paper prescribes.
+    """
+    d = float(np.sum(den))
+    if d <= 0:
+        return 0.0
+    return float(np.sum(num)) / d
+
+
+def gauge_max(gauge: np.ndarray) -> float:
+    """Max over nodes and snapshots of a gauge (e.g. MemUsage)."""
+    if gauge.size == 0:
+        return 0.0
+    return float(gauge.max())
+
+
+def node_balance_ratio(per_node: np.ndarray) -> float:
+    """min/max over nodes — the ``idle`` metric's work-imbalance ratio.
+
+    1.0 means perfectly balanced; ~0 means at least one node did
+    essentially nothing while another worked.
+    """
+    if per_node.size == 0:
+        return 1.0
+    hi = float(per_node.max())
+    if hi <= 0:
+        return 1.0
+    return float(per_node.min()) / hi
+
+
+def time_balance_ratio(num: np.ndarray, den: np.ndarray) -> float:
+    """min/max over time windows of a node-summed fraction (catastrophe).
+
+    ``num``/``den`` are (N, T-1) deltas (e.g. user vs total jiffies);
+    each window's value is the node-summed ratio.
+    """
+    if num.size == 0:
+        return 1.0
+    n = num.sum(axis=0)
+    d = np.maximum(den.sum(axis=0), EPS)
+    frac = n / d
+    hi = float(frac.max())
+    if hi <= 0:
+        return 1.0
+    return float(frac.min()) / hi

@@ -1,0 +1,217 @@
+"""Table I: the metric set computed for every job.
+
+Every metric is a named, documented function of a
+:class:`~repro.pipeline.accum.JobAccum`.  Units follow the portal's
+conventions: request rates in ops/s, bandwidths in MB/s, flops in
+GFLOP/s, memory bandwidth in GB/s, memory in GB, time fractions in
+[0, 1], VecPercent in percent.
+
+Beyond Table I proper, the energy metrics the contributions section
+announces ("analyses of energy use broken down by socket, process and
+dram components") are included in the ``Energy`` category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.metrics.kernels import (
+    arc,
+    gauge_max,
+    max_rate,
+    node_balance_ratio,
+    ratio_of_sums,
+    time_balance_ratio,
+)
+from repro.pipeline.accum import JobAccum
+
+MB = 1e6
+GB2 = float(1 << 30)
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One computed metric."""
+
+    name: str
+    category: str  # Lustre | Network | Processor | OS | Energy
+    unit: str
+    description: str
+    fn: Callable[[JobAccum], float]
+
+    def __call__(self, accum: JobAccum) -> float:
+        return self.fn(accum)
+
+
+def _flops(a: JobAccum) -> float:
+    """GFLOP/s: scalar FP instructions + width × vector FP instructions."""
+    if a.elapsed <= 0:
+        return 0.0
+    scalar = a.deltas["fp_scalar"].sum()
+    vector = a.deltas["fp_vector"].sum() * a.vector_width
+    # node-summed total rate (the Fig. 5 "Gigaflops" panel is per node;
+    # the job metric is the per-node average)
+    return float(scalar + vector) / a.elapsed / a.n_hosts / 1e9
+
+
+def _vec_percent(a: JobAccum) -> float:
+    """Percent of FP instructions that are vector instructions."""
+    s = float(a.deltas["fp_scalar"].sum())
+    v = float(a.deltas["fp_vector"].sum())
+    if s + v <= 0:
+        return 0.0
+    return min(100.0, 100.0 * v / (s + v))
+
+
+def _cpu_usage(a: JobAccum) -> float:
+    return ratio_of_sums(a.deltas["cpu_user"], a.deltas["cpu_total"])
+
+
+def _idle(a: JobAccum) -> float:
+    user = a.deltas["cpu_user"].sum(axis=1)
+    total = np.maximum(a.deltas["cpu_total"].sum(axis=1), 1e-300)
+    return node_balance_ratio(user / total)
+
+
+def _mic_usage(a: JobAccum) -> float:
+    return ratio_of_sums(a.deltas["mic_user"], a.deltas["mic_total"])
+
+
+def _wait_per_req(a: JobAccum, wait_key: str, req_key: str) -> float:
+    return ratio_of_sums(a.deltas[wait_key], a.deltas[req_key])
+
+
+def _packetsize(a: JobAccum) -> float:
+    return ratio_of_sums(a.deltas["ib_bytes"], a.deltas["ib_packets"])
+
+
+METRIC_REGISTRY: Dict[str, MetricDef] = {}
+
+
+def _register(
+    name: str, category: str, unit: str, description: str
+) -> Callable[[Callable[[JobAccum], float]], Callable[[JobAccum], float]]:
+    def deco(fn: Callable[[JobAccum], float]) -> Callable[[JobAccum], float]:
+        METRIC_REGISTRY[name] = MetricDef(
+            name=name, category=category, unit=unit,
+            description=description, fn=fn,
+        )
+        return fn
+
+    return deco
+
+
+# -- Lustre -------------------------------------------------------------------
+_register("MetaDataRate", "Lustre", "req/s",
+          "Maximum metadata server operation rate")(
+    lambda a: max_rate(a.deltas["mdc_reqs"], a.dt))
+_register("MDCReqs", "Lustre", "req/s",
+          "Average metadata server operation rate")(
+    lambda a: arc(a.deltas["mdc_reqs"], a.elapsed))
+_register("OSCReqs", "Lustre", "req/s",
+          "Average object storage server operation rate")(
+    lambda a: arc(a.deltas["osc_reqs"], a.elapsed))
+_register("MDCWait", "Lustre", "us",
+          "Average time to complete metadata server operations")(
+    lambda a: _wait_per_req(a, "mdc_wait_us", "mdc_reqs"))
+_register("OSCWait", "Lustre", "us",
+          "Average time to complete object storage server operations")(
+    lambda a: _wait_per_req(a, "osc_wait_us", "osc_reqs"))
+_register("LLiteOpenClose", "Lustre", "ops/s",
+          "Average file open/close rate")(
+    lambda a: arc(a.deltas["llite_oc"], a.elapsed))
+_register("LnetAveBW", "Lustre", "MB/s",
+          "Average Lustre bandwidth")(
+    lambda a: arc(a.deltas["lnet_bytes"], a.elapsed) / MB)
+_register("LnetMaxBW", "Lustre", "MB/s",
+          "Maximum Lustre bandwidth")(
+    lambda a: max_rate(a.deltas["lnet_bytes"], a.dt) / MB)
+
+# -- Network -------------------------------------------------------------------
+_register("InternodeIBAveBW", "Network", "MB/s",
+          "Average Infiniband bandwidth between compute nodes (MPI)")(
+    lambda a: arc(a.deltas["ib_bytes"], a.elapsed) / MB)
+_register("InternodeIBMaxBW", "Network", "MB/s",
+          "Maximum Infiniband bandwidth between compute nodes (MPI)")(
+    lambda a: max_rate(a.deltas["ib_bytes"], a.dt) / MB)
+_register("Packetsize", "Network", "B",
+          "Average Infiniband packet size")(_packetsize)
+_register("Packetrate", "Network", "pkt/s",
+          "Average Infiniband packet rate")(
+    lambda a: arc(a.deltas["ib_packets"], a.elapsed))
+_register("GigEBW", "Network", "MB/s",
+          "Average bandwidth over the GigE network")(
+    lambda a: arc(a.deltas["gige_bytes"], a.elapsed) / MB)
+
+# -- Processor -------------------------------------------------------------------
+_register("Load_All", "Processor", "ops/s",
+          "Average cache load rate from any cache level")(
+    lambda a: arc(a.deltas["loads"], a.elapsed))
+_register("Load_L1Hits", "Processor", "ops/s",
+          "Average L1 cache hit rate")(
+    lambda a: arc(a.deltas["l1_hits"], a.elapsed))
+_register("Load_L2Hits", "Processor", "ops/s",
+          "Average L2 cache hit rate")(
+    lambda a: arc(a.deltas["l2_hits"], a.elapsed))
+_register("Load_LLCHits", "Processor", "ops/s",
+          "Average last-level cache hit rate")(
+    lambda a: arc(a.deltas["llc_hits"], a.elapsed))
+_register("cpi", "Processor", "cyc/ins",
+          "Average ratio of cycles to instructions")(
+    lambda a: ratio_of_sums(a.deltas["cycles"], a.deltas["instructions"]))
+_register("cpld", "Processor", "cyc/load",
+          "Average ratio of cycles to L1 data cache loads")(
+    lambda a: ratio_of_sums(a.deltas["cycles"], a.deltas["loads"]))
+_register("flops", "Processor", "GF/s",
+          "Average floating-point rate per node")(_flops)
+_register("VecPercent", "Processor", "%",
+          "Ratio of vectorized to total FP instructions")(_vec_percent)
+_register("mbw", "Processor", "GB/s",
+          "Average memory bandwidth per node")(
+    lambda a: arc(a.deltas["imc_cas"], a.elapsed) * 64.0 / 1e9)
+
+# -- OS -------------------------------------------------------------------
+_register("MemUsage", "OS", "GB",
+          "Maximum memory usage (gauge snapshot, per node)")(
+    lambda a: gauge_max(a.gauges["mem_used"]) / GB2)
+_register("CPU_Usage", "OS", "frac",
+          "Average fraction of time spent in user space")(_cpu_usage)
+_register("idle", "OS", "ratio",
+          "Min/max of per-node CPU_Usage: work imbalance across nodes")(_idle)
+_register("catastrophe", "OS", "ratio",
+          "Min/max over time windows of CPU_Usage: imbalance across time")(
+    lambda a: time_balance_ratio(a.deltas["cpu_user"], a.deltas["cpu_total"]))
+_register("MIC_Usage", "OS", "frac",
+          "Average utilisation of the Xeon Phi coprocessor")(_mic_usage)
+
+# -- Energy (contributions §I-C) ---------------------------------------------
+_register("PkgPower", "Energy", "W",
+          "Average package (cores+LLC) power per node")(
+    lambda a: arc(a.deltas["rapl_pkg_uj"], a.elapsed) / 1e6)
+_register("CorePower", "Energy", "W",
+          "Average all-cores power per node")(
+    lambda a: arc(a.deltas["rapl_core_uj"], a.elapsed) / 1e6)
+_register("DramPower", "Energy", "W",
+          "Average DRAM power per node")(
+    lambda a: arc(a.deltas["rapl_dram_uj"], a.elapsed) / 1e6)
+_register("TotalEnergy", "Energy", "J",
+          "Total node-summed energy consumed by the job")(
+    lambda a: float(
+        a.deltas["rapl_pkg_uj"].sum() + a.deltas["rapl_dram_uj"].sum()
+    ) / 1e6)
+
+
+def metric_names(category: str = "") -> List[str]:
+    """All metric names, optionally restricted to one category."""
+    return [
+        n for n, d in METRIC_REGISTRY.items()
+        if not category or d.category == category
+    ]
+
+
+def compute_metrics(accum: JobAccum) -> Dict[str, float]:
+    """Evaluate the full registry on one job."""
+    return {name: d.fn(accum) for name, d in METRIC_REGISTRY.items()}

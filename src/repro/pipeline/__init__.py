@@ -1,0 +1,31 @@
+"""ETL pipeline: raw stats → per-job data → metrics → database.
+
+§IV-A: *"After data collection TACC Stats maps the raw output from each
+node to job ids.  Metadata describing each job along with a set of
+computed metrics are then ingested into a PostgreSQL database."*
+
+Stages:
+
+1. :func:`map_jobs` — stream every host's raw samples out of the
+   :class:`~repro.core.store.CentralStore` and bucket them by job id
+   (a sample tagged with several jobs lands in each — shared nodes).
+2. :class:`JobAccum` — rollover-corrected per-interval deltas of the
+   canonical quantities, the metrics engine's input representation.
+3. :func:`ingest_jobs` — compute Table I metrics and write one row per
+   job into the database.
+"""
+
+from repro.pipeline.accum import CANONICAL_QUANTITIES, JobAccum, accumulate
+from repro.pipeline.ingest import ingest_jobs
+from repro.pipeline.jobmap import JobData, map_jobs
+from repro.pipeline.pickles import JobPickleStore
+
+__all__ = [
+    "JobData",
+    "map_jobs",
+    "JobAccum",
+    "accumulate",
+    "CANONICAL_QUANTITIES",
+    "ingest_jobs",
+    "JobPickleStore",
+]

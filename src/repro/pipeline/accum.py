@@ -1,0 +1,273 @@
+"""Per-job accumulation: raw samples → canonical quantity arrays.
+
+The metrics of Table I are all functions of a small set of *canonical
+quantities* — node-level sums of related counters (metadata requests,
+lnet bytes, instructions, user jiffies, ...).  :func:`accumulate`
+reduces a :class:`~repro.pipeline.jobmap.JobData` to a
+:class:`JobAccum` holding, for every quantity,
+
+* ``deltas[q]`` — an ``(n_hosts, T-1)`` array of rollover-corrected
+  per-interval increments (event counters), or
+* ``gauges[q]`` — an ``(n_hosts, T)`` array of snapshots.
+
+Hosts are aligned on the intersection of their sample timestamps
+(collections are cluster-wide events, so normally identical).  All
+downstream metric evaluation is NumPy on these arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.arch import ARCHITECTURES
+from repro.hardware.devices.base import Schema
+from repro.pipeline.jobmap import JobData
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """One canonical quantity: summed counters of one device type."""
+
+    key: str
+    type_name: str  # "" means: resolve to the architecture core type
+    counters: Tuple[str, ...]
+    gauge: bool = False
+
+
+#: the full quantity set the metrics engine consumes
+CANONICAL_QUANTITIES: Tuple[Quantity, ...] = (
+    # Lustre
+    Quantity("mdc_reqs", "mdc", ("reqs",)),
+    Quantity("mdc_wait_us", "mdc", ("wait_us",)),
+    Quantity("osc_reqs", "osc", ("reqs",)),
+    Quantity("osc_wait_us", "osc", ("wait_us",)),
+    Quantity("llite_oc", "llite", ("open", "close")),
+    Quantity("lnet_bytes", "lnet", ("rx_bytes", "tx_bytes")),
+    # networks
+    Quantity("ib_bytes", "ib", ("rx_bytes", "tx_bytes")),
+    Quantity("ib_packets", "ib", ("rx_packets", "tx_packets")),
+    Quantity("gige_bytes", "gige", ("rx_bytes", "tx_bytes")),
+    # processor core counters (type resolved per job's architecture)
+    Quantity("instructions", "", ("instructions",)),
+    Quantity("cycles", "", ("cycles",)),
+    Quantity("loads", "", ("loads",)),
+    Quantity("l1_hits", "", ("l1_hits",)),
+    Quantity("l2_hits", "", ("l2_hits",)),
+    Quantity("llc_hits", "", ("llc_hits",)),
+    Quantity("fp_scalar", "", ("fp_scalar",)),
+    Quantity("fp_vector", "", ("fp_vector",)),
+    # uncore
+    Quantity("imc_cas", "imc", ("cas_reads", "cas_writes")),
+    # energy (contribution: "energy use broken down by socket/dram")
+    Quantity("rapl_pkg_uj", "rapl", ("pkg_energy",)),
+    Quantity("rapl_core_uj", "rapl", ("core_energy",)),
+    Quantity("rapl_dram_uj", "rapl", ("dram_energy",)),
+    # OS
+    Quantity(
+        "cpu_total",
+        "cpu",
+        ("user", "nice", "system", "idle", "iowait", "irq", "softirq"),
+    ),
+    Quantity("cpu_user", "cpu", ("user", "nice")),
+    Quantity("cpu_iowait", "cpu", ("iowait",)),
+    # coprocessor
+    Quantity("mic_user", "mic", ("user_sum", "sys_sum")),
+    Quantity("mic_total", "mic", ("user_sum", "sys_sum", "idle_sum")),
+    # gauges
+    Quantity("mem_used", "mem", ("MemUsed",), gauge=True),
+)
+
+_QUANTITY_INDEX = {q.key: q for q in CANONICAL_QUANTITIES}
+_CORE_TYPES = set(ARCHITECTURES)
+
+
+@dataclass
+class JobAccum:
+    """Canonical per-job arrays the metrics engine evaluates on."""
+
+    jobid: str
+    hosts: List[str]
+    times: np.ndarray  # (T,)
+    deltas: Dict[str, np.ndarray]  # key → (N, T-1)
+    gauges: Dict[str, np.ndarray]  # key → (N, T)
+    vector_width: int = 4  # doubles per SIMD register of the job's arch
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def n_intervals(self) -> int:
+        return max(0, len(self.times) - 1)
+
+    @property
+    def dt(self) -> np.ndarray:
+        """Interval lengths (T-1,), seconds."""
+        return np.diff(self.times.astype(np.float64))
+
+    @property
+    def elapsed(self) -> float:
+        """Total observed span, seconds."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+
+def _resolve_type(q: Quantity, available: Sequence[str]) -> Optional[str]:
+    if q.type_name:
+        return q.type_name if q.type_name in available else None
+    for t in available:
+        if t in _CORE_TYPES:
+            return t
+    return None
+
+
+def _sum_counters(
+    sample_data: Dict[str, Dict[str, np.ndarray]],
+    type_name: str,
+    schema: Schema,
+    counters: Tuple[str, ...],
+) -> float:
+    """Sum selected counters over all instances of a device type."""
+    per_type = sample_data.get(type_name)
+    if not per_type:
+        return np.nan
+    idx = [schema.index[c] for c in counters if c in schema.index]
+    if not idx:
+        return np.nan
+    total = 0.0
+    for values in per_type.values():
+        total += float(values[idx].sum()) if len(values) else 0.0
+    return total
+
+
+def accumulate(jd: JobData, quantities: Sequence[Quantity] = CANONICAL_QUANTITIES) -> JobAccum:
+    """Reduce one job's raw samples to canonical quantity arrays."""
+    hosts = sorted(jd.hosts)
+    if not hosts:
+        raise ValueError(f"job {jd.jobid}: no hosts")
+    # align on common timestamps across hosts
+    common = None
+    for h in hosts:
+        ts = {s.timestamp for s in jd.hosts[h]}
+        common = ts if common is None else (common & ts)
+    times = np.array(sorted(common or ()), dtype=np.int64)
+    if len(times) < 2:
+        raise ValueError(
+            f"job {jd.jobid}: only {len(times)} aligned samples"
+        )
+    tindex = {int(t): i for i, t in enumerate(times)}
+    T, N = len(times), len(hosts)
+
+    # vector width from the recorded architecture
+    arch = ARCHITECTURES.get(jd.arch or "", None)
+    vector_width = arch.vector_width_doubles if arch else 4
+
+    deltas: Dict[str, np.ndarray] = {}
+    gauges: Dict[str, np.ndarray] = {}
+
+    for q in quantities:
+        # per host, build (T,) summed-counter series then difference
+        event_rows = np.zeros((N, T - 1))
+        gauge_rows = np.zeros((N, T))
+        present = False
+        for n, h in enumerate(hosts):
+            samples = [s for s in jd.hosts[h] if int(s.timestamp) in tindex]
+            # dedupe repeated timestamps (prolog + periodic coincide)
+            by_t: Dict[int, object] = {}
+            for s in samples:
+                by_t[int(s.timestamp)] = s
+            type_name = None
+            series = np.full(T, np.nan)
+            for t_int, s in by_t.items():
+                if type_name is None:
+                    type_name = _resolve_type(q, list(s.data))
+                if type_name is None:
+                    continue
+                schema = jd.schemas.get(type_name)
+                if schema is None:
+                    continue
+                series[tindex[t_int]] = _sum_counters(
+                    s.data, type_name, schema, q.counters
+                )
+            if np.all(np.isnan(series)):
+                continue
+            present = True
+            # forward-fill interior gaps (a host may miss one sample)
+            filled = _ffill(series)
+            if q.gauge:
+                gauge_rows[n] = filled
+            else:
+                if type_name is not None and type_name in jd.schemas:
+                    schema = jd.schemas[type_name]
+                    width = max(
+                        (
+                            2.0**e.width
+                            for e in schema.entries
+                            if e.event and e.name in q.counters
+                        ),
+                        default=2.0**64,
+                    )
+                else:
+                    width = 2.0**64
+                event_rows[n] = _unwrap(np.diff(filled), filled[1:], width)
+        if q.gauge:
+            gauges[q.key] = gauge_rows if present else np.zeros((N, T))
+        else:
+            deltas[q.key] = event_rows if present else np.zeros((N, T - 1))
+
+    return JobAccum(
+        jobid=jd.jobid,
+        hosts=hosts,
+        times=times,
+        deltas=deltas,
+        gauges=gauges,
+        vector_width=vector_width,
+        meta={"arch": jd.arch},
+    )
+
+
+def _unwrap(
+    deltas: np.ndarray, later_values: np.ndarray, width: float
+) -> np.ndarray:
+    """Correct negative deltas: register rollover vs counter reset.
+
+    A negative delta is normally a ``W``-bit register wrap (add
+    ``2**W``).  But a *node reboot* resets counters to ~0, and naive
+    wrap-correction would then manufacture an increment of nearly the
+    full register range.  Heuristic (as in production collectors): if
+    the wrap-corrected increment is implausibly large (> ¼ of the
+    register range), treat the drop as a reset — the counter restarted
+    from zero, so the best increment estimate is the later reading.
+    """
+    out = deltas.copy()
+    neg = out < 0
+    if not np.any(neg):
+        return out
+    wrapped = out + width
+    reset = neg & (wrapped > width / 4.0)
+    out[neg & ~reset] = wrapped[neg & ~reset]
+    out[reset] = later_values[reset]
+    return out
+
+
+def _ffill(series: np.ndarray) -> np.ndarray:
+    """Forward-fill NaNs; leading NaNs become the first finite value."""
+    out = series.copy()
+    mask = np.isnan(out)
+    if not mask.any():
+        return out
+    finite = np.where(~mask)[0]
+    if len(finite) == 0:
+        return np.zeros_like(out)
+    # leading
+    out[: finite[0]] = out[finite[0]]
+    # interior/trailing
+    idx = np.maximum.accumulate(
+        np.where(~np.isnan(out), np.arange(len(out)), 0)
+    )
+    return out[idx]

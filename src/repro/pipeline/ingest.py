@@ -1,0 +1,109 @@
+"""Database ingest: raw store → job records.
+
+Ties the pipeline together: map samples to jobs, accumulate, compute
+metrics, evaluate flags, and bulk-insert :class:`JobRecord` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.cluster.jobs import Job
+from repro.core.store import CentralStore
+from repro.db.connection import Database
+from repro.metrics.flags import Thresholds, evaluate_flags
+from repro.metrics.table1 import compute_metrics
+from repro.pipeline.accum import JobAccum, accumulate
+from repro.pipeline.jobmap import JobData, map_jobs
+from repro.pipeline.pickles import JobPickleStore
+from repro.pipeline.records import JobRecord
+
+
+@dataclass
+class IngestResult:
+    """What happened during one ingest pass."""
+
+    ingested: int = 0
+    dropped_short: int = 0
+    errors: List[str] = field(default_factory=list)
+    flagged: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def record_from(
+    jobid: str,
+    metrics: Mapping[str, float],
+    job: Optional[Job] = None,
+    flags: Optional[List[str]] = None,
+):
+    """Build one JobRecord from computed metrics and job metadata."""
+    kwargs: Dict[str, object] = {"jobid": jobid, "flags": flags or []}
+    if job is not None:
+        kwargs.update(
+            user=job.user,
+            account=job.spec.account,
+            executable=job.executable,
+            job_name=job.spec.name,
+            queue=job.queue,
+            status=job.status,
+            nodes=job.nodes,
+            wayness=job.wayness,
+            submit_time=job.submit_time,
+            start_time=job.start_time or 0,
+            end_time=job.end_time or 0,
+            run_time=job.run_time() or 0,
+            queue_wait=job.queue_wait() or 0,
+            node_hours=job.node_hours() or 0.0,
+        )
+    else:
+        kwargs["user"] = "?"
+    kwargs.update(metrics)
+    return JobRecord(**kwargs)
+
+
+def ingest_jobs(
+    store: CentralStore,
+    jobs: Mapping[str, Job],
+    db: Database,
+    thresholds: Optional[Thresholds] = None,
+    create_table: bool = True,
+    pickle_store: Optional[JobPickleStore] = None,
+) -> IngestResult:
+    """Full ETL pass: store → mapped jobs → metrics → database rows.
+
+    Only jobs that have *finished* are ingested (running jobs lack an
+    epilog sample and would bias the averages).  When ``pickle_store``
+    is given, each job's accumulation is also materialised as a job
+    pickle so detail views and re-analyses skip the raw parse.
+    """
+    JobRecord.bind(db)
+    if create_table:
+        JobRecord.create_table()
+    jobdata, dropped = map_jobs(store, jobs)
+    result = IngestResult(dropped_short=len(dropped))
+    records = []
+    for jid in sorted(jobdata):
+        jd = jobdata[jid]
+        job = jd.job
+        if job is not None and not job.state.finished:
+            continue
+        try:
+            accum = accumulate(jd)
+            metrics = compute_metrics(accum)
+        except ValueError as exc:
+            result.errors.append(f"{jid}: {exc}")
+            continue
+        if pickle_store is not None:
+            pickle_store.save(accum)
+        meta = {
+            "queue": job.queue if job else "normal",
+            "nodes": job.nodes if job else jd.n_hosts,
+        }
+        raised = evaluate_flags(metrics, accum, meta, thresholds)
+        flag_names = [f.name for f in raised]
+        if flag_names:
+            result.flagged[jid] = flag_names
+        records.append(record_from(jid, metrics, job, flag_names))
+    JobRecord.objects.bulk_create(records)
+    result.ingested = len(records)
+    return result

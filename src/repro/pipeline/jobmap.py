@@ -1,0 +1,107 @@
+"""Mapping raw per-host samples to jobs.
+
+Every sample carries the list of job ids resident on the node when it
+was taken (plus the prolog/epilog hint), so mapping is a streaming
+bucket-sort: walk each host file once, append each sample to every job
+it mentions.  Jobs with fewer than two samples on some node cannot
+yield rates and are dropped with a diagnostic — in production this is
+the "short job" case the prolog/epilog guarantee exists to prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cluster.jobs import Job
+from repro.core.rawfile import ParsedSample
+from repro.core.store import CentralStore
+
+
+@dataclass
+class JobData:
+    """All raw samples belonging to one job, grouped per host."""
+
+    jobid: str
+    job: Optional[Job] = None
+    #: host → samples sorted by timestamp
+    hosts: Dict[str, List[ParsedSample]] = field(default_factory=dict)
+    #: device schemas seen while parsing (host files share them)
+    schemas: Dict[str, object] = field(default_factory=dict)
+    arch: Optional[str] = None
+
+    def add(self, host: str, sample: ParsedSample) -> None:
+        self.hosts.setdefault(host, []).append(sample)
+
+    def sort(self) -> None:
+        for samples in self.hosts.values():
+            samples.sort(key=lambda s: s.timestamp)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def min_samples_per_host(self) -> int:
+        if not self.hosts:
+            return 0
+        return min(len(v) for v in self.hosts.values())
+
+
+def map_jobs(
+    store: CentralStore,
+    jobs: Optional[Mapping[str, Job]] = None,
+    hosts: Optional[Iterable[str]] = None,
+    require_samples: int = 2,
+) -> Tuple[Dict[str, JobData], Dict[str, int]]:
+    """Bucket every stored sample by job id.
+
+    Parameters
+    ----------
+    store:
+        The central raw-data store to stream from.
+    jobs:
+        Scheduler job catalogue; attached as metadata when present.
+    hosts:
+        Restrict to these hosts (defaults to all in the store).
+    require_samples:
+        Minimum samples per participating host for a job to be usable.
+
+    Returns
+    -------
+    (jobdata, dropped)
+        ``jobdata`` maps job id → :class:`JobData`;
+        ``dropped`` maps job id → its deficient sample count.
+    """
+    out: Dict[str, JobData] = {}
+    for host in hosts if hosts is not None else store.hosts():
+        from repro.core.rawfile import RawFileParser  # local: keeps import light
+
+        parser = RawFileParser()
+        path = store.path_for(host)
+        if not path.exists():
+            continue
+        store.flush()
+        with open(path) as fh:
+            for sample in parser.parse(fh):
+                for jid in sample.jobids:
+                    jd = out.get(jid)
+                    if jd is None:
+                        jd = out[jid] = JobData(jobid=jid)
+                    jd.add(host, sample)
+                    if not jd.schemas:
+                        jd.schemas = dict(parser.schemas)
+                        jd.arch = parser.arch
+                    # late schema lines (new day headers) may add types
+                    elif len(parser.schemas) > len(jd.schemas):
+                        jd.schemas.update(parser.schemas)
+
+    dropped: Dict[str, int] = {}
+    for jid, jd in list(out.items()):
+        jd.sort()
+        if jobs is not None:
+            jd.job = jobs.get(jid)
+        n = jd.min_samples_per_host()
+        if n < require_samples:
+            dropped[jid] = n
+            del out[jid]
+    return out, dropped

@@ -1,0 +1,106 @@
+"""Per-job accumulation cache — the "job pickles" of the real pipeline.
+
+Production TACC Stats materialises each job's data into a per-job
+file between the raw host logs and the database; the portal's detail
+pages and ad-hoc analyses read those instead of re-parsing raw data.
+This module provides that artefact for the reproduction: a directory
+of ``<jobid>.npz`` files, each a complete serialised
+:class:`~repro.pipeline.accum.JobAccum`, written once at ingest time
+and loadable in milliseconds.
+
+NumPy's ``.npz`` replaces Python pickle: same role, but versionable,
+compact and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.pipeline.accum import JobAccum
+
+FORMAT_VERSION = 1
+
+
+class JobPickleStore:
+    """Directory of per-job accumulation files."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, jobid: str) -> Path:
+        return self.root / f"{jobid}.npz"
+
+    # -- writing ------------------------------------------------------------
+    def save(self, accum: JobAccum) -> Path:
+        """Serialise one job's accumulation; returns the file path."""
+        arrays: Dict[str, np.ndarray] = {"times": accum.times}
+        for key, arr in accum.deltas.items():
+            arrays[f"delta__{key}"] = arr
+        for key, arr in accum.gauges.items():
+            arrays[f"gauge__{key}"] = arr
+        header = {
+            "version": FORMAT_VERSION,
+            "jobid": accum.jobid,
+            "hosts": accum.hosts,
+            "vector_width": accum.vector_width,
+            "meta": {k: v for k, v in accum.meta.items()
+                     if isinstance(v, (str, int, float, bool, type(None)))},
+        }
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        path = self.path_for(accum.jobid)
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        return path
+
+    # -- reading ------------------------------------------------------------
+    def load(self, jobid: str) -> JobAccum:
+        """Load one job's accumulation.
+
+        Raises
+        ------
+        KeyError
+            If the job has no pickle.
+        ValueError
+            On a format-version mismatch.
+        """
+        path = self.path_for(jobid)
+        if not path.exists():
+            raise KeyError(f"no job pickle for {jobid}")
+        with np.load(path) as data:
+            header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+            if header.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"job pickle {jobid}: version "
+                    f"{header.get('version')} != {FORMAT_VERSION}"
+                )
+            deltas, gauges = {}, {}
+            for name in data.files:
+                if name.startswith("delta__"):
+                    deltas[name[len("delta__"):]] = data[name]
+                elif name.startswith("gauge__"):
+                    gauges[name[len("gauge__"):]] = data[name]
+            return JobAccum(
+                jobid=header["jobid"],
+                hosts=list(header["hosts"]),
+                times=data["times"],
+                deltas=deltas,
+                gauges=gauges,
+                vector_width=int(header["vector_width"]),
+                meta=dict(header.get("meta", {})),
+            )
+
+    def __contains__(self, jobid: str) -> bool:
+        return self.path_for(jobid).exists()
+
+    def jobids(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*.npz"))
+
+    def delete(self, jobid: str) -> None:
+        self.path_for(jobid).unlink(missing_ok=True)

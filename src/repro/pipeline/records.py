@@ -1,0 +1,47 @@
+"""The job table: metadata + every Table I metric in one record.
+
+§IV-A: *"All of the metrics are stored in the database in the same
+record as the job metadata."*  The metric columns are generated from
+the metric registry so the table always matches the computed set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.db.fields import FloatField, IntegerField, TextField
+from repro.db.fields import JSONField
+from repro.db.models import Model, ModelMeta
+from repro.metrics.table1 import METRIC_REGISTRY
+
+
+def _build_job_record() -> type:
+    namespace: Dict[str, object] = {
+        "table_name": "job",
+        "__doc__": "One row per job: metadata plus computed metrics.",
+        # -- metadata shown in portal job lists (§IV-B) ------------------
+        "jobid": TextField(index=True),
+        "user": TextField(index=True),
+        "account": TextField(default=""),
+        "executable": TextField(index=True, default=""),
+        "job_name": TextField(default=""),
+        "queue": TextField(index=True, default="normal"),
+        "status": TextField(default=""),
+        "nodes": IntegerField(default=1),
+        "wayness": IntegerField(default=16),
+        "submit_time": IntegerField(default=0, index=True),
+        "start_time": IntegerField(default=0, index=True),
+        "end_time": IntegerField(default=0, index=True),
+        "run_time": IntegerField(default=0),
+        "queue_wait": IntegerField(default=0),
+        "node_hours": FloatField(default=0.0),
+        # -- flags raised at ingest (JSON list of names) --------------------
+        "flags": JSONField(null=True, default="[]"),
+    }
+    for name in METRIC_REGISTRY:
+        namespace[name] = FloatField(null=True, index=True)
+    return ModelMeta("JobRecord", (Model,), namespace)
+
+
+#: the concrete model class
+JobRecord = _build_job_record()

@@ -1,0 +1,263 @@
+"""The portal application: routed pages over the job database.
+
+The paper's portal is a Django site (Fig. 3).  This module provides
+the equivalent request→page layer without an HTTP server: a small
+router dispatching path patterns to view functions that render HTML.
+Wire it to any WSGI shim if serving is desired; tests and the
+examples drive :meth:`PortalApp.get` directly.
+
+Routes
+------
+``/``                     front page: recent jobs + flagged sublist
+``/search``               query params: user, exe, queue, status,
+                          f1..f3 (``Metric__op``), v1..v3 (thresholds)
+``/job/<jobid>``          detail page (metrics, flags, processes,
+                          XALT environment when the plugin is wired)
+``/date/<YYYY-MM-DD>``    all jobs that ended on a day (Fig. 3 calendar)
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import html
+import re
+from urllib.parse import parse_qsl, urlsplit
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.store import CentralStore
+from repro.db.connection import Database
+from repro.pipeline.records import JobRecord
+from repro.portal.histograms import job_histograms
+from repro.portal.reports import _PAGE, render_detail_html
+from repro.portal.search import JobSearch, SearchField, browse_date
+from repro.portal.views import JobDetailView, JobListView
+
+
+@dataclass
+class Response:
+    """What a route handler returns."""
+
+    status: int = 200
+    content_type: str = "text/html"
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class PortalApp:
+    """Router + view functions over one job database."""
+
+    def __init__(
+        self,
+        db: Database,
+        store: Optional[CentralStore] = None,
+        jobs: Optional[Mapping] = None,
+        xalt=None,
+    ) -> None:
+        self.db = db
+        self.store = store
+        self.jobs = jobs
+        self.xalt = xalt
+        self._routes: List[Tuple[re.Pattern, Callable]] = [
+            (re.compile(r"^/$"), self.front_page),
+            (re.compile(r"^/search$"), self.search),
+            (re.compile(r"^/job/(?P<jobid>[^/]+)$"), self.job_detail),
+            (re.compile(r"^/date/(?P<day>\d{4}-\d{2}-\d{2})$"),
+             self.by_date),
+            (re.compile(r"^/fleet$"), self.fleet),
+        ]
+
+    # -- dispatch ----------------------------------------------------------
+    def get_url(self, url: str) -> Response:
+        """Handle a full URL with a query string, e.g.
+        ``/search?exe=wrf&f1=MetaDataRate__gt&v1=10000``."""
+        parts = urlsplit(url)
+        return self.get(parts.path, dict(parse_qsl(parts.query)))
+
+    def get(self, path: str, params: Optional[Dict[str, str]] = None) -> Response:
+        """Handle one request path; returns a Response."""
+        JobRecord.bind(self.db)
+        params = params or {}
+        for pattern, handler in self._routes:
+            m = pattern.match(path)
+            if m:
+                try:
+                    return handler(params, **m.groupdict())
+                except ValueError as exc:
+                    return Response(status=400, body=self._error(str(exc)))
+        return Response(status=404, body=self._error(f"no route: {path}"))
+
+    @staticmethod
+    def _error(msg: str) -> str:
+        return _PAGE.format(title="Error", body=f"<p>{html.escape(msg)}</p>")
+
+    # -- pages -------------------------------------------------------------
+    def front_page(self, params: Dict[str, str]) -> Response:
+        records = list(
+            JobRecord.objects.all().order_by("-end_time")[:50]
+        )
+        flagged = [r for r in records if r.flags]
+        body = [self._search_form()]
+        body.append(f"<h2>Recent jobs ({len(records)})</h2>")
+        body.append(self._job_table(records))
+        body.append(f"<h2>Flagged ({len(flagged)})</h2><ul>")
+        for r in flagged:
+            body.append(
+                f'<li><a href="/job/{r.jobid}">{r.jobid}</a> '
+                f"{html.escape(r.user)} {html.escape(r.executable)}: "
+                f"{html.escape(', '.join(r.flags))}</li>"
+            )
+        body.append("</ul>")
+        return Response(body=_PAGE.format(
+            title="TACC Stats", body="".join(body)
+        ))
+
+    def search(self, params: Dict[str, str]) -> Response:
+        fields = []
+        for i in (1, 2, 3):
+            spec = params.get(f"f{i}")
+            value = params.get(f"v{i}")
+            if spec and value is not None:
+                fields.append(SearchField.parse(spec, float(value)))
+        search = JobSearch(
+            user=params.get("user") or None,
+            executable=params.get("exe") or None,
+            queue=params.get("queue") or None,
+            status=params.get("status") or None,
+            min_run_time=int(params["min_runtime"])
+            if params.get("min_runtime") else None,
+            fields=fields,
+        )
+        matches = search.run()
+        hists = job_histograms(matches)
+        body = [self._search_form(params)]
+        body.append(f"<h2>{len(matches)} jobs</h2>")
+        body.append(self._job_table(matches[:200]))
+        body.append("<h2>Histograms</h2><pre>")
+        from repro.portal.histograms import render_ascii
+
+        for h in hists.values():
+            body.append(html.escape(render_ascii(h)))
+            body.append("\n")
+        body.append("</pre>")
+        return Response(body=_PAGE.format(
+            title="Search results", body="".join(body)
+        ))
+
+    def job_detail(self, params: Dict[str, str], jobid: str) -> Response:
+        record = JobRecord.objects.filter(jobid=jobid).first()
+        if record is None:
+            return Response(status=404,
+                            body=self._error(f"job {jobid} not found"))
+        if self.store is not None:
+            try:
+                view = JobDetailView.load(
+                    jobid, self.store, self.jobs, record=record
+                )
+                page = render_detail_html(view)
+            except (KeyError, ValueError):
+                page = self._record_only_page(record)
+        else:
+            page = self._record_only_page(record)
+        if self.xalt is not None:
+            page = page.replace(
+                "</body>", self._xalt_section(jobid) + "</body>"
+            )
+        return Response(body=page)
+
+    def by_date(self, params: Dict[str, str], day: str) -> Response:
+        start = int(_dt.datetime.strptime(day, "%Y-%m-%d")
+                    .replace(tzinfo=_dt.timezone.utc).timestamp())
+        records = browse_date(start)
+        body = [f"<h2>Jobs completed on {day} ({len(records)})</h2>",
+                self._job_table(records)]
+        return Response(body=_PAGE.format(
+            title=f"Jobs on {day}", body="".join(body)
+        ))
+
+    def fleet(self, params: Dict[str, str]) -> Response:
+        """The XDMOD-style rollup page (§I reporting)."""
+        from repro.analysis.fleet import fleet_report
+
+        try:
+            rep = fleet_report(top=int(params.get("top", "10")))
+        except LookupError:
+            return Response(status=404,
+                            body=self._error("job table is empty"))
+        body = "<pre>" + html.escape(rep.render_text()) + "</pre>"
+        return Response(body=_PAGE.format(title="Fleet report", body=body))
+
+    # -- fragments ----------------------------------------------------------
+    @staticmethod
+    def _job_table(records) -> str:
+        view = JobListView(records)
+        cells = ["<table><tr>"]
+        cells.extend(f"<th>{c}</th>" for c in view.header())
+        cells.append("</tr>")
+        for row in view.rows():
+            cells.append("<tr>")
+            for col in view.header():
+                val = html.escape(str(row[col]))
+                if col == "jobid":
+                    val = f'<a href="/job/{val}">{val}</a>'
+                cells.append(f"<td>{val}</td>")
+            cells.append("</tr>")
+        cells.append("</table>")
+        return "".join(cells)
+
+    @staticmethod
+    def _search_form(params: Optional[Dict[str, str]] = None) -> str:
+        params = params or {}
+
+        def v(name: str) -> str:
+            return html.escape(params.get(name, ""))
+
+        return (
+            '<form action="/search" method="get">'
+            f'user <input name="user" value="{v("user")}"> '
+            f'exe <input name="exe" value="{v("exe")}"> '
+            f'queue <input name="queue" value="{v("queue")}"> '
+            f'field <input name="f1" value="{v("f1")}" '
+            'placeholder="MetaDataRate__gt"> '
+            f'value <input name="v1" value="{v("v1")}"> '
+            "<button>Search</button></form>"
+        )
+
+    def _record_only_page(self, record) -> str:
+        from repro.metrics.table1 import METRIC_REGISTRY
+
+        rows = ["<table><tr><th>metric</th><th>value</th><th>unit</th></tr>"]
+        for name, mdef in METRIC_REGISTRY.items():
+            value = getattr(record, name, None)
+            shown = "-" if value is None else f"{value:,.4g}"
+            rows.append(
+                f"<tr><td>{name}</td><td>{shown}</td>"
+                f"<td>{mdef.unit}</td></tr>"
+            )
+        rows.append("</table>")
+        flags = ", ".join(record.flags or []) or "none"
+        body = (
+            f"<p>user={html.escape(record.user)} "
+            f"exe={html.escape(record.executable)} "
+            f"status={html.escape(record.status)} flags={html.escape(flags)}"
+            f"</p>" + "".join(rows)
+        )
+        return _PAGE.format(title=f"Job {record.jobid}", body=body)
+
+    def _xalt_section(self, jobid: str) -> str:
+        rec = self.xalt.record_for(jobid)
+        if rec is None:
+            return "<h2>Environment</h2><p>no XALT record</p>"
+        mods = ", ".join(rec.modules or []) or "-"
+        libs = ", ".join(rec.libraries or []) or "-"
+        return (
+            "<h2>Environment (XALT)</h2>"
+            f"<p>executable: {html.escape(rec.exec_path)}<br>"
+            f"work dir: {html.escape(rec.work_dir)}<br>"
+            f"compiler: {html.escape(rec.compiler)}<br>"
+            f"modules: {html.escape(mods)}<br>"
+            f"libraries: {html.escape(libs)}</p>"
+        )

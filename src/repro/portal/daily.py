@@ -1,0 +1,92 @@
+"""Daily per-job report generation.
+
+§I: TACC Stats *"includes capabilities for generating several
+different reports including a report giving a resource use profile
+for every job run on Stampede and Lonestar 5.  These reports are
+available to the consulting staff ... and will soon be available to
+users on a routine basis."*
+
+:class:`DailyReportGenerator` renders, for every job that completed
+on a given day, the full detail page (metrics, flags, per-node
+panels, processes) into a directory of text files plus an index —
+the artefact a consultant opens when a user files a ticket.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.store import CentralStore
+from repro.pipeline.records import JobRecord
+from repro.portal.reports import render_detail_text
+from repro.portal.search import browse_date
+from repro.portal.views import JobDetailView
+
+
+@dataclass
+class DailyReportResult:
+    """What one generation pass produced."""
+
+    day: str
+    written: List[Path] = field(default_factory=list)
+    skipped: Dict[str, str] = field(default_factory=dict)
+    index_path: Optional[Path] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.written)
+
+
+class DailyReportGenerator:
+    """Renders every completed job of a day to per-job report files."""
+
+    def __init__(
+        self,
+        store: CentralStore,
+        jobs: Mapping,
+        out_dir,
+    ) -> None:
+        self.store = store
+        self.jobs = jobs
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+
+    def generate(self, day_start: int) -> DailyReportResult:
+        """Render reports for jobs ending in [day_start, +24 h)."""
+        day = _dt.datetime.fromtimestamp(
+            day_start, tz=_dt.timezone.utc
+        ).strftime("%Y-%m-%d")
+        day_dir = self.out_dir / day
+        day_dir.mkdir(parents=True, exist_ok=True)
+        result = DailyReportResult(day=day)
+
+        records = browse_date(day_start)
+        index_lines = [
+            f"Job reports for {day}: {len(records)} jobs", "-" * 48
+        ]
+        for record in records:
+            try:
+                view = JobDetailView.load(
+                    record.jobid, self.store, self.jobs, record=record
+                )
+            except (KeyError, ValueError) as exc:
+                result.skipped[record.jobid] = str(exc)
+                index_lines.append(
+                    f"{record.jobid}  {record.user:<12} SKIPPED ({exc})"
+                )
+                continue
+            path = day_dir / f"{record.jobid}.txt"
+            path.write_text(render_detail_text(view) + "\n")
+            result.written.append(path)
+            flags = ",".join(record.flags or []) or "-"
+            index_lines.append(
+                f"{record.jobid}  {record.user:<12} "
+                f"{record.executable:<18} flags={flags}"
+            )
+        index = day_dir / "INDEX.txt"
+        index.write_text("\n".join(index_lines) + "\n")
+        result.index_path = index
+        return result

@@ -1,0 +1,109 @@
+"""Standalone SVG charts: histograms and multi-panel figures.
+
+Complements :mod:`repro.portal.plots` (per-node line panels) with the
+bar-chart rendering Fig. 4 needs, plus a compositor that stacks
+several SVG fragments into one paper-style figure file.  Pure string
+assembly — no plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.portal.histograms import Histogram
+
+
+def render_histogram_svg(
+    h: Histogram, width: int = 320, height: int = 180,
+    bar_fill: str = "#1b6ca8",
+) -> str:
+    """One histogram panel as a standalone SVG fragment."""
+    pad_l, pad_b, pad_t = 44, 28, 18
+    plot_w = width - pad_l - 8
+    plot_h = height - pad_b - pad_t
+    counts = np.asarray(h.counts, dtype=float)
+    n_bins = len(counts)
+    peak = max(1.0, counts.max() if counts.size else 1.0)
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f'<text x="{pad_l}" y="12" font-size="11" '
+        f'font-family="sans-serif">{h.label} (n={h.total})</text>',
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" '
+        f'x2="{pad_l + plot_w}" y2="{pad_t + plot_h}" stroke="#333"/>',
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+        f'y2="{pad_t + plot_h}" stroke="#333"/>',
+    ]
+    if n_bins:
+        bar_w = plot_w / n_bins
+        for i, c in enumerate(counts):
+            if c <= 0:
+                continue
+            bh = c / peak * plot_h
+            x = pad_l + i * bar_w
+            y = pad_t + plot_h - bh
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w * 0.9:.1f}" '
+                f'height="{bh:.1f}" fill="{bar_fill}"/>'
+            )
+        # axis labels: min, max of x; peak of y
+        parts.append(
+            f'<text x="{pad_l}" y="{height - 8}" font-size="9" '
+            f'font-family="sans-serif">{h.edges[0]:.3g}</text>'
+        )
+        parts.append(
+            f'<text x="{pad_l + plot_w - 30}" y="{height - 8}" '
+            f'font-size="9" font-family="sans-serif">{h.edges[-1]:.3g}</text>'
+        )
+        parts.append(
+            f'<text x="2" y="{pad_t + 9}" font-size="9" '
+            f'font-family="sans-serif">{int(peak)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def compose_figure(
+    fragments: Sequence[str], columns: int = 2, gap: int = 8,
+    title: str = "",
+) -> str:
+    """Stack SVG fragments into a grid, returning one SVG document.
+
+    Fragment sizes are parsed from their width/height attributes; the
+    composite nests them via ``<svg x= y=>`` positioning.
+    """
+    import re
+
+    sizes = []
+    for frag in fragments:
+        m = re.match(r'<svg width="(\d+)" height="(\d+)"', frag)
+        if not m:
+            raise ValueError("fragment missing width/height attributes")
+        sizes.append((int(m.group(1)), int(m.group(2))))
+    cell_w = max(w for w, _ in sizes)
+    cell_h = max(h for _, h in sizes)
+    rows = -(-len(fragments) // columns)
+    top = 22 if title else 0
+    total_w = columns * cell_w + (columns - 1) * gap
+    total_h = rows * cell_h + (rows - 1) * gap + top
+    parts = [
+        f'<svg width="{total_w}" height="{total_h}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="4" y="15" font-size="13" font-weight="bold" '
+            f'font-family="sans-serif">{title}</text>'
+        )
+    for i, frag in enumerate(fragments):
+        col, row = i % columns, i // columns
+        x = col * (cell_w + gap)
+        y = top + row * (cell_h + gap)
+        inner = frag.replace(
+            "<svg ", f'<svg x="{x}" y="{y}" ', 1
+        )
+        parts.append(inner)
+    parts.append("</svg>")
+    return "".join(parts)

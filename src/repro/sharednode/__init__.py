@@ -1,0 +1,26 @@
+"""Shared-node monitoring (§VI-C).
+
+Many centres run multiple jobs per node.  The paper's scheme:
+
+1. a list of jobs currently running on the node is maintained,
+2. every process start-up and shutdown triggers a data collection
+   (via an ``LD_PRELOAD`` shim with gcc constructor/destructor hooks
+   signalling ``tacc_statsd``),
+3. each collection is labelled with the currently-running job list,
+4. procfs supplies the owner and CPU affinity of every process.
+
+Guarantees and limits reproduced here exactly:
+
+* at least two collections per process regardless of its lifetime;
+* while one signal is being serviced (a collection takes ~0.09 s) one
+  more can be held pending; further simultaneous signals are missed
+  until the next collection;
+* with cgroup-style core pinning, core- and process-level data can be
+  attributed per job; without pinning (overlapping affinities) the
+  attribution honestly reports ambiguity.
+"""
+
+from repro.sharednode.attribution import AttributionResult, attribute_core_time
+from repro.sharednode.tracker import SharedNodeTracker
+
+__all__ = ["SharedNodeTracker", "attribute_core_time", "AttributionResult"]

@@ -1,0 +1,21 @@
+"""Simulation kernel: deterministic clock, RNG streams and event queue.
+
+Everything in the reproduction that involves time or randomness flows
+through this package so that every experiment is reproducible
+bit-for-bit from a single root seed.
+
+Public API
+----------
+``SimClock``
+    Integer-second simulation clock.
+``RngRegistry``
+    Named, independently-seeded :class:`numpy.random.Generator` streams.
+``EventQueue``
+    Discrete-event scheduler driving the cluster simulation.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry, stable_hash
+
+__all__ = ["SimClock", "Event", "EventQueue", "RngRegistry", "stable_hash"]

@@ -1,0 +1,164 @@
+"""Discrete-event queue driving the cluster simulation.
+
+The scheduler, cron daemons, tacc_statsd sampling loops, node failures
+and process start/stop signals are all events on a single priority
+queue.  Ties are broken by insertion order (FIFO among simultaneous
+events), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (epoch seconds) the event fires at.
+    seq:
+        Monotone tie-breaker assigned by the queue.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable tag used in traces and tests.
+    cancelled:
+        Cancelled events are skipped when popped.
+    """
+
+    time: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic discrete-event simulation loop.
+
+    Parameters
+    ----------
+    clock:
+        The simulation clock to advance as events fire.  A fresh clock
+        is created when omitted.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self.fired = 0
+
+    def schedule(
+        self, time: int, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the Event."""
+        time = int(time)
+        if time < self.clock.now():
+            raise ValueError(
+                f"cannot schedule event at {time} before now={self.clock.now()}"
+            )
+        ev = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(
+        self, delay: int, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        return self.schedule(self.clock.now() + int(delay), action, label)
+
+    def schedule_every(
+        self,
+        interval: int,
+        action: Callable[[], Any],
+        label: str = "",
+        start: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> Event:
+        """Schedule a repeating event every ``interval`` seconds.
+
+        ``action`` fires first at ``start`` (default: now + interval)
+        and re-arms itself after each firing while ``until`` (if given)
+        has not been passed.  Cancelling the *returned* event only stops
+        the first firing; use the closure's handle (re-returned through
+        ``Event.action``) sparingly — for repeating tasks that need
+        cancellation, model the recurrence explicitly instead.
+        """
+        interval = int(interval)
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        first = self.clock.now() + interval if start is None else int(start)
+
+        def fire_and_rearm() -> None:
+            action()
+            nxt = self.clock.now() + interval
+            if until is None or nxt <= until:
+                self.schedule(nxt, fire_and_rearm, label)
+
+        return self.schedule(first, fire_and_rearm, label)
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Optional[Event]:
+        """Fire the next pending event, advancing the clock to it.
+
+        Returns the fired event, or ``None`` when the queue is empty.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.action()
+            self.fired += 1
+            return ev
+        return None
+
+    def run_until(self, time: int) -> int:
+        """Fire all events up to and including ``time``; returns count.
+
+        The clock finishes exactly at ``time`` even if the last event
+        fired earlier.
+        """
+        fired = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+            fired += 1
+        if self.clock.now() < time:
+            self.clock.advance_to(time)
+        return fired
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Fire every pending event (bounded by ``max_events``)."""
+        fired = 0
+        while self.peek_time() is not None:
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"event storm: more than {max_events} events fired"
+                )
+            self.step()
+            fired += 1
+        return fired
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)

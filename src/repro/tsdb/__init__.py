@@ -1,0 +1,30 @@
+"""Tag-based time-series database (OpenTSDB substitute, §VI-A).
+
+*"The data in this database is organized into time-series with each
+series labeled by a tuple of tags, where a tag in our setup consists
+of a host name, device type, device name, and event name.  The
+time-series can be aggregated along any subset of these tags and their
+values."*
+
+This package implements exactly that data model:
+
+* :class:`TimeSeriesDB` — put/ingest/query with tag filters,
+  group-by over any tag subset, sum/avg/max/min aggregation,
+  counter→rate conversion and time-bucket downsampling.
+* :func:`ingest_store` — load every counter of every host from a
+  :class:`~repro.core.store.CentralStore` under the paper's tag
+  scheme (``host``, ``type``, ``device``, ``event``).
+* :func:`correlate` — Pearson correlation between two aggregated
+  series (the §VI-A cross-user interference analysis).
+"""
+
+from repro.tsdb.query import QueryResult, ResultSeries, correlate
+from repro.tsdb.store import TimeSeriesDB, ingest_store
+
+__all__ = [
+    "TimeSeriesDB",
+    "ingest_store",
+    "ResultSeries",
+    "QueryResult",
+    "correlate",
+]

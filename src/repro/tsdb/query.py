@@ -1,0 +1,166 @@
+"""TSDB queries: rate conversion, grouping, aggregation, downsampling.
+
+Query semantics follow OpenTSDB:
+
+1. select series by metric + tag filters,
+2. optionally convert counters to rates (negative deltas — counter
+   resets — are dropped),
+3. group by any subset of tag names; within each group, align series
+   on the union of their timestamps and aggregate (sum/avg/max/min,
+   NaN-skipping),
+4. optionally downsample into fixed time buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tsdb.store import TimeSeriesDB, _Series
+
+_AGGS = {
+    "sum": np.nansum,
+    "avg": np.nanmean,
+    "max": np.nanmax,
+    "min": np.nanmin,
+}
+
+
+@dataclass
+class ResultSeries:
+    """One aggregated output series."""
+
+    tags: Dict[str, str]  # the group-by tag values
+    times: np.ndarray
+    values: np.ndarray
+
+    def mean(self) -> float:
+        return float(np.nanmean(self.values)) if self.values.size else 0.0
+
+    def max(self) -> float:
+        return float(np.nanmax(self.values)) if self.values.size else 0.0
+
+
+@dataclass
+class QueryResult:
+    """All groups returned by one query."""
+
+    series: List[ResultSeries]
+
+    def by_tags(self, **tags: str) -> Optional[ResultSeries]:
+        want = {k: str(v) for k, v in tags.items()}
+        for s in self.series:
+            if all(s.tags.get(k) == v for k, v in want.items()):
+                return s
+        return None
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+def _to_rate(t: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    if len(t) < 2:
+        return t[:0], v[:0]
+    dt = np.diff(t).astype(np.float64)
+    dv = np.diff(v)
+    rate = dv / np.maximum(dt, 1e-300)
+    keep = dv >= 0  # drop counter resets, as OpenTSDB's rate() can
+    return t[1:][keep], rate[keep]
+
+
+def query(
+    tsdb: TimeSeriesDB,
+    metric: str,
+    tags: Optional[Mapping[str, object]] = None,
+    group_by: Sequence[str] = (),
+    aggregate: str = "sum",
+    rate: bool = False,
+    downsample: Optional[Tuple[int, str]] = None,
+    time_range: Optional[Tuple[int, int]] = None,
+) -> QueryResult:
+    """Run one query; see module docstring for semantics."""
+    if aggregate not in _AGGS:
+        raise ValueError(f"unknown aggregator {aggregate!r}; use {_AGGS}")
+    selected = tsdb.select(metric, tags)
+    groups: Dict[Tuple[str, ...], List[_Series]] = {}
+    for s in selected:
+        key = tuple(str(s.tags.get(g, "")) for g in group_by)
+        groups.setdefault(key, []).append(s)
+
+    out: List[ResultSeries] = []
+    for key in sorted(groups):
+        members = groups[key]
+        prepared = []
+        for s in members:
+            t, v = s.arrays()
+            if time_range is not None:
+                lo, hi = time_range
+                m = (t >= lo) & (t < hi)
+                t, v = t[m], v[m]
+            if rate:
+                t, v = _to_rate(t, v)
+            if len(t):
+                prepared.append((t, v))
+        if not prepared:
+            continue
+        # align on the union time grid
+        union = np.unique(np.concatenate([t for t, _ in prepared]))
+        mat = np.full((len(prepared), len(union)), np.nan)
+        for i, (t, v) in enumerate(prepared):
+            mat[i, np.searchsorted(union, t)] = v
+        with np.errstate(all="ignore"):
+            agg = _AGGS[aggregate](mat, axis=0)
+        times, values = union, agg
+        if downsample is not None:
+            times, values = _downsample(times, values, *downsample)
+        out.append(
+            ResultSeries(
+                tags=dict(zip(group_by, key)), times=times, values=values
+            )
+        )
+    return QueryResult(series=out)
+
+
+def _downsample(
+    t: np.ndarray, v: np.ndarray, interval: int, agg: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    if agg not in _AGGS:
+        raise ValueError(f"unknown downsample aggregator {agg!r}")
+    if len(t) == 0:
+        return t, v
+    buckets = (t // interval) * interval
+    uniq, inverse = np.unique(buckets, return_inverse=True)
+    out = np.full(len(uniq), np.nan)
+    for i in range(len(uniq)):
+        vals = v[inverse == i]
+        with np.errstate(all="ignore"):
+            out[i] = _AGGS[agg](vals)
+    return uniq, out
+
+
+# attach as a method for ergonomic use
+TimeSeriesDB.query = (
+    lambda self, metric, **kw: query(self, metric, **kw)
+)
+
+
+def correlate(a: ResultSeries, b: ResultSeries) -> float:
+    """Pearson correlation of two series on their common timestamps.
+
+    Returns NaN when fewer than three common points exist.
+    """
+    common, ia, ib = np.intersect1d(
+        a.times, b.times, assume_unique=False, return_indices=True
+    )
+    if len(common) < 3:
+        return float("nan")
+    x, y = a.values[ia], b.values[ib]
+    ok = ~(np.isnan(x) | np.isnan(y))
+    if ok.sum() < 3:
+        return float("nan")
+    x, y = x[ok], y[ok]
+    if np.std(x) == 0 or np.std(y) == 0:
+        return float("nan")
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,62 @@
+"""Rendering TSDB query results for terminals and HTML dashboards.
+
+The §VI-A workflow ends with a human looking at aggregated series; the
+portal-side counterpart of OpenTSDB's graphs.  Reuses the sparkline
+and SVG machinery of the Fig. 5 panels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.portal.plots import Panel, render_panel_svg, sparkline
+from repro.tsdb.query import QueryResult, ResultSeries
+
+
+def render_result_ascii(
+    result: QueryResult, label: str = "", width: int = 48
+) -> str:
+    """One sparkline per group, on a shared scale."""
+    if not result.series:
+        return f"{label}: (no series)"
+    finite = [
+        s.values[np.isfinite(s.values)] for s in result.series
+    ]
+    finite = [v for v in finite if v.size]
+    lo = min((float(v.min()) for v in finite), default=0.0)
+    hi = max((float(v.max()) for v in finite), default=1.0)
+    lines = [f"{label or 'query'}  [{lo:.3g} .. {hi:.3g}]"]
+    for s in result.series:
+        tag = ",".join(f"{k}={v}" for k, v in sorted(s.tags.items())) or "*"
+        lines.append(
+            f"  {tag:<24} {sparkline(np.nan_to_num(s.values, nan=lo), lo, hi)}"
+            f"  mean={s.mean():.3g} max={s.max():.3g}"
+        )
+    return "\n".join(lines)
+
+
+def render_result_svg(
+    result: QueryResult, label: str = "",
+    width: int = 640, height: int = 160,
+) -> str:
+    """All groups as one SVG chart (one polyline per group)."""
+    if not result.series:
+        return f'<svg width="{width}" height="{height}" ' \
+               f'xmlns="http://www.w3.org/2000/svg"></svg>'
+    # align the groups on the union grid so the panel renderer applies
+    union = np.unique(np.concatenate([s.times for s in result.series]))
+    mat = np.full((len(result.series), len(union)), np.nan)
+    hosts: List[str] = []
+    for i, s in enumerate(result.series):
+        mat[i, np.searchsorted(union, s.times)] = s.values
+        hosts.append(
+            ",".join(f"{k}={v}" for k, v in sorted(s.tags.items())) or "*"
+        )
+    panel = Panel(
+        key="tsdb", label=label or "tsdb query",
+        times=union.astype(float), series=mat, hosts=hosts,
+    )
+    return render_panel_svg(panel, width=width, height=height,
+                            max_hosts=len(hosts))

@@ -1,0 +1,155 @@
+"""Time-series storage and ingest.
+
+Series are keyed by (metric, sorted tag items).  Points append to
+growable lists and are materialised to sorted NumPy arrays lazily, so
+bulk ingest stays linear and queries stay vectorised.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.store import CentralStore
+
+TagKey = Tuple[Tuple[str, str], ...]
+
+
+def _tagkey(tags: Mapping[str, str]) -> TagKey:
+    return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
+
+
+@dataclass
+class _Series:
+    metric: str
+    tags: Dict[str, str]
+    _times: List[int] = field(default_factory=list)
+    _values: List[float] = field(default_factory=list)
+    _arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def add(self, ts: int, value: float) -> None:
+        self._times.append(int(ts))
+        self._values.append(float(value))
+        self._arrays = None
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            t = np.asarray(self._times, dtype=np.int64)
+            v = np.asarray(self._values, dtype=np.float64)
+            order = np.argsort(t, kind="stable")
+            # last write wins for duplicate timestamps
+            t, v = t[order], v[order]
+            if len(t) > 1:
+                keep = np.append(t[1:] != t[:-1], True)
+                t, v = t[keep], v[keep]
+            self._arrays = (t, v)
+        return self._arrays
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+class TimeSeriesDB:
+    """An in-memory tag-indexed TSDB."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, TagKey], _Series] = {}
+        #: tag name → tag value → set of series keys (inverted index)
+        self._index: Dict[str, Dict[str, set]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+
+    # -- writing ------------------------------------------------------------
+    def put(
+        self, metric: str, tags: Mapping[str, str], ts: int, value: float
+    ) -> None:
+        """Insert one data point."""
+        key = (metric, _tagkey(tags))
+        s = self._series.get(key)
+        if s is None:
+            s = self._series[key] = _Series(metric=metric, tags=dict(tags))
+            for k, v in s.tags.items():
+                self._index[k][str(v)].add(key)
+        s.add(ts, value)
+
+    # -- introspection -----------------------------------------------------
+    def metrics(self) -> List[str]:
+        return sorted({m for m, _ in self._series})
+
+    def tag_values(self, tag: str) -> List[str]:
+        return sorted(self._index.get(tag, {}))
+
+    def n_series(self) -> int:
+        return len(self._series)
+
+    def n_points(self) -> int:
+        return sum(len(s) for s in self._series.values())
+
+    # -- selection -----------------------------------------------------------
+    def select(
+        self,
+        metric: str,
+        tags: Optional[Mapping[str, object]] = None,
+    ) -> List[_Series]:
+        """All series of ``metric`` matching the tag filters.
+
+        A filter value may be a single value or a list of alternatives.
+        """
+        keys = {k for k in self._series if k[0] == metric}
+        for tag, want in (tags or {}).items():
+            alts = want if isinstance(want, (list, tuple, set)) else [want]
+            hit = set()
+            for v in alts:
+                hit |= self._index.get(tag, {}).get(str(v), set())
+            keys &= hit
+        return [self._series[k] for k in sorted(keys)]
+
+
+def ingest_store(
+    tsdb: TimeSeriesDB,
+    store: CentralStore,
+    types: Optional[Iterable[str]] = None,
+    metric: str = "stats",
+) -> int:
+    """Load a raw-data store into the TSDB under the paper's tag scheme.
+
+    Every counter value becomes a point in series tagged
+    ``(host, type, device, event)``.  Returns points ingested.
+    ``types`` optionally restricts to certain device types (metadata
+    analyses only need ``mdc``; loading everything is supported but
+    larger).
+    """
+    wanted = set(types) if types is not None else None
+    n = 0
+    for host in store.hosts():
+        from repro.core.rawfile import RawFileParser
+
+        parser = RawFileParser()
+        store.flush()
+        with open(store.path_for(host)) as fh:
+            for sample in parser.parse(fh):
+                for type_name, per_inst in sample.data.items():
+                    if wanted is not None and type_name not in wanted:
+                        continue
+                    schema = parser.schemas.get(type_name)
+                    if schema is None:
+                        continue
+                    names = schema.names()
+                    for device, values in per_inst.items():
+                        for i, event in enumerate(names):
+                            tsdb.put(
+                                metric,
+                                {
+                                    "host": host,
+                                    "type": type_name,
+                                    "device": device,
+                                    "event": event,
+                                },
+                                sample.timestamp,
+                                float(values[i]),
+                            )
+                            n += 1
+    return n

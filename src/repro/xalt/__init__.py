@@ -1,0 +1,32 @@
+"""XALT integration (paper §IV-B, refs [31][32]).
+
+*"...which modules were loaded and libraries were linked to at
+runtime.  Note the modules and libraries are only available if the
+XALT plugin is enabled."*
+
+XALT tracks the user environment at link and launch time.  The
+reproduction models its job-launch side: when a job starts, the
+plugin captures the executable path, working directory, the
+environment modules loaded, and the shared libraries the executable
+links — into its own database table, queryable alongside the job
+table (the real deployments join XALT and TACC Stats data the same
+way).
+
+Typical uses reproduced here:
+
+* the portal detail page's modules/libraries section;
+* fleet questions like "which users still link the old MKL?" or
+  "how many jobs load a netcdf module?" that drive user-education
+  priorities (§V-A's motivation).
+"""
+
+from repro.xalt.catalog import EXECUTABLE_CATALOG, XaltInfo, lookup
+from repro.xalt.plugin import XaltPlugin, XaltRecord
+
+__all__ = [
+    "XaltInfo",
+    "EXECUTABLE_CATALOG",
+    "lookup",
+    "XaltPlugin",
+    "XaltRecord",
+]

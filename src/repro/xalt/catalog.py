@@ -1,0 +1,142 @@
+"""Link-time environment catalogue per executable.
+
+XALT's link-time wrapper records which modules and libraries went
+into a binary.  The simulation keeps that information in a catalogue
+keyed by executable name, reflecting how the library's application
+models would plausibly have been built on a 2015 TACC software stack.
+
+The catalogue is deliberately imperfect in the ways the paper
+exploits: some codes were built without the advanced vector ISA
+module (§V-A: *"many applications were not compiled with the most
+advanced vector instruction set available"*), and the GigE-MPI user
+links their own MPICH instead of the system MVAPICH2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class XaltInfo:
+    """Link-time environment of one executable."""
+
+    modules: Tuple[str, ...]
+    libraries: Tuple[str, ...]
+    compiler: str = "intel/15.0.2"
+    #: built with the node's best vector ISA (AVX on Sandy Bridge)?
+    uses_best_isa: bool = True
+
+
+_INTEL = ("intel/15.0.2",)
+_MPI = ("mvapich2/2.1",)
+_MKL = ("libmkl_core.so", "libmkl_intel_lp64.so")
+_LIBMPI = ("libmpich.so.12",)
+
+EXECUTABLE_CATALOG: Dict[str, XaltInfo] = {
+    "wrf.exe": XaltInfo(
+        modules=_INTEL + _MPI + ("netcdf/4.3.3.1", "hdf5/1.8.14"),
+        libraries=_LIBMPI + ("libnetcdff.so.6", "libhdf5.so.9"),
+    ),
+    "namd2": XaltInfo(
+        modules=_INTEL + _MPI + ("fftw3/3.3.4",),
+        libraries=_LIBMPI + ("libfftw3f.so.3",),
+    ),
+    "mdrun": XaltInfo(
+        modules=_INTEL + _MPI + ("gromacs/5.0.4", "fftw3/3.3.4"),
+        libraries=_LIBMPI + ("libfftw3f.so.3",),
+    ),
+    "lmp_stampede": XaltInfo(
+        modules=_INTEL + _MPI + ("fftw3/3.3.4",),
+        libraries=_LIBMPI + ("libfftw3.so.3",),
+    ),
+    "vasp_std": XaltInfo(
+        modules=_INTEL + _MPI + ("mkl/15.0.2",),
+        libraries=_LIBMPI + _MKL + ("libmkl_scalapack_lp64.so",),
+    ),
+    "pw.x": XaltInfo(
+        modules=_INTEL + _MPI + ("mkl/15.0.2", "espresso/5.1.2"),
+        libraries=_LIBMPI + _MKL,
+    ),
+    "simpleFoam": XaltInfo(
+        # built with gcc and no AVX flags: the §V-A low-vec story
+        modules=("gcc/4.9.1", "mvapich2/2.1", "openfoam/2.3.1"),
+        libraries=_LIBMPI + ("libOpenFOAM.so", "libfiniteVolume.so"),
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+    "python": XaltInfo(
+        modules=("python/2.7.9",),
+        libraries=("libpython2.7.so.1.0",),
+        compiler="gcc/4.4.7",
+        uses_best_isa=False,
+    ),
+    "MATLAB": XaltInfo(
+        modules=("matlab/R2015a",),
+        libraries=("libmwmclmcrrt.so",),
+        compiler="vendor",
+        uses_best_isa=False,
+    ),
+    "chombo_io": XaltInfo(
+        modules=_INTEL + _MPI + ("hdf5/1.8.14",),
+        libraries=_LIBMPI + ("libhdf5.so.9",),
+    ),
+    "blastp": XaltInfo(
+        modules=("gcc/4.9.1", "blast/2.2.31"),
+        libraries=("libstdc++.so.6",),
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+    "mpirun_user": XaltInfo(
+        # the §V-A offender: a home-built MPICH over Ethernet
+        modules=("gcc/4.9.1",),
+        libraries=("/home1/01234/ethuser/mpich/lib/libmpich.so.8",),
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+    "mic_offload.x": XaltInfo(
+        modules=_INTEL + _MPI + ("mic/1.0",),
+        libraries=_LIBMPI + ("liboffload.so.5",),
+    ),
+    "velvetg": XaltInfo(
+        modules=("gcc/4.9.1", "velvet/1.2.10"),
+        libraries=("libgomp.so.1",),
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+    "Rscript": XaltInfo(
+        modules=("Rstats/3.2.1",),
+        libraries=("libR.so",),
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+    "run_ensemble.sh": XaltInfo(
+        modules=("python/2.7.9", "launcher/2.0"),
+        libraries=(),
+        compiler="-",
+        uses_best_isa=False,
+    ),
+    "autorun.sh": XaltInfo(
+        modules=_INTEL + _MPI,
+        libraries=_LIBMPI,
+    ),
+    "unstable.x": XaltInfo(
+        modules=_INTEL + _MPI,
+        libraries=_LIBMPI,
+    ),
+    "graph500": XaltInfo(
+        modules=("gcc/4.9.1", "mvapich2/2.1"),
+        libraries=_LIBMPI,
+        compiler="gcc/4.9.1",
+        uses_best_isa=False,
+    ),
+}
+
+_UNKNOWN = XaltInfo(modules=(), libraries=(), compiler="?", uses_best_isa=False)
+
+
+def lookup(executable: str) -> XaltInfo:
+    """Catalogue entry for an executable (basename match)."""
+    base = executable.rsplit("/", 1)[-1]
+    return EXECUTABLE_CATALOG.get(base, _UNKNOWN)

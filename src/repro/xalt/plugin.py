@@ -1,0 +1,109 @@
+"""The XALT job-launch plugin.
+
+Hooks the scheduler's prolog: every job launch produces one
+:class:`XaltRecord` row with the executable path, working directory,
+loaded modules and linked libraries.  Query helpers answer the fleet
+questions the paper's staff ask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.jobs import Job
+from repro.db.connection import Database
+from repro.db.fields import BooleanField, IntegerField, JSONField, TextField
+from repro.db.models import Model
+from repro.xalt.catalog import lookup
+
+
+class XaltRecord(Model):
+    """One job launch as XALT sees it."""
+
+    table_name = "xalt_run"
+
+    jobid = TextField(index=True)
+    user = TextField(index=True)
+    executable = TextField(index=True)
+    exec_path = TextField(default="")
+    work_dir = TextField(default="")
+    compiler = TextField(default="")
+    uses_best_isa = BooleanField(default=True)
+    modules = JSONField(default="[]")
+    libraries = JSONField(default="[]")
+    start_time = IntegerField(default=0, index=True)
+
+
+class XaltPlugin:
+    """Installs the launch hook and provides query helpers."""
+
+    def __init__(self, cluster: Cluster, db: Database) -> None:
+        self.cluster = cluster
+        self.db = db
+        XaltRecord.bind(db)
+        XaltRecord.create_table()
+        self._installed = False
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("XALT plugin already installed")
+        self._installed = True
+        self.cluster.scheduler.prolog_hooks.append(self._on_launch)
+
+    def _on_launch(self, job: Job, now: int) -> None:
+        info = lookup(job.executable)
+        XaltRecord.objects.create(
+            jobid=job.jobid,
+            user=job.user,
+            executable=job.executable.rsplit("/", 1)[-1],
+            exec_path=f"/home1/0{hash(job.user) % 9999:04d}/{job.user}/bin/"
+            f"{job.executable.rsplit('/', 1)[-1]}",
+            work_dir=f"/scratch/0{hash(job.user) % 9999:04d}/{job.user}/run",
+            compiler=info.compiler,
+            uses_best_isa=info.uses_best_isa,
+            modules=list(info.modules),
+            libraries=list(info.libraries),
+            start_time=now,
+        )
+
+    # -- the questions staff ask --------------------------------------------
+    def record_for(self, jobid: str) -> Optional[XaltRecord]:
+        """The XALT record backing one job's detail page."""
+        XaltRecord.bind(self.db)
+        return XaltRecord.objects.filter(jobid=jobid).first()
+
+    def jobs_loading_module(self, module_prefix: str) -> List[XaltRecord]:
+        """All launches that loaded a module matching the prefix."""
+        XaltRecord.bind(self.db)
+        return [
+            r for r in XaltRecord.objects.all()
+            if any(m.startswith(module_prefix) for m in (r.modules or []))
+        ]
+
+    def jobs_linking(self, library_substr: str) -> List[XaltRecord]:
+        """All launches whose binary links a matching library."""
+        XaltRecord.bind(self.db)
+        return [
+            r for r in XaltRecord.objects.all()
+            if any(library_substr in l for l in (r.libraries or []))
+        ]
+
+    def non_isa_launch_fraction(self) -> float:
+        """Share of launches built without the best vector ISA (§V-A)."""
+        XaltRecord.bind(self.db)
+        total = XaltRecord.objects.count()
+        if total == 0:
+            return 0.0
+        stale = XaltRecord.objects.filter(uses_best_isa=False).count()
+        return stale / total
+
+    def homegrown_mpi_users(self) -> List[str]:
+        """Users launching binaries linked against non-system MPI."""
+        XaltRecord.bind(self.db)
+        out = set()
+        for r in XaltRecord.objects.all():
+            for lib in r.libraries or []:
+                if "mpich" in lib and lib.startswith("/home"):
+                    out.add(r.user)
+        return sorted(out)

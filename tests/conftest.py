@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+The expensive fixture is ``monitored_run``: a small daemon-mode
+cluster that ran a handful of known jobs, ingested into a database.
+It is session-scoped; tests must treat its contents as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MonitoringSession, monitoring_session
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A fresh 4-node cluster with fine ticks, no monitoring."""
+    return Cluster(
+        ClusterConfig(
+            normal_nodes=4,
+            largemem_nodes=1,
+            development_nodes=0,
+            tick=300,
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture
+def fresh_db() -> Database:
+    """An isolated in-memory database with the job table bound."""
+    db = Database()
+    JobRecord.bind(db)
+    JobRecord.create_table()
+    return db
+
+
+@pytest.fixture(scope="session")
+def monitored_run() -> MonitoringSession:
+    """A completed daemon-mode run with a known job mix (read-only!)."""
+    sess = monitoring_session(nodes=10, seed=7, tick=300, largemem_nodes=1)
+    c = sess.cluster
+    jobs = [
+        JobSpec(user="alice", app=make_app("wrf", runtime_mean=4000.0,
+                fail_prob=0.0), nodes=4),
+        JobSpec(user="bob", app=make_app("namd", runtime_mean=3000.0,
+                fail_prob=0.0), nodes=2),
+        JobSpec(user="carol", app=make_app("hicpi", runtime_mean=3000.0,
+                fail_prob=0.0), nodes=2),
+        JobSpec(user="dave", app=make_app("idle_half", runtime_mean=2500.0,
+                fail_prob=0.0), nodes=2),
+        JobSpec(user="erin", app=make_app("largemem_misuse",
+                runtime_mean=2500.0, fail_prob=0.0), nodes=1,
+                queue="largemem"),
+        JobSpec(user="frank", app=make_app("crasher", runtime_mean=4000.0),
+                nodes=2),
+    ]
+    for spec in jobs:
+        c.submit(spec)
+    c.run_for(5 * 3600)
+    sess.ingest()
+    return sess
+
+
+@pytest.fixture(scope="session")
+def monitored_records(monitored_run):
+    """All ingested job records of the shared run."""
+    JobRecord.bind(monitored_run.db)
+    return {r.jobid: r for r in JobRecord.objects.all()}
+
+
+@pytest.fixture(autouse=True)
+def _rebind_shared_db(request):
+    """Tests using monitored_run get JobRecord bound to its database.
+
+    Tests that create their own Database are expected to bind
+    explicitly (the fresh_db fixture does).
+    """
+    if "monitored_run" in request.fixturenames:
+        sess = request.getfixturevalue("monitored_run")
+        JobRecord.bind(sess.db)
+    yield

@@ -1,0 +1,106 @@
+"""§V-B WRF case study and correlation study on a synthetic population."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.casestudy import find_metadata_outlier_user, wrf_case_study
+from repro.analysis.correlations import (
+    PAPER_COEFFICIENTS,
+    correlation_study,
+    pearson,
+    production_jobs,
+)
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture(scope="module")
+def _popdb():
+    db = Database()
+    generate_population(db, 25_000, seed=17)
+    return db
+
+
+@pytest.fixture
+def popdb(_popdb):
+    # rebind per test: JobRecord's binding is class-level global state
+    JobRecord.bind(_popdb)
+    return _popdb
+
+
+def test_outlier_user_found(popdb):
+    assert find_metadata_outlier_user() == "baduser01"
+
+
+def test_case_study_shape_matches_paper(popdb):
+    cs = wrf_case_study()
+    assert cs.user == "baduser01"
+    # paper: 67 % vs 80 % CPU_Usage
+    assert cs.bad.cpu_usage < cs.population.cpu_usage
+    assert 0.55 < cs.bad.cpu_usage < 0.78
+    assert 0.74 < cs.population.cpu_usage < 0.90
+    # paper: 563,905 vs 3,870 req/s — two orders of magnitude
+    assert cs.metadata_ratio > 50
+    assert cs.bad.metadata_rate > 2e5
+    assert cs.population.metadata_rate < 2e4
+    # paper: 30,884 vs 2 open-closes per second — four orders
+    assert cs.open_close_ratio > 1e3
+    assert cs.bad.open_close > 1e4
+    assert cs.population.open_close < 20
+    # cohort sizes: ~105/16741 ratio preserved
+    assert cs.bad.jobs / cs.population.jobs == pytest.approx(
+        105 / 16741, rel=0.6
+    )
+
+
+def test_case_study_without_wrf_raises(fresh_db):
+    with pytest.raises(LookupError):
+        wrf_case_study()
+
+
+def test_production_filter(popdb):
+    prod = production_jobs()
+    assert prod.count() > 10_000
+    assert prod.filter(status="FAILED").count() == 0
+    assert prod.filter(queue="largemem").count() == 0
+    assert prod.filter(run_time__lte=3600).count() == 0
+
+
+def test_correlations_negative_with_paper_ordering(popdb):
+    results = {r.metric: r for r in correlation_study()}
+    assert set(results) == {m for m, _ in PAPER_COEFFICIENTS}
+    for r in results.values():
+        assert r.n_jobs > 10_000
+        assert r.measured < -0.03, r.metric  # all negative
+        assert r.sign_matches
+    # |OSC| and |Lnet| exceed |MDC| as in the paper
+    assert abs(results["OSCReqs"].measured) > abs(results["MDCReqs"].measured) * 0.9
+    # magnitudes in the paper's band (weak but real)
+    for r in results.values():
+        assert 0.03 < abs(r.measured) < 0.35
+
+
+def test_pearson_helper():
+    x = np.array([1.0, 2, 3, 4])
+    assert pearson(x, 2 * x) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+    assert np.isnan(pearson(x, np.ones(4)))
+    assert np.isnan(pearson(x[:2], x[:2]))
+    # NaN entries are dropped
+    y = np.array([1.0, np.nan, 3, 4])
+    assert pearson(y, y) == pytest.approx(1.0)
+
+
+def test_correlation_study_empty_db(fresh_db):
+    results = correlation_study()
+    assert all(np.isnan(r.measured) for r in results)
+    assert all(r.n_jobs == 0 for r in results)
+
+
+def test_correlations_statistically_significant(popdb):
+    """At population scale, even |r| ~ 0.1 is overwhelming evidence —
+    which is why the paper can lean on weak coefficients."""
+    for r in correlation_study():
+        assert r.p_value < 1e-6
+        assert r.significant

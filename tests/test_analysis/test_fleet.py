@@ -1,0 +1,73 @@
+"""Fleet report rollups."""
+
+import pytest
+
+from repro.analysis.fleet import fleet_report
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture(scope="module")
+def _fleetdb():
+    db = Database()
+    generate_population(db, 15_000, seed=88)
+    return db
+
+
+@pytest.fixture
+def fleetdb(_fleetdb):
+    JobRecord.bind(_fleetdb)
+    return _fleetdb
+
+
+def test_totals(fleetdb):
+    rep = fleet_report()
+    assert rep.total_jobs == JobRecord.objects.count()
+    assert rep.total_node_hours > 10_000
+    assert 0.0 < rep.failed_fraction < 0.2
+    assert rep.total_energy_mwh > 1.0
+
+
+def test_by_queue_covers_all_queues(fleetdb):
+    rep = fleet_report()
+    queues = {r.key for r in rep.by_queue}
+    assert queues == {"normal", "largemem"}
+    normal = next(r for r in rep.by_queue if r.key == "normal")
+    assert normal.jobs > 10_000
+
+
+def test_top_lists_sorted_by_node_hours(fleetdb):
+    rep = fleet_report(top=5)
+    assert len(rep.top_users) == 5
+    hours = [r.node_hours for r in rep.top_users]
+    assert hours == sorted(hours, reverse=True)
+    assert len(rep.top_applications) == 5
+
+
+def test_fractions_included(fleetdb):
+    rep = fleet_report()
+    assert rep.fractions is not None
+    assert rep.fractions.total_jobs == rep.total_jobs
+    rep2 = fleet_report(include_fractions=False)
+    assert rep2.fractions is None
+
+
+def test_render_text(fleetdb):
+    text = fleet_report().render_text(top=3)
+    assert "Fleet report" in text
+    assert "by queue" in text
+    assert "top 3 users" in text
+    assert "population health" in text
+
+
+def test_empty_table_raises(fresh_db):
+    with pytest.raises(LookupError):
+        fleet_report()
+
+
+def test_flag_incidence_from_ingested_run(monitored_run):
+    JobRecord.bind(monitored_run.db)
+    rep = fleet_report(include_fractions=False)
+    assert rep.flag_incidence.get("high_cpi", 0) >= 1
+    assert rep.flag_incidence.get("idle_nodes", 0) >= 1

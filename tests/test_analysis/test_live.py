@@ -1,0 +1,79 @@
+"""Live status board: online monitoring from the daemon stream."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.analysis.live import LiveStatusBoard
+from repro.cluster import JobSpec, make_app
+
+
+@pytest.fixture(scope="module")
+def live_run():
+    sess = monitoring_session(nodes=6, seed=41, tick=300)
+    board = LiveStatusBoard(sess.broker)
+    board.start()
+    busy = sess.cluster.submit(JobSpec(
+        user="alice",
+        app=make_app("namd", runtime_mean=20_000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=3, requested_runtime=30_000,
+    ))
+    storm = sess.cluster.submit(JobSpec(
+        user="eve",
+        app=make_app("metadata_thrash", runtime_mean=20_000.0,
+                     fail_prob=0.0, runtime_sigma=0.02),
+        nodes=2, requested_runtime=30_000,
+    ))
+    sess.cluster.run_for(2 * 3600)
+    return sess, board, busy, storm
+
+
+def test_all_hosts_reporting(live_run):
+    sess, board, busy, storm = live_run
+    assert len(board.hosts) == 6
+    assert board.messages > 6 * 10
+
+
+def test_busy_hosts_tracked(live_run):
+    sess, board, busy, storm = live_run
+    expected = sorted(busy.assigned_nodes + storm.assigned_nodes)
+    assert board.busy_hosts() == expected
+
+
+def test_per_host_rates_sane(live_run):
+    sess, board, busy, storm = live_run
+    h = board.hosts[busy.assigned_nodes[0]]
+    assert 0.5 < h.cpu_user_frac <= 1.0
+    assert h.gflops > 1.0
+    assert h.updated_at > 0
+    idle_host = next(
+        name for name in board.hosts
+        if name not in busy.assigned_nodes + storm.assigned_nodes
+    )
+    assert board.hosts[idle_host].cpu_user_frac < 0.05
+
+
+def test_job_rates_aggregate_over_hosts(live_run):
+    sess, board, busy, storm = live_run
+    rates = board.job_rates(busy.jobid)
+    assert rates["hosts"] == 3
+    assert rates["cpu_user_frac"] > 0.5
+    storm_rates = board.job_rates(storm.jobid)
+    assert storm_rates["mdc_reqs_per_s"] > 5_000
+    assert board.job_rates("nope") == {}
+
+
+def test_cluster_views(live_run):
+    sess, board, busy, storm = live_run
+    assert 0.2 < board.cluster_utilization() < 1.0
+    assert board.fs_pressure() > 5_000
+    text = board.render_text()
+    assert "live status" in text
+    assert busy.assigned_nodes[0] in text
+
+
+def test_board_is_realtime_not_rsync(live_run):
+    """The board's freshness equals the broker latency, not hours."""
+    sess, board, busy, storm = live_run
+    newest = max(h.updated_at for h in board.hosts.values())
+    assert sess.cluster.now() - newest < 660  # within one interval

@@ -1,0 +1,134 @@
+"""Population synthesis: calibration against the paper's §V-A numbers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.popgen import (
+    STAMPEDE_Q4_MIX,
+    MixEntry,
+    PopulationMix,
+    generate_population,
+)
+from repro.analysis.populations import PAPER_FRACTIONS, population_fractions
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture(scope="module")
+def _popdb():
+    db = Database()
+    gp = generate_population(db, 20_000, seed=3)
+    return db, gp
+
+
+@pytest.fixture
+def popdb(_popdb):
+    JobRecord.bind(_popdb[0])
+    return _popdb
+
+
+def test_job_count_close_to_requested(popdb):
+    db, gp = popdb
+    JobRecord.bind(db)
+    assert abs(gp.n_jobs - 20_000) < 200  # + pathological slice
+    assert JobRecord.objects.count() == gp.n_jobs
+
+
+def test_reproducible(tmp_path):
+    def run():
+        db = Database()
+        generate_population(db, 2000, seed=9)
+        JobRecord.bind(db)
+        return JobRecord.objects.all().order_by("jobid").values_list(
+            "jobid", "CPU_Usage", "MetaDataRate"
+        )
+
+    assert run() == run()
+
+
+def test_population_fractions_match_paper(popdb):
+    db, _ = popdb
+    JobRecord.bind(db)
+    f = population_fractions()
+    # §V-A targets, with tolerance for a 20k-job sample
+    assert f.mic_over_1pct == pytest.approx(PAPER_FRACTIONS["mic_over_1pct"], abs=0.006)
+    assert f.vec_over_1pct == pytest.approx(PAPER_FRACTIONS["vec_over_1pct"], abs=0.06)
+    assert f.vec_over_50pct == pytest.approx(PAPER_FRACTIONS["vec_over_50pct"], abs=0.05)
+    assert f.mem_over_20gb == pytest.approx(PAPER_FRACTIONS["mem_over_20gb"], abs=0.02)
+    assert f.idle_nodes >= PAPER_FRACTIONS["idle_nodes"] - 0.005
+
+
+def test_pathological_user_present(popdb):
+    db, gp = popdb
+    JobRecord.bind(db)
+    bad = JobRecord.objects.filter(user=STAMPEDE_Q4_MIX.pathological_user)
+    assert bad.count() == len(gp.pathological_jobids)
+    assert bad.count() >= 5
+    r = bad.first()
+    assert r.executable == "wrf.exe"
+    assert r.MetaDataRate > 100_000
+
+
+def test_metrics_physically_sane(popdb):
+    db, _ = popdb
+    JobRecord.bind(db)
+    rows = JobRecord.objects.all().values(
+        "CPU_Usage", "VecPercent", "MemUsage", "cpi", "idle",
+        "catastrophe", "MIC_Usage", "run_time", "nodes",
+    )
+    arr = {k: np.array([r[k] for r in rows]) for k in rows[0]}
+    assert np.all((arr["CPU_Usage"] >= 0) & (arr["CPU_Usage"] <= 1))
+    assert np.all((arr["VecPercent"] >= 0) & (arr["VecPercent"] <= 100))
+    assert np.all(arr["MemUsage"] > 0)
+    assert np.all(arr["MemUsage"] <= 1024)
+    assert np.all(arr["cpi"] > 0)
+    assert np.all((arr["idle"] >= 0) & (arr["idle"] <= 1))
+    assert np.all((arr["catastrophe"] >= 0) & (arr["catastrophe"] <= 1.0001))
+    assert np.all(arr["run_time"] >= 600)
+    assert np.all(arr["nodes"] >= 1)
+
+
+def test_failed_jobs_exist_with_low_catastrophe(popdb):
+    db, _ = popdb
+    JobRecord.bind(db)
+    failed = JobRecord.objects.filter(status="FAILED")
+    assert failed.count() > 100
+    from repro.db import Avg
+
+    ok = JobRecord.objects.filter(status="COMPLETED").aggregate(
+        c=Avg("catastrophe"))["c"]
+    bad = failed.aggregate(c=Avg("catastrophe"))["c"]
+    assert bad < 0.5 * ok
+
+
+def test_largemem_jobs_in_largemem_queue(popdb):
+    db, _ = popdb
+    JobRecord.bind(db)
+    lm = JobRecord.objects.filter(queue="largemem")
+    assert lm.count() > 0
+    hogs = lm.filter(MemUsage__gt=100)
+    wasters = lm.filter(MemUsage__lt=16)
+    assert hogs.count() > 0 and wasters.count() > 0
+
+
+def test_custom_mix():
+    db = Database()
+    mix = PopulationMix(entries=(MixEntry("namd", 1.0, (2,)),))
+    gp = generate_population(db, 500, mix=mix, seed=1)
+    JobRecord.bind(db)
+    assert JobRecord.objects.filter(executable="namd2").count() >= 500
+
+
+def test_popgen_populates_every_registry_metric(popdb):
+    """If the metric registry grows, the fast path must not silently
+    leave the new column NULL — this test is the tripwire."""
+    from repro.metrics.table1 import METRIC_REGISTRY
+
+    db, _ = popdb
+    JobRecord.bind(db)
+    row = JobRecord.objects.all().first()
+    missing = [
+        name for name in METRIC_REGISTRY
+        if getattr(row, name, None) is None
+    ]
+    assert missing == []

@@ -1,0 +1,61 @@
+"""Fast path vs full pipeline: the two must agree.
+
+The population generator synthesises metrics from application profiles
+directly; the full pipeline measures them through counters, raw files
+and the metrics engine.  For the same application, the two paths must
+land in the same band — otherwise the large-scale analyses would not
+be speaking for the simulated physics.
+"""
+
+import pytest
+
+from repro import monitoring_session
+from repro.analysis.popgen import MixEntry, PopulationMix, generate_population
+from repro.cluster import JobSpec, make_app
+from repro.db import Avg, Database
+from repro.pipeline.records import JobRecord
+
+#: metrics compared and the acceptable relative band (the fast path is
+#: statistical; agreement is in distribution, not per job)
+CHECKS = ("CPU_Usage", "MDCReqs", "VecPercent", "cpi", "MemUsage")
+
+
+def full_pipeline_average(app_name: str, n_jobs: int = 4) -> dict:
+    sess = monitoring_session(nodes=8, seed=101, tick=300)
+    for i in range(n_jobs):
+        sess.cluster.submit(JobSpec(
+            user=f"u{i}",
+            app=make_app(app_name, runtime_mean=4000.0, fail_prob=0.0),
+            nodes=2,
+        ))
+    sess.cluster.run_for(10 * 3600)
+    sess.ingest()
+    JobRecord.bind(sess.db)
+    return JobRecord.objects.aggregate(
+        **{m: Avg(m) for m in CHECKS}
+    )
+
+
+def popgen_average(app_name: str, n_jobs: int = 300) -> dict:
+    db = Database()
+    mix = PopulationMix(
+        entries=(MixEntry(app_name, 1.0, (2,)),),
+        pathological_fraction=0.0,
+    )
+    generate_population(db, n_jobs, mix=mix, seed=101)
+    JobRecord.bind(db)
+    return JobRecord.objects.aggregate(**{m: Avg(m) for m in CHECKS})
+
+
+@pytest.mark.parametrize("app_name", ["wrf", "namd", "openfoam"])
+def test_fast_and_full_paths_agree(app_name):
+    full = full_pipeline_average(app_name)
+    fast = popgen_average(app_name)
+    assert full["CPU_Usage"] == pytest.approx(fast["CPU_Usage"], abs=0.12)
+    assert full["cpi"] == pytest.approx(fast["cpi"], rel=0.25)
+    assert full["VecPercent"] == pytest.approx(fast["VecPercent"], abs=8.0)
+    assert full["MemUsage"] == pytest.approx(fast["MemUsage"], rel=0.5)
+    # MDCReqs spans orders of magnitude across apps: same order suffices
+    if fast["MDCReqs"] > 0.5:
+        ratio = full["MDCReqs"] / fast["MDCReqs"]
+        assert 0.2 < ratio < 5.0

@@ -1,0 +1,78 @@
+"""§VI-B real-time detector: detection, debounce, suspension."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.analysis.realtime import RealTimeDetector
+from repro.cluster import JobSpec, make_app
+from repro.cluster.jobs import JobState
+
+
+def run_with_detector(threshold=50_000, confirm=2, auto_suspend=True,
+                      storm=True, seed=13):
+    sess = monitoring_session(nodes=6, seed=seed, tick=300)
+    notified = []
+    det = RealTimeDetector(
+        sess.broker, sess.cluster, threshold=threshold, confirm=confirm,
+        notify=notified.append, auto_suspend=auto_suspend,
+    )
+    det.start()
+    c = sess.cluster
+    app = "wrf_pathological" if storm else "wrf"
+    job = c.submit(JobSpec(
+        user="eve",
+        app=make_app(app, runtime_mean=5000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=3,
+    ))
+    c.submit(JobSpec(
+        user="alice",
+        app=make_app("namd", runtime_mean=5000.0, fail_prob=0.0),
+        nodes=2,
+    ))
+    c.run_for(4 * 3600)
+    return sess, det, job, notified
+
+
+def test_storm_detected_and_suspended():
+    sess, det, job, notified = run_with_detector()
+    assert len(det.detections) == 1
+    d = det.detections[0]
+    assert d.jobid == job.jobid
+    assert d.suspended
+    assert job.state is JobState.CANCELLED
+    assert job.status == "SUSPENDED"
+    assert notified == det.detections
+
+
+def test_detection_latency_within_confirm_intervals():
+    sess, det, job, _ = run_with_detector(confirm=2)
+    d = det.detections[0]
+    # first usable rate needs 2 samples; +1 confirmation: ≤ ~3 intervals
+    assert d.time - job.start_time <= 3 * 600 + 60
+
+
+def test_quiet_workload_not_flagged():
+    sess, det, job, _ = run_with_detector(storm=False)
+    assert det.detections == []
+    assert job.state is JobState.COMPLETED
+
+
+def test_notify_only_mode():
+    sess, det, job, _ = run_with_detector(auto_suspend=False)
+    assert len(det.detections) == 1
+    assert not det.detections[0].suspended
+    assert job.state is JobState.COMPLETED  # nobody killed it
+
+
+def test_each_job_acted_on_once():
+    sess, det, job, notified = run_with_detector(confirm=1)
+    assert len([d for d in det.detections if d.jobid == job.jobid]) == 1
+
+
+def test_innocent_bystander_untouched():
+    sess, det, _, _ = run_with_detector()
+    others = [
+        j for j in sess.cluster.jobs.values() if j.user == "alice"
+    ]
+    assert all(j.state is not JobState.CANCELLED for j in others)

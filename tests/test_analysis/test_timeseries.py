@@ -1,0 +1,71 @@
+"""§VI-A interference analysis on the TSDB."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.analysis.timeseries import hosts_of_user, interference_report
+from repro.cluster import JobSpec, make_app
+from repro.tsdb import TimeSeriesDB, ingest_store
+
+
+@pytest.fixture(scope="module")
+def interference_run():
+    """A metadata storm next to innocent bystanders, with the shared
+    filesystem coupling active."""
+    sess = monitoring_session(
+        nodes=8, seed=31, tick=300,
+        shared_filesystem=True, mds_capacity=40_000,
+    )
+    c = sess.cluster
+    storm = c.submit(JobSpec(
+        user="eve",
+        app=make_app("wrf_pathological", runtime_mean=5000.0,
+                     fail_prob=0.0, runtime_sigma=0.02),
+        nodes=4,
+    ))
+    c.submit(JobSpec(
+        user="alice",
+        app=make_app("openfoam", runtime_mean=9000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=2,
+    ))
+    c.submit(JobSpec(
+        user="bob",
+        app=make_app("io_heavy", runtime_mean=9000.0, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=2,
+    ))
+    c.run_for(4 * 3600)
+    tsdb = TimeSeriesDB()
+    ingest_store(tsdb, sess.store, types=["mdc"])
+    return sess, tsdb, storm
+
+
+def test_hosts_of_user(interference_run):
+    sess, tsdb, storm = interference_run
+    hosts = hosts_of_user(sess.cluster.jobs, "eve")
+    assert sorted(hosts) == sorted(storm.assigned_nodes)
+    assert hosts_of_user(sess.cluster.jobs, "nobody") == []
+
+
+def test_interference_implicates_storm_user(interference_run):
+    sess, tsdb, storm = interference_run
+    rep = interference_report(tsdb, sess.cluster.jobs, "eve")
+    assert set(rep.suspect_hosts) == set(storm.assigned_nodes)
+    assert len(rep.bystander_hosts) == 4
+    # when eve is loud, others wait longer: positive correlation
+    assert rep.correlation > 0.3
+    assert rep.wait_inflation > 2.0
+    assert rep.implicated
+
+
+def test_innocent_user_not_implicated(interference_run):
+    sess, tsdb, storm = interference_run
+    rep = interference_report(tsdb, sess.cluster.jobs, "alice")
+    assert not rep.implicated
+
+
+def test_unknown_user_raises(interference_run):
+    sess, tsdb, _ = interference_run
+    with pytest.raises(LookupError):
+        interference_report(tsdb, sess.cluster.jobs, "ghost")

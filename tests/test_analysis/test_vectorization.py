@@ -1,0 +1,80 @@
+"""§V-A vectorisation study: measurement × build provenance."""
+
+import pytest
+
+from repro.analysis.popgen import generate_population
+from repro.analysis.vectorization import vectorization_study
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture(scope="module")
+def _vecdb():
+    db = Database()
+    generate_population(db, 15_000, seed=51)
+    return db
+
+
+@pytest.fixture
+def vecdb(_vecdb):
+    JobRecord.bind(_vecdb)
+    return _vecdb
+
+
+def test_study_shape(vecdb):
+    study = vectorization_study()
+    assert 0.40 < study.low_vec_job_fraction < 0.60  # paper: ~48 %
+    exes = {p.executable for p in study.profiles}
+    assert "simpleFoam" in exes and "namd2" in exes
+
+
+def test_misbuilt_identified(vecdb):
+    study = vectorization_study()
+    by_exe = {p.executable: p for p in study.profiles}
+    # OpenFOAM: low measured vectorisation, built without AVX → rebuild
+    foam = by_exe["simpleFoam"]
+    assert foam.avg_vec_percent < 5.0
+    assert not foam.uses_best_isa
+    assert foam.rebuild_candidate
+    # NAMD: highly vectorised, properly built → not a candidate
+    namd = by_exe["namd2"]
+    assert namd.avg_vec_percent > 50.0
+    assert namd.uses_best_isa
+    assert not namd.rebuild_candidate
+
+
+def test_paper_claim_many_low_vec_are_misbuilt(vecdb):
+    """'many applications were not compiled with the most advanced
+    vector instruction set available'"""
+    study = vectorization_study()
+    assert study.misbuilt_share_of_low_vec() > 0.5
+
+
+def test_render(vecdb):
+    text = vectorization_study().render_text()
+    assert "vectorisation study" in text
+    assert "simpleFoam" in text
+    assert "YES" in text  # at least one rebuild candidate
+
+
+def test_with_live_xalt_records():
+    from repro import monitoring_session
+    from repro.cluster import JobSpec, make_app
+    from repro.xalt import XaltPlugin
+
+    sess = monitoring_session(nodes=6, seed=61, tick=300)
+    xalt = XaltPlugin(sess.cluster, Database())
+    xalt.install()
+    for i in range(5):
+        sess.cluster.submit(JobSpec(
+            user=f"u{i}",
+            app=make_app("openfoam", runtime_mean=2000.0, fail_prob=0.0),
+            nodes=1,
+        ))
+    sess.cluster.run_for(3 * 3600)
+    sess.ingest()
+    JobRecord.bind(sess.db)
+    study = vectorization_study(xalt=xalt)
+    foam = next(p for p in study.profiles if p.executable == "simpleFoam")
+    assert foam.compiler == "gcc/4.9.1"  # from the live XALT records
+    assert foam.rebuild_candidate

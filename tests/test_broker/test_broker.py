@@ -1,0 +1,196 @@
+"""Broker semantics: routing, acks, redelivery, crash recovery."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.sim import EventQueue, SimClock
+
+
+def make_broker(latency=0.0):
+    return Broker(events=None, latency=latency)
+
+
+def wired(kind="topic", pattern="stats.#"):
+    b = make_broker()
+    b.declare_exchange("x", kind=kind)
+    b.declare_queue("q")
+    b.bind("q", "x", pattern)
+    return b
+
+
+def test_publish_routes_to_bound_queue():
+    b = wired()
+    got = []
+    ch = b.channel()
+    ch.basic_consume("q", lambda c, d: got.append(d.message.body), auto_ack=True)
+    b.publish("x", "stats.n1", "hello")
+    assert got == ["hello"]
+
+
+def test_unroutable_message_dropped_and_counted():
+    b = wired(pattern="other.#")
+    assert b.publish("x", "stats.n1", "lost") == 0
+    assert b.dropped == 1
+
+
+def test_direct_exchange_exact_key():
+    b = make_broker()
+    b.declare_exchange("d", kind="direct")
+    b.declare_queue("q")
+    b.bind("q", "d", "exact")
+    assert b.publish("d", "exact", 1) == 1
+    assert b.publish("d", "nope", 1) == 0
+
+
+def test_fanout_ignores_key():
+    b = make_broker()
+    b.declare_exchange("f", kind="fanout")
+    for q in ("q1", "q2"):
+        b.declare_queue(q)
+        b.bind(q, "f", "")
+    assert b.publish("f", "whatever", 1) == 2
+
+
+def test_default_exchange_routes_by_queue_name():
+    b = make_broker()
+    b.declare_queue("jobs")
+    got = []
+    b.channel().basic_consume("jobs", lambda c, d: got.append(d.message.body),
+                              auto_ack=True)
+    b.publish("", "jobs", 42)
+    assert got == [42]
+
+
+def test_messages_buffer_until_consumer_arrives():
+    b = wired()
+    b.publish("x", "stats.n1", 1)
+    b.publish("x", "stats.n2", 2)
+    assert b.queue_depth("q") == 2
+    got = []
+    b.channel().basic_consume("q", lambda c, d: got.append(d.message.body),
+                              auto_ack=True)
+    assert got == [1, 2]
+    assert b.queue_depth("q") == 0
+
+
+def test_round_robin_across_consumers():
+    b = wired()
+    got1, got2 = [], []
+    b.channel().basic_consume("q", lambda c, d: got1.append(d.message.body),
+                              auto_ack=True)
+    b.channel().basic_consume("q", lambda c, d: got2.append(d.message.body),
+                              auto_ack=True)
+    for i in range(6):
+        b.publish("x", "stats.n", i)
+    assert len(got1) == 3 and len(got2) == 3
+
+
+def test_ack_required_tracking():
+    b = wired()
+    deliveries = []
+    ch = b.channel()
+    ch.basic_consume("q", lambda c, d: deliveries.append(d))
+    b.publish("x", "stats.n", "m")
+    assert len(ch._unacked) == 1
+    ch.basic_ack(deliveries[0].delivery_tag)
+    assert len(ch._unacked) == 0
+    with pytest.raises(KeyError):
+        ch.basic_ack(deliveries[0].delivery_tag)
+
+
+def test_close_with_unacked_requeues():
+    b = wired()
+    ch = b.channel()
+    ch.basic_consume("q", lambda c, d: None)  # never acks
+    b.publish("x", "stats.n", "m")
+    assert ch.close() == 1
+    got = []
+    b.channel().basic_consume(
+        "q", lambda c, d: got.append(d.redelivered), auto_ack=True
+    )
+    assert got == [True]
+
+
+def test_nack_requeue():
+    b = wired()
+    seen = []
+
+    def handler(ch, d):
+        seen.append(d.redelivered)
+        if not d.redelivered:
+            ch.basic_nack(d.delivery_tag, requeue=True)
+        else:
+            ch.basic_ack(d.delivery_tag)
+
+    b.channel().basic_consume("q", handler)
+    b.publish("x", "stats.n", "m")
+    assert seen == [False, True]
+
+
+def test_consumer_crash_requeues_and_removes_consumer():
+    b = wired()
+    crashed = []
+
+    def bad(ch, d):
+        crashed.append(d.message.body)
+        raise RuntimeError("boom")
+
+    b.channel().basic_consume("q", bad)
+    b.publish("x", "stats.n", "m")
+    assert crashed == ["m"]
+    assert b.queue_depth("q") == 1  # message survived the crash
+    got = []
+    b.channel().basic_consume("q", lambda c, d: got.append(d.redelivered),
+                              auto_ack=True)
+    assert got == [True]
+
+
+def test_publish_on_closed_channel_rejected():
+    b = wired()
+    ch = b.channel()
+    ch.close()
+    with pytest.raises(RuntimeError):
+        ch.basic_publish("x", "stats.n", 1)
+
+
+def test_latency_defers_delivery_via_events():
+    ev = EventQueue(SimClock(epoch=0))
+    b = Broker(events=ev, latency=5)
+    b.declare_exchange("x", kind="topic")
+    b.declare_queue("q")
+    b.bind("q", "x", "#")
+    got = []
+    b.channel().basic_consume(
+        "q", lambda c, d: got.append((d.message.published_at, d.delivered_at)),
+        auto_ack=True,
+    )
+    ev.clock.advance(100)
+    b.publish("x", "k", "m")
+    assert got == []  # not yet delivered
+    ev.run_until(200)
+    assert got == [(100, 105)]
+
+
+def test_exchange_kind_conflict_rejected():
+    b = make_broker()
+    b.declare_exchange("x", kind="topic")
+    with pytest.raises(ValueError):
+        b.declare_exchange("x", kind="fanout")
+
+
+def test_stats_reporting():
+    b = wired()
+    b.publish("x", "stats.n", 1)
+    s = b.stats()
+    assert s["published"] == 1
+    assert s["queues"]["q"]["ready"] == 1
+
+
+def test_duplicate_binding_idempotent():
+    b = wired()
+    b.bind("q", "x", "stats.#")  # re-declare the same binding
+    got = []
+    b.channel().basic_consume("q", lambda c, d: got.append(d.message.body),
+                              auto_ack=True)
+    b.publish("x", "stats.n1", "once")
+    assert got == ["once"]  # not double-routed

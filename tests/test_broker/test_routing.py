@@ -1,0 +1,54 @@
+"""AMQP topic-pattern matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.broker.routing import topic_matches
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1, max_size=6,
+)
+keys = st.lists(words, min_size=1, max_size=5).map(".".join)
+
+
+@pytest.mark.parametrize(
+    "pattern,key,expected",
+    [
+        ("stats.c401-101", "stats.c401-101", True),
+        ("stats.c401-101", "stats.c401-102", False),
+        ("stats.*", "stats.c401-101", True),
+        ("stats.*", "stats.a.b", False),
+        ("stats.#", "stats", True),
+        ("stats.#", "stats.a.b.c", True),
+        ("#", "anything.at.all", True),
+        ("#", "", True),
+        ("*.rapl", "host1.rapl", True),
+        ("*.rapl", "rapl", False),
+        ("a.#.z", "a.z", True),
+        ("a.#.z", "a.b.c.z", True),
+        ("a.#.z", "a.b.c", False),
+        ("a.*.#", "a.b", True),
+        ("a.*.#", "a", False),
+    ],
+)
+def test_cases(pattern, key, expected):
+    assert topic_matches(pattern, key) is expected
+
+
+@given(keys)
+def test_exact_pattern_matches_itself(key):
+    assert topic_matches(key, key)
+
+
+@given(keys)
+def test_hash_matches_everything(key):
+    assert topic_matches("#", key)
+
+
+@given(keys)
+def test_star_count_must_match_words(key):
+    n = key.count(".") + 1
+    assert topic_matches(".".join(["*"] * n), key)
+    assert not topic_matches(".".join(["*"] * (n + 1)), key)

@@ -1,0 +1,117 @@
+"""CLI: every subcommand exercised through main()."""
+
+import pytest
+
+from repro.cli import PRESETS, build_parser, main
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+
+
+@pytest.fixture(scope="module")
+def sim_db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "sim.db"
+    rc = main([
+        "simulate", "--db", str(path), "--nodes", "8", "--hours", "6",
+        "--preset", "offenders", "--seed", "9",
+    ])
+    assert rc == 0
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def pop_db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "pop.db"
+    rc = main(["popgen", "--db", str(path), "--jobs", "12000"])
+    assert rc == 0
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_persists_jobs(sim_db, capsys):
+    db = Database(sim_db)
+    JobRecord.bind(db)
+    assert JobRecord.objects.count() == len(PRESETS["offenders"])
+    flagged = [r for r in JobRecord.objects.all() if r.flags]
+    assert len(flagged) >= 4
+
+
+def test_search_by_exe(sim_db, capsys):
+    rc = main(["search", "--db", sim_db, "--exe", "graph500"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 jobs total" in out
+    assert "high_cpi" in out
+
+
+def test_search_with_field_and_histograms(sim_db, capsys):
+    rc = main([
+        "search", "--db", sim_db,
+        "--field", "MetaDataRate__gt=10000", "--histograms",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "blastp" in out
+    assert "Metadata Reqs" in out  # histogram panel rendered
+
+
+def test_search_bad_field_spec(sim_db):
+    with pytest.raises(SystemExit):
+        main(["search", "--db", sim_db, "--field", "MetaDataRate__gt"])
+
+
+def test_report_shows_all_categories(sim_db, capsys):
+    db = Database(sim_db)
+    JobRecord.bind(db)
+    jobid = JobRecord.objects.all().first().jobid
+    rc = main(["report", "--db", sim_db, "--jobid", jobid])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for cat in ("[Lustre]", "[Network]", "[Processor]", "[OS]", "[Energy]"):
+        assert cat in out
+    assert "CPU_Usage" in out
+
+
+def test_report_unknown_job(sim_db, capsys):
+    rc = main(["report", "--db", sim_db, "--jobid", "999999"])
+    assert rc == 1
+    assert "not found" in capsys.readouterr().err
+
+
+def test_popgen_and_casestudy(pop_db, capsys):
+    rc = main(["casestudy", "--db", pop_db])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "baduser01" in out
+    assert "metadata ratio" in out
+
+
+def test_casestudy_empty_db(tmp_path, capsys):
+    path = tmp_path / "empty.db"
+    db = Database(str(path))
+    JobRecord.bind(db)
+    JobRecord.create_table()
+    db.commit()
+    rc = main(["casestudy", "--db", str(path)])
+    assert rc == 1
+
+
+def test_fleet_command(pop_db, capsys):
+    rc = main(["fleet", "--db", pop_db, "--top", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fleet report" in out
+    assert "top 3 users" in out
+
+
+def test_fleet_command_empty_db(tmp_path, capsys):
+    path = tmp_path / "empty2.db"
+    db = Database(str(path))
+    JobRecord.bind(db)
+    JobRecord.create_table()
+    db.commit()
+    rc = main(["fleet", "--db", str(path)])
+    assert rc == 1

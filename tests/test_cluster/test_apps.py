@@ -1,0 +1,143 @@
+"""Application models: library, phases, the Lustre→CPU coupling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.apps import APP_LIBRARY, AppProfile, Phase, make_app
+from repro.hardware.topology import Topology
+
+TOPO = Topology(sockets=2, cores_per_socket=8, threads_per_core=1)
+RNG = np.random.default_rng(3)
+
+
+def activity(app, t_frac=0.5, node_index=0, n_nodes=4, wayness=16, **kw):
+    return app.activity(
+        jobid="j1", user="u", node_index=node_index, n_nodes=n_nodes,
+        wayness=wayness, t_frac=t_frac, topology=TOPO, rng=RNG, **kw
+    )
+
+
+def test_library_instantiates_every_app():
+    for name in APP_LIBRARY:
+        app = make_app(name)
+        act = activity(app)
+        assert act.cpu_user_frac.shape == (16,)
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        make_app("doom")
+
+
+def test_make_app_overrides():
+    app = make_app("wrf", runtime_mean=123.0)
+    assert app.profile.runtime_mean == 123.0
+    assert app.executable == "wrf.exe"
+
+
+def test_phases_must_sum_to_one():
+    with pytest.raises(ValueError):
+        AppProfile(phases=(Phase(0.5), Phase(0.4)))
+
+
+def test_duration_lognormal_positive():
+    app = make_app("wrf", runtime_mean=3600.0, runtime_sigma=0.3)
+    ds = [app.duration(np.random.default_rng(i)) for i in range(200)]
+    assert all(d >= 60 for d in ds)
+    assert 2000 < np.median(ds) < 6000
+
+
+def test_failure_sampling_respects_probability():
+    always = make_app("crasher")
+    fails, frac = always.sample_failure(np.random.default_rng(0))
+    assert fails and 0.3 <= frac <= 0.9
+    never = make_app("wrf", fail_prob=0.0)
+    assert never.sample_failure(np.random.default_rng(0)) == (False, 1.0)
+
+
+def test_crashed_activity_is_nearly_idle():
+    act = activity(make_app("wrf"), crashed=True)
+    assert np.all(act.cpu_user_frac == 0)
+    assert act.mdc_reqs == 0
+
+
+def test_lustre_pressure_reduces_user_fraction():
+    """The §V-B mechanism: metadata requests cost user time."""
+    quiet = make_app("wrf_pathological", mdc_reqs=0.0, open_close=0.0,
+                     temporal_noise=0.0, node_imbalance=0.0)
+    loud = make_app("wrf_pathological", temporal_noise=0.0,
+                    node_imbalance=0.0)
+    u_quiet = activity(quiet, t_frac=0.5).cpu_user_frac[:16].mean()
+    u_loud = activity(loud, t_frac=0.5).cpu_user_frac[:16].mean()
+    assert u_loud < u_quiet
+    a = activity(loud, t_frac=0.5)
+    assert a.cpu_iowait_frac.max() > 0
+
+
+def test_rank0_io_funnels_to_first_node():
+    app = make_app("wrf", temporal_noise=0.0, node_imbalance=0.0)
+    root = activity(app, node_index=0)
+    other = activity(app, node_index=2)
+    assert other.mdc_reqs < 0.1 * root.mdc_reqs
+
+
+def test_pathological_wrf_hits_all_nodes():
+    app = make_app("wrf_pathological", temporal_noise=0.0, node_imbalance=0.0)
+    other = activity(app, node_index=2)
+    assert other.mdc_reqs > 10_000
+
+
+def test_idle_half_leaves_other_nodes_idle():
+    app = make_app("idle_half")
+    idle = activity(app, node_index=1, n_nodes=2)
+    busy = activity(app, node_index=0, n_nodes=2)
+    assert np.all(idle.cpu_user_frac == 0)
+    assert idle.processes == []
+    assert busy.cpu_user_frac.max() > 0.5
+
+
+def test_single_node_job_has_no_mpi_traffic():
+    act = activity(make_app("namd"), n_nodes=1)
+    assert act.ib_bytes == 0
+
+
+def test_compile_phase_has_low_flops():
+    app = make_app("compile_then_run", temporal_noise=0.0)
+    early = activity(app, t_frac=0.05)
+    late = activity(app, t_frac=0.7)
+    assert early.fp_vector_per_instr < 0.1 * late.fp_vector_per_instr
+
+
+def test_node_factor_deterministic_per_job_node():
+    app = make_app("wrf")
+    assert app.node_factor("j1", 3) == app.node_factor("j1", 3)
+    assert app.node_factor("j1", 3) != app.node_factor("j1", 4)
+
+
+def test_processes_pinned_one_rank_per_core():
+    act = activity(make_app("namd"), wayness=16)
+    assert len(act.processes) == 16
+    cores = [p.cpu_affinity for p in act.processes]
+    assert len(set(cores)) == 16
+    assert all(p.jobid == "j1" for p in act.processes)
+
+
+def test_core_offset_shifts_pinning():
+    act = activity(make_app("namd"), wayness=4, core_offset=8)
+    pinned = sorted(p.cpu_affinity[0] for p in act.processes)
+    assert pinned == [8, 9, 10, 11]
+    assert act.cpu_user_frac[0] == 0
+    assert act.cpu_user_frac[8] > 0
+
+
+def test_gige_app_uses_ethernet_not_ib():
+    act = activity(make_app("gige_mpi"))
+    assert act.gige_bytes > 0
+    assert act.ib_bytes == 0
+
+
+def test_phase_at_boundaries():
+    app = make_app("compile_then_run")
+    assert app.phase_at(0.0).flops == pytest.approx(0.02)
+    assert app.phase_at(0.99).flops == 1.0
+    assert app.phase_at(1.0).flops == 1.0  # clamps to last phase

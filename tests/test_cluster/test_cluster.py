@@ -1,0 +1,161 @@
+"""Cluster integration: lazy advancement, lifecycle, failures."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.cluster.jobs import JobState
+
+
+def make_cluster(**kw):
+    kw.setdefault("normal_nodes", 4)
+    kw.setdefault("largemem_nodes", 1)
+    kw.setdefault("development_nodes", 0)
+    kw.setdefault("tick", 300)
+    return Cluster(ClusterConfig(**kw))
+
+
+def spec(**kw):
+    kw.setdefault("user", "u")
+    kw.setdefault("app", make_app("wrf", runtime_mean=2000.0, fail_prob=0.0,
+                                  runtime_sigma=0.1))
+    kw.setdefault("nodes", 2)
+    return JobSpec(**kw)
+
+
+def test_node_naming_convention():
+    c = make_cluster()
+    assert "c401-101" in c.nodes
+
+
+def test_queues_built_from_config():
+    c = make_cluster()
+    assert set(c.scheduler.queues) == {"normal", "largemem"}
+    assert len(c.scheduler.queues["normal"].node_names) == 4
+
+
+def test_largemem_nodes_have_1tb():
+    c = make_cluster()
+    lm = c.scheduler.queues["largemem"].node_names[0]
+    assert c.nodes[lm].mem_bytes == 1024 << 30
+
+
+def test_job_completes_with_correct_runtime():
+    c = make_cluster()
+    j = c.submit(spec())
+    c.run_for(4 * 3600)
+    assert j.state is JobState.COMPLETED
+    assert j.run_time() == j.planned_runtime
+
+
+def test_counters_nearly_freeze_when_idle():
+    c = make_cluster()
+    j = c.submit(spec(nodes=1))
+    c.run_for(4 * 3600)
+    node = c.nodes[j.assigned_nodes[0]]
+    c.catch_up_all()
+    before = node.tree.read_all()["intel_snb"]["0"].copy()
+    c.run_for(3600)
+    c.catch_up_all()
+    after = node.tree.read_all()["intel_snb"]["0"]
+    # idle node: only the background system whisper (~0.2 %) advances
+    idx = node.tree.devices["intel_snb"].schema.index["cycles"]
+    growth = (after[idx] - before[idx]) / before[idx]
+    assert growth < 0.01
+
+
+def test_lazy_catch_up_matches_wall_time():
+    c = make_cluster()
+    c.submit(spec(nodes=1))
+    c.run_for(2 * 3600)
+    c.catch_up_all()
+    node = c.nodes["c401-101"]
+    total_jiffies = node.tree.read_all()["cpu"]["0"].sum()
+    assert total_jiffies == pytest.approx(2 * 3600 * 100, rel=0.02)
+
+
+def test_crash_idles_nodes_but_holds_them():
+    c = make_cluster(seed=9)
+    j = c.submit(
+        spec(app=make_app("crasher", runtime_mean=3000.0, runtime_sigma=0.05))
+    )
+    c.run_for(4 * 3600)
+    assert j.state is JobState.FAILED
+    assert j.status == "FAILED"
+    # job held its nodes until the planned end despite the crash
+    assert j.run_time() == j.planned_runtime
+
+
+def test_node_failure_kills_job():
+    c = make_cluster()
+    j = c.submit(spec())
+    c.run_for(600)
+    c.fail_node(j.assigned_nodes[0])
+    assert j.state is JobState.FAILED
+    assert j.status == "NODE_FAIL"
+
+
+def test_failed_node_stops_counting():
+    c = make_cluster()
+    j = c.submit(spec(nodes=1))
+    c.run_for(600)
+    name = j.assigned_nodes[0]
+    c.fail_node(name)
+    frozen = c.nodes[name].tree.read_all()["cpu"]["0"].copy()
+    c.run_for(3600)
+    c.catch_up_all()
+    assert np.allclose(c.nodes[name].tree.read_all()["cpu"]["0"], frozen)
+
+
+def test_deferred_node_failure():
+    c = make_cluster()
+    t0 = c.now()
+    c.fail_node("c401-101", when=t0 + 1000)
+    assert not c.nodes["c401-101"].failed
+    c.run_for(2000)
+    assert c.nodes["c401-101"].failed
+
+
+def test_suspend_job_releases_nodes():
+    c = make_cluster()
+    j = c.submit(spec())
+    c.run_for(600)
+    assert c.suspend_job(j.jobid)
+    assert j.state is JobState.CANCELLED
+    assert j.status == "SUSPENDED"
+    assert not c.nodes[j.assigned_nodes[0]].busy
+    assert not c.suspend_job(j.jobid)  # idempotent-ish: already gone
+
+
+def test_deferred_submission():
+    c = make_cluster()
+    handle = c.submit(spec(nodes=1), when=c.now() + 3600)
+    assert handle.job is None
+    c.run_for(4000)
+    assert handle.job is not None
+    assert handle.job.state in (JobState.RUNNING, JobState.COMPLETED)
+
+
+def test_determinism_across_runs():
+    def run():
+        c = make_cluster(seed=123)
+        j = c.submit(spec(nodes=2))
+        c.run_for(3 * 3600)
+        c.catch_up_all()
+        node = c.nodes[j.assigned_nodes[0]]
+        return j.run_time(), node.tree.read_all()["intel_snb"]["0"]
+
+    r1, c1 = run()
+    r2, c2 = run()
+    assert r1 == r2
+    assert np.array_equal(c1, c2)
+
+
+def test_backlog_drains_as_jobs_finish():
+    c = make_cluster()
+    jobs = [c.submit(spec(nodes=4)) for _ in range(3)]
+    c.run_for(12 * 3600)
+    assert all(j.state is JobState.COMPLETED for j in jobs)
+    waits = [j.queue_wait() for j in jobs]
+    assert waits[0] == 0
+    assert waits[1] > 0 and waits[2] > waits[1]

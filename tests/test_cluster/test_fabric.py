@@ -1,0 +1,75 @@
+"""Fabric model: fat-tree structure, hops, placement, core load."""
+
+import pytest
+
+from repro.cluster.fabric import FabricModel
+
+
+@pytest.fixture
+def fabric():
+    # 50 nodes, 20 ports per leaf → 3 leaves
+    return FabricModel([f"n{i:03d}" for i in range(50)])
+
+
+def test_tree_shape(fabric):
+    assert fabric.n_leaves() == 3
+    assert fabric.leaf_of("n000") == "leaf0"
+    assert fabric.leaf_of("n019") == "leaf0"
+    assert fabric.leaf_of("n020") == "leaf1"
+    assert fabric.leaf_of("n049") == "leaf2"
+
+
+def test_hop_counts(fabric):
+    assert fabric.hops("n000", "n000") == 0
+    # same leaf: node-leaf-node = 1 switch between
+    assert fabric.hops("n000", "n001") == 1
+    # across leaves: node-leaf-core-leaf-node
+    assert fabric.hops("n000", "n025") == 3
+
+
+def test_compact_placement(fabric):
+    rep = fabric.placement_report("j1", ["n000", "n001", "n002"])
+    assert rep.compact
+    assert rep.leaves == ["leaf0"]
+    assert rep.mean_pairwise_hops == 1.0
+    assert rep.core_traffic_fraction == 0.0
+
+
+def test_spread_placement(fabric):
+    rep = fabric.placement_report("j2", ["n000", "n020", "n040"])
+    assert not rep.compact
+    assert len(rep.leaves) == 3
+    assert rep.core_traffic_fraction == 1.0
+    assert rep.mean_pairwise_hops == 3.0
+
+
+def test_single_node_placement(fabric):
+    rep = fabric.placement_report("j3", ["n000"])
+    assert rep.compact
+    assert rep.mean_pairwise_hops == 0.0
+
+
+def test_core_load_distinguishes_placements(fabric):
+    rates = {f"n{i:03d}": 100.0 for i in range(50)}
+    compact = fabric.core_load(
+        rates, {"a": ["n000", "n001"], "b": ["n020", "n021"]}
+    )
+    spread = fabric.core_load(
+        rates, {"a": ["n000", "n020"], "b": ["n021", "n040"]}
+    )
+    assert compact["core_mbs"] == 0.0
+    assert spread["core_mbs"] == spread["total_mbs"]
+    assert 0 < spread["core_utilization"] <= 1.0
+
+
+def test_core_load_with_cluster_names():
+    from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+
+    c = Cluster(ClusterConfig(normal_nodes=8, largemem_nodes=0,
+                              development_nodes=0, tick=600, seed=1))
+    fabric = FabricModel(c.nodes, ports_per_leaf=4)
+    j = c.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                         nodes=6))
+    rep = fabric.placement_report(j.jobid, j.assigned_nodes)
+    assert len(rep.leaves) == 2  # 6 nodes over 4-port leaves
+    assert rep.core_traffic_fraction > 0

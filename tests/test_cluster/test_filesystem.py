@@ -1,0 +1,100 @@
+"""Shared Lustre congestion model (§VI-A coupling)."""
+
+import pytest
+
+from repro.cluster.filesystem import SharedFilesystem
+
+
+def test_idle_filesystem_multiplier_near_one():
+    fs = SharedFilesystem(epoch=600)
+    assert fs.mds_wait_multiplier(1200) == pytest.approx(1.0)
+
+
+def test_load_appears_in_next_epoch():
+    fs = SharedFilesystem(epoch=600)
+    fs.report(t=500, dt=600, mdc_reqs_per_s=1000.0, osc_reqs_per_s=0.0)
+    # same epoch: not yet visible
+    assert fs.mds_load(500) == 0.0
+    # next epoch: visible
+    assert fs.mds_load(700) == pytest.approx(1000.0)
+
+
+def test_reports_are_order_independent():
+    fs1 = SharedFilesystem(epoch=600)
+    fs2 = SharedFilesystem(epoch=600)
+    reports = [(100, 600, 500.0), (300, 600, 700.0), (500, 600, 800.0)]
+    for t, dt, r in reports:
+        fs1.report(t, dt, r, 0.0)
+    for t, dt, r in reversed(reports):
+        fs2.report(t, dt, r, 0.0)
+    assert fs1.mds_load(700) == pytest.approx(fs2.mds_load(700))
+
+
+def test_multiplier_grows_past_capacity():
+    fs = SharedFilesystem(mds_capacity=1000.0, epoch=600)
+    fs.report(t=300, dt=600, mdc_reqs_per_s=3000.0, osc_reqs_per_s=0.0)
+    m = fs.mds_wait_multiplier(700)
+    assert m > 5.0
+    assert fs.overloaded(700)
+
+
+def test_multiplier_capped():
+    fs = SharedFilesystem(mds_capacity=10.0, epoch=600, max_multiplier=50.0)
+    fs.report(t=300, dt=600, mdc_reqs_per_s=1e6, osc_reqs_per_s=0.0)
+    assert fs.mds_wait_multiplier(700) == 50.0
+
+
+def test_mild_queueing_below_knee():
+    fs = SharedFilesystem(mds_capacity=1000.0, epoch=600)
+    fs.report(t=300, dt=600, mdc_reqs_per_s=500.0, osc_reqs_per_s=0.0)
+    m = fs.mds_wait_multiplier(700)
+    assert 1.0 < m < 1.25
+    assert not fs.overloaded(700)
+
+
+def test_oss_tracked_separately():
+    fs = SharedFilesystem(oss_capacity=100.0, epoch=600)
+    fs.report(t=300, dt=600, mdc_reqs_per_s=0.0, osc_reqs_per_s=500.0)
+    assert fs.oss_wait_multiplier(700) > 5.0
+    assert fs.mds_wait_multiplier(700) == pytest.approx(1.0)
+
+
+def test_partial_interval_reports_weighted_by_dt():
+    fs = SharedFilesystem(epoch=600)
+    # two half-epoch reports at the same rate == one full-epoch report
+    fs.report(t=300, dt=300, mdc_reqs_per_s=1000.0, osc_reqs_per_s=0.0)
+    fs.report(t=600, dt=300, mdc_reqs_per_s=1000.0, osc_reqs_per_s=0.0)
+    assert fs.mds_load(700) == pytest.approx(1000.0, rel=0.01)
+
+
+def test_cluster_integration_bystander_waits_inflate():
+    """One user's storm inflates another user's observed MDC wait."""
+    from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+
+    def bystander_wait(shared):
+        cfg = ClusterConfig(
+            normal_nodes=8, largemem_nodes=0, development_nodes=0,
+            tick=300, shared_filesystem=shared, mds_capacity=50_000,
+            seed=5,
+        )
+        c = Cluster(cfg)
+        c.submit(JobSpec(
+            user="eve",
+            app=make_app("wrf_pathological", runtime_mean=4000.0,
+                         fail_prob=0.0, runtime_sigma=0.01),
+            nodes=4,
+        ))
+        good = c.submit(JobSpec(
+            user="alice",
+            app=make_app("openfoam", runtime_mean=4000.0, fail_prob=0.0,
+                         runtime_sigma=0.01),
+            nodes=2,
+        ))
+        c.run_for(3600)
+        c.catch_up_all()
+        node = c.nodes[good.assigned_nodes[0]]
+        mdc = node.tree.read_all()["mdc"]["scratch-MDT0000-mdc"]
+        idx = node.tree.devices["mdc"].schema.index
+        return mdc[idx["wait_us"]] / max(mdc[idx["reqs"]], 1)
+
+    assert bystander_wait(True) > 3 * bystander_wait(False)

@@ -1,0 +1,70 @@
+"""Job lifecycle and metadata accounting."""
+
+import pytest
+
+from repro.cluster.apps import make_app
+from repro.cluster.jobs import Job, JobSpec, JobState
+
+
+def spec(**kw):
+    kw.setdefault("user", "alice")
+    kw.setdefault("app", make_app("wrf"))
+    kw.setdefault("nodes", 2)
+    return JobSpec(**kw)
+
+
+def test_spec_defaults():
+    s = spec()
+    assert s.queue == "normal"
+    assert s.wayness == 16
+    assert s.name == "wrf.exe"
+    assert s.account.startswith("TG-")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        spec(nodes=0)
+    with pytest.raises(ValueError):
+        spec(wayness=0)
+    with pytest.raises(ValueError):
+        spec(requested_runtime=0)
+
+
+def test_lifecycle_happy_path():
+    j = Job(jobid="1", spec=spec(), submit_time=100)
+    assert j.state is JobState.PENDING
+    assert j.queue_wait() is None and j.run_time() is None
+    j.mark_started(160, ["n1", "n2"], runtime=3600)
+    assert j.state is JobState.RUNNING
+    assert j.queue_wait() == 60
+    j.mark_finished(160 + 3600, JobState.COMPLETED, "COMPLETED")
+    assert j.run_time() == 3600
+    assert j.node_hours() == pytest.approx(2.0)
+    assert j.state.finished
+
+
+def test_double_start_rejected():
+    j = Job(jobid="1", spec=spec(), submit_time=0)
+    j.mark_started(0, ["n1", "n2"], 60)
+    with pytest.raises(RuntimeError):
+        j.mark_started(0, ["n1", "n2"], 60)
+
+
+def test_finish_requires_running():
+    j = Job(jobid="1", spec=spec(), submit_time=0)
+    with pytest.raises(RuntimeError):
+        j.mark_finished(10, JobState.COMPLETED, "x")
+
+
+def test_finish_requires_terminal_state():
+    j = Job(jobid="1", spec=spec(), submit_time=0)
+    j.mark_started(0, ["n1", "n2"], 60)
+    with pytest.raises(ValueError):
+        j.mark_finished(60, JobState.RUNNING, "x")
+
+
+def test_accessors_delegate_to_spec():
+    j = Job(jobid="9", spec=spec(user="bob", nodes=4), submit_time=0)
+    assert j.user == "bob"
+    assert j.nodes == 4
+    assert j.executable == "wrf.exe"

@@ -1,0 +1,105 @@
+"""Node: residency, activity composition, process events."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.apps import make_app
+from repro.cluster.jobs import Job, JobSpec
+from repro.cluster.node import Node
+from repro.hardware import ARCHITECTURES, build_device_tree
+
+
+def make_node(name="n0", **tree_kw):
+    tree = build_device_tree(ARCHITECTURES["intel_snb"], **tree_kw)
+    return Node(name, tree, np.random.default_rng(0), mem_bytes=32 << 30)
+
+
+def running_job(jobid="1", nodes=("n0",), app=None, wayness=16, offset=0):
+    spec = JobSpec(
+        user="u",
+        app=app or make_app("namd", fail_prob=0.0, temporal_noise=0.0,
+                            node_imbalance=0.0),
+        nodes=len(nodes),
+        wayness=wayness,
+        core_offset=offset,
+    )
+    j = Job(jobid=jobid, spec=spec, submit_time=0)
+    j.mark_started(0, list(nodes), 3600)
+    return j
+
+
+def test_assign_release():
+    n = make_node()
+    j = running_job()
+    n.assign(j, 0)
+    assert n.busy and n.jobids == ["1"]
+    n.release("1")
+    assert not n.busy
+
+
+def test_double_assign_rejected():
+    n = make_node()
+    j = running_job()
+    n.assign(j, 0)
+    with pytest.raises(RuntimeError):
+        n.assign(j, 0)
+
+
+def test_compose_idle_node_background_only():
+    n = make_node()
+    act = n.compose_activity(now=600)
+    assert np.all(act.cpu_user_frac == 0)
+    assert act.cpu_system_frac.max() <= 0.01
+
+
+def test_compose_merges_two_jobs():
+    n = make_node()
+    n.assign(running_job("1", wayness=8, offset=0), 0)
+    n.assign(running_job("2", wayness=8, offset=8), 0)
+    act = n.compose_activity(now=600)
+    # both core groups active
+    assert act.cpu_user_frac[0] > 0.5
+    assert act.cpu_user_frac[8] > 0.5
+    assert len(act.processes) == 16
+
+
+def test_crashed_job_contributes_nothing():
+    n = make_node()
+    n.assign(running_job("1"), 0)
+    n.mark_crashed("1")
+    act = n.compose_activity(now=600)
+    assert np.all(act.cpu_user_frac == 0)
+
+
+def test_step_noop_when_failed():
+    n = make_node()
+    n.assign(running_job("1"), 0)
+    n.fail()
+    n.step(600, 600)
+    assert n.tree.read_all()["cpu"]["0"].sum() == 0
+    n.recover()
+    n.step(600, 1200)
+    assert n.tree.read_all()["cpu"]["0"].sum() > 0
+
+
+def test_process_events_emitted_on_start_and_stop():
+    n = make_node()
+    events = []
+    n.process_observers.append(
+        lambda node, kind, p: events.append((kind, p.pid))
+    )
+    n.assign(running_job("1", wayness=2), 0)
+    n.step(600, 600)
+    starts = [e for e in events if e[0] == "start"]
+    assert len(starts) == 2
+    n.release("1")
+    n.step(600, 1200)
+    stops = [e for e in events if e[0] == "stop"]
+    assert len(stops) == 2
+
+
+def test_no_observer_overhead_path():
+    n = make_node()
+    n.assign(running_job("1", wayness=2), 0)
+    n.step(600, 600)  # must not raise without observers
+    assert n.tree.read_procs()

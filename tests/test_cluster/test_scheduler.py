@@ -1,0 +1,239 @@
+"""Scheduler: FCFS, queues, hooks, failure interaction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.apps import make_app
+from repro.cluster.jobs import JobSpec, JobState
+from repro.cluster.node import Node
+from repro.cluster.scheduler import Queue, Scheduler
+from repro.hardware import ARCHITECTURES, build_device_tree
+
+RNG = np.random.default_rng(0)
+
+
+def make_sched(n_nodes=4):
+    nodes = {}
+    for i in range(n_nodes):
+        name = f"n{i}"
+        tree = build_device_tree(ARCHITECTURES["intel_snb"])
+        nodes[name] = Node(name, tree, np.random.default_rng(i))
+    queues = [Queue(name="normal", node_names=sorted(nodes))]
+    return Scheduler(nodes, queues), nodes
+
+
+def spec(nodes=1, **kw):
+    kw.setdefault("user", "u")
+    kw.setdefault("app", make_app("wrf", fail_prob=0.0))
+    return JobSpec(nodes=nodes, **kw)
+
+
+def test_submit_assigns_increasing_ids():
+    s, _ = make_sched()
+    a = s.submit(spec(), now=0)
+    b = s.submit(spec(), now=0)
+    assert int(b.jobid) == int(a.jobid) + 1
+
+
+def test_submit_unknown_queue_rejected():
+    s, _ = make_sched()
+    with pytest.raises(KeyError):
+        s.submit(spec(queue="gpu"), now=0)
+
+
+def test_submit_oversized_job_rejected():
+    s, _ = make_sched(2)
+    with pytest.raises(ValueError):
+        s.submit(spec(nodes=3), now=0)
+
+
+def test_schedule_first_fit():
+    s, nodes = make_sched(4)
+    j = s.submit(spec(nodes=2), now=0)
+    started = s.schedule_pending(0, runtime_for=lambda job: 100)
+    assert started == [j]
+    assert j.assigned_nodes == ["n0", "n1"]
+    assert nodes["n0"].busy and not nodes["n2"].busy
+
+
+def test_strict_fcfs_no_jumping():
+    s, _ = make_sched(4)
+    big = s.submit(spec(nodes=4), now=0)
+    small = s.submit(spec(nodes=1), now=0)
+    s.schedule_pending(0, lambda j: 1000)
+    # big runs; small cannot jump ahead once queue head is blocked
+    s.submit(spec(nodes=4), now=1)  # blocks the head
+    started = s.schedule_pending(1, lambda j: 1000)
+    assert started == []
+
+
+def test_queue_wait_measured():
+    s, _ = make_sched(1)
+    a = s.submit(spec(), now=0)
+    b = s.submit(spec(), now=0)
+    s.schedule_pending(0, lambda j: 500)
+    s.finish(a.jobid, 500, JobState.COMPLETED, "COMPLETED")
+    s.schedule_pending(500, lambda j: 500)
+    assert b.queue_wait() == 500
+
+
+def test_prolog_epilog_hooks_fire():
+    s, _ = make_sched(2)
+    events = []
+    s.prolog_hooks.append(lambda job, t: events.append(("pro", job.jobid, t)))
+    s.epilog_hooks.append(lambda job, t: events.append(("epi", job.jobid, t)))
+    j = s.submit(spec(nodes=2), now=0)
+    s.schedule_pending(0, lambda job: 100)
+    s.finish(j.jobid, 100, JobState.COMPLETED, "COMPLETED")
+    assert events == [("pro", j.jobid, 0), ("epi", j.jobid, 100)]
+
+
+def test_epilog_runs_while_nodes_still_assigned():
+    s, nodes = make_sched(1)
+    seen = []
+    s.epilog_hooks.append(
+        lambda job, t: seen.append(nodes[job.assigned_nodes[0]].jobids)
+    )
+    j = s.submit(spec(), now=0)
+    s.schedule_pending(0, lambda job: 100)
+    s.finish(j.jobid, 100, JobState.COMPLETED, "COMPLETED")
+    assert seen == [[j.jobid]]
+    assert not nodes["n0"].busy  # released after epilog
+
+
+def test_runtime_truncated_by_request_and_walltime():
+    s, _ = make_sched(1)
+    j = s.submit(spec(requested_runtime=500), now=0)
+    s.schedule_pending(0, lambda job: 10_000)
+    assert j.planned_runtime == 500
+
+
+def test_failed_node_not_allocated():
+    s, nodes = make_sched(2)
+    nodes["n0"].fail()
+    j = s.submit(spec(), now=0)
+    s.schedule_pending(0, lambda job: 100)
+    assert j.assigned_nodes == ["n1"]
+
+
+def test_jobs_on_failed_nodes():
+    s, nodes = make_sched(2)
+    j = s.submit(spec(nodes=2), now=0)
+    s.schedule_pending(0, lambda job: 100)
+    assert s.jobs_on_failed_nodes() == []
+    nodes["n1"].fail()
+    assert s.jobs_on_failed_nodes() == [j]
+
+
+def test_node_in_two_queues_rejected():
+    nodes = {}
+    tree = build_device_tree(ARCHITECTURES["intel_snb"])
+    nodes["n0"] = Node("n0", tree, RNG)
+    with pytest.raises(ValueError):
+        Scheduler(
+            nodes,
+            [Queue("a", ["n0"]), Queue("b", ["n0"])],
+        )
+
+
+def test_queue_with_unknown_node_rejected():
+    with pytest.raises(ValueError):
+        Scheduler({}, [Queue("a", ["ghost"])])
+
+
+def make_backfill_sched(n_nodes=4, backfill=True):
+    nodes = {}
+    for i in range(n_nodes):
+        name = f"n{i}"
+        tree = build_device_tree(ARCHITECTURES["intel_snb"])
+        nodes[name] = Node(name, tree, np.random.default_rng(i))
+    queues = [Queue(name="normal", node_names=sorted(nodes))]
+    return Scheduler(nodes, queues, backfill=backfill), nodes
+
+
+class TestEasyBackfill:
+    def test_short_job_backfills_before_blocked_head(self):
+        s, _ = make_backfill_sched(4)
+        # 3-node job runs until t=1000; 4-node head blocked until then
+        running = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                                   nodes=3, requested_runtime=1000), now=0)
+        s.schedule_pending(0, lambda j: 1000)
+        head = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                                nodes=4, requested_runtime=1000), now=0)
+        # fits in the single free node AND ends before the shadow time
+        filler = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                                  nodes=1, requested_runtime=500), now=0)
+        started = s.schedule_pending(1, lambda j: 400)
+        assert started == [filler]
+        assert head.state is JobState.PENDING
+
+    def test_backfill_never_delays_head(self):
+        s, _ = make_backfill_sched(4)
+        s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                         nodes=3, requested_runtime=1000), now=0)
+        s.schedule_pending(0, lambda j: 1000)
+        head = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                                nodes=4, requested_runtime=1000), now=0)
+        # would outlive the shadow time on a node the head needs: denied
+        hog = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                               nodes=1, requested_runtime=50_000), now=0)
+        started = s.schedule_pending(1, lambda j: 50_000)
+        assert started == []
+        assert hog.state is JobState.PENDING
+
+    def test_backfill_disabled_is_strict_fcfs(self):
+        s, _ = make_backfill_sched(4, backfill=False)
+        s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                         nodes=3, requested_runtime=1000), now=0)
+        s.schedule_pending(0, lambda j: 1000)
+        s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                         nodes=4, requested_runtime=1000), now=0)
+        filler = s.submit(JobSpec(user="u", app=make_app("namd",
+                          fail_prob=0.0), nodes=1, requested_runtime=100),
+                          now=0)
+        assert s.schedule_pending(1, lambda j: 100) == []
+        assert filler.state is JobState.PENDING
+
+    def test_spare_allowance_not_overdrawn(self):
+        """Multiple backfills cannot collectively eat the reservation."""
+        s, _ = make_backfill_sched(6)
+        # 4 nodes busy until t=1000; 2 free
+        s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                         nodes=4, requested_runtime=1000), now=0)
+        s.schedule_pending(0, lambda j: 1000)
+        # head wants 5: shadow at t=1000 with spare 6-5=1
+        head = s.submit(JobSpec(user="u", app=make_app("namd",
+                        fail_prob=0.0), nodes=5, requested_runtime=500),
+                        now=0)
+        # two long 1-node jobs: only ONE may take the spare slot
+        f1 = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                              nodes=1, requested_runtime=50_000), now=0)
+        f2 = s.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0),
+                              nodes=1, requested_runtime=50_000), now=0)
+        started = s.schedule_pending(1, lambda j: 50_000)
+        assert started == [f1]
+        assert f2.state is JobState.PENDING
+        assert head.state is JobState.PENDING
+
+    def test_end_to_end_backfill_improves_short_job_wait(self):
+        from repro.cluster import Cluster, ClusterConfig
+
+        def short_wait(backfill):
+            c = Cluster(ClusterConfig(
+                normal_nodes=4, largemem_nodes=0, development_nodes=0,
+                tick=600, seed=9, backfill=backfill,
+            ))
+            c.submit(JobSpec(user="a", app=make_app("namd", fail_prob=0.0,
+                     runtime_mean=4000.0, runtime_sigma=0.01), nodes=3,
+                     requested_runtime=6000))
+            c.submit(JobSpec(user="b", app=make_app("namd", fail_prob=0.0,
+                     runtime_mean=4000.0, runtime_sigma=0.01), nodes=4,
+                     requested_runtime=6000))
+            short = c.submit(JobSpec(user="c", app=make_app("namd",
+                             fail_prob=0.0, runtime_mean=600.0,
+                             runtime_sigma=0.01), nodes=1,
+                             requested_runtime=900))
+            c.run_for(6 * 3600)
+            return short.queue_wait()
+
+        assert short_wait(True) < short_wait(False)

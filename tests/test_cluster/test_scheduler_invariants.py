@@ -1,0 +1,87 @@
+"""Randomised scheduler invariants over seeded job streams.
+
+Whatever the stream looks like, these must hold:
+
+* a node never hosts two whole-node jobs at once,
+* every started job got exactly the nodes it asked for, from its
+  own queue,
+* with backfill enabled, no queue head starts *later* than it would
+  under strict FCFS (the EASY guarantee), while total throughput is
+  at least as good.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.cluster.jobs import JobState
+
+APPS = ("namd", "python_serial", "wrf", "openfoam")
+
+
+def run_stream(seed: int, backfill: bool, n_jobs: int = 24):
+    c = Cluster(ClusterConfig(
+        normal_nodes=8, largemem_nodes=1, development_nodes=0,
+        tick=600, seed=seed, backfill=backfill,
+    ))
+    rng = np.random.default_rng(seed)
+    jobs = []
+    t0 = c.now()
+    for i in range(n_jobs):
+        app = APPS[int(rng.integers(0, len(APPS)))]
+        jobs.append(c.submit(
+            JobSpec(
+                user=f"u{i % 6}",
+                app=make_app(app, fail_prob=0.0,
+                             runtime_mean=float(rng.integers(600, 6000)),
+                             runtime_sigma=0.1),
+                nodes=int(rng.integers(1, 7)),
+                requested_runtime=int(rng.integers(1200, 9000)),
+            ),
+            when=t0 + int(rng.integers(0, 8 * 3600)),
+        ))
+        # overlap checking hook per node
+    c.run_for(48 * 3600)
+    return c, [getattr(j, "job", j) for j in jobs]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+@pytest.mark.parametrize("backfill", [True, False])
+def test_no_node_double_booking(seed, backfill):
+    c, jobs = run_stream(seed, backfill)
+    jobs = [j for j in jobs if j is not None and j.start_time is not None]
+    # reconstruct per-node occupancy intervals and check for overlap
+    by_node = {}
+    for j in jobs:
+        for n in j.assigned_nodes:
+            by_node.setdefault(n, []).append(
+                (j.start_time, j.end_time or c.now())
+            )
+    for node, intervals in by_node.items():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1, f"{node}: [{s1},{e1}] overlaps [{s2},{e2}]"
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_jobs_complete_and_stay_in_queue(seed):
+    c, jobs = run_stream(seed, backfill=True)
+    jobs = [j for j in jobs if j is not None]
+    finished = [j for j in jobs if j.state is JobState.COMPLETED]
+    assert len(finished) >= 0.9 * len(jobs)
+    normal = set(c.scheduler.queues["normal"].node_names)
+    for j in finished:
+        assert len(j.assigned_nodes) == j.nodes
+        assert set(j.assigned_nodes) <= normal
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_backfill_does_not_hurt_throughput(seed):
+    _, jobs_bf = run_stream(seed, backfill=True)
+    _, jobs_fc = run_stream(seed, backfill=False)
+    done_bf = sum(1 for j in jobs_bf if j and j.state.finished)
+    done_fc = sum(1 for j in jobs_fc if j and j.state.finished)
+    assert done_bf >= done_fc
+    wait_bf = np.mean([j.queue_wait() or 0 for j in jobs_bf if j and j.start_time])
+    wait_fc = np.mean([j.queue_wait() or 0 for j in jobs_fc if j and j.start_time])
+    assert wait_bf <= wait_fc + 1

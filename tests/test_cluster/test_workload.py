@@ -1,0 +1,87 @@
+"""Workload generator: arrivals, mix, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.jobs import JobState
+from repro.cluster.workload import DEFAULT_MIX, WorkloadEntry, WorkloadGenerator
+
+
+def make_cluster(seed=1, nodes=16):
+    return Cluster(ClusterConfig(
+        normal_nodes=nodes, largemem_nodes=0, development_nodes=0,
+        tick=600, seed=seed,
+    ))
+
+
+def test_generates_roughly_requested_rate():
+    c = make_cluster()
+    gen = WorkloadGenerator(c, DEFAULT_MIX, rate_per_hour=12.0,
+                            diurnal=False)
+    n = gen.run(24 * 3600)
+    assert 12 * 24 * 0.6 < n < 12 * 24 * 1.4
+
+
+def test_diurnal_thinning_reduces_volume():
+    c1, c2 = make_cluster(seed=2), make_cluster(seed=2)
+    flat = WorkloadGenerator(c1, DEFAULT_MIX, rate_per_hour=12.0,
+                             diurnal=False).run(48 * 3600)
+    wavy = WorkloadGenerator(c2, DEFAULT_MIX, rate_per_hour=12.0,
+                             diurnal=True).run(48 * 3600)
+    assert wavy < flat
+
+
+def test_jobs_actually_run():
+    c = make_cluster()
+    gen = WorkloadGenerator(c, DEFAULT_MIX, rate_per_hour=6.0)
+    gen.run(12 * 3600)
+    c.run_for(36 * 3600)
+    jobs = gen.jobs()
+    assert jobs
+    done = [j for j in jobs if j.state.finished]
+    assert len(done) >= 0.9 * len(jobs)
+
+
+def test_mix_respected():
+    c = make_cluster(nodes=32)
+    entries = (
+        WorkloadEntry("namd", 0.8, (1,)),
+        WorkloadEntry("wrf", 0.2, (1,)),
+    )
+    gen = WorkloadGenerator(c, entries, rate_per_hour=40.0, diurnal=False)
+    gen.run(48 * 3600)
+    c.run_for(1)  # materialise deferred submissions? (submits are events)
+    c.run_for(48 * 3600)
+    exes = [j.executable for j in gen.jobs()]
+    frac_namd = exes.count("namd2") / len(exes)
+    assert frac_namd == pytest.approx(0.8, abs=0.12)
+
+
+def test_deterministic_given_seed():
+    def run():
+        c = make_cluster(seed=77)
+        gen = WorkloadGenerator(c, DEFAULT_MIX, rate_per_hour=8.0)
+        gen.run(12 * 3600)
+        c.run_for(24 * 3600)
+        return sorted(
+            (j.jobid, j.executable, j.run_time()) for j in gen.jobs()
+        )
+
+    assert run() == run()
+
+
+def test_zero_weights_rejected():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        WorkloadGenerator(c, (WorkloadEntry("wrf", 0.0),))
+
+
+def test_runtime_override():
+    c = make_cluster()
+    entries = (WorkloadEntry("wrf", 1.0, (1,), runtime_mean=600.0),)
+    gen = WorkloadGenerator(c, entries, rate_per_hour=10.0, diurnal=False)
+    gen.run(6 * 3600)
+    c.run_for(24 * 3600)
+    runtimes = [j.run_time() for j in gen.jobs() if j.run_time()]
+    assert np.median(runtimes) < 1800

@@ -1,0 +1,98 @@
+"""Collector: build flags, job hints, overhead charging."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.core import BuildConfig, Collector, MonitorConfig
+
+
+def make_cluster():
+    return Cluster(ClusterConfig(
+        normal_nodes=2, largemem_nodes=0, development_nodes=0,
+        tick=300, xeon_phi=True,
+    ))
+
+
+def test_collect_reads_all_wanted_types():
+    c = make_cluster()
+    col = Collector(c)
+    s = col.collect("c401-101")
+    assert s is not None
+    assert {"cpu", "mem", "intel_snb", "mdc", "ib", "mic"} <= set(s.data)
+
+
+def test_build_flags_filter_device_types():
+    c = make_cluster()
+    col = Collector(c, build=BuildConfig(infiniband=False, lustre=False,
+                                         xeon_phi=False))
+    s = col.collect("c401-101")
+    assert "ib" not in s.data
+    assert "mic" not in s.data
+    assert not set(s.data) & {"mdc", "osc", "llite", "lnet"}
+
+
+def test_build_flag_without_hardware_is_fine():
+    """§III-B: a flag for absent hardware must not break collection."""
+    cfg = ClusterConfig(normal_nodes=1, largemem_nodes=0,
+                        development_nodes=0, xeon_phi=False)
+    c = Cluster(cfg)
+    col = Collector(c, build=BuildConfig(xeon_phi=True))  # wants mic
+    s = col.collect("c401-101")
+    assert s is not None and "mic" not in s.data
+
+
+def test_jobid_hint_merged():
+    c = make_cluster()
+    col = Collector(c)
+    s = col.collect("c401-101", jobid_hint="999")
+    assert "999" in s.jobids
+
+
+def test_failed_node_returns_none():
+    c = make_cluster()
+    c.nodes["c401-101"].fail()
+    col = Collector(c)
+    assert col.collect("c401-101") is None
+
+
+def test_job_list_stamped():
+    c = make_cluster()
+    j = c.submit(JobSpec(user="u", app=make_app("wrf", fail_prob=0.0),
+                         nodes=1))
+    col = Collector(c)
+    s = col.collect(j.assigned_nodes[0])
+    assert s.jobids == [j.jobid]
+
+
+def test_overhead_charged_per_collection():
+    c = make_cluster()
+    col = Collector(c, monitor=MonitorConfig(collect_seconds=0.09))
+    for _ in range(10):
+        col.collect("c401-101")
+    assert col.collections == 10
+    assert col.overhead.core_seconds["c401-101"] == pytest.approx(0.9)
+
+
+def test_collect_advances_counters_to_now():
+    c = make_cluster()
+    c.submit(JobSpec(user="u", app=make_app("namd", fail_prob=0.0), nodes=1))
+    c.run_for(1)
+    col = Collector(c)
+    c.clock.advance(1200)
+    s = col.collect("c401-101")
+    assert s.timestamp == c.now()
+    assert s.data["cpu"]["0"].sum() > 0
+
+
+def test_monitor_config_validation():
+    with pytest.raises(ValueError):
+        MonitorConfig(interval=0)
+    with pytest.raises(ValueError):
+        MonitorConfig(rsync_window=(5, 3))
+
+
+def test_schemas_for_matches_collected_types():
+    c = make_cluster()
+    col = Collector(c)
+    s = col.collect("c401-101")
+    assert set(col.schemas_for("c401-101")) == set(s.data)

@@ -1,0 +1,111 @@
+"""Cron mode: rotation, staggered rsync, data lag, data loss."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+from repro.core import CentralStore, Collector, CronMode, MonitorConfig
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+def build(tmp_path, nodes=3, seed=2):
+    c = Cluster(ClusterConfig(
+        normal_nodes=nodes, largemem_nodes=0, development_nodes=0,
+        tick=300, seed=seed,
+    ))
+    col = Collector(c)
+    store = CentralStore(tmp_path / "central")
+    cron = CronMode(c, col, store)
+    cron.start()
+    return c, col, store, cron
+
+
+def test_double_start_rejected(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    with pytest.raises(RuntimeError):
+        cron.start()
+
+
+def test_no_data_central_before_first_rsync(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(12 * 3600)  # noon: no rotation yet
+    assert store.hosts() == []
+
+
+def test_data_appears_after_next_morning_rsync(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(SECONDS_PER_DAY + 6 * 3600)  # past the 02:00–05:00 window
+    assert len(store.hosts()) == 3
+    assert store.sample_count(store.hosts()[0]) > 100
+
+
+def test_lag_is_hours_not_seconds(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(2 * SECONDS_PER_DAY)
+    stats = store.lag_stats()
+    assert stats["count"] > 0
+    assert stats["mean"] > 3600  # many hours of lag
+    assert stats["max"] > 20 * 3600
+
+
+def test_rsync_times_staggered_per_node(tmp_path):
+    c, col, store, cron = build(tmp_path, nodes=6)
+    c.run_for(SECONDS_PER_DAY + 6 * 3600)
+    # same-day samples arrive at different times on different nodes
+    arrivals = {h: {a for _, a in log} for h, log in store.arrivals.items()}
+    all_times = set().union(*arrivals.values())
+    assert len(all_times) >= 4  # ≥4 distinct sync instants across 6 nodes
+
+
+def test_job_gets_prolog_and_epilog_samples(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    j = c.submit(JobSpec(
+        user="u", app=make_app("wrf", runtime_mean=700.0, fail_prob=0.0,
+                               runtime_sigma=0.05),
+        nodes=1, requested_runtime=1200,
+    ))
+    c.run_for(SECONDS_PER_DAY + 6 * 3600)
+    host = j.assigned_nodes[0]
+    tagged = [
+        s for s in store.samples(host) if j.jobid in s.jobids
+    ]
+    # begin + end at minimum, even for a job shorter than the interval
+    assert len(tagged) >= 2
+    assert tagged[0].timestamp == j.start_time
+    assert tagged[-1].timestamp == j.end_time
+
+
+def test_node_failure_loses_unsynced_data(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(12 * 3600)  # half a day of samples buffered locally
+    c.fail_node("c401-101")
+    lost = cron.account_node_failure("c401-101")
+    assert lost > 30  # ~72 collections buffered, all gone
+    c.run_for(SECONDS_PER_DAY)
+    assert "c401-101" not in store.hosts()
+    assert cron.lost_samples == lost
+
+
+def test_final_sync_flushes_healthy_nodes(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(10 * 3600)
+    cron.final_sync()
+    assert len(store.hosts()) == 3
+    assert cron.synced_samples > 0
+
+
+def test_final_sync_drops_failed_nodes(tmp_path):
+    c, col, store, cron = build(tmp_path)
+    c.run_for(10 * 3600)
+    c.fail_node("c401-102")
+    cron.final_sync()
+    assert "c401-102" not in store.hosts()
+    assert cron.lost_samples > 0
+
+
+def test_collections_at_cron_cadence(tmp_path):
+    c, col, store, cron = build(tmp_path, nodes=1)
+    c.run_for(SECONDS_PER_DAY + 6 * 3600)
+    samples = list(store.samples("c401-101"))
+    ts = [s.timestamp for s in samples]
+    gaps = {b - a for a, b in zip(ts, ts[1:])}
+    assert gaps == {600}

@@ -1,0 +1,54 @@
+"""Overhead model: the paper's 0.02 % / 0.09 s figures."""
+
+import pytest
+
+from repro.core.overhead import OverheadModel, predicted_overhead
+
+
+def test_charge_accumulates():
+    m = OverheadModel(collect_seconds=0.09)
+    m.charge("n1", 0)
+    m.charge("n1", 600)
+    m.charge("n2", 600)
+    assert m.total_core_seconds() == pytest.approx(0.27)
+    assert m.count["n1"] == 2
+
+
+def test_node_overhead_fraction():
+    m = OverheadModel(collect_seconds=0.09)
+    for t in range(0, 6000, 600):
+        m.charge("n1", t)
+    frac = m.node_overhead_fraction("n1", cores=16, elapsed=6000)
+    assert frac == pytest.approx(10 * 0.09 / (16 * 6000))
+
+
+def test_uncharged_node_zero():
+    m = OverheadModel()
+    assert m.node_overhead_fraction("ghost", cores=16) == 0.0
+
+
+def test_fleet_fraction():
+    m = OverheadModel(collect_seconds=0.09)
+    for n in ("a", "b"):
+        for t in range(0, 3600, 600):
+            m.charge(n, t)
+    frac = m.fleet_overhead_fraction(cores_per_node=16, elapsed=3600)
+    assert frac == pytest.approx(6 * 0.09 / (16 * 3600))
+
+
+def test_predicted_overhead_at_paper_operating_point():
+    """10-minute sampling on a 16-core node: well under 0.02 %."""
+    frac = predicted_overhead(interval=600, cores=16)
+    assert frac < 0.0002
+    # sub-second sampling is possible at higher overhead (§I)
+    assert predicted_overhead(interval=0.5, cores=16) > 0.01
+
+
+def test_predicted_overhead_monotone_in_interval():
+    vals = [predicted_overhead(i, 16) for i in (1, 10, 60, 600, 3600)]
+    assert vals == sorted(vals, reverse=True)
+
+
+def test_predicted_overhead_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        predicted_overhead(0, 16)

@@ -1,0 +1,168 @@
+"""Raw stats file format: write/parse round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import Sample
+from repro.core.rawfile import RawFileParser, RawFileWriter
+from repro.hardware.devices.base import Schema, SchemaEntry
+from repro.hardware.devices.procfs import ProcessRecord
+
+SCHEMAS = {
+    "mdc": Schema([SchemaEntry("reqs", width=64),
+                   SchemaEntry("wait_us", width=64, unit="us")]),
+    "mem": Schema([SchemaEntry("MemTotal", event=False, unit="B"),
+                   SchemaEntry("MemUsed", event=False, unit="B")]),
+}
+
+
+def make_writer():
+    return RawFileWriter("c401-101", "intel_snb", SCHEMAS, mem_bytes=1 << 35)
+
+
+def make_sample(ts=1443657600, jobids=("100",), reqs=5.0):
+    return Sample(
+        host="c401-101",
+        timestamp=ts,
+        jobids=list(jobids),
+        data={
+            "mdc": {"scratch-MDT0000-mdc": np.array([reqs, reqs * 350])},
+            "mem": {"0": np.array([1 << 34, 1 << 30])},
+        },
+        procs=[
+            ProcessRecord(
+                pid=41, name="wrf.exe", owner="alice", jobid="100",
+                vmsize_kb=160, vmhwm_kb=200, vmrss_kb=100, vmrss_hwm_kb=120,
+                vmlck_kb=8, data_kb=64, stack_kb=8, text_kb=2, threads=2,
+                cpu_affinity=(0, 16), mem_affinity=(0,),
+            )
+        ],
+    )
+
+
+def roundtrip(samples):
+    w = make_writer()
+    text = w.header() + "".join(w.record(s) for s in samples)
+    parser = RawFileParser()
+    return parser, list(parser.parse(text))
+
+
+def test_header_fields_parsed():
+    parser, _ = roundtrip([make_sample()])
+    assert parser.hostname == "c401-101"
+    assert parser.arch == "intel_snb"
+    assert parser.mem_bytes == 1 << 35
+    assert set(parser.schemas) == {"mdc", "mem"}
+
+
+def test_record_roundtrip_values():
+    _, out = roundtrip([make_sample(reqs=7)])
+    s = out[0]
+    assert s.timestamp == 1443657600
+    assert s.jobids == ["100"]
+    assert s.data["mdc"]["scratch-MDT0000-mdc"][0] == 7
+    assert s.data["mem"]["0"][0] == float(1 << 34)
+
+
+def test_ps_record_roundtrip():
+    _, out = roundtrip([make_sample()])
+    p = out[0].procs[0]
+    assert p.pid == 41
+    assert p.name == "wrf.exe"
+    assert p.jobid == "100"
+    assert p.cpu_affinity == (0, 16)
+    assert p.vmhwm_kb == 200
+
+
+def test_no_jobs_renders_dash():
+    w = make_writer()
+    s = make_sample(jobids=())
+    text = w.record(s)
+    assert text.splitlines()[0].endswith(" -")
+    parser = RawFileParser()
+    parser.schemas = dict(SCHEMAS)
+    parser.hostname = "c401-101"
+    out = list(parser.parse(text))
+    assert out[0].jobids == []
+
+
+def test_multiple_jobids_comma_separated():
+    _, out = roundtrip([make_sample(jobids=("1", "2"))])
+    assert out[0].jobids == ["1", "2"]
+
+
+def test_multiple_records_stream():
+    _, out = roundtrip([make_sample(ts=t) for t in (10, 20, 30)])
+    assert [s.timestamp for s in out] == [10, 20, 30]
+
+
+def test_counters_serialised_as_integers():
+    w = make_writer()
+    s = make_sample(reqs=3.9)
+    line = [l for l in w.record(s).splitlines() if l.startswith("mdc")][0]
+    assert line.split()[2] == "3"  # registers are integers on the wire
+
+
+def test_schema_mismatch_rejected():
+    parser = RawFileParser()
+    text = "!mdc reqs,E,W=64 wait_us,E,W=64\n100 -\nmdc x 1 2 3\n"
+    with pytest.raises(ValueError):
+        list(parser.parse(text))
+
+
+def test_data_before_record_rejected():
+    parser = RawFileParser()
+    with pytest.raises(ValueError):
+        list(parser.parse("!mdc reqs,E,W=64\nmdc x 1\n"))
+
+
+def test_unsupported_version_rejected():
+    parser = RawFileParser()
+    with pytest.raises(ValueError):
+        list(parser.parse("$tacc_stats 9.0.0\n"))
+
+
+def test_mid_file_header_reparsed():
+    """Cron mode re-emits headers at each rotation; parsing continues."""
+    w = make_writer()
+    text = (
+        w.header() + w.record(make_sample(ts=10))
+        + w.header() + w.record(make_sample(ts=86410))
+    )
+    out = list(RawFileParser().parse(text))
+    assert [s.timestamp for s in out] == [10, 86410]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            st.floats(0, 1e15, allow_nan=False),
+        ),
+        min_size=1, max_size=5,
+    )
+)
+@settings(max_examples=40)
+def test_roundtrip_property(points):
+    """Any sequence of (ts, value) samples round-trips to integers."""
+    points = sorted(points)
+    samples = [
+        Sample(
+            host="h", timestamp=ts, jobids=["1"],
+            data={"mdc": {"i": np.array([v, v])}}, procs=[],
+        )
+        for ts, v in points
+    ]
+    w = RawFileWriter("h", "intel_snb", {"mdc": SCHEMAS["mdc"]})
+    text = w.header() + "".join(w.record(s) for s in samples)
+    out = list(RawFileParser().parse(text))
+    assert len(out) == len(samples)
+    for s_in, s_out in zip(samples, out):
+        assert s_out.timestamp == s_in.timestamp
+        assert s_out.data["mdc"]["i"][0] == float(
+            int(s_in.data["mdc"]["i"][0])
+        )

@@ -1,0 +1,70 @@
+"""CentralStore: append, stream, lag accounting."""
+
+import numpy as np
+
+from repro.core.collector import Sample
+from repro.core.rawfile import RawFileWriter
+from repro.core.store import CentralStore
+from repro.hardware.devices.base import Schema, SchemaEntry
+
+SCHEMA = {"mdc": Schema([SchemaEntry("reqs", width=64)])}
+
+
+def write_host(store, host, n=3, t0=1000, arrive=5000):
+    w = RawFileWriter(host, "intel_snb", SCHEMA)
+    text = w.header()
+    times = []
+    for i in range(n):
+        ts = t0 + i * 600
+        times.append(ts)
+        s = Sample(host=host, timestamp=ts, jobids=["1"],
+                   data={"mdc": {"i": np.array([float(i)])}}, procs=[])
+        text += w.record(s)
+    store.append(host, text, arrived_at=arrive, collect_times=times)
+
+
+def test_hosts_and_samples(tmp_path):
+    store = CentralStore(tmp_path)
+    write_host(store, "n1")
+    write_host(store, "n2")
+    assert store.hosts() == ["n1", "n2"]
+    samples = list(store.samples("n1"))
+    assert len(samples) == 3
+    assert samples[2].data["mdc"]["i"][0] == 2.0
+
+
+def test_missing_host_streams_empty(tmp_path):
+    store = CentralStore(tmp_path)
+    assert list(store.samples("ghost")) == []
+    assert store.sample_count("ghost") == 0
+
+
+def test_appends_accumulate(tmp_path):
+    store = CentralStore(tmp_path)
+    write_host(store, "n1", n=2, t0=0)
+    write_host(store, "n1", n=2, t0=2000)
+    assert store.sample_count("n1") == 4
+
+
+def test_lag_accounting(tmp_path):
+    store = CentralStore(tmp_path)
+    write_host(store, "n1", n=2, t0=1000, arrive=10_000)
+    lags = store.lags()
+    assert list(lags) == [9000.0, 8400.0]
+    stats = store.lag_stats()
+    assert stats["count"] == 2
+    assert stats["max"] == 9000.0
+    assert stats["mean"] == 8700.0
+
+
+def test_empty_lag_stats(tmp_path):
+    store = CentralStore(tmp_path)
+    assert store.lag_stats()["count"] == 0
+
+
+def test_persistence_across_instances(tmp_path):
+    store = CentralStore(tmp_path)
+    write_host(store, "n1")
+    store.close()
+    reopened = CentralStore(tmp_path)
+    assert reopened.sample_count("n1") == 3

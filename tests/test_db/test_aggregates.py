@@ -1,0 +1,65 @@
+"""Aggregation: Avg/Max/Min/Sum/Count and group_aggregate."""
+
+import pytest
+
+from repro.db import Avg, Count, Database, FloatField, Max, Min, Model, Sum, TextField
+
+
+class Score(Model):
+    user = TextField(index=True)
+    points = FloatField(default=0.0)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    Score.bind(d)
+    Score.create_table()
+    Score.objects.bulk_create(
+        [
+            Score(user="a", points=10.0),
+            Score(user="a", points=30.0),
+            Score(user="b", points=5.0),
+            Score(user="b", points=15.0),
+            Score(user="b", points=25.0),
+        ]
+    )
+    return d
+
+
+def test_aggregate_all(db):
+    agg = Score.objects.aggregate(
+        n=Count(), total=Sum("points"), avg=Avg("points"),
+        lo=Min("points"), hi=Max("points"),
+    )
+    assert agg == {"n": 5, "total": 85.0, "avg": 17.0, "lo": 5.0, "hi": 30.0}
+
+
+def test_aggregate_respects_filter(db):
+    agg = Score.objects.filter(user="a").aggregate(avg=Avg("points"))
+    assert agg["avg"] == 20.0
+
+
+def test_aggregate_empty_set(db):
+    agg = Score.objects.filter(user="z").aggregate(avg=Avg("points"), n=Count())
+    assert agg["n"] == 0 and agg["avg"] is None
+
+
+def test_group_aggregate(db):
+    rows = Score.objects.group_aggregate("user", n=Count(), avg=Avg("points"))
+    by_user = {r["user"]: r for r in rows}
+    assert by_user["a"]["n"] == 2 and by_user["a"]["avg"] == 20.0
+    assert by_user["b"]["n"] == 3 and by_user["b"]["avg"] == 15.0
+
+
+def test_group_aggregate_with_filter(db):
+    rows = Score.objects.filter(points__gt=10).group_aggregate(
+        "user", n=Count()
+    )
+    by_user = {r["user"]: r["n"] for r in rows}
+    assert by_user == {"a": 1, "b": 2}
+
+
+def test_manager_shortcuts(db):
+    assert Score.objects.count() == 5
+    assert Score.objects.aggregate(hi=Max("points"))["hi"] == 30.0

@@ -1,0 +1,64 @@
+"""Field behaviour: conversion, DDL, defaults."""
+
+import pytest
+
+from repro.db.fields import (
+    BooleanField,
+    Field,
+    FloatField,
+    IntegerField,
+    JSONField,
+    TextField,
+)
+
+
+def named(f, name="col"):
+    f.name = name
+    return f
+
+
+def test_integer_adapts_and_ddl():
+    f = named(IntegerField(default=3))
+    assert f.to_db("7") == 7
+    assert f.ddl() == "col INTEGER NOT NULL DEFAULT 3"
+
+
+def test_float_adapts():
+    f = named(FloatField(null=True))
+    assert f.to_db("2.5") == 2.5
+    assert f.to_db(None) is None
+    assert f.ddl() == "col REAL"
+
+
+def test_text_escapes_default_quote():
+    f = named(TextField(default="it's"))
+    assert "it''s" in f.ddl()
+
+
+def test_not_null_without_default_rejects_none():
+    f = named(TextField())
+    with pytest.raises(ValueError):
+        f.to_db(None)
+
+
+def test_boolean_roundtrip():
+    f = named(BooleanField(default=True))
+    assert f.to_db(True) == 1
+    assert f.to_db(False) == 0
+    assert f.from_db(1) is True
+    assert f.from_db(0) is False
+    assert f.from_db(None) is None
+    assert "DEFAULT 1" in f.ddl()
+
+
+def test_json_roundtrip_and_sorting():
+    f = named(JSONField(null=True))
+    stored = f.to_db({"b": 1, "a": [2, 3]})
+    assert stored == '{"a": [2, 3], "b": 1}'  # sorted keys: stable
+    assert f.from_db(stored) == {"a": [2, 3], "b": 1}
+    assert f.from_db(None) is None
+
+
+def test_primary_key_ddl():
+    f = named(IntegerField(primary_key=True, null=True), "id")
+    assert f.ddl() == "id INTEGER PRIMARY KEY"

@@ -1,0 +1,93 @@
+"""Additive schema migration via sync_table."""
+
+import pytest
+
+from repro.db import Database, FloatField, IntegerField, Model, TextField
+
+
+def make_model(extra_fields=None, table="mig"):
+    namespace = {
+        "table_name": table,
+        "name": TextField(),
+        "value": FloatField(default=0.0),
+    }
+    namespace.update(extra_fields or {})
+    from repro.db.models import ModelMeta
+
+    return ModelMeta(f"Mig_{len(namespace)}", (Model,), namespace)
+
+
+def test_sync_on_missing_table_creates_it():
+    db = Database()
+    M = make_model()
+    M.bind(db)
+    added = M.sync_table()
+    assert set(added) >= {"name", "value"}
+    M.objects.create(name="a")
+    assert M.objects.count() == 1
+
+
+def test_sync_adds_new_columns_preserving_rows():
+    db = Database()
+    V1 = make_model()
+    V1.bind(db)
+    V1.create_table()
+    V1.objects.create(name="old-row", value=1.5)
+
+    V2 = make_model({
+        "extra": FloatField(null=True, index=True),
+        "rank": IntegerField(default=7),
+    })
+    V2.bind(db)
+    added = V2.sync_table()
+    assert set(added) == {"extra", "rank"}
+    row = V2.objects.get(name="old-row")
+    assert row.value == 1.5
+    assert row.extra is None
+    V2.objects.create(name="new-row", extra=3.0)
+    assert V2.objects.filter(extra__gt=1).count() == 1
+
+
+def test_sync_idempotent():
+    db = Database()
+    M = make_model()
+    M.bind(db)
+    M.create_table()
+    assert M.sync_table() == []
+    assert M.sync_table() == []
+
+
+def test_index_created_for_new_indexed_column():
+    db = Database()
+    V1 = make_model()
+    V1.bind(db)
+    V1.create_table()
+    V2 = make_model({"extra": FloatField(null=True, index=True)})
+    V2.bind(db)
+    V2.sync_table()
+    names = [r[0] for r in db.execute(
+        "SELECT name FROM sqlite_master WHERE type='index'"
+    ).fetchall()]
+    assert any("extra" in n for n in names)
+
+
+def test_job_table_migration_scenario():
+    """An old job DB gains this release's energy columns cleanly."""
+    from repro.pipeline.records import JobRecord
+
+    db = Database()
+    # simulate an old-release table: job table without energy columns
+    db.execute(
+        "CREATE TABLE job (id INTEGER PRIMARY KEY, jobid TEXT NOT NULL, "
+        "user TEXT NOT NULL, CPU_Usage REAL)"
+    )
+    db.execute(
+        "INSERT INTO job (jobid, user, CPU_Usage) VALUES ('1', 'u', 0.8)"
+    )
+    db.commit()
+    JobRecord.bind(db)
+    added = JobRecord.sync_table()
+    assert "PkgPower" in added and "flags" in added
+    rec = JobRecord.objects.get(jobid="1")
+    assert rec.CPU_Usage == 0.8
+    assert rec.PkgPower is None

@@ -1,0 +1,121 @@
+"""ORM models: declaration, CRUD, binding."""
+
+import pytest
+
+from repro.db import (
+    BooleanField,
+    Database,
+    FloatField,
+    IntegerField,
+    Model,
+    TextField,
+)
+from repro.db.fields import JSONField
+
+
+class Widget(Model):
+    name = TextField()
+    mass = FloatField(default=0.0)
+    count = IntegerField(default=1, index=True)
+    active = BooleanField(default=True)
+    meta = JSONField(null=True)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    Widget.bind(d)
+    Widget.create_table()
+    return d
+
+
+def test_unbound_model_raises():
+    class Orphan(Model):
+        x = IntegerField(default=0)
+
+    with pytest.raises(RuntimeError):
+        Orphan.objects.count()
+
+
+def test_create_and_fetch(db):
+    w = Widget.objects.create(name="a", mass=2.5)
+    assert w.id is not None
+    got = Widget.objects.get(name="a")
+    assert got.mass == 2.5
+    assert got.active is True
+
+
+def test_defaults_applied(db):
+    w = Widget.objects.create(name="a")
+    assert w.mass == 0.0 and w.count == 1
+
+
+def test_unknown_field_rejected(db):
+    with pytest.raises(TypeError):
+        Widget(name="a", bogus=1)
+
+
+def test_update_via_save(db):
+    w = Widget.objects.create(name="a", mass=1.0)
+    w.mass = 9.0
+    w.save()
+    assert Widget.objects.get(id=w.id).mass == 9.0
+    assert Widget.objects.count() == 1  # update, not insert
+
+
+def test_delete_instance(db):
+    w = Widget.objects.create(name="a")
+    w.delete()
+    assert Widget.objects.count() == 0
+
+
+def test_bulk_create(db):
+    n = Widget.objects.bulk_create(
+        [Widget(name=f"w{i}", mass=float(i)) for i in range(100)]
+    )
+    assert n == 100
+    assert Widget.objects.count() == 100
+
+
+def test_json_field_roundtrip(db):
+    w = Widget.objects.create(name="a", meta={"flags": ["x", "y"], "n": 2})
+    got = Widget.objects.get(id=w.id)
+    assert got.meta == {"flags": ["x", "y"], "n": 2}
+
+
+def test_boolean_field_roundtrip(db):
+    Widget.objects.create(name="t", active=True)
+    Widget.objects.create(name="f", active=False)
+    assert Widget.objects.get(name="f").active is False
+    assert Widget.objects.filter(active=True).count() == 1
+
+
+def test_not_null_enforced(db):
+    with pytest.raises(ValueError):
+        Widget.objects.create(name=None)
+
+
+def test_index_created(db):
+    names = [r[0] for r in db.execute(
+        "SELECT name FROM sqlite_master WHERE type='index'"
+    ).fetchall()]
+    assert any("count" in n for n in names)
+
+
+def test_table_introspection(db):
+    assert "widget" in db.table_names()
+    cols = dict(db.columns("widget"))
+    assert cols["mass"] == "REAL"
+    assert cols["name"] == "TEXT"
+
+
+def test_two_databases_isolated():
+    db1, db2 = Database(), Database()
+    Widget.bind(db1)
+    Widget.create_table()
+    Widget.objects.create(name="in1")
+    Widget.bind(db2)
+    Widget.create_table()
+    assert Widget.objects.count() == 0
+    Widget.bind(db1)
+    assert Widget.objects.count() == 1

@@ -1,0 +1,152 @@
+"""Activity: validation, broadcasting, shared-node merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.activity import Activity, ProcessActivity
+
+
+def test_idle_is_all_zero():
+    act = Activity.idle(8)
+    assert act.cpu_user_frac.shape == (8,)
+    assert np.all(act.cpu_user_frac == 0)
+    assert act.mdc_reqs == 0
+
+
+def test_with_cpus_broadcast_scalar():
+    act = Activity(cpu_user_frac=np.float64(0.5))
+    out = act.with_cpus(4)
+    assert np.all(out.cpu_user_frac == 0.5)
+
+
+def test_with_cpus_pads_short_array():
+    act = Activity(cpu_user_frac=np.array([0.9, 0.8]))
+    out = act.with_cpus(4)
+    assert list(out.cpu_user_frac) == [0.9, 0.8, 0.0, 0.0]
+
+
+def test_with_cpus_truncates_long_array():
+    act = Activity(cpu_user_frac=np.ones(8))
+    out = act.with_cpus(4)
+    assert out.cpu_user_frac.shape == (4,)
+
+
+def test_validated_clips_over_unity():
+    act = Activity(
+        cpu_user_frac=np.array([0.9]),
+        cpu_system_frac=np.array([0.4]),
+        cpu_iowait_frac=np.array([0.3]),
+    ).validated()
+    total = act.cpu_user_frac + act.cpu_system_frac + act.cpu_iowait_frac
+    assert total[0] == pytest.approx(1.0)
+    # proportions preserved
+    assert act.cpu_user_frac[0] / act.cpu_system_frac[0] == pytest.approx(0.9 / 0.4)
+
+
+@given(
+    st.floats(0, 2), st.floats(0, 2), st.floats(0, 2)
+)
+def test_validated_fractions_always_legal(u, s, w):
+    act = Activity(
+        cpu_user_frac=np.array([u]),
+        cpu_system_frac=np.array([s]),
+        cpu_iowait_frac=np.array([w]),
+    ).validated()
+    total = act.cpu_user_frac + act.cpu_system_frac + act.cpu_iowait_frac
+    assert 0.0 <= total[0] <= 1.0 + 1e-9
+
+
+def test_merge_adds_rates():
+    a = Activity.idle(4)
+    a.mdc_reqs, a.ib_bytes = 10.0, 5e6
+    b = Activity.idle(4)
+    b.mdc_reqs, b.ib_bytes = 20.0, 1e6
+    m = a.merge(b)
+    assert m.mdc_reqs == pytest.approx(30.0)
+    assert m.ib_bytes == pytest.approx(6e6)
+
+
+def test_merge_concatenates_processes():
+    a = Activity.idle(2)
+    a.processes = [ProcessActivity(pid=1, name="x", owner="u")]
+    b = Activity.idle(2)
+    b.processes = [ProcessActivity(pid=2, name="y", owner="v")]
+    assert [p.pid for p in a.merge(b).processes] == [1, 2]
+
+
+def test_merge_blends_densities_by_user_weight():
+    a = Activity.idle(2)
+    a.cpu_user_frac[:] = 0.9
+    a.instr_per_cycle = 2.0
+    b = Activity.idle(2)
+    b.cpu_user_frac[:] = 0.0  # no user time: no weight
+    b.instr_per_cycle = 0.1
+    m = a.merge(b)
+    assert m.instr_per_cycle == pytest.approx(2.0, rel=0.01)
+
+
+def test_merge_keeps_fractions_legal():
+    a = Activity.idle(2)
+    a.cpu_user_frac[:] = 0.8
+    b = Activity.idle(2)
+    b.cpu_user_frac[:] = 0.7
+    m = a.merge(b)
+    assert np.all(m.cpu_user_frac <= 1.0)
+
+
+def test_merge_different_cpu_counts():
+    a = Activity.idle(2)
+    a.cpu_user_frac[:] = 0.5
+    b = Activity.idle(4)
+    b.cpu_user_frac[:] = 0.25
+    m = a.merge(b)
+    assert m.cpu_user_frac.shape == (4,)
+    assert m.cpu_user_frac[0] == pytest.approx(0.75)
+    assert m.cpu_user_frac[3] == pytest.approx(0.25)
+
+
+def test_process_high_water_marks():
+    p = ProcessActivity(pid=1, name="x", owner="u", vmsize_kb=100, vmrss_kb=50)
+    p.touch_high_water()
+    p.vmsize_kb, p.vmrss_kb = 80, 40
+    p.touch_high_water()
+    assert p.vmhwm_kb == 100
+    assert p.vmrss_hwm_kb == 50
+
+
+@given(
+    st.floats(0, 1e6), st.floats(0, 1e6), st.floats(0, 1e6),
+)
+def test_merge_rates_commutative(a_rate, b_rate, c_rate):
+    a = Activity.idle(4); a.mdc_reqs = a_rate
+    b = Activity.idle(4); b.mdc_reqs = b_rate
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.mdc_reqs == pytest.approx(ba.mdc_reqs)
+    # and associative for pure rates
+    c = Activity.idle(4); c.mdc_reqs = c_rate
+    abc = a.merge(b).merge(c)
+    a_bc = a.merge(b.merge(c))
+    assert abc.mdc_reqs == pytest.approx(a_bc.mdc_reqs, rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(0, 1.0), min_size=2, max_size=4),
+    st.lists(st.floats(0, 1.0), min_size=2, max_size=4),
+)
+def test_merge_always_produces_legal_fractions(u1, u2):
+    a = Activity(cpu_user_frac=np.array(u1))
+    b = Activity(cpu_user_frac=np.array(u2))
+    m = a.merge(b)
+    total = m.cpu_user_frac + m.cpu_system_frac + m.cpu_iowait_frac
+    assert np.all(total <= 1.0 + 1e-9)
+    assert np.all(m.cpu_user_frac >= 0)
+
+
+def test_merge_local_disk_rates_add():
+    a = Activity.idle(2); a.local_read_bytes = 5.0; a.local_write_bytes = 1.0
+    b = Activity.idle(2); b.local_read_bytes = 7.0
+    m = a.merge(b)
+    assert m.local_read_bytes == pytest.approx(12.0)
+    assert m.local_write_bytes == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""Architecture catalogue and §III-B auto-detection."""
+
+import pytest
+
+from repro.hardware.arch import (
+    ARCHITECTURES,
+    UnknownArchitectureError,
+    cpuinfo_for,
+    detect_architecture,
+    detect_hyperthreading,
+)
+
+
+def test_all_five_paper_architectures_present():
+    # §III-B item 1: Nehalem, Westmere, (Sandy/ ) Ivy Bridge, Haswell
+    assert set(ARCHITECTURES) == {
+        "intel_nhm", "intel_wsm", "intel_snb", "intel_ivb", "intel_hsw"
+    }
+
+
+@pytest.mark.parametrize("name", sorted(ARCHITECTURES))
+def test_detection_roundtrip(name):
+    arch = ARCHITECTURES[name]
+    assert detect_architecture(cpuinfo_for(arch)).name == name
+
+
+def test_detection_rejects_unknown_model():
+    with pytest.raises(UnknownArchitectureError):
+        detect_architecture(
+            {"vendor_id": "GenuineIntel", "cpu family": 6, "model": 999}
+        )
+
+
+def test_detection_rejects_unknown_vendor():
+    with pytest.raises(UnknownArchitectureError):
+        detect_architecture(
+            {"vendor_id": "AuthenticAMD", "cpu family": 21, "model": 2}
+        )
+
+
+def test_haswell_is_hyperthreaded():
+    hsw = ARCHITECTURES["intel_hsw"]
+    assert detect_hyperthreading(cpuinfo_for(hsw))
+    assert hsw.cpus == 2 * hsw.cores
+
+
+def test_sandy_bridge_not_hyperthreaded():
+    snb = ARCHITECTURES["intel_snb"]
+    assert not detect_hyperthreading(cpuinfo_for(snb))
+    assert snb.cpus == snb.cores == 16  # Stampede: 2× 8-core E5-2680
+
+
+def test_uncore_location_matches_generation():
+    # NHM/WSM: uncore in MSRs; SNB onward: PCI config space
+    assert not ARCHITECTURES["intel_nhm"].has_uncore_pci
+    assert not ARCHITECTURES["intel_wsm"].has_uncore_pci
+    assert ARCHITECTURES["intel_snb"].has_uncore_pci
+    assert ARCHITECTURES["intel_hsw"].has_uncore_pci
+
+
+def test_rapl_only_on_snb_and_later():
+    assert not ARCHITECTURES["intel_nhm"].rapl
+    assert ARCHITECTURES["intel_ivb"].rapl
+
+
+def test_peak_gflops_scales_with_vector_width():
+    snb = ARCHITECTURES["intel_snb"]
+    nhm = ARCHITECTURES["intel_nhm"]
+    # AVX (4 doubles) beats SSE (2 doubles) per core-cycle
+    assert snb.flops_per_cycle_per_core > nhm.flops_per_cycle_per_core
+    assert snb.peak_gflops == pytest.approx(
+        snb.flops_per_cycle_per_core * snb.base_ghz * snb.cores
+    )
+
+
+def test_signatures_are_distinct():
+    sigs = {(a.family, a.model) for a in ARCHITECTURES.values()}
+    assert len(sigs) == len(ARCHITECTURES)

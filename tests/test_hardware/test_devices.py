@@ -1,0 +1,240 @@
+"""Device models: counter semantics under workload activity."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.activity import Activity
+from repro.hardware.arch import ARCHITECTURES
+from repro.hardware.devices import (
+    CoreCounterDevice,
+    CpuTimeDevice,
+    GigEDevice,
+    ImcDevice,
+    InfinibandDevice,
+    LliteDevice,
+    LnetDevice,
+    MdcDevice,
+    MemDevice,
+    MicDevice,
+    OscDevice,
+    QpiDevice,
+    RaplDevice,
+)
+from repro.hardware.devices.cpu import USER_HZ
+from repro.hardware.topology import Topology
+
+SNB = ARCHITECTURES["intel_snb"]
+RNG = np.random.default_rng(1)
+
+
+def busy_activity(cpus, **kw):
+    act = Activity.idle(cpus)
+    act.cpu_user_frac[:] = 0.8
+    act.cpu_system_frac[:] = 0.05
+    for k, v in kw.items():
+        setattr(act, k, v)
+    return act
+
+
+class TestCoreCounters:
+    def test_counters_monotone(self):
+        dev = CoreCounterDevice(SNB, noise=0.0)
+        act = busy_activity(SNB.cpus)
+        dev.advance(act, 600, RNG)
+        first = dev.read()["0"].copy()
+        dev.advance(act, 600, RNG)
+        second = dev.read()["0"]
+        assert np.all(second >= first)
+
+    def test_cycles_match_busy_fraction(self):
+        dev = CoreCounterDevice(SNB, noise=0.0)
+        act = busy_activity(SNB.cpus)
+        dev.advance(act, 100, RNG)
+        cyc = dev.read()["0"][dev.schema.index["cycles"]]
+        assert cyc == pytest.approx(0.85 * SNB.base_ghz * 1e9 * 100, rel=0.01)
+
+    def test_instruction_mix_ratios(self):
+        dev = CoreCounterDevice(SNB, noise=0.0)
+        act = busy_activity(
+            SNB.cpus, instr_per_cycle=1.5, loads_per_instr=0.4,
+            fp_scalar_per_instr=0.1, fp_vector_per_instr=0.05,
+        )
+        dev.advance(act, 600, RNG)
+        row = dev.read()["0"]
+        idx = dev.schema.index
+        assert row[idx["instructions"]] / row[idx["cycles"]] == pytest.approx(1.5, rel=0.01)
+        assert row[idx["loads"]] / row[idx["instructions"]] == pytest.approx(0.4, rel=0.01)
+        assert row[idx["fp_vector"]] / row[idx["fp_scalar"]] == pytest.approx(0.5, rel=0.01)
+
+    def test_idle_cpu_accumulates_nothing(self):
+        dev = CoreCounterDevice(SNB, noise=0.0)
+        dev.advance(Activity.idle(SNB.cpus), 600, RNG)
+        assert np.all(dev.read()["0"] == 0)
+
+    def test_type_name_is_architecture(self):
+        assert CoreCounterDevice(SNB).type_name == "intel_snb"
+
+
+class TestCpuTime:
+    def test_jiffies_sum_to_wall_time(self):
+        dev = CpuTimeDevice(4)
+        act = busy_activity(4, cpu_iowait_frac=np.full(4, 0.1))
+        dev.advance(act, 600, RNG)
+        total = dev.read()["0"].sum()
+        assert total == pytest.approx(600 * USER_HZ, rel=0.01)
+
+    def test_user_system_iowait_split(self):
+        dev = CpuTimeDevice(2)
+        act = Activity.idle(2)
+        act.cpu_user_frac[:] = 0.5
+        act.cpu_system_frac[:] = 0.25
+        act.cpu_iowait_frac[:] = 0.25
+        dev.advance(act, 100, RNG)
+        row = dev.read()["0"]
+        idx = dev.schema.index
+        assert row[idx["user"]] == pytest.approx(5000, rel=0.01)
+        assert row[idx["system"]] == pytest.approx(2500, rel=0.01)
+        assert row[idx["iowait"]] == pytest.approx(2500, rel=0.01)
+        assert row[idx["idle"]] == pytest.approx(0, abs=1)
+
+
+class TestUncoreAndRapl:
+    def test_imc_cas_counts_encode_bandwidth(self):
+        dev = ImcDevice(2, noise=0.0)
+        act = busy_activity(16, mem_bw_bytes=64e9)
+        dev.advance(act, 10, RNG)
+        total_cas = sum(
+            r[dev.schema.index["cas_reads"]] + r[dev.schema.index["cas_writes"]]
+            for r in dev.read().values()
+        )
+        assert total_cas * 64 == pytest.approx(64e9 * 10, rel=0.01)
+
+    def test_qpi_traffic_scales_with_membw(self):
+        dev = QpiDevice(2, noise=0.0)
+        act = busy_activity(16, mem_bw_bytes=10e9)
+        dev.advance(act, 10, RNG)
+        assert dev.read()["0"][0] > 0
+
+    def test_rapl_power_band(self):
+        topo = Topology.from_architecture(SNB)
+        dev = RaplDevice(topo, noise=0.0)
+        act = busy_activity(SNB.cpus, mem_bw_bytes=30e9)
+        dev.advance(act, 100, RNG)
+        pkg_uj = dev.read_true()["0"][dev.schema.index["pkg_energy"]]
+        watts = pkg_uj / 1e6 / 100
+        # a fully busy 8-core SNB socket: tens of watts, far below 300
+        assert 40 < watts < 300
+
+    def test_rapl_idle_power_nonzero(self):
+        topo = Topology.from_architecture(SNB)
+        dev = RaplDevice(topo, noise=0.0)
+        dev.advance(Activity.idle(SNB.cpus), 100, RNG)
+        pkg_uj = dev.read_true()["0"][0]
+        assert pkg_uj / 1e6 / 100 == pytest.approx(dev.PKG_IDLE_W, rel=0.05)
+
+
+class TestNetworks:
+    def test_ib_bytes_and_packets(self):
+        dev = InfinibandDevice(noise=0.0)
+        act = busy_activity(16, ib_bytes=100e6, ib_packets=12_500.0)
+        dev.advance(act, 10, RNG)
+        row = dev.read()["mlx4_0/1"]
+        idx = dev.schema.index
+        assert row[idx["rx_bytes"]] + row[idx["tx_bytes"]] == pytest.approx(1e9, rel=0.01)
+        assert row[idx["rx_packets"]] + row[idx["tx_packets"]] == pytest.approx(125_000, rel=0.01)
+
+    def test_gige_background_traffic_always_present(self):
+        dev = GigEDevice(noise=0.0)
+        dev.advance(Activity.idle(16), 100, RNG)
+        row = dev.read()["eth0"]
+        assert row[0] + row[1] == pytest.approx(GigEDevice.BACKGROUND_BPS * 100, rel=0.01)
+
+
+class TestLustre:
+    def test_mdc_reqs_accumulate(self):
+        dev = MdcDevice(noise=0.0)
+        act = busy_activity(16, mdc_reqs=100.0, mdc_wait_us=100.0 * 350)
+        dev.advance(act, 60, RNG)
+        row = dev.read()["scratch-MDT0000-mdc"]
+        idx = dev.schema.index
+        assert row[idx["reqs"]] == pytest.approx(6000, rel=0.01)
+        assert row[idx["wait_us"]] == pytest.approx(6000 * 350, rel=0.01)
+
+    def test_osc_stripes_over_osts(self):
+        dev = OscDevice(osts_per_fs=2, noise=0.0)
+        act = busy_activity(16, osc_reqs=50.0, lustre_write_bytes=10e6)
+        dev.advance(act, 10, RNG)
+        reads = dev.read()
+        targets = [t for t in reads if t.startswith("scratch")]
+        per_ost = [reads[t][dev.schema.index["reqs"]] for t in targets]
+        assert sum(per_ost) == pytest.approx(500, rel=0.01)
+        assert per_ost[0] == pytest.approx(per_ost[1], rel=0.01)
+
+    def test_llite_open_close(self):
+        dev = LliteDevice(noise=0.0)
+        act = busy_activity(16, llite_opens=5.0, llite_closes=5.0)
+        dev.advance(act, 100, RNG)
+        row = dev.read()["/scratch"]
+        idx = dev.schema.index
+        assert row[idx["open"]] == pytest.approx(500, rel=0.01)
+        assert row[idx["close"]] == pytest.approx(500, rel=0.01)
+
+    def test_lnet_overhead_exceeds_payload(self):
+        dev = LnetDevice(noise=0.0)
+        act = busy_activity(16, lustre_read_bytes=1e6)
+        dev.advance(act, 100, RNG)
+        rx = dev.read()["lnet"][dev.schema.index["rx_bytes"]]
+        assert rx >= 1e8  # payload plus RPC overhead
+
+
+class TestMemAndMic:
+    def test_mem_gauge_tracks_usage_not_cumulative(self):
+        dev = MemDevice(2, 32 << 30)
+        act = busy_activity(16, mem_used_bytes=8 << 30)
+        dev.advance(act, 600, RNG)
+        used1 = sum(r[dev.schema.index["MemUsed"]] for r in dev.read().values())
+        dev.advance(act, 600, RNG)
+        used2 = sum(r[dev.schema.index["MemUsed"]] for r in dev.read().values())
+        assert used1 == pytest.approx(used2)  # gauge: does not grow
+
+    def test_mem_capped_at_total(self):
+        dev = MemDevice(2, 32 << 30)
+        act = busy_activity(16, mem_used_bytes=float(500 << 30))
+        dev.advance(act, 600, RNG)
+        for row in dev.read().values():
+            assert row[dev.schema.index["MemUsed"]] <= (16 << 30)
+
+    def test_mic_usage_fraction(self):
+        dev = MicDevice(noise=0.0)
+        act = busy_activity(16, mic_busy_frac=0.6)
+        dev.advance(act, 600, RNG)
+        row = dev.read()["mic0"]
+        idx = dev.schema.index
+        busy = row[idx["user_sum"]] + row[idx["sys_sum"]]
+        total = busy + row[idx["idle_sum"]]
+        assert busy / total == pytest.approx(0.6, rel=0.02)
+
+
+class TestDeviceBase:
+    def test_negative_event_increment_clipped(self):
+        dev = MdcDevice(noise=0.0)
+        dev.bump("scratch-MDT0000-mdc", {"reqs": -50})
+        assert dev.read()["scratch-MDT0000-mdc"][0] == 0
+
+    def test_unknown_instance_raises(self):
+        dev = MdcDevice()
+        with pytest.raises(KeyError):
+            dev.bump("nope", {"reqs": 1})
+
+    def test_reset_instance(self):
+        dev = MdcDevice(noise=0.0)
+        dev.bump("scratch-MDT0000-mdc", {"reqs": 10})
+        dev.reset_instance("scratch-MDT0000-mdc")
+        assert dev.read()["scratch-MDT0000-mdc"][0] == 0
+
+    def test_noise_perturbs_increments(self):
+        rng = np.random.default_rng(0)
+        dev = MdcDevice(noise=0.2)
+        dev.bump("scratch-MDT0000-mdc", {"reqs": 1000}, rng)
+        v = dev.read()["scratch-MDT0000-mdc"][0]
+        assert v != 1000 and 500 < v < 2000

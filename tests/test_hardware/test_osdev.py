@@ -1,0 +1,111 @@
+"""Block, vm and numa devices."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.activity import Activity
+from repro.hardware.devices.osdev import (
+    SECTOR,
+    BlockDevice,
+    NumaDevice,
+    VmDevice,
+)
+
+RNG = np.random.default_rng(0)
+GB = 1 << 30
+
+
+def act(**kw):
+    a = Activity.idle(16)
+    for k, v in kw.items():
+        setattr(a, k, v)
+    return a
+
+
+class TestBlock:
+    def test_sectors_match_bytes(self):
+        dev = BlockDevice(noise=0.0)
+        dev.advance(act(local_read_bytes=10e6, local_write_bytes=5e6),
+                    100, RNG)
+        row = dev.read()["sda"]
+        idx = dev.schema.index
+        assert row[idx["rd_sectors"]] * SECTOR == pytest.approx(1e9, rel=0.01)
+        assert row[idx["wr_sectors"]] * SECTOR == pytest.approx(5e8, rel=0.01)
+        assert row[idx["rd_ios"]] > 0
+
+    def test_no_local_io_no_counts(self):
+        dev = BlockDevice(noise=0.0)
+        dev.advance(act(lustre_read_bytes=1e9), 100, RNG)
+        assert dev.read()["sda"].sum() == 0
+
+
+class TestVm:
+    def test_paging_tracks_file_io(self):
+        dev = VmDevice(32 * GB, noise=0.0)
+        dev.advance(act(lustre_read_bytes=1e6, local_write_bytes=2e6),
+                    100, RNG)
+        row = dev.read()["vm"]
+        idx = dev.schema.index
+        assert row[idx["pgpgin"]] == pytest.approx(1e8 / 1024, rel=0.01)
+        assert row[idx["pgpgout"]] == pytest.approx(2e8 / 1024, rel=0.01)
+        assert row[idx["pswpout"]] == 0  # no memory pressure
+
+    def test_swap_under_memory_pressure(self):
+        dev = VmDevice(32 * GB, noise=0.0)
+        dev.advance(act(mem_used_bytes=31.5 * GB), 600, RNG)
+        row = dev.read()["vm"]
+        idx = dev.schema.index
+        assert row[idx["pswpout"]] > 0
+        assert row[idx["pswpin"]] < row[idx["pswpout"]]
+
+    def test_comfortable_memory_no_swap(self):
+        dev = VmDevice(32 * GB, noise=0.0)
+        dev.advance(act(mem_used_bytes=16 * GB), 600, RNG)
+        assert dev.read()["vm"][dev.schema.index["pswpout"]] == 0
+
+
+class TestNuma:
+    def test_hit_miss_split(self):
+        dev = NumaDevice(2, noise=0.0)
+        dev.advance(act(mem_bw_bytes=6.4e9), 10, RNG)
+        row = dev.read()["0"]
+        idx = dev.schema.index
+        total = row[idx["numa_hit"]] + row[idx["numa_miss"]]
+        assert total * 64 == pytest.approx(6.4e9 * 10 / 2, rel=0.01)
+        assert row[idx["numa_miss"]] / total == pytest.approx(
+            NumaDevice.REMOTE_FRACTION, rel=0.01
+        )
+
+    def test_idle_no_traffic(self):
+        dev = NumaDevice(2, noise=0.0)
+        dev.advance(act(), 10, RNG)
+        assert dev.read()["0"].sum() == 0
+
+
+def test_devices_present_in_tree_and_collection():
+    from repro.hardware import ARCHITECTURES, build_device_tree
+
+    t = build_device_tree(ARCHITECTURES["intel_snb"])
+    assert {"block", "vm", "numa"} <= set(t.device_types())
+
+
+def test_local_stager_app_drives_block_device():
+    from repro.cluster import Cluster, ClusterConfig, JobSpec, make_app
+
+    c = Cluster(ClusterConfig(
+        normal_nodes=2, largemem_nodes=0, development_nodes=0,
+        tick=300, seed=5,
+    ))
+    j = c.submit(JobSpec(
+        user="u",
+        app=make_app("local_stager", runtime_mean=3000.0, fail_prob=0.0),
+        nodes=1,
+    ))
+    c.run_for(2 * 3600)
+    c.catch_up_all()
+    node = c.nodes[j.assigned_nodes[0]]
+    block = node.tree.read_all()["block"]["sda"]
+    assert block.sum() > 0
+    # the staging phase hits Lustre hard once, then /tmp takes over
+    vm = node.tree.read_all()["vm"]["vm"]
+    assert vm[node.tree.devices["vm"].schema.index["pgpgin"]] > 0

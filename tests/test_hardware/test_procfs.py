@@ -1,0 +1,72 @@
+"""ProcDevice: OS-maintained high-water marks across intervals."""
+
+import numpy as np
+
+from repro.hardware.activity import Activity, ProcessActivity
+from repro.hardware.devices.procfs import (
+    ProcDevice,
+    process_activity_from_record,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _act(procs):
+    a = Activity.idle(4)
+    a.processes = procs
+    return a
+
+
+def test_high_water_mark_persists_while_pid_lives():
+    dev = ProcDevice()
+    p = ProcessActivity(pid=1, name="a.out", owner="u", vmsize_kb=500, vmrss_kb=400)
+    dev.advance(_act([p]), 600, RNG)
+    # usage drops, HWM must not
+    p2 = ProcessActivity(pid=1, name="a.out", owner="u", vmsize_kb=100, vmrss_kb=80)
+    dev.advance(_act([p2]), 600, RNG)
+    rec = dev.read()[0]
+    assert rec.vmsize_kb == 100
+    assert rec.vmhwm_kb == 500
+    assert rec.vmrss_hwm_kb == 400
+
+
+def test_high_water_mark_resets_when_pid_recycled():
+    dev = ProcDevice()
+    p = ProcessActivity(pid=1, name="a", owner="u", vmsize_kb=500, vmrss_kb=400)
+    dev.advance(_act([p]), 600, RNG)
+    dev.advance(_act([]), 600, RNG)  # pid exits
+    q = ProcessActivity(pid=1, name="b", owner="u", vmsize_kb=50, vmrss_kb=40)
+    dev.advance(_act([q]), 600, RNG)
+    rec = dev.read()[0]
+    assert rec.vmhwm_kb == 50
+
+
+def test_table_replaced_each_interval():
+    dev = ProcDevice()
+    dev.advance(_act([ProcessActivity(pid=1, name="a", owner="u")]), 600, RNG)
+    dev.advance(_act([ProcessActivity(pid=2, name="b", owner="v")]), 600, RNG)
+    pids = [r.pid for r in dev.read()]
+    assert pids == [2]
+
+
+def test_record_roundtrip_to_activity():
+    dev = ProcDevice()
+    p = ProcessActivity(
+        pid=7, name="wrf.exe", owner="alice", jobid="123",
+        vmsize_kb=10, vmrss_kb=5, threads=4,
+        cpu_affinity=(0, 16), mem_affinity=(0,),
+    )
+    dev.advance(_act([p]), 60, RNG)
+    rec = dev.read()[0]
+    back = process_activity_from_record(rec)
+    assert back.pid == 7
+    assert back.jobid == "123"
+    assert back.cpu_affinity == (0, 16)
+
+
+def test_jobless_process_jobid_dash():
+    dev = ProcDevice()
+    dev.advance(
+        _act([ProcessActivity(pid=3, name="sshd", owner="root")]), 60, RNG
+    )
+    assert dev.read()[0].jobid == "-"

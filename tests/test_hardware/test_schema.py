@@ -1,0 +1,87 @@
+"""Counter schema: spec round-trip, truncation, rollover correction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.devices.base import (
+    Schema,
+    SchemaEntry,
+    rollover_delta,
+)
+
+
+def test_spec_rendering():
+    e = SchemaEntry("rx_bytes", event=True, width=64, unit="B")
+    assert e.spec() == "rx_bytes,E,W=64,U=B"
+    g = SchemaEntry("MemUsed", event=False, unit="B")
+    assert g.spec() == "MemUsed,U=B"
+
+
+def test_spec_parse_roundtrip():
+    for e in (
+        SchemaEntry("a", event=True, width=48),
+        SchemaEntry("b", event=False, unit="kB"),
+        SchemaEntry("c", event=True, width=32, unit="uJ"),
+    ):
+        assert SchemaEntry.parse(e.spec()) == e
+
+
+def test_schema_line_roundtrip():
+    s = Schema(
+        [SchemaEntry("reqs", width=64), SchemaEntry("wait_us", width=64, unit="us")]
+    )
+    line = s.spec_line("mdc")
+    name, parsed = Schema.parse_line(line)
+    assert name == "mdc"
+    assert parsed.names() == ["reqs", "wait_us"]
+    assert parsed.entries == s.entries
+
+
+def test_parse_line_rejects_non_schema():
+    with pytest.raises(ValueError):
+        Schema.parse_line("$hostname x")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema([SchemaEntry("a"), SchemaEntry("a")])
+
+
+def test_truncate_wraps_event_counters_only():
+    s = Schema(
+        [SchemaEntry("ctr", event=True, width=8),
+         SchemaEntry("gauge", event=False)]
+    )
+    out = s.truncate(np.array([300.0, 300.0]))
+    assert out[0] == 300 % 256
+    assert out[1] == 300.0
+
+
+def test_rollover_delta_corrects_wrap():
+    s = Schema([SchemaEntry("ctr", event=True, width=8)])
+    later = np.array([5.0])
+    earlier = np.array([250.0])
+    assert rollover_delta(later, earlier, s)[0] == pytest.approx(11.0)
+
+
+def test_rollover_delta_gauge_goes_negative():
+    s = Schema([SchemaEntry("g", event=False)])
+    d = rollover_delta(np.array([5.0]), np.array([250.0]), s)
+    assert d[0] == pytest.approx(-245.0)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**9),
+)
+def test_rollover_delta_recovers_true_increment(start, inc):
+    """Property: truncate-then-unwrap equals the true delta whenever
+    the true increment is less than one full wrap."""
+    width = 32
+    s = Schema([SchemaEntry("c", event=True, width=width)])
+    inc = inc % (2**width - 1)
+    a = s.truncate(np.array([float(start)]))
+    b = s.truncate(np.array([float(start + inc)]))
+    assert rollover_delta(b, a, s)[0] == pytest.approx(float(inc))

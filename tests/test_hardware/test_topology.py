@@ -1,0 +1,79 @@
+"""Topology enumeration: sockets, cores, hardware threads."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.arch import ARCHITECTURES
+from repro.hardware.topology import Topology
+
+topologies = st.builds(
+    Topology,
+    sockets=st.integers(1, 4),
+    cores_per_socket=st.integers(1, 16),
+    threads_per_core=st.integers(1, 2),
+)
+
+
+def test_from_architecture():
+    t = Topology.from_architecture(ARCHITECTURES["intel_hsw"])
+    assert t.sockets == 2 and t.cores_per_socket == 12
+    assert t.cpus == 48 and t.hyperthreaded
+
+
+def test_socket_of_core_block_distribution():
+    t = Topology(sockets=2, cores_per_socket=8, threads_per_core=1)
+    assert t.socket_of_core(0) == 0
+    assert t.socket_of_core(7) == 0
+    assert t.socket_of_core(8) == 1
+    assert t.socket_of_core(15) == 1
+
+
+def test_hyperthread_sibling_numbering():
+    t = Topology(sockets=2, cores_per_socket=12, threads_per_core=2)
+    # cpu 0 and cpu 24 share physical core 0
+    assert t.cpus_of_core(0) == (0, 24)
+    assert t.core_of_cpu(24) == 0
+    assert t.socket_of_cpu(24) == 0
+    assert t.core_of_cpu(47) == 23
+    assert t.socket_of_cpu(47) == 1
+
+
+def test_out_of_range_rejected():
+    t = Topology(sockets=1, cores_per_socket=4, threads_per_core=1)
+    with pytest.raises(IndexError):
+        t.socket_of_core(4)
+    with pytest.raises(IndexError):
+        t.core_of_cpu(4)
+    with pytest.raises(IndexError):
+        t.cpus_of_socket(1)
+    with pytest.raises(IndexError):
+        t.cpus_of_core(-1)
+
+
+@given(topologies)
+def test_every_cpu_maps_to_exactly_one_core_and_socket(t):
+    seen = {}
+    for cpu in t.cpu_list():
+        core = t.core_of_cpu(cpu)
+        assert 0 <= core < t.cores
+        assert cpu in t.cpus_of_core(core)
+        seen.setdefault(core, []).append(cpu)
+    assert len(seen) == t.cores
+    for core, cpus in seen.items():
+        assert len(cpus) == t.threads_per_core
+
+
+@given(topologies)
+def test_socket_cpu_partitions_cover_all_cpus(t):
+    all_cpus = []
+    for s in range(t.sockets):
+        all_cpus.extend(t.cpus_of_socket(s))
+    assert sorted(all_cpus) == t.cpu_list()
+
+
+@given(topologies)
+def test_counts_consistent(t):
+    assert t.cores == t.sockets * t.cores_per_socket
+    assert t.cpus == t.cores * t.threads_per_core
+    assert t.hyperthreaded == (t.threads_per_core > 1)

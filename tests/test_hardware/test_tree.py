@@ -1,0 +1,98 @@
+"""Device-tree assembly and §III-B build-flag behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ARCHITECTURES, Activity, build_device_tree
+from repro.hardware.arch import cpuinfo_for
+
+RNG = np.random.default_rng(0)
+
+
+def test_default_snb_tree_device_set():
+    t = build_device_tree(ARCHITECTURES["intel_snb"])
+    types = set(t.device_types())
+    assert {"intel_snb", "cpu", "mem", "imc", "qpi", "rapl", "ib",
+            "gige", "mdc", "osc", "llite", "lnet"} <= types
+    assert "mic" not in types  # phi off by default
+
+
+def test_xeon_phi_flag_adds_mic():
+    t = build_device_tree(ARCHITECTURES["intel_snb"], xeon_phi=True)
+    assert "mic" in t.device_types()
+
+
+def test_feature_flags_remove_devices():
+    t = build_device_tree(
+        ARCHITECTURES["intel_snb"], infiniband=False, lustre=False
+    )
+    types = set(t.device_types())
+    assert "ib" not in types
+    assert not types & {"mdc", "osc", "llite", "lnet"}
+
+
+def test_nehalem_has_no_pci_uncore_or_rapl():
+    t = build_device_tree(ARCHITECTURES["intel_nhm"])
+    types = set(t.device_types())
+    assert "rapl" not in types
+    assert "imc" not in types
+
+
+def test_autodetection_from_cpuinfo():
+    info = cpuinfo_for(ARCHITECTURES["intel_hsw"])
+    t = build_device_tree(cpuinfo=info)
+    assert t.arch.name == "intel_hsw"
+    assert t.hyperthreaded
+    assert len(t.devices["intel_hsw"].instances) == 48
+
+
+def test_arch_cpuinfo_mismatch_rejected():
+    with pytest.raises(ValueError):
+        build_device_tree(
+            ARCHITECTURES["intel_snb"],
+            cpuinfo=cpuinfo_for(ARCHITECTURES["intel_hsw"]),
+        )
+
+
+def test_needs_arch_or_cpuinfo():
+    with pytest.raises(ValueError):
+        build_device_tree()
+
+
+def test_advance_touches_all_devices():
+    t = build_device_tree(ARCHITECTURES["intel_snb"], xeon_phi=True)
+    act = Activity.idle(t.topology.cpus)
+    act.cpu_user_frac[:] = 0.9
+    act.mem_bw_bytes = 20e9
+    act.mdc_reqs = 10.0
+    act.ib_bytes = 1e6
+    act.mic_busy_frac = 0.5
+    act.mem_used_bytes = 4 << 30
+    t.advance(act, 600, RNG)
+    data = t.read_all()
+    assert data["intel_snb"]["0"].sum() > 0
+    assert data["cpu"]["0"].sum() > 0
+    assert data["imc"]["0"].sum() > 0
+    assert data["rapl"]["0"].sum() > 0
+    assert data["mic"]["mic0"].sum() > 0
+    assert data["ib"]["mlx4_0/1"].sum() > 0
+    assert data["mdc"]["scratch-MDT0000-mdc"].sum() > 0
+
+
+def test_proc_table_snapshot():
+    from repro.hardware.activity import ProcessActivity
+
+    t = build_device_tree(ARCHITECTURES["intel_snb"])
+    act = Activity.idle(16)
+    act.processes = [
+        ProcessActivity(pid=9, name="wrf.exe", owner="alice", vmrss_kb=1000)
+    ]
+    t.advance(act, 60, RNG)
+    procs = t.read_procs()
+    assert len(procs) == 1 and procs[0].pid == 9
+
+
+def test_schemas_cover_numeric_devices():
+    t = build_device_tree(ARCHITECTURES["intel_snb"])
+    schemas = t.schemas()
+    assert set(schemas) == set(t.devices)

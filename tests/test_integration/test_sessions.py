@@ -1,0 +1,54 @@
+"""The two one-call session helpers (daemon + cron)."""
+
+import pytest
+
+from repro import cron_session, monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.pipeline.records import JobRecord
+
+
+def test_cron_session_end_to_end(tmp_path):
+    sess = cron_session(nodes=4, seed=13, tick=300,
+                        store_dir=str(tmp_path / "s"))
+    sess.cluster.submit(JobSpec(
+        user="u", app=make_app("namd", runtime_mean=3000.0, fail_prob=0.0),
+        nodes=2,
+    ))
+    sess.cluster.run_for(5 * 3600)
+    res = sess.ingest()
+    assert res.ingested == 1
+    JobRecord.bind(sess.db)
+    rec = JobRecord.objects.all().first()
+    assert rec.executable == "namd2"
+    assert rec.CPU_Usage > 0.5
+
+
+def test_cron_session_without_final_sync_has_nothing(tmp_path):
+    sess = cron_session(nodes=2, seed=13, tick=300,
+                        store_dir=str(tmp_path / "s2"))
+    sess.cluster.submit(JobSpec(
+        user="u", app=make_app("namd", runtime_mean=2000.0, fail_prob=0.0),
+        nodes=1,
+    ))
+    sess.cluster.run_for(4 * 3600)  # still same day: nothing rsynced yet
+    res = sess.ingest(final_sync=False)
+    assert res.ingested == 0
+
+
+def test_sessions_share_job_catalogue_shape(tmp_path):
+    daemon = monitoring_session(nodes=4, seed=21)
+    cron = cron_session(nodes=4, seed=21)
+    for sess in (daemon, cron):
+        sess.cluster.submit(JobSpec(
+            user="u", app=make_app("wrf", runtime_mean=3000.0,
+                                   fail_prob=0.0, runtime_sigma=0.05),
+            nodes=2,
+        ))
+        sess.cluster.run_for(4 * 3600)
+    # identical seeds and workloads: identical job lifecycles
+    jd, jc = (
+        next(iter(daemon.cluster.jobs.values())),
+        next(iter(cron.cluster.jobs.values())),
+    )
+    assert jd.run_time() == jc.run_time()
+    assert jd.assigned_nodes == jc.assigned_nodes

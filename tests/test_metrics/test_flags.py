@@ -1,0 +1,106 @@
+"""Automatic flag engine (§V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.flags import FLAG_REGISTRY, Thresholds, evaluate_flags
+from tests.test_metrics.test_table1 import make_accum
+
+
+def flags_for(metrics, accum=None, meta=None, th=None):
+    return {f.name for f in evaluate_flags(metrics, accum, meta, th)}
+
+
+def base_metrics(**over):
+    m = {
+        "MetaDataRate": 100.0,
+        "GigEBW": 0.01,
+        "MemUsage": 10.0,
+        "idle": 0.9,
+        "catastrophe": 0.9,
+        "cpi": 0.8,
+    }
+    m.update(over)
+    return m
+
+
+def test_registry_covers_paper_flags():
+    assert set(FLAG_REGISTRY) == {
+        "high_metadata_rate", "high_gige", "largemem_waste",
+        "idle_nodes", "sudden_drop", "sudden_rise", "high_cpi",
+    }
+
+
+def test_clean_job_raises_nothing():
+    assert flags_for(base_metrics(), meta={"queue": "normal", "nodes": 4}) == set()
+
+
+def test_high_metadata_rate():
+    assert "high_metadata_rate" in flags_for(
+        base_metrics(MetaDataRate=50_000.0)
+    )
+
+
+def test_high_gige():
+    assert "high_gige" in flags_for(base_metrics(GigEBW=5.0))
+
+
+def test_largemem_waste_only_in_largemem_queue():
+    m = base_metrics(MemUsage=2.0)
+    assert "largemem_waste" not in flags_for(m, meta={"queue": "normal"})
+    assert "largemem_waste" in flags_for(m, meta={"queue": "largemem"})
+    ok = base_metrics(MemUsage=800.0)
+    assert "largemem_waste" not in flags_for(ok, meta={"queue": "largemem"})
+
+
+def test_idle_nodes_needs_multiple_nodes():
+    m = base_metrics(idle=0.001)
+    assert "idle_nodes" in flags_for(m, meta={"nodes": 4})
+    assert "idle_nodes" not in flags_for(m, meta={"nodes": 1})
+
+
+def test_high_cpi():
+    assert "high_cpi" in flags_for(base_metrics(cpi=5.0))
+
+
+def _swing_accum(quiet_late: bool):
+    active = [90_000.0] * 6
+    pattern = active[:3] + [900.0] * 3 if quiet_late else [900.0] * 3 + active[:3]
+    return make_accum(
+        n_hosts=1, T=7,
+        cpu_user=[pattern],
+        cpu_total=[[96_000.0] * 6],
+    )
+
+
+def test_sudden_drop_quiet_late():
+    a = _swing_accum(quiet_late=True)
+    m = base_metrics(catastrophe=0.01)
+    got = flags_for(m, accum=a)
+    assert "sudden_drop" in got and "sudden_rise" not in got
+
+
+def test_sudden_rise_quiet_early():
+    a = _swing_accum(quiet_late=False)
+    m = base_metrics(catastrophe=0.01)
+    got = flags_for(m, accum=a)
+    assert "sudden_rise" in got and "sudden_drop" not in got
+
+
+def test_swing_flags_need_accum():
+    m = base_metrics(catastrophe=0.01)
+    got = flags_for(m, accum=None)
+    assert not got & {"sudden_rise", "sudden_drop"}
+
+
+def test_custom_thresholds():
+    th = Thresholds(high_cpi=10.0)
+    assert "high_cpi" not in flags_for(base_metrics(cpi=5.0), th=th)
+
+
+def test_flag_result_carries_context():
+    res = evaluate_flags(base_metrics(MetaDataRate=99_999.0))
+    f = [r for r in res if r.name == "high_metadata_rate"][0]
+    assert f.value == 99_999.0
+    assert f.threshold == Thresholds().metadata_rate
+    assert "MDS" in f.detail or "filesystem" in f.detail

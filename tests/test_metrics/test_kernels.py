@@ -1,0 +1,113 @@
+"""Metric kernels: ARC, max-rate, ratio and balance semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.kernels import (
+    arc,
+    gauge_max,
+    max_rate,
+    node_balance_ratio,
+    ratio_of_sums,
+    time_balance_ratio,
+)
+
+deltas_2d = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 20)),
+    elements=st.floats(0, 1e9),
+)
+
+
+def test_arc_simple():
+    # 2 nodes, 3 intervals of 10 s each: totals 30 and 60
+    d = np.array([[10.0, 10, 10], [20, 20, 20]])
+    assert arc(d, elapsed=30.0) == pytest.approx((1.0 + 2.0) / 2)
+
+
+def test_arc_empty_or_zero_elapsed():
+    assert arc(np.zeros((2, 0)), 10.0) == 0.0
+    assert arc(np.ones((2, 3)), 0.0) == 0.0
+
+
+@given(deltas_2d)
+@settings(max_examples=50)
+def test_arc_is_endpoint_delta_average(d):
+    """§IV-A: for cumulative counters, sampling frequency does not
+    matter — the ARC from interval deltas equals the endpoint rate."""
+    elapsed = 100.0
+    per_node_endpoint = d.sum(axis=1) / elapsed
+    assert arc(d, elapsed) == pytest.approx(per_node_endpoint.mean(), rel=1e-9, abs=1e-12)
+
+
+def test_max_rate_sums_nodes_first():
+    dt = np.array([10.0, 10.0])
+    d = np.array([[100.0, 0.0], [0.0, 100.0]])
+    # node-summed per-interval rates: 10 and 10 → max 10
+    assert max_rate(d, dt) == pytest.approx(10.0)
+    # max-then-sum would give 20: explicitly not that
+    assert max_rate(d, dt) != pytest.approx(20.0)
+
+
+def test_max_rate_picks_peak_interval():
+    dt = np.array([10.0, 10.0, 10.0])
+    d = np.array([[0.0, 500.0, 100.0]])
+    assert max_rate(d, dt) == pytest.approx(50.0)
+
+
+@given(deltas_2d)
+@settings(max_examples=50)
+def test_max_rate_at_least_average(d):
+    """The peak interval rate can never be below the mean rate."""
+    T = d.shape[1]
+    dt = np.full(T, 10.0)
+    avg_total = d.sum() / (T * 10.0)
+    assert max_rate(d, dt) >= avg_total - 1e-6 * max(1.0, avg_total)
+
+
+def test_ratio_of_sums_is_ratio_of_averages():
+    num = np.array([[10.0, 30.0]])
+    den = np.array([[20.0, 20.0]])
+    # ratio of averages: 40/40; average of ratios would be (0.5+1.5)/2
+    assert ratio_of_sums(num, den) == pytest.approx(1.0)
+
+
+def test_ratio_of_sums_zero_denominator():
+    assert ratio_of_sums(np.ones((1, 2)), np.zeros((1, 2))) == 0.0
+
+
+def test_gauge_max():
+    g = np.array([[1.0, 5.0], [3.0, 2.0]])
+    assert gauge_max(g) == 5.0
+    assert gauge_max(np.zeros((0, 0))) == 0.0
+
+
+def test_node_balance_ratio_bounds():
+    assert node_balance_ratio(np.array([0.5, 0.5])) == pytest.approx(1.0)
+    assert node_balance_ratio(np.array([0.0, 0.9])) == pytest.approx(0.0)
+    assert node_balance_ratio(np.array([])) == 1.0
+    assert node_balance_ratio(np.zeros(3)) == 1.0  # all idle: not imbalance
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 10),
+                  elements=st.floats(0, 1e6)))
+def test_node_balance_ratio_in_unit_interval(per_node):
+    r = node_balance_ratio(per_node)
+    assert 0.0 <= r <= 1.0
+
+
+def test_time_balance_ratio_catastrophe_shape():
+    # steady run: ratio 1
+    num = np.array([[50.0, 50.0, 50.0]])
+    den = np.array([[100.0, 100.0, 100.0]])
+    assert time_balance_ratio(num, den) == pytest.approx(1.0)
+    # collapse in the last window
+    num2 = np.array([[50.0, 50.0, 1.0]])
+    assert time_balance_ratio(num2, den) == pytest.approx(0.02)
+
+
+def test_time_balance_ratio_empty():
+    assert time_balance_ratio(np.zeros((1, 0)), np.zeros((1, 0))) == 1.0

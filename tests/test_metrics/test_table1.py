@@ -1,0 +1,180 @@
+"""Table I metric definitions on hand-built accumulations."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.table1 import METRIC_REGISTRY, compute_metrics, metric_names
+from repro.pipeline.accum import CANONICAL_QUANTITIES, JobAccum
+
+GB2 = float(1 << 30)
+
+
+def make_accum(n_hosts=2, T=4, dt=600, vector_width=4, **overrides):
+    """A JobAccum with all-zero quantities, selectively overridden."""
+    times = np.arange(T, dtype=np.int64) * dt
+    deltas, gauges = {}, {}
+    for q in CANONICAL_QUANTITIES:
+        if q.gauge:
+            gauges[q.key] = np.zeros((n_hosts, T))
+        else:
+            deltas[q.key] = np.zeros((n_hosts, T - 1))
+    for key, val in overrides.items():
+        target = gauges if key == "mem_used" else deltas
+        target[key] = np.asarray(val, dtype=float)
+    return JobAccum(
+        jobid="j", hosts=[f"n{i}" for i in range(n_hosts)], times=times,
+        deltas=deltas, gauges=gauges, vector_width=vector_width,
+    )
+
+
+def test_registry_contains_all_table1_names():
+    expected = {
+        "MetaDataRate", "MDCReqs", "OSCReqs", "MDCWait", "OSCWait",
+        "LLiteOpenClose", "LnetAveBW", "LnetMaxBW",
+        "InternodeIBAveBW", "InternodeIBMaxBW", "Packetsize",
+        "Packetrate", "GigEBW",
+        "Load_All", "Load_L1Hits", "Load_L2Hits", "Load_LLCHits",
+        "cpi", "cpld", "flops", "VecPercent", "mbw",
+        "MemUsage", "CPU_Usage", "idle", "catastrophe", "MIC_Usage",
+    }
+    assert expected <= set(METRIC_REGISTRY)
+
+
+def test_categories_match_table1_grouping():
+    assert set(metric_names("Lustre")) == {
+        "MetaDataRate", "MDCReqs", "OSCReqs", "MDCWait", "OSCWait",
+        "LLiteOpenClose", "LnetAveBW", "LnetMaxBW",
+    }
+    assert "GigEBW" in metric_names("Network")
+    assert "cpi" in metric_names("Processor")
+    assert "catastrophe" in metric_names("OS")
+    assert "DramPower" in metric_names("Energy")
+
+
+def test_mdcreqs_is_arc_metadatarate_is_max():
+    # node 0 bursts in interval 1
+    a = make_accum(mdc_reqs=[[600.0, 60000.0, 600.0],
+                             [600.0, 600.0, 600.0]])
+    m = compute_metrics(a)
+    # ARC: node0 = 61200/1800, node1 = 1800/1800 → mean
+    assert m["MDCReqs"] == pytest.approx((61200 / 1800 + 1) / 2)
+    # Max: peak interval node-summed = (60000+600)/600
+    assert m["MetaDataRate"] == pytest.approx(60600 / 600)
+
+
+def test_wait_is_ratio_of_averages():
+    a = make_accum(
+        mdc_reqs=[[100.0, 300.0, 0.0], [0.0, 0.0, 0.0]],
+        mdc_wait_us=[[35_000.0, 105_000.0, 0.0], [0.0, 0.0, 0.0]],
+    )
+    assert compute_metrics(a)["MDCWait"] == pytest.approx(350.0)
+
+
+def test_bandwidths_in_mb_per_s():
+    a = make_accum(lnet_bytes=[[600e6, 600e6, 600e6]] * 2)
+    m = compute_metrics(a)
+    assert m["LnetAveBW"] == pytest.approx(1.0)
+    assert m["LnetMaxBW"] == pytest.approx(2.0)  # node-summed peak
+
+
+def test_packetsize_and_rate():
+    a = make_accum(
+        ib_bytes=[[8192e3, 8192e3, 8192e3]] * 2,
+        ib_packets=[[1e3, 1e3, 1e3]] * 2,
+    )
+    m = compute_metrics(a)
+    assert m["Packetsize"] == pytest.approx(8192.0)
+    assert m["Packetrate"] == pytest.approx(1e3 / 600)
+
+
+def test_cpi_cpld():
+    a = make_accum(
+        cycles=[[2e12, 2e12, 2e12]] * 2,
+        instructions=[[1e12, 1e12, 1e12]] * 2,
+        loads=[[4e11, 4e11, 4e11]] * 2,
+    )
+    m = compute_metrics(a)
+    assert m["cpi"] == pytest.approx(2.0)
+    assert m["cpld"] == pytest.approx(5.0)
+
+
+def test_flops_uses_vector_width():
+    a = make_accum(
+        vector_width=4,
+        fp_scalar=[[6e11, 6e11, 6e11]] * 2,
+        fp_vector=[[6e11, 6e11, 6e11]] * 2,
+    )
+    # per node per second: (1e9 + 4e9) = 5 GF/s... scalar rate 1e9, vector 4e9
+    assert compute_metrics(a)["flops"] == pytest.approx(5.0)
+
+
+def test_vecpercent_instruction_ratio():
+    a = make_accum(
+        fp_scalar=[[3e9, 3e9, 3e9]] * 2,
+        fp_vector=[[1e9, 1e9, 1e9]] * 2,
+    )
+    assert compute_metrics(a)["VecPercent"] == pytest.approx(25.0)
+    zero = make_accum()
+    assert compute_metrics(zero)["VecPercent"] == 0.0
+
+
+def test_mbw_from_cas_counts():
+    a = make_accum(imc_cas=[[600e9 / 64, 600e9 / 64, 600e9 / 64]] * 2)
+    assert compute_metrics(a)["mbw"] == pytest.approx(1.0)  # 1 GB/s per node
+
+
+def test_memusage_gauge_max_in_gb():
+    a = make_accum(mem_used=[[2 * GB2, 8 * GB2, 4 * GB2, 1 * GB2],
+                             [GB2, GB2, GB2, GB2]])
+    assert compute_metrics(a)["MemUsage"] == pytest.approx(8.0)
+
+
+def test_cpu_usage_fraction():
+    a = make_accum(
+        cpu_user=[[48_000.0, 48_000.0, 48_000.0]] * 2,
+        cpu_total=[[96_000.0, 96_000.0, 96_000.0]] * 2,
+    )
+    assert compute_metrics(a)["CPU_Usage"] == pytest.approx(0.5)
+
+
+def test_idle_metric_detects_lazy_node():
+    a = make_accum(
+        cpu_user=[[90_000.0] * 3, [900.0] * 3],
+        cpu_total=[[96_000.0] * 3, [96_000.0] * 3],
+    )
+    assert compute_metrics(a)["idle"] == pytest.approx(0.01)
+
+
+def test_catastrophe_detects_temporal_collapse():
+    a = make_accum(
+        cpu_user=[[90_000.0, 90_000.0, 900.0]] * 2,
+        cpu_total=[[96_000.0, 96_000.0, 96_000.0]] * 2,
+    )
+    assert compute_metrics(a)["catastrophe"] == pytest.approx(0.01)
+
+
+def test_mic_usage():
+    a = make_accum(
+        mic_user=[[36_600.0] * 3] * 2,
+        mic_total=[[61_000.0] * 3] * 2,
+    )
+    assert compute_metrics(a)["MIC_Usage"] == pytest.approx(0.6)
+
+
+def test_energy_metrics():
+    # 100 W per node = 100 J/s × 600 s × 1e6 µJ per interval
+    a = make_accum(
+        rapl_pkg_uj=[[6e10, 6e10, 6e10]] * 2,
+        rapl_dram_uj=[[6e9, 6e9, 6e9]] * 2,  # 10 W
+    )
+    m = compute_metrics(a)
+    assert m["PkgPower"] == pytest.approx(100.0)
+    assert m["DramPower"] == pytest.approx(10.0)
+    # node-summed total energy over the 1800 s window
+    assert m["TotalEnergy"] == pytest.approx((3 * 6e10 + 3 * 6e9) * 2 / 1e6)
+
+
+def test_all_metrics_finite_on_zero_job():
+    m = compute_metrics(make_accum())
+    for name, value in m.items():
+        assert np.isfinite(value), name

@@ -1,0 +1,161 @@
+"""Accumulation: deltas, rollover, gaps, alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.collector import Sample
+from repro.hardware.devices.base import Schema, SchemaEntry
+from repro.pipeline.accum import accumulate
+from repro.pipeline.jobmap import JobData
+
+SCHEMAS = {
+    "mdc": Schema([
+        SchemaEntry("reqs", width=64),
+        SchemaEntry("wait_us", width=64, unit="us"),
+        SchemaEntry("open", width=64),
+        SchemaEntry("close", width=64),
+        SchemaEntry("getattr", width=64),
+        SchemaEntry("setattr", width=64),
+    ]),
+    "rapl": Schema([
+        SchemaEntry("pkg_energy", width=48, unit="uJ"),
+        SchemaEntry("core_energy", width=48, unit="uJ"),
+        SchemaEntry("dram_energy", width=48, unit="uJ"),
+    ]),
+    "mem": Schema([
+        SchemaEntry("MemTotal", event=False, unit="B"),
+        SchemaEntry("MemUsed", event=False, unit="B"),
+        SchemaEntry("FilePages", event=False, unit="B"),
+        SchemaEntry("Slab", event=False, unit="B"),
+        SchemaEntry("AnonPages", event=False, unit="B"),
+    ]),
+}
+
+
+def sample(host, ts, reqs=0.0, pkg=0.0, used=0.0):
+    return Sample(
+        host=host, timestamp=ts, jobids=["J"],
+        data={
+            "mdc": {"t": np.array([reqs, reqs * 10, 0, 0, 0, 0])},
+            "rapl": {"0": np.array([pkg, 0.0, 0.0])},
+            "mem": {"0": np.array([64e9, used, 0, 0, 0])},
+        },
+        procs=[],
+    )
+
+
+def jobdata(samples_by_host):
+    jd = JobData(jobid="J", schemas=dict(SCHEMAS), arch="intel_snb")
+    for host, samples in samples_by_host.items():
+        for s in samples:
+            jd.add(host, s)
+    jd.sort()
+    return jd
+
+
+def test_basic_deltas_and_elapsed():
+    jd = jobdata({
+        "n1": [sample("n1", 0, reqs=0), sample("n1", 600, reqs=300),
+               sample("n1", 1200, reqs=900)],
+    })
+    a = accumulate(jd)
+    assert a.elapsed == 1200
+    assert a.n_hosts == 1
+    assert list(a.deltas["mdc_reqs"][0]) == [300.0, 600.0]
+    assert list(a.dt) == [600.0, 600.0]
+
+
+def test_vector_width_from_arch():
+    jd = jobdata({"n1": [sample("n1", 0), sample("n1", 600)]})
+    jd.arch = "intel_nhm"
+    assert accumulate(jd).vector_width == 2
+    jd.arch = "intel_hsw"
+    assert accumulate(jd).vector_width == 4
+
+
+def test_rollover_unwrapped():
+    wrap = 2.0**48
+    jd = jobdata({
+        "n1": [sample("n1", 0, pkg=wrap - 1000),
+               sample("n1", 600, pkg=500.0)],
+    })
+    a = accumulate(jd)
+    assert a.deltas["rapl_pkg_uj"][0, 0] == pytest.approx(1500.0)
+
+
+def test_gauge_not_unwrapped():
+    jd = jobdata({
+        "n1": [sample("n1", 0, used=8e9), sample("n1", 600, used=2e9)],
+    })
+    a = accumulate(jd)
+    assert list(a.gauges["mem_used"][0]) == [8e9, 2e9]
+
+
+def test_hosts_aligned_on_common_timestamps():
+    jd = jobdata({
+        "n1": [sample("n1", t) for t in (0, 600, 1200)],
+        "n2": [sample("n2", t) for t in (0, 1200)],  # missed one
+    })
+    a = accumulate(jd)
+    assert list(a.times) == [0, 1200]
+    assert a.deltas["mdc_reqs"].shape == (2, 1)
+
+
+def test_missing_device_type_zero_filled():
+    jd = jobdata({"n1": [sample("n1", 0), sample("n1", 600)]})
+    a = accumulate(jd)
+    assert np.all(a.deltas["ib_bytes"] == 0)
+    assert np.all(a.deltas["cpu_user"] == 0)
+
+
+def test_too_few_samples_rejected():
+    jd = jobdata({"n1": [sample("n1", 0)]})
+    with pytest.raises(ValueError):
+        accumulate(jd)
+
+
+def test_no_hosts_rejected():
+    with pytest.raises(ValueError):
+        accumulate(JobData(jobid="J"))
+
+
+def test_duplicate_timestamps_deduped():
+    # prolog + periodic collection can coincide
+    jd = jobdata({
+        "n1": [sample("n1", 0, reqs=0), sample("n1", 0, reqs=0),
+               sample("n1", 600, reqs=100)],
+    })
+    a = accumulate(jd)
+    assert a.deltas["mdc_reqs"].shape == (1, 1)
+    assert a.deltas["mdc_reqs"][0, 0] == pytest.approx(100.0)
+
+
+def test_quantity_sums_counters():
+    # llite_oc = open + close; here via mdc open/close columns is
+    # exercised indirectly: mdc quantity sums only "reqs"
+    jd = jobdata({
+        "n1": [sample("n1", 0, reqs=10), sample("n1", 600, reqs=30)],
+    })
+    a = accumulate(jd)
+    assert a.deltas["mdc_wait_us"][0, 0] == pytest.approx(200.0)
+
+
+def test_counter_reset_not_misread_as_rollover():
+    """A node reboot resets counters to ~0; the accumulator must not
+    manufacture a near-2^64 increment out of the drop."""
+    jd = jobdata({
+        "n1": [sample("n1", 0, reqs=1_000_000),
+               sample("n1", 600, reqs=500.0)],  # rebooted mid-job
+    })
+    a = accumulate(jd)
+    assert a.deltas["mdc_reqs"][0, 0] == pytest.approx(500.0)
+
+
+def test_true_rollover_still_unwrapped_after_reset_heuristic():
+    wrap = 2.0**48
+    jd = jobdata({
+        "n1": [sample("n1", 0, pkg=wrap - 200.0),
+               sample("n1", 600, pkg=300.0)],
+    })
+    a = accumulate(jd)
+    assert a.deltas["rapl_pkg_uj"][0, 0] == pytest.approx(500.0)

@@ -1,0 +1,72 @@
+"""Ingest: end-to-end on the shared monitored run."""
+
+import pytest
+
+from repro.db import Avg, Count
+from repro.pipeline.records import JobRecord
+
+
+def by_exe(records, exe):
+    return [r for r in records.values() if r.executable == exe]
+
+
+def test_all_finished_jobs_ingested(monitored_run, monitored_records):
+    finished = [
+        j for j in monitored_run.cluster.jobs.values() if j.state.finished
+    ]
+    assert len(monitored_records) == len(finished) == 6
+
+
+def test_metadata_columns_populated(monitored_records):
+    wrf = by_exe(monitored_records, "wrf.exe")[0]
+    assert wrf.user == "alice"
+    assert wrf.nodes == 4
+    assert wrf.run_time > 0
+    assert wrf.node_hours == pytest.approx(wrf.run_time / 3600 * 4, rel=1e-6)
+    assert wrf.status == "COMPLETED"
+
+
+def test_metrics_populated_and_sane(monitored_records):
+    wrf = by_exe(monitored_records, "wrf.exe")[0]
+    assert 0.3 < wrf.CPU_Usage < 1.0
+    assert wrf.cpi > 0.3
+    assert wrf.MDCReqs > 1.0
+    assert wrf.MemUsage > 5.0
+    assert wrf.PkgPower > 50.0
+
+
+def test_expected_flags_raised(monitored_records):
+    flags = {r.executable: set(r.flags) for r in monitored_records.values()}
+    assert "high_cpi" in flags["graph500"]
+    assert "idle_nodes" in flags["run_ensemble.sh"]
+    assert "largemem_waste" in flags["Rscript"]
+    assert "sudden_drop" in flags["unstable.x"]
+    assert flags["namd2"] == set()
+
+
+def test_crashed_job_recorded_failed(monitored_records):
+    crash = by_exe(monitored_records, "unstable.x")[0]
+    assert crash.status == "FAILED"
+    assert crash.catastrophe < 0.25
+
+
+def test_orm_queries_over_ingested_data(monitored_run, monitored_records):
+    agg = JobRecord.objects.filter(CPU_Usage__gt=0.0).aggregate(
+        n=Count(), cpu=Avg("CPU_Usage")
+    )
+    assert agg["n"] == len(monitored_records)
+    assert 0.2 < agg["cpu"] < 1.0
+
+
+def test_idle_job_has_low_idle_metric(monitored_records):
+    lazy = by_exe(monitored_records, "run_ensemble.sh")[0]
+    assert lazy.idle < 0.05
+    namd = by_exe(monitored_records, "namd2")[0]
+    assert namd.idle > 0.5
+
+
+def test_vectorization_ordering(monitored_records):
+    namd = by_exe(monitored_records, "namd2")[0]
+    hicpi = by_exe(monitored_records, "graph500")[0]
+    assert namd.VecPercent > 50.0
+    assert hicpi.VecPercent < 1.0

@@ -1,0 +1,96 @@
+"""Job mapping: bucketing samples by job id from the raw store."""
+
+import numpy as np
+import pytest
+
+from repro.core.collector import Sample
+from repro.core.rawfile import RawFileWriter
+from repro.core.store import CentralStore
+from repro.hardware.devices.base import Schema, SchemaEntry
+from repro.pipeline.jobmap import map_jobs
+
+SCHEMAS = {"mdc": Schema([SchemaEntry("reqs", width=64)])}
+
+
+def put(store, host, entries):
+    """entries: list of (ts, jobids, value)."""
+    w = RawFileWriter(host, "intel_snb", SCHEMAS)
+    text = w.header()
+    for ts, jobids, v in entries:
+        text += w.record(Sample(
+            host=host, timestamp=ts, jobids=list(jobids),
+            data={"mdc": {"i": np.array([float(v)])}}, procs=[],
+        ))
+    store.append(host, text, arrived_at=0)
+
+
+def test_samples_bucketed_per_job(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A"], 1), (600, ["A"], 2), (1200, ["B"], 3),
+                      (1800, ["B"], 4)])
+    put(store, "n2", [(0, ["A"], 1), (600, ["A"], 2)])
+    jd, dropped = map_jobs(store)
+    assert set(jd) == {"A", "B"}
+    assert sorted(jd["A"].hosts) == ["n1", "n2"]
+    assert jd["B"].n_hosts == 1
+    assert dropped == {}
+
+
+def test_shared_sample_lands_in_both_jobs(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A", "B"], 1), (600, ["A", "B"], 2)])
+    jd, _ = map_jobs(store)
+    assert len(jd["A"].hosts["n1"]) == 2
+    assert len(jd["B"].hosts["n1"]) == 2
+
+
+def test_short_jobs_dropped_with_count(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A"], 1)])  # single sample: unusable
+    jd, dropped = map_jobs(store)
+    assert jd == {}
+    assert dropped == {"A": 1}
+
+
+def test_untagged_samples_ignored(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, [], 1), (600, ["A"], 2), (1200, ["A"], 3)])
+    jd, _ = map_jobs(store)
+    assert set(jd) == {"A"}
+
+
+def test_job_metadata_attached(tmp_path):
+    from repro.cluster.apps import make_app
+    from repro.cluster.jobs import Job, JobSpec
+
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A"], 1), (600, ["A"], 2)])
+    job = Job(jobid="A",
+              spec=JobSpec(user="u", app=make_app("wrf"), nodes=1),
+              submit_time=0)
+    jd, _ = map_jobs(store, jobs={"A": job})
+    assert jd["A"].job is job
+
+
+def test_samples_sorted_by_time(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(600, ["A"], 2), (0, ["A"], 1)])
+    jd, _ = map_jobs(store)
+    ts = [s.timestamp for s in jd["A"].hosts["n1"]]
+    assert ts == [0, 600]
+
+
+def test_schemas_and_arch_recorded(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A"], 1), (600, ["A"], 2)])
+    jd, _ = map_jobs(store)
+    assert "mdc" in jd["A"].schemas
+    assert jd["A"].arch == "intel_snb"
+
+
+def test_hosts_filter(tmp_path):
+    store = CentralStore(tmp_path)
+    put(store, "n1", [(0, ["A"], 1), (600, ["A"], 2)])
+    put(store, "n2", [(0, ["B"], 1), (600, ["B"], 2)])
+    jd, _ = map_jobs(store, hosts=["n1"])
+    assert set(jd) == {"A"}

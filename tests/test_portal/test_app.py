@@ -1,0 +1,119 @@
+"""Portal application routing and pages."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+from repro.portal.app import PortalApp
+from repro.xalt import XaltPlugin
+
+
+@pytest.fixture(scope="module")
+def app(monitored_run):
+    xalt = XaltPlugin(monitored_run.cluster, Database())
+    # backfill XALT records for the already-run jobs
+    for job in monitored_run.cluster.jobs.values():
+        if job.start_time is not None:
+            xalt._on_launch(job, job.start_time)
+    return PortalApp(
+        monitored_run.db,
+        store=monitored_run.store,
+        jobs=monitored_run.cluster.jobs,
+        xalt=xalt,
+    )
+
+
+def test_front_page(app):
+    resp = app.get("/")
+    assert resp.ok
+    assert "Recent jobs" in resp.body
+    assert "Flagged" in resp.body
+    assert "graph500" in resp.body
+    assert "high_cpi" in resp.body
+
+
+def test_unknown_route_404(app):
+    resp = app.get("/nope")
+    assert resp.status == 404
+
+
+def test_search_with_params(app):
+    resp = app.get("/search", {"exe": "wrf"})
+    assert resp.ok
+    assert "1 jobs" in resp.body
+    assert "wrf.exe" in resp.body
+    assert "Metadata Reqs" in resp.body  # histograms always generated
+
+
+def test_search_with_metric_field(app):
+    resp = app.get("/search", {"f1": "cpi__gt", "v1": "2.0"})
+    assert resp.ok
+    assert "graph500" in resp.body
+    assert "namd2" not in resp.body
+
+
+def test_search_bad_metric_is_400(app):
+    resp = app.get("/search", {"f1": "Bogus__gt", "v1": "1"})
+    assert resp.status == 400
+
+
+def test_job_detail_full(app, monitored_records):
+    wrf = [r for r in monitored_records.values()
+           if r.executable == "wrf.exe"][0]
+    resp = app.get(f"/job/{wrf.jobid}")
+    assert resp.ok
+    assert "Metric report" in resp.body
+    # XALT environment section present
+    assert "Environment (XALT)" in resp.body
+    assert "netcdf/4.3.3.1" in resp.body
+
+
+def test_job_detail_unknown_404(app):
+    assert app.get("/job/999999").status == 404
+
+
+def test_job_detail_without_store(monitored_run, monitored_records):
+    bare = PortalApp(monitored_run.db)  # DB-only deployment
+    any_id = next(iter(monitored_records))
+    resp = bare.get(f"/job/{any_id}")
+    assert resp.ok
+    assert "CPU_Usage" in resp.body
+
+
+def test_date_browse(app, monitored_run):
+    day = dt.datetime.fromtimestamp(
+        monitored_run.cluster.clock.epoch, tz=dt.timezone.utc
+    ).strftime("%Y-%m-%d")
+    resp = app.get(f"/date/{day}")
+    assert resp.ok
+    assert "Jobs completed on" in resp.body
+
+
+def test_jobid_links_in_tables(app):
+    resp = app.get("/")
+    assert '<a href="/job/' in resp.body
+
+
+def test_fleet_route(app):
+    resp = app.get("/fleet")
+    assert resp.ok
+    assert "Fleet report" in resp.body
+    assert "by queue" in resp.body
+
+
+def test_fleet_route_empty_db(fresh_db):
+    from repro.portal.app import PortalApp
+
+    resp = PortalApp(fresh_db).get("/fleet")
+    assert resp.status == 404
+
+
+def test_get_url_with_query_string(app):
+    resp = app.get_url("/search?exe=wrf&f1=MetaDataRate__gt&v1=0")
+    assert resp.ok
+    assert "wrf.exe" in resp.body
+
+
+def test_get_url_without_query(app):
+    assert app.get_url("/").ok

@@ -1,0 +1,51 @@
+"""Daily per-job report generation."""
+
+import pytest
+
+from repro.pipeline.records import JobRecord
+from repro.portal.daily import DailyReportGenerator
+
+
+@pytest.fixture
+def generated(monitored_run, tmp_path):
+    gen = DailyReportGenerator(
+        monitored_run.store, monitored_run.cluster.jobs, tmp_path
+    )
+    return gen.generate(monitored_run.cluster.clock.epoch)
+
+
+def test_one_report_per_completed_job(generated, monitored_records):
+    assert generated.count == len(monitored_records)
+    assert generated.skipped == {}
+
+
+def test_report_files_contain_full_detail(generated):
+    text = generated.written[0].read_text()
+    assert "Gigaflops" in text
+    assert "Metric report" in text
+    assert "Processes" in text
+
+
+def test_index_lists_every_job_with_flags(generated, monitored_records):
+    index = generated.index_path.read_text()
+    for jobid, rec in monitored_records.items():
+        assert jobid in index
+        for flag in rec.flags or []:
+            assert flag in index
+
+
+def test_day_directory_layout(generated, tmp_path):
+    day_dirs = list(tmp_path.iterdir())
+    assert len(day_dirs) == 1
+    assert day_dirs[0].name == "2015-10-01"
+    names = {p.name for p in day_dirs[0].iterdir()}
+    assert "INDEX.txt" in names
+
+
+def test_empty_day(monitored_run, tmp_path):
+    gen = DailyReportGenerator(
+        monitored_run.store, monitored_run.cluster.jobs, tmp_path
+    )
+    res = gen.generate(monitored_run.cluster.clock.epoch + 30 * 86_400)
+    assert res.count == 0
+    assert res.index_path.exists()

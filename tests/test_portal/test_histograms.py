@@ -1,0 +1,73 @@
+"""Fig. 4 histogram quartet."""
+
+import numpy as np
+import pytest
+
+from repro.portal.histograms import (
+    DEFAULT_PANELS,
+    Histogram,
+    job_histograms,
+    render_ascii,
+)
+
+
+class FakeJob:
+    def __init__(self, run_time=3600, nodes=4, queue_wait=600, md=100.0):
+        self.run_time = run_time
+        self.nodes = nodes
+        self.queue_wait = queue_wait
+        self.MetaDataRate = md
+
+
+def test_four_default_panels():
+    hists = job_histograms([FakeJob() for _ in range(10)])
+    assert set(hists) == {"run_time", "nodes", "queue_wait", "MetaDataRate"}
+    for h in hists.values():
+        assert h.total == 10
+        assert len(h.counts) == 20
+        assert len(h.edges) == 21
+
+
+def test_time_fields_in_hours():
+    hists = job_histograms([FakeJob(run_time=7200), FakeJob(run_time=3600)])
+    assert hists["run_time"].edges[0] == pytest.approx(1.0)
+    assert hists["run_time"].edges[-1] == pytest.approx(2.0)
+
+
+def test_empty_job_list():
+    hists = job_histograms([])
+    assert hists["nodes"].total == 0
+
+
+def test_constant_field_single_bin():
+    hists = job_histograms([FakeJob(nodes=4) for _ in range(5)])
+    h = hists["nodes"]
+    assert h.counts.sum() == 5
+
+
+def test_outlier_count_spots_far_mass():
+    jobs = [FakeJob(md=100.0) for _ in range(200)]
+    jobs += [FakeJob(md=900_000.0) for _ in range(5)]
+    h = job_histograms(jobs)["MetaDataRate"]
+    assert h.outlier_count() == 5
+
+
+def test_no_outliers_in_tight_population():
+    rng = np.random.default_rng(0)
+    jobs = [FakeJob(md=float(v)) for v in rng.normal(100, 5, 300)]
+    h = job_histograms(jobs)["MetaDataRate"]
+    assert h.outlier_count() == 0
+
+
+def test_missing_field_counts_as_zero():
+    class Bare:
+        pass
+
+    hists = job_histograms([Bare()], panels=(("nodes", "Nodes"),))
+    assert hists["nodes"].total == 1
+
+
+def test_render_ascii_contains_counts():
+    hists = job_histograms([FakeJob() for _ in range(7)])
+    out = render_ascii(hists["nodes"])
+    assert "Nodes" in out and "(n=7)" in out and "#" in out

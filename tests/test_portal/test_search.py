@@ -1,0 +1,99 @@
+"""Portal search: metadata filters + ≤3 metric search fields."""
+
+import pytest
+
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+from repro.portal.search import JobSearch, SearchField, browse_date
+
+
+@pytest.fixture
+def db(fresh_db):
+    rows = [
+        dict(jobid="1", user="alice", executable="wrf.exe", queue="normal",
+             status="COMPLETED", nodes=4, start_time=1000, end_time=5000,
+             run_time=4000, MetaDataRate=100.0, CPU_Usage=0.8, flags=[]),
+        dict(jobid="2", user="alice", executable="wrf.exe", queue="normal",
+             status="COMPLETED", nodes=8, start_time=90000, end_time=95000,
+             run_time=5000, MetaDataRate=900_000.0, CPU_Usage=0.6,
+             flags=["high_metadata_rate"]),
+        dict(jobid="3", user="bob", executable="namd2", queue="normal",
+             status="FAILED", nodes=2, start_time=2000, end_time=2400,
+             run_time=400, MetaDataRate=1.0, CPU_Usage=0.9, flags=[]),
+        dict(jobid="4", user="carol", executable="wrf_test.exe",
+             queue="largemem", status="COMPLETED", nodes=1,
+             start_time=3000, end_time=9000, run_time=6000,
+             MetaDataRate=50.0, CPU_Usage=0.5, flags=[]),
+    ]
+    JobRecord.objects.bulk_create([JobRecord(**r) for r in rows])
+    return fresh_db
+
+
+def ids(records):
+    return sorted(r.jobid for r in records)
+
+
+def test_search_field_parse():
+    f = SearchField.parse("MetaDataRate__gt", 1000)
+    assert f.metric == "MetaDataRate" and f.op == "gt" and f.value == 1000.0
+    assert SearchField.parse("cpi", 2).op == "exact"
+
+
+def test_search_field_validates_metric_and_op():
+    with pytest.raises(ValueError):
+        SearchField("NotAMetric", "gt", 1)
+    with pytest.raises(ValueError):
+        SearchField("cpi", "regex", 1)
+
+
+def test_executable_substring_match(db):
+    got = JobSearch(executable="wrf").run()
+    assert ids(got) == ["1", "2", "4"]
+
+
+def test_user_and_queue_filters(db):
+    assert ids(JobSearch(user="alice").run()) == ["1", "2"]
+    assert ids(JobSearch(queue="largemem").run()) == ["4"]
+    assert ids(JobSearch(status="FAILED").run()) == ["3"]
+
+
+def test_date_window_and_runtime(db):
+    got = JobSearch(start_after=0, start_before=10_000,
+                    min_run_time=600).run()
+    assert ids(got) == ["1", "4"]
+
+
+def test_metric_search_fields(db):
+    got = JobSearch(
+        executable="wrf",
+        fields=[SearchField.parse("MetaDataRate__gt", 10_000)],
+    ).run()
+    assert ids(got) == ["2"]
+
+
+def test_three_field_limit_enforced(db):
+    fields = [SearchField.parse("cpi__gt", 0)] * 4
+    with pytest.raises(ValueError):
+        JobSearch(fields=fields).run()
+    # exactly three is fine
+    JobSearch(fields=fields[:3]).run()
+
+
+def test_results_newest_first(db):
+    got = JobSearch(executable="wrf").run()
+    assert [r.jobid for r in got] == ["2", "4", "1"]
+
+
+def test_flagged_sublist(db):
+    got = JobSearch(executable="wrf").flagged_sublist()
+    assert ids(got) == ["2"]
+
+
+def test_browse_date(db):
+    got = browse_date(0, 10_000)
+    assert sorted(r.jobid for r in got) == ["1", "3", "4"]
+
+
+def test_jobid_lookup(db):
+    got = JobSearch(jobid="3").run()
+    assert ids(got) == ["3"]

@@ -1,0 +1,51 @@
+"""SVG histogram and figure composition."""
+
+import xml.dom.minidom as minidom
+
+import numpy as np
+import pytest
+
+from repro.portal.histograms import Histogram
+from repro.portal.svgcharts import compose_figure, render_histogram_svg
+
+
+def make_hist(counts=(3, 0, 7, 1), lo=0.0, hi=4.0):
+    counts = np.asarray(counts, dtype=float)
+    edges = np.linspace(lo, hi, len(counts) + 1)
+    return Histogram(field="x", label="X", counts=counts, edges=edges)
+
+
+def test_histogram_svg_structure():
+    svg = render_histogram_svg(make_hist())
+    assert svg.startswith('<svg width="320" height="180"')
+    assert svg.count("<rect") == 3  # zero-count bins not drawn
+    assert "X (n=11)" in svg
+    minidom.parseString(svg)  # well-formed
+
+
+def test_empty_histogram_renders():
+    h = Histogram(field="x", label="Empty",
+                  counts=np.zeros(5), edges=np.linspace(0, 1, 6))
+    svg = render_histogram_svg(h)
+    assert svg.count("<rect") == 0
+    minidom.parseString(svg)
+
+
+def test_compose_grid_dimensions():
+    frags = [render_histogram_svg(make_hist()) for _ in range(4)]
+    svg = compose_figure(frags, columns=2, gap=10, title="T")
+    assert 'width="650"' in svg  # 2*320 + 10
+    minidom.parseString(svg)
+    assert svg.count("<svg") == 5  # wrapper + 4 nested
+
+
+def test_compose_single_column():
+    frags = [render_histogram_svg(make_hist()) for _ in range(3)]
+    svg = compose_figure(frags, columns=1, gap=0)
+    assert 'height="540"' in svg  # 3*180
+    minidom.parseString(svg)
+
+
+def test_compose_rejects_sizeless_fragment():
+    with pytest.raises(ValueError):
+        compose_figure(["<svg>bad</svg>"])

@@ -1,0 +1,98 @@
+"""§VI-C tracker: signal policy and the two-samples guarantee."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.sharednode import SharedNodeTracker
+
+
+def run_tracked(wayness=8, runtime=2400.0, nodes=1, seed=11):
+    sess = monitoring_session(nodes=4, seed=seed, tick=300)
+    tracker = SharedNodeTracker(sess.cluster, sess.collector)
+    tracker.attach()
+    job = sess.cluster.submit(JobSpec(
+        user="u1",
+        app=make_app("namd", runtime_mean=runtime, fail_prob=0.0,
+                     runtime_sigma=0.02),
+        nodes=nodes, wayness=wayness,
+    ))
+    sess.cluster.run_for(2 * 3600)
+    return sess, tracker, job
+
+
+def test_double_attach_rejected():
+    sess = monitoring_session(nodes=2, seed=1)
+    tr = SharedNodeTracker(sess.cluster, sess.collector)
+    tr.attach()
+    with pytest.raises(RuntimeError):
+        tr.attach()
+
+
+def test_signal_policy_two_ok_rest_missed():
+    """Paper: two simultaneous signals handled; more are missed."""
+    sess, tracker, job = run_tracked(wayness=8)
+    st = tracker.total_stats()
+    # 8 rank-starts + 8 rank-stops arrive as two simultaneous bursts
+    assert st.received == 16
+    assert st.serviced_immediately == 2  # one per burst
+    assert st.serviced_pending == 2
+    assert st.missed == 12
+
+
+def test_every_process_has_at_least_two_samples():
+    sess, tracker, job = run_tracked(wayness=8)
+    pids = {p.pid for s in tracker.samples for p in s.procs}
+    assert len(pids) == 8
+    for pid in pids:
+        assert len(tracker.samples_for_pid(pid)) >= 2
+
+
+def test_stop_collection_includes_departing_process():
+    sess, tracker, job = run_tracked(wayness=2)
+    last = max(tracker.samples, key=lambda s: s.timestamp)
+    assert last.timestamp >= job.end_time
+    # the destructor fires before exit: the process is in the sample
+    assert any(p.jobid == job.jobid for p in last.procs)
+
+
+def test_two_sequential_signals_both_serviced_immediately():
+    """Signals separated in time never hit the pending slot."""
+    sess = monitoring_session(nodes=2, seed=5, tick=300)
+    tracker = SharedNodeTracker(sess.cluster, sess.collector)
+    tracker.attach()
+    c = sess.cluster
+    for i, start in enumerate((0, 1800)):
+        c.submit(JobSpec(
+            user=f"u{i}",
+            app=make_app("python_serial", runtime_mean=1000.0,
+                         fail_prob=0.0, runtime_sigma=0.02),
+            nodes=1, wayness=1,
+        ), when=c.now() + start if start else None)
+    c.run_for(2 * 3600)
+    st = tracker.total_stats()
+    assert st.missed == 0
+    assert st.serviced_immediately == st.received
+
+
+def test_tracker_sink_receives_samples():
+    sess = monitoring_session(nodes=2, seed=5, tick=300)
+    seen = []
+    tracker = SharedNodeTracker(sess.cluster, sess.collector,
+                                sink=seen.append)
+    tracker.attach(nodes=["c401-101"])
+    sess.cluster.submit(JobSpec(
+        user="u", app=make_app("python_serial", runtime_mean=900.0,
+                               fail_prob=0.0),
+        nodes=1, wayness=1,
+    ))
+    sess.cluster.run_for(3600)
+    assert seen == tracker.samples
+    assert all(s.host == "c401-101" for s in seen)
+
+
+def test_attach_subset_of_nodes():
+    sess = monitoring_session(nodes=4, seed=5, tick=300)
+    tracker = SharedNodeTracker(sess.cluster, sess.collector)
+    tracker.attach(nodes=["c401-101", "c401-102"])
+    assert set(tracker.stats) == {"c401-101", "c401-102"}

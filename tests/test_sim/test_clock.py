@@ -1,0 +1,69 @@
+"""SimClock semantics: monotonicity, day accounting, ISO rendering."""
+
+import pytest
+
+from repro.sim.clock import DEFAULT_EPOCH, SECONDS_PER_DAY, SimClock
+
+
+def test_starts_at_epoch():
+    clk = SimClock()
+    assert clk.now() == DEFAULT_EPOCH
+    assert clk.elapsed() == 0
+
+
+def test_custom_epoch():
+    clk = SimClock(epoch=1000)
+    assert clk.now() == 1000
+
+
+def test_advance_returns_new_time():
+    clk = SimClock()
+    assert clk.advance(600) == DEFAULT_EPOCH + 600
+    assert clk.elapsed() == 600
+
+
+def test_advance_negative_rejected():
+    clk = SimClock()
+    with pytest.raises(ValueError):
+        clk.advance(-1)
+
+
+def test_advance_to_absolute():
+    clk = SimClock()
+    clk.advance_to(DEFAULT_EPOCH + 100)
+    assert clk.now() == DEFAULT_EPOCH + 100
+
+
+def test_advance_to_past_rejected():
+    clk = SimClock()
+    clk.advance(100)
+    with pytest.raises(ValueError):
+        clk.advance_to(DEFAULT_EPOCH + 50)
+
+
+def test_advance_to_same_time_is_noop():
+    clk = SimClock()
+    clk.advance(100)
+    clk.advance_to(clk.now())
+    assert clk.elapsed() == 100
+
+
+def test_day_index_and_seconds_into_day():
+    clk = SimClock()
+    assert clk.day_index() == 0
+    clk.advance(SECONDS_PER_DAY + 42)
+    assert clk.day_index() == 1
+    assert clk.seconds_into_day() == 42
+
+
+def test_isoformat_is_utc():
+    clk = SimClock()
+    iso = clk.isoformat()
+    assert iso.startswith("2015-10-01T00:00:00")
+    assert iso.endswith("+00:00")
+
+
+def test_zero_advance_allowed():
+    clk = SimClock()
+    clk.advance(0)
+    assert clk.elapsed() == 0

@@ -1,0 +1,136 @@
+"""Event queue: ordering, FIFO ties, recurrence, cancellation."""
+
+import pytest
+
+from repro.sim import EventQueue, SimClock
+
+
+def make_queue():
+    return EventQueue(SimClock(epoch=0))
+
+
+def test_events_fire_in_time_order():
+    q = make_queue()
+    fired = []
+    q.schedule(30, lambda: fired.append(30))
+    q.schedule(10, lambda: fired.append(10))
+    q.schedule(20, lambda: fired.append(20))
+    q.run_all()
+    assert fired == [10, 20, 30]
+
+
+def test_simultaneous_events_fifo():
+    q = make_queue()
+    fired = []
+    for i in range(5):
+        q.schedule(10, lambda i=i: fired.append(i))
+    q.run_all()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    q = make_queue()
+    seen = []
+    q.schedule(100, lambda: seen.append(q.clock.now()))
+    q.run_all()
+    assert seen == [100]
+
+
+def test_schedule_in_past_rejected():
+    q = make_queue()
+    q.clock.advance(50)
+    with pytest.raises(ValueError):
+        q.schedule(10, lambda: None)
+
+
+def test_schedule_in_relative():
+    q = make_queue()
+    q.clock.advance(100)
+    fired = []
+    q.schedule_in(20, lambda: fired.append(q.clock.now()))
+    q.run_all()
+    assert fired == [120]
+
+
+def test_run_until_stops_and_advances_clock():
+    q = make_queue()
+    fired = []
+    q.schedule(10, lambda: fired.append(10))
+    q.schedule(50, lambda: fired.append(50))
+    n = q.run_until(30)
+    assert n == 1 and fired == [10]
+    assert q.clock.now() == 30  # clock lands exactly at the boundary
+    q.run_until(60)
+    assert fired == [10, 50]
+
+
+def test_cancelled_event_skipped():
+    q = make_queue()
+    fired = []
+    ev = q.schedule(10, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("b"))
+    ev.cancel()
+    q.run_all()
+    assert fired == ["b"]
+
+
+def test_len_excludes_cancelled():
+    q = make_queue()
+    ev = q.schedule(10, lambda: None)
+    q.schedule(20, lambda: None)
+    assert len(q) == 2
+    ev.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = make_queue()
+    ev = q.schedule(10, lambda: None)
+    q.schedule(20, lambda: None)
+    ev.cancel()
+    assert q.peek_time() == 20
+
+
+def test_schedule_every_recurs_until():
+    q = make_queue()
+    fired = []
+    q.schedule_every(10, lambda: fired.append(q.clock.now()), until=45)
+    q.run_until(100)
+    assert fired == [10, 20, 30, 40]
+
+
+def test_schedule_every_rejects_nonpositive_interval():
+    q = make_queue()
+    with pytest.raises(ValueError):
+        q.schedule_every(0, lambda: None)
+
+
+def test_event_scheduled_during_event_fires():
+    q = make_queue()
+    fired = []
+
+    def outer():
+        q.schedule_in(5, lambda: fired.append("inner"))
+
+    q.schedule(10, outer)
+    q.run_until(20)
+    assert fired == ["inner"]
+
+
+def test_event_at_current_time_during_event_fires():
+    q = make_queue()
+    fired = []
+    q.schedule(10, lambda: q.schedule(q.clock.now(), lambda: fired.append("now")))
+    q.run_all()
+    assert fired == ["now"]
+
+
+def test_run_all_guards_event_storm():
+    q = make_queue()
+
+    def rearm():
+        q.schedule(q.clock.now(), rearm)
+
+    q.schedule(1, rearm)
+    with pytest.raises(RuntimeError):
+        q.run_all(max_events=1000)

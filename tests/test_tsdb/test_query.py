@@ -1,0 +1,147 @@
+"""TSDB queries: grouping, aggregation, rate, downsampling, correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb import TimeSeriesDB, correlate
+from repro.tsdb.query import ResultSeries, query
+
+
+def fill(db, host, values, metric="m", t0=0, step=600, **tags):
+    tags = {"host": host, **tags}
+    for i, v in enumerate(values):
+        db.put(metric, tags, t0 + i * step, v)
+
+
+def test_group_by_host():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2, 3])
+    fill(db, "n2", [10, 20, 30])
+    res = query(db, "m", group_by=("host",))
+    assert len(res) == 2
+    assert list(res.by_tags(host="n2").values) == [10, 20, 30]
+
+
+def test_aggregate_sum_across_hosts():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2, 3])
+    fill(db, "n2", [10, 20, 30])
+    res = query(db, "m", aggregate="sum")
+    assert len(res) == 1
+    assert list(res.series[0].values) == [11, 22, 33]
+
+
+@pytest.mark.parametrize("agg,expected", [
+    ("avg", [5.5, 11.0, 16.5]),
+    ("max", [10, 20, 30]),
+    ("min", [1, 2, 3]),
+])
+def test_other_aggregators(agg, expected):
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2, 3])
+    fill(db, "n2", [10, 20, 30])
+    res = query(db, "m", aggregate=agg)
+    assert list(res.series[0].values) == expected
+
+
+def test_unknown_aggregator_rejected():
+    db = TimeSeriesDB()
+    with pytest.raises(ValueError):
+        query(db, "m", aggregate="median")
+
+
+def test_misaligned_series_nan_skipped():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2, 3], t0=0)
+    fill(db, "n2", [10], t0=600)
+    res = query(db, "m", aggregate="sum")
+    assert list(res.series[0].values) == [1, 12, 3]
+
+
+def test_rate_conversion():
+    db = TimeSeriesDB()
+    fill(db, "n1", [0, 600, 1800])  # counter
+    res = query(db, "m", rate=True)
+    assert list(res.series[0].values) == [1.0, 2.0]
+    assert list(res.series[0].times) == [600, 1200]
+
+
+def test_rate_drops_counter_resets():
+    db = TimeSeriesDB()
+    fill(db, "n1", [100, 200, 5, 65])  # reset at third sample
+    res = query(db, "m", rate=True)
+    # the negative delta is dropped; others kept
+    assert len(res.series[0].values) == 2
+    assert res.series[0].values[0] == pytest.approx(100 / 600)
+
+
+def test_downsample_avg():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 3, 5, 7], step=300)
+    res = query(db, "m", downsample=(600, "avg"))
+    assert list(res.series[0].values) == [2.0, 6.0]
+    assert list(res.series[0].times) == [0, 600]
+
+
+def test_time_range_filter():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2, 3, 4])
+    res = query(db, "m", time_range=(600, 1800))
+    assert list(res.series[0].values) == [2, 3]
+
+
+def test_tag_filter_with_group_by():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2], type="mdc", event="reqs")
+    fill(db, "n1", [5, 6], type="mdc", event="wait_us")
+    fill(db, "n2", [9, 9], type="mdc", event="reqs")
+    res = query(db, "m", tags={"event": "reqs"}, group_by=("host",))
+    assert len(res) == 2
+    assert list(res.by_tags(host="n1").values) == [1, 2]
+
+
+def test_empty_selection():
+    db = TimeSeriesDB()
+    res = query(db, "nothing")
+    assert len(res) == 0
+    assert res.by_tags(host="x") is None
+
+
+def test_correlate_perfect_and_anti():
+    a = ResultSeries({}, np.arange(5) * 600, np.array([1.0, 2, 3, 4, 5]))
+    b = ResultSeries({}, np.arange(5) * 600, np.array([2.0, 4, 6, 8, 10]))
+    c = ResultSeries({}, np.arange(5) * 600, np.array([5.0, 4, 3, 2, 1]))
+    assert correlate(a, b) == pytest.approx(1.0)
+    assert correlate(a, c) == pytest.approx(-1.0)
+
+
+def test_correlate_insufficient_overlap_nan():
+    a = ResultSeries({}, np.array([0, 600]), np.array([1.0, 2.0]))
+    b = ResultSeries({}, np.array([0, 600]), np.array([1.0, 2.0]))
+    assert np.isnan(correlate(a, b))
+
+
+def test_correlate_constant_series_nan():
+    t = np.arange(5) * 600
+    a = ResultSeries({}, t, np.ones(5))
+    b = ResultSeries({}, t, np.arange(5, dtype=float))
+    assert np.isnan(correlate(a, b))
+
+
+@given(
+    st.lists(st.floats(0, 1e6), min_size=4, max_size=20),
+)
+@settings(max_examples=30)
+def test_sum_of_singleton_group_is_identity(values):
+    db = TimeSeriesDB()
+    fill(db, "n1", values)
+    res = query(db, "m", aggregate="sum")
+    assert np.allclose(res.series[0].values, values)
+
+
+def test_method_attached_to_class():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1, 2])
+    assert len(db.query("m")) == 1

@@ -1,0 +1,71 @@
+"""TSDB storage: series identity, indexing, ingest."""
+
+import pytest
+
+from repro.tsdb import TimeSeriesDB, ingest_store
+
+
+def test_series_identity_by_metric_and_tags():
+    db = TimeSeriesDB()
+    db.put("stats", {"host": "n1", "event": "reqs"}, 0, 1.0)
+    db.put("stats", {"host": "n1", "event": "reqs"}, 600, 2.0)
+    db.put("stats", {"host": "n2", "event": "reqs"}, 0, 3.0)
+    assert db.n_series() == 2
+    assert db.n_points() == 3
+
+
+def test_tag_order_irrelevant():
+    db = TimeSeriesDB()
+    db.put("m", {"a": "1", "b": "2"}, 0, 1.0)
+    db.put("m", {"b": "2", "a": "1"}, 1, 2.0)
+    assert db.n_series() == 1
+
+
+def test_tag_values_index():
+    db = TimeSeriesDB()
+    db.put("m", {"host": "n1", "type": "mdc"}, 0, 1.0)
+    db.put("m", {"host": "n2", "type": "mdc"}, 0, 1.0)
+    assert db.tag_values("host") == ["n1", "n2"]
+    assert db.tag_values("type") == ["mdc"]
+    assert db.tag_values("nope") == []
+
+
+def test_select_with_filters():
+    db = TimeSeriesDB()
+    for h in ("n1", "n2", "n3"):
+        db.put("m", {"host": h, "type": "mdc"}, 0, 1.0)
+        db.put("m", {"host": h, "type": "osc"}, 0, 1.0)
+    assert len(db.select("m")) == 6
+    assert len(db.select("m", {"type": "mdc"})) == 3
+    assert len(db.select("m", {"type": "mdc", "host": ["n1", "n3"]})) == 2
+    assert db.select("m", {"host": "ghost"}) == []
+
+
+def test_series_arrays_sorted_and_deduped():
+    db = TimeSeriesDB()
+    db.put("m", {"h": "x"}, 600, 2.0)
+    db.put("m", {"h": "x"}, 0, 1.0)
+    db.put("m", {"h": "x"}, 600, 5.0)  # duplicate ts: last wins
+    s = db.select("m")[0]
+    t, v = s.arrays()
+    assert list(t) == [0, 600]
+    assert list(v) == [1.0, 5.0]
+
+
+def test_ingest_store_tags(monitored_run):
+    db = TimeSeriesDB()
+    n = ingest_store(db, monitored_run.store, types=["mdc"])
+    assert n > 0
+    assert db.tag_values("type") == ["mdc"]
+    assert set(db.tag_values("event")) == {
+        "reqs", "wait_us", "open", "close", "getattr", "setattr"
+    }
+    assert len(db.tag_values("host")) == 11  # 10 normal + 1 largemem
+
+
+def test_ingest_store_all_types(monitored_run):
+    db = TimeSeriesDB()
+    ingest_store(db, monitored_run.store, types=["cpu", "mem"])
+    assert set(db.tag_values("type")) == {"cpu", "mem"}
+    # per-cpu instances became device tags
+    assert "0" in db.tag_values("device")

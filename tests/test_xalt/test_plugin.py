@@ -1,0 +1,81 @@
+"""XALT plugin: launch capture and fleet queries."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.db import Database
+from repro.xalt import EXECUTABLE_CATALOG, XaltPlugin, XaltRecord, lookup
+
+
+@pytest.fixture
+def tracked():
+    sess = monitoring_session(nodes=8, seed=4, tick=300)
+    xalt = XaltPlugin(sess.cluster, Database())
+    xalt.install()
+    jobs = {}
+    for user, app in (("alice", "wrf"), ("bob", "namd"),
+                      ("carl", "openfoam"), ("eth", "gige_mpi")):
+        jobs[user] = sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=2000.0, fail_prob=0.0),
+            nodes=2,
+        ))
+    sess.cluster.run_for(2 * 3600)
+    return sess, xalt, jobs
+
+
+def test_lookup_known_and_unknown():
+    info = lookup("wrf.exe")
+    assert "netcdf/4.3.3.1" in info.modules
+    assert lookup("/path/to/wrf.exe") == info  # basename match
+    unknown = lookup("mystery.bin")
+    assert unknown.modules == () and not unknown.uses_best_isa
+
+
+def test_every_catalogued_app_has_plausible_entry():
+    for exe, info in EXECUTABLE_CATALOG.items():
+        assert info.compiler
+        assert isinstance(info.modules, tuple)
+
+
+def test_launch_records_created(tracked):
+    sess, xalt, jobs = tracked
+    XaltRecord.bind(xalt.db)
+    assert XaltRecord.objects.count() == 4
+    rec = xalt.record_for(jobs["alice"].jobid)
+    assert rec.executable == "wrf.exe"
+    assert "netcdf/4.3.3.1" in rec.modules
+    assert rec.user == "alice"
+    assert rec.work_dir.startswith("/scratch/")
+    assert rec.start_time == jobs["alice"].start_time
+
+
+def test_module_and_library_queries(tracked):
+    sess, xalt, jobs = tracked
+    netcdf_users = {r.user for r in xalt.jobs_loading_module("netcdf")}
+    assert netcdf_users == {"alice"}
+    mpi_linkers = {r.user for r in xalt.jobs_linking("libmpich")}
+    assert {"alice", "bob", "carl", "eth"} <= mpi_linkers
+
+
+def test_isa_fraction_reflects_catalog(tracked):
+    sess, xalt, jobs = tracked
+    # openfoam + the homegrown MPI were built without AVX
+    assert xalt.non_isa_launch_fraction() == pytest.approx(0.5)
+
+
+def test_homegrown_mpi_identified(tracked):
+    sess, xalt, jobs = tracked
+    assert xalt.homegrown_mpi_users() == ["eth"]
+
+
+def test_double_install_rejected(tracked):
+    sess, xalt, jobs = tracked
+    with pytest.raises(RuntimeError):
+        xalt.install()
+
+
+def test_record_for_unknown_job(tracked):
+    sess, xalt, jobs = tracked
+    assert xalt.record_for("999999") is None
