@@ -10,8 +10,15 @@ and simple transport-delay modelling so end-to-end data latency (Fig. 2
 vs Fig. 1) is measurable.
 """
 
-from repro.broker.broker import Broker, Channel
+from repro.broker.broker import Broker, BrokerUnavailable, Channel
 from repro.broker.message import Delivery, Message
 from repro.broker.routing import topic_matches
 
-__all__ = ["Broker", "Channel", "Message", "Delivery", "topic_matches"]
+__all__ = [
+    "Broker",
+    "BrokerUnavailable",
+    "Channel",
+    "Message",
+    "Delivery",
+    "topic_matches",
+]

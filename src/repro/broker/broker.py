@@ -30,6 +30,15 @@ from repro.sim.events import EventQueue
 ConsumerCallback = Callable[["Channel", Delivery], None]
 
 
+class BrokerUnavailable(RuntimeError):
+    """The broker cannot be reached (network partition, server down).
+
+    Raised from :meth:`Broker.publish` while a fault window is active;
+    publishers are expected to buffer and retry with backoff
+    (``repro.faults.recovery.RetryPolicy``) rather than drop data.
+    """
+
+
 @dataclass
 class _Binding:
     queue: str
@@ -99,6 +108,12 @@ class Broker:
         self._ctags = itertools.count(1)
         self.published = 0
         self.dropped = 0
+        self.rejected = 0  # publishes refused while partitioned
+        self.duplicated = 0  # deliveries duplicated by injected faults
+        #: optional fault hook (duck-typed; see repro.faults.injector).
+        #: Must offer publish_allowed(now), extra_latency(now) and
+        #: duplicate_delivery(now) -> bool.  None = healthy broker.
+        self.faults: Optional[Any] = None
 
     # -- topology ----------------------------------------------------------
     def declare_exchange(self, name: str, kind: str = "topic") -> None:
@@ -138,8 +153,15 @@ class Broker:
         body: Any,
         headers: Optional[Dict[str, Any]] = None,
     ) -> int:
-        """Route a message; returns the number of queues it landed in."""
+        """Route a message; returns the number of queues it landed in.
+
+        Raises :class:`BrokerUnavailable` while a partition fault is
+        active — the transport equivalent of a connection refused.
+        """
         now = self.events.clock.now() if self.events is not None else None
+        if self.faults is not None and not self.faults.publish_allowed(now):
+            self.rejected += 1
+            raise BrokerUnavailable(f"broker unreachable at t={now}")
         msg = Message(
             body=body,
             routing_key=routing_key,
@@ -162,9 +184,12 @@ class Broker:
         """Schedule (or perform) delivery of ready messages."""
         if not q.ready:
             return
-        if self.events is not None and self.latency > 0:
+        latency = self.latency
+        if self.faults is not None and self.events is not None:
+            latency += self.faults.extra_latency(self.events.clock.now())
+        if self.events is not None and latency > 0:
             self.events.schedule_in(
-                max(1, int(round(self.latency))),
+                max(1, int(round(latency))),
                 lambda: self._drain(q),
                 label=f"amqp:{q.name}",
             )
@@ -182,6 +207,27 @@ class Broker:
             msg = q.ready.popleft()
             tag = next(self._tags)
             now = self.events.clock.now() if self.events is not None else None
+            if (
+                self.faults is not None
+                and not msg.headers.get("_chaos_dup", False)
+                and self.faults.duplicate_delivery(now)
+            ):
+                # the network delivered the frame twice (at-least-once
+                # transport): requeue a marked copy so it cannot fork
+                # into an endless storm of duplicates of duplicates
+                dup = Message(
+                    body=msg.body,
+                    routing_key=msg.routing_key,
+                    headers={
+                        **msg.headers,
+                        "_chaos_dup": True,
+                        "_redelivered": True,
+                    },
+                    published_at=msg.published_at,
+                )
+                q.ready.append(dup)
+                q.enqueued += 1
+                self.duplicated += 1
             dv = Delivery(
                 message=msg,
                 delivery_tag=tag,

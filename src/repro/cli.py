@@ -11,6 +11,7 @@ analogous workflow over the simulator::
     python -m repro.cli report   --db quarter.db --jobid 2000017
     python -m repro.cli casestudy --db quarter.db
     python -m repro.cli fleet    --db quarter.db --top 10
+    python -m repro.cli chaos    --seed 0 --minutes 30
 
 ``simulate`` runs a monitored cluster (daemon mode) on a preset
 workload and ingests the results; ``popgen`` synthesises a
@@ -181,6 +182,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        minutes=args.minutes,
+        nodes=args.nodes,
+        interval=args.interval,
+        jobs=args.jobs,
+    )
+    print(report.render_text())
+    return 0 if report.passed else 1
+
+
 def cmd_casestudy(args: argparse.Namespace) -> int:
     _open_db(args.db)
     try:
@@ -250,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--db", required=True)
     fl.add_argument("--top", type=int, default=10)
     fl.set_defaults(fn=cmd_fleet)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run asserting recovery invariants",
+    )
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--minutes", type=int, default=24 * 60)
+    ch.add_argument("--nodes", type=int, default=8)
+    ch.add_argument("--interval", type=int, default=600)
+    ch.add_argument("--jobs", type=int, default=6)
+    ch.set_defaults(fn=cmd_chaos)
     return p
 
 

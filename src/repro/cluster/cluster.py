@@ -261,6 +261,39 @@ class Cluster:
         else:
             self.events.schedule(when, do_fail, label="node_fail")
 
+    def recover_node(
+        self,
+        name: str,
+        when: Optional[int] = None,
+        reset_counters: bool = True,
+    ) -> None:
+        """Reboot a failed node now or at ``when``.
+
+        A real reboot restarts the kernel, so by default every hardware
+        counter resets to zero — downstream accumulation must treat the
+        drop as a reset, not a register wrap.  The node rejoins the
+        scheduler's pool immediately.
+        """
+
+        def do_recover() -> None:
+            node = self.nodes[name]
+            if not node.failed:
+                return
+            now = self.clock.now()
+            # the node was dark; nothing to integrate for the downtime
+            self._last_advance[name] = now
+            node.recover()
+            if reset_counters:
+                for dev in node.tree.devices.values():
+                    for inst in dev.instances:
+                        dev.reset_instance(inst)
+            self._scheduler_cycle()
+
+        if when is None or when <= self.clock.now():
+            do_recover()
+        else:
+            self.events.schedule(when, do_recover, label="node_recover")
+
 
 class DeferredJob:
     """Handle for a job submitted at a future simulation time."""

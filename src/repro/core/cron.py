@@ -19,7 +19,7 @@ Consequences this module reproduces faithfully:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.jobs import Job
@@ -27,7 +27,12 @@ from repro.core.collector import Collector, Sample
 from repro.core.config import MonitorConfig
 from repro.core.rawfile import RawFileWriter
 from repro.core.store import CentralStore
+from repro.faults.recovery import RSYNC_RETRY, RetryPolicy
 from repro.sim.clock import SECONDS_PER_DAY
+
+#: injectable fault predicate: (node_name, now) -> True if this rsync
+#: attempt fails (shared filesystem hiccup, network congestion)
+RsyncFault = Callable[[str, int], bool]
 
 
 @dataclass
@@ -50,17 +55,24 @@ class CronMode:
         collector: Collector,
         store: CentralStore,
         monitor: Optional[MonitorConfig] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.collector = collector
         self.store = store
         self.monitor = monitor or collector.monitor
+        self.retry = retry or RSYNC_RETRY
         self.rng = cluster.rngs.get("cron/rsync")
         self._logs: Dict[str, _LocalLog] = {}
         self._writers: Dict[str, RawFileWriter] = {}
         self.lost_samples = 0
         self.synced_samples = 0
         self._started = False
+        #: injectable rsync fault predicate (None = transfers succeed)
+        self.rsync_fault: Optional[RsyncFault] = None
+        self.rsync_failures = 0
+        self.rsync_retries = 0
+        self._rsync_attempts: Dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -141,10 +153,43 @@ class CronMode:
             return  # nothing reachable to copy
         log = self._logs[node_name]
         now = self.cluster.clock.now()
+        if self.rsync_fault is not None and self.rsync_fault(node_name, now):
+            self.rsync_failures += 1
+            attempt = self._rsync_attempts.get(node_name, 0)
+            if attempt < self.retry.max_retries:
+                # transient transfer failure: back off and retry; the
+                # rotated logs stay buffered on the node meanwhile
+                self._rsync_attempts[node_name] = attempt + 1
+                self.rsync_retries += 1
+                self.cluster.events.schedule_in(
+                    max(1, int(round(self.retry.delay(attempt)))),
+                    lambda: self._rsync(node_name),
+                    label="cron:rsync-retry",
+                )
+            else:
+                # give up for today; tomorrow's staggered rsync will
+                # carry today's rotation along with the next one
+                self._rsync_attempts[node_name] = 0
+            return
+        self._rsync_attempts[node_name] = 0
         for _day, text, times in log.rotated:
             self.store.append(node_name, text, arrived_at=now, collect_times=times)
             self.synced_samples += len(times)
         log.rotated.clear()
+
+    # -- reboot handling -----------------------------------------------------
+    def node_rebooted(self, node_name: str) -> None:
+        """A crashed node came back: restart its local log cleanly.
+
+        The pre-crash buffer is gone (``account_node_failure`` tallies
+        it); collections resume into a fresh day file with a fresh
+        header so the central file stays parseable.
+        """
+        log = self._logs[node_name]
+        log.day = self.cluster.clock.day_index()
+        log.lines = [self._writers[node_name].header()]
+        log.collect_times = []
+        log.rotated = []
 
     # -- failure accounting ----------------------------------------------------
     def account_node_failure(self, node_name: str) -> int:

@@ -15,22 +15,32 @@ mode running identically on Haswell device trees.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
 
-from repro.broker import Broker, Channel, Delivery
+from repro.broker import Broker, BrokerUnavailable, Channel, Delivery
 from repro.cluster.cluster import Cluster
 from repro.cluster.jobs import Job
 from repro.core.collector import Collector
 from repro.core.config import MonitorConfig
 from repro.core.rawfile import RawFileWriter
 from repro.core.store import CentralStore
+from repro.faults.recovery import PUBLISH_RETRY, RetryPolicy
 
 EXCHANGE = "tacc_stats"
 QUEUE = "tacc_stats_ingest"
 
 
 class DaemonMode:
-    """Per-node tacc_statsd daemons publishing into a broker."""
+    """Per-node tacc_statsd daemons publishing into a broker.
+
+    Publishes that fail with :class:`BrokerUnavailable` (network
+    partition, server restart) are buffered in the daemon's memory and
+    retried with exponential backoff; in-order delivery per node is
+    preserved.  A node that power-fails loses whatever its daemon still
+    buffered — the daemon-mode loss bound the paper states ("at most
+    the last interval") plus any backlog a concurrent partition built.
+    """
 
     def __init__(
         self,
@@ -38,15 +48,24 @@ class DaemonMode:
         collector: Collector,
         broker: Broker,
         monitor: Optional[MonitorConfig] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.collector = collector
         self.broker = broker
         self.monitor = monitor or collector.monitor
+        self.retry = retry or PUBLISH_RETRY
         self._writers: Dict[str, RawFileWriter] = {}
         self._header_sent: Dict[str, bool] = {}
         self._channel: Optional[Channel] = None
         self._started = False
+        #: per-node FIFO of (text, headers) awaiting (re)publish
+        self._pending: Dict[str, Deque[Tuple[str, Dict[str, object]]]] = {}
+        self._attempts: Dict[str, int] = {}
+        self._retry_armed: Dict[str, bool] = {}
+        self.publish_retries = 0
+        #: node → samples that died in the daemon's buffer with the node
+        self.lost_buffered: Dict[str, int] = {}
 
     def start(self) -> None:
         """Boot a daemon on every node and hook the scheduler."""
@@ -63,6 +82,9 @@ class DaemonMode:
                 mem_bytes=node.mem_bytes or 0,
             )
             self._header_sent[name] = False
+            self._pending[name] = deque()
+            self._attempts[name] = 0
+            self._retry_armed[name] = False
         # each daemon sleeps `interval` between collections; nodes are
         # not phase-locked in reality, but a shared cron-like cadence
         # keeps record timestamps aligned for job stitching
@@ -89,13 +111,73 @@ class DaemonMode:
         if not self._header_sent[node_name]:
             text = writer.header() + text
             self._header_sent[node_name] = True
-        assert self._channel is not None
-        self._channel.basic_publish(
-            EXCHANGE,
-            routing_key=f"stats.{node_name}",
-            body=text,
-            headers={"host": node_name, "timestamp": sample.timestamp},
+        self._pending[node_name].append(
+            (text, {"host": node_name, "timestamp": sample.timestamp})
         )
+        self._flush(node_name)
+
+    # -- publish buffering / retry -----------------------------------------
+    def _flush(self, node_name: str) -> None:
+        """Publish the node's buffered samples in order; arm a retry on
+        the first :class:`BrokerUnavailable`."""
+        assert self._channel is not None
+        pending = self._pending[node_name]
+        while pending:
+            text, headers = pending[0]
+            try:
+                self._channel.basic_publish(
+                    EXCHANGE,
+                    routing_key=f"stats.{node_name}",
+                    body=text,
+                    headers=headers,
+                )
+            except BrokerUnavailable:
+                self._arm_retry(node_name)
+                return
+            pending.popleft()
+        self._attempts[node_name] = 0
+
+    def _arm_retry(self, node_name: str) -> None:
+        if self._retry_armed[node_name]:
+            return
+        attempt = min(self._attempts[node_name], self.retry.max_retries - 1)
+        delay = self.retry.delay(attempt)
+        self._attempts[node_name] += 1
+        self.publish_retries += 1
+        self._retry_armed[node_name] = True
+        self.cluster.events.schedule_in(
+            max(1, int(round(delay))),
+            lambda: self._retry(node_name),
+            label="statsd:retry",
+        )
+
+    def _retry(self, node_name: str) -> None:
+        self._retry_armed[node_name] = False
+        if self.cluster.nodes[node_name].failed:
+            self.note_node_failure(node_name)
+            return
+        self._flush(node_name)
+
+    def pending_count(self, node_name: str) -> int:
+        """Samples buffered in one node's daemon awaiting publish."""
+        return len(self._pending.get(node_name, ()))
+
+    def note_node_failure(self, node_name: str) -> int:
+        """A node died: its daemon's unflushed buffer dies with it."""
+        lost = len(self._pending.get(node_name, ()))
+        if lost:
+            self.lost_buffered[node_name] = (
+                self.lost_buffered.get(node_name, 0) + lost
+            )
+            self._pending[node_name].clear()
+        return lost
+
+    def note_node_reboot(self, node_name: str) -> None:
+        """A node came back: its daemon restarts with an empty buffer
+        and must re-announce its file header (fresh process)."""
+        self._pending[node_name] = deque()
+        self._attempts[node_name] = 0
+        self._header_sent[node_name] = False
 
 
 class StatsConsumer:

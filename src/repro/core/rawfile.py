@@ -130,45 +130,86 @@ class ParsedSample:
     procs: List[ProcessRecord] = field(default_factory=list)
 
 
-class RawFileParser:
-    """Streaming parser for raw stats text (one host per stream)."""
+@dataclass(frozen=True)
+class ParseError:
+    """One corrupt line encountered during tolerant parsing."""
 
-    def __init__(self) -> None:
+    lineno: int
+    line: str
+    reason: str
+
+
+class RawFileParser:
+    """Streaming parser for raw stats text (one host per stream).
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default, the
+    historical behaviour) stops at the first malformed line;
+    ``"quarantine"`` records the offending line in :attr:`errors` and
+    keeps parsing — a truncated tail or a corrupted block costs only
+    the damaged lines, never the whole host file.
+    """
+
+    def __init__(self, on_error: str = "raise") -> None:
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
+        self.on_error = on_error
         self.hostname: Optional[str] = None
         self.arch: Optional[str] = None
         self.mem_bytes: int = 0
         self.schemas: Dict[str, Schema] = {}
+        self.errors: List[ParseError] = []
 
     def parse(self, stream) -> Iterator[ParsedSample]:
         """Yield samples from a text stream (file object or string)."""
         if isinstance(stream, str):
             stream = io.StringIO(stream)
         current: Optional[ParsedSample] = None
-        for raw in stream:
+        #: after a corrupt record-open line, orphan data lines are part
+        #: of the same damaged block — swallow them without re-reporting
+        skipping_block = False
+        for lineno, raw in enumerate(stream, 1):
             line = raw.rstrip("\n")
             if not line:
                 continue
             c = line[0]
-            if c == "$":
-                self._header_line(line)
-            elif c == "!":
-                type_name, schema = Schema.parse_line(line)
-                self.schemas[type_name] = schema
-            elif c.isdigit():
-                if current is not None:
-                    yield current
-                ts_str, _, jobs_str = line.partition(" ")
-                jobids = [] if jobs_str in ("-", "") else jobs_str.split(",")
-                current = ParsedSample(
-                    host=self.hostname or "?",
-                    timestamp=int(ts_str),
-                    jobids=jobids,
-                    data={},
+            try:
+                if c == "$":
+                    self._header_line(line)
+                elif c == "!":
+                    type_name, schema = Schema.parse_line(line)
+                    self.schemas[type_name] = schema
+                elif c.isdigit():
+                    if current is not None:
+                        yield current
+                        current = None
+                    skipping_block = False
+                    ts_str, _, jobs_str = line.partition(" ")
+                    jobids = [] if jobs_str in ("-", "") else jobs_str.split(",")
+                    current = ParsedSample(
+                        host=self.hostname or "?",
+                        timestamp=int(ts_str),
+                        jobids=jobids,
+                        data={},
+                    )
+                else:
+                    if current is None:
+                        if skipping_block:
+                            continue
+                        raise ValueError(f"data line before any record: {line!r}")
+                    self._data_line(current, line)
+            except (ValueError, IndexError) as exc:
+                if self.on_error == "raise":
+                    if isinstance(exc, ValueError):
+                        raise
+                    raise ValueError(str(exc)) from exc
+                self.errors.append(
+                    ParseError(lineno=lineno, line=line, reason=str(exc))
                 )
-            else:
-                if current is None:
-                    raise ValueError(f"data line before any record: {line!r}")
-                self._data_line(current, line)
+                if c.isdigit():
+                    # the record-open line itself is damaged: the block
+                    # that follows has no timestamp to attach to
+                    current = None
+                    skipping_block = True
         if current is not None:
             yield current
 

@@ -15,11 +15,18 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.rawfile import ParsedSample, RawFileParser
+from repro.core.rawfile import ParseError, ParsedSample, RawFileParser
 
 
 class CentralStore:
-    """Append-only per-host raw stats files with arrival accounting."""
+    """Append-only per-host raw stats files with arrival accounting.
+
+    Corrupt raw data (truncated transfers, disk bitrot, garbage
+    injected by chaos tests) is *quarantined*, not fatal: tolerant
+    parsing skips the damaged lines, records them per host in
+    :attr:`quarantined`, and mirrors them into
+    ``<root>/quarantine/<host>.bad`` for operator inspection.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -27,6 +34,8 @@ class CentralStore:
         #: host → list of (collect_ts, arrive_ts)
         self.arrivals: Dict[str, List[Tuple[int, int]]] = {}
         self._open_files: Dict[str, object] = {}
+        #: host → parse errors hit while reading that host's raw file
+        self.quarantined: Dict[str, List[ParseError]] = {}
 
     def path_for(self, host: str) -> Path:
         return self.root / f"{host}.raw"
@@ -62,19 +71,41 @@ class CentralStore:
         self.flush()
         return sorted(p.stem for p in self.root.glob("*.raw"))
 
-    def samples(self, host: str) -> Iterator[ParsedSample]:
-        """Stream parsed samples for one host."""
+    def samples(self, host: str, strict: bool = False) -> Iterator[ParsedSample]:
+        """Stream parsed samples for one host.
+
+        By default corrupt lines are quarantined (recorded, skipped);
+        ``strict=True`` restores fail-fast parsing.
+        """
         self.flush()
         path = self.path_for(host)
         if not path.exists():
             return iter(())
-        parser = RawFileParser()
+        parser = RawFileParser(on_error="raise" if strict else "quarantine")
 
         def gen() -> Iterator[ParsedSample]:
             with open(path) as fh:
                 yield from parser.parse(fh)
+            if parser.errors:
+                self.record_parse_errors(host, parser.errors)
 
         return gen()
+
+    # -- quarantine ----------------------------------------------------------
+    def record_parse_errors(self, host: str, errors: List[ParseError]) -> None:
+        """File parse errors under the host's quarantine ledger."""
+        if not errors:
+            return
+        self.quarantined.setdefault(host, []).extend(errors)
+        qdir = self.root / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        with open(qdir / f"{host}.bad", "a") as fh:
+            for e in errors:
+                fh.write(f"line {e.lineno}: {e.reason}\n{e.line}\n")
+
+    def quarantine_counts(self) -> Dict[str, int]:
+        """Quarantined line count per host (empty dict = clean store)."""
+        return {h: len(v) for h, v in self.quarantined.items()}
 
     def sample_count(self, host: str) -> int:
         return sum(1 for _ in self.samples(host))

@@ -1,0 +1,48 @@
+"""Fault injection and recovery for the collection pipeline.
+
+Three layers:
+
+* :mod:`repro.faults.plan` — the fault vocabulary and the seeded,
+  serialisable :class:`FaultPlan` schedule;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which arms a
+  plan against a running cluster + transport stack;
+* :mod:`repro.faults.chaos` — :func:`run_chaos`, the end-to-end chaos
+  scenario asserting the paper's durability claims as invariants.
+
+:mod:`repro.faults.recovery` holds the :class:`RetryPolicy` backoff
+schedules the production code paths (daemon publish, cron rsync) use.
+"""
+
+from repro.faults.chaos import ChaosReport, InvariantResult, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    BrokerPartition,
+    DeliveryDelay,
+    DeliveryDuplicate,
+    FaultPlan,
+    FileCorruption,
+    NodeCrash,
+    RolloverStorm,
+    RsyncFailure,
+)
+from repro.faults.recovery import PUBLISH_RETRY, RSYNC_RETRY, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FAULT_KINDS",
+    "NodeCrash",
+    "BrokerPartition",
+    "DeliveryDelay",
+    "DeliveryDuplicate",
+    "RsyncFailure",
+    "FileCorruption",
+    "RolloverStorm",
+    "FaultInjector",
+    "run_chaos",
+    "ChaosReport",
+    "InvariantResult",
+    "RetryPolicy",
+    "PUBLISH_RETRY",
+    "RSYNC_RETRY",
+]

@@ -1,0 +1,193 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a running stack.
+
+One injector binds one plan to one cluster plus whichever transport
+pieces the scenario uses (broker/daemon for Fig. 2, cron for Fig. 1,
+the central store for file damage).  ``arm()`` schedules the
+discrete faults on the cluster's event queue and registers the
+injector as the broker's fault hook and cron's rsync-fault predicate;
+windowed transport faults are then evaluated against the sim clock as
+traffic flows.
+
+The injector also keeps the forensic record the chaos invariants need:
+when each node crashed and rebooted, and a time-ordered log of every
+fault actually applied.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.faults.plan import (
+    BrokerPartition,
+    DeliveryDelay,
+    DeliveryDuplicate,
+    FaultPlan,
+    FileCorruption,
+    NodeCrash,
+    RolloverStorm,
+    RsyncFailure,
+)
+
+#: appended by garbage-mode file corruption; every line must fail the
+#: raw parser (non-numeric values / malformed schema)
+GARBAGE_LINES = (
+    "ib 0 not numbers at all here\n"
+    "!ib rx_bytes,E,W=borked\n"
+    "Xqz@@ corrupted 12 zz ## ++\n"
+)
+
+
+class FaultInjector:
+    """Wires a fault plan into cluster, broker, cron and store."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cluster: Cluster,
+        broker=None,
+        daemon=None,
+        cron=None,
+        store=None,
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.broker = broker
+        self.daemon = daemon
+        self.cron = cron
+        self.store = store
+        self.rng = np.random.default_rng(
+            plan.seed if plan.seed is not None else 0
+        )
+        self._armed = False
+        #: node → absolute crash / reboot times (forensics)
+        self.crash_times: Dict[str, int] = {}
+        self.reboot_times: Dict[str, int] = {}
+        #: time-ordered (t, kind, detail) of faults actually applied
+        self.log: List[Tuple[int, str, str]] = []
+        # absolute transport-fault windows, filled by arm()
+        self._partitions: List[Tuple[int, int]] = []
+        self._delays: List[Tuple[int, int, int]] = []
+        self._dups: List[Tuple[int, int, float]] = []
+        self._rsync_windows: List[Tuple[int, int, Optional[str]]] = []
+
+    # -- arming --------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule the plan relative to *now* and hook the transports."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        epoch = self.cluster.clock.now()
+        ev = self.cluster.events
+        for f in self.plan:
+            t = epoch + f.at
+            if isinstance(f, NodeCrash):
+                ev.schedule(t, lambda f=f: self._crash(f), label="fault:crash")
+            elif isinstance(f, BrokerPartition):
+                self._partitions.append((t, t + f.duration))
+            elif isinstance(f, DeliveryDelay):
+                self._delays.append((t, t + f.duration, f.extra_latency))
+            elif isinstance(f, DeliveryDuplicate):
+                self._dups.append((t, t + f.duration, f.probability))
+            elif isinstance(f, RsyncFailure):
+                self._rsync_windows.append((t, t + f.duration, f.node))
+            elif isinstance(f, FileCorruption):
+                ev.schedule(t, lambda f=f: self._corrupt(f), label="fault:corrupt")
+            elif isinstance(f, RolloverStorm):
+                ev.schedule(t, lambda f=f: self._storm(f), label="fault:rollover")
+        if self.broker is not None and (
+            self._partitions or self._delays or self._dups
+        ):
+            self.broker.faults = self
+        if self.cron is not None and self._rsync_windows:
+            self.cron.rsync_fault = self._rsync_should_fail
+
+    # -- broker fault hook (duck-typed; see Broker.faults) -------------------
+    def publish_allowed(self, now: Optional[int]) -> bool:
+        if now is None:
+            return True
+        return not any(s <= now < e for s, e in self._partitions)
+
+    def extra_latency(self, now: Optional[int]) -> int:
+        if now is None:
+            return 0
+        return sum(x for s, e, x in self._delays if s <= now < e)
+
+    def duplicate_delivery(self, now: Optional[int]) -> bool:
+        if now is None:
+            return False
+        for s, e, p in self._dups:
+            if s <= now < e and self.rng.random() < p:
+                return True
+        return False
+
+    # -- cron fault hook -----------------------------------------------------
+    def _rsync_should_fail(self, node_name: str, now: int) -> bool:
+        for s, e, node in self._rsync_windows:
+            if s <= now < e and (node is None or node == node_name):
+                self.log.append((now, "rsync_failure", node_name))
+                return True
+        return False
+
+    # -- discrete faults -----------------------------------------------------
+    def _crash(self, fault: NodeCrash) -> None:
+        now = self.cluster.clock.now()
+        node = self.cluster.nodes[fault.node]
+        if node.failed:
+            return
+        self.cluster.fail_node(fault.node)
+        self.crash_times[fault.node] = now
+        self.log.append((now, "node_crash", fault.node))
+        if self.cron is not None:
+            self.cron.account_node_failure(fault.node)
+        if self.daemon is not None:
+            self.daemon.note_node_failure(fault.node)
+        if fault.reboot_after is not None:
+            self.cluster.events.schedule(
+                now + fault.reboot_after,
+                lambda: self._reboot(fault.node),
+                label="fault:reboot",
+            )
+
+    def _reboot(self, node_name: str) -> None:
+        now = self.cluster.clock.now()
+        self.cluster.recover_node(node_name)
+        self.reboot_times[node_name] = now
+        self.log.append((now, "node_reboot", node_name))
+        if self.cron is not None:
+            self.cron.node_rebooted(node_name)
+        if self.daemon is not None:
+            self.daemon.note_node_reboot(node_name)
+
+    def _corrupt(self, fault: FileCorruption) -> None:
+        if self.store is None:
+            return
+        self.store.flush()
+        path = self.store.path_for(fault.host)
+        if not path.exists():
+            return
+        now = self.cluster.clock.now()
+        if fault.mode == "truncate":
+            size = path.stat().st_size
+            if size > 64:
+                os.truncate(path, size - 37)  # mid-line cut
+        else:
+            with open(path, "a") as fh:
+                fh.write(GARBAGE_LINES)
+        self.log.append((now, f"file_corruption:{fault.mode}", fault.host))
+
+    def _storm(self, fault: RolloverStorm) -> None:
+        node = self.cluster.nodes.get(fault.node)
+        if node is None or node.failed:
+            return
+        dev = node.tree.devices.get(fault.type_name)
+        if dev is None:
+            return
+        dev.near_wrap()
+        self.log.append(
+            (self.cluster.clock.now(), "rollover_storm",
+             f"{fault.node}/{fault.type_name}")
+        )

@@ -1,0 +1,261 @@
+"""The fault vocabulary: what can go wrong, and when.
+
+A :class:`FaultPlan` is an ordered, serialisable schedule of fault
+events expressed in *seconds from scenario start*, so the same plan
+replays identically against any cluster sharing the sim clock.  Plans
+are either written by hand (targeted tests) or drawn from a seed by
+:meth:`FaultPlan.generate` (chaos runs) — the seed alone reproduces
+the full schedule.
+
+The vocabulary mirrors the paper's operational reality (§III-A):
+
+* node power failures, with optional reboot (counter reset!),
+* broker partitions and delivery pathologies (daemon mode transport),
+* rsync failures (cron mode transport),
+* corrupted or truncated raw files on the central store,
+* counter rollover storms (registers parked just below their width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Power-fail ``node`` at ``at``; reboot after ``reboot_after`` s.
+
+    ``reboot_after=None`` means the node stays dead.  A reboot resets
+    every hardware counter to zero — the counter-reset case the
+    accumulation heuristic must distinguish from a register wrap.
+    """
+
+    at: int
+    node: str
+    reboot_after: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BrokerPartition:
+    """The broker is unreachable for ``duration`` s from ``at``."""
+
+    at: int
+    duration: int
+
+
+@dataclass(frozen=True)
+class DeliveryDelay:
+    """Deliveries take ``extra_latency`` extra seconds in the window."""
+
+    at: int
+    duration: int
+    extra_latency: int = 30
+
+
+@dataclass(frozen=True)
+class DeliveryDuplicate:
+    """Each delivery in the window is duplicated with ``probability``."""
+
+    at: int
+    duration: int
+    probability: float = 0.25
+
+
+@dataclass(frozen=True)
+class RsyncFailure:
+    """Cron rsync attempts fail in the window (all nodes, or one)."""
+
+    at: int
+    duration: int
+    node: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FileCorruption:
+    """Damage ``host``'s central raw file: append garbage or truncate."""
+
+    at: int
+    host: str
+    mode: str = "garbage"  # "garbage" | "truncate"
+
+
+@dataclass(frozen=True)
+class RolloverStorm:
+    """Park ``node``'s ``type_name`` counters just below their width."""
+
+    at: int
+    node: str
+    type_name: str = "ib"
+
+
+#: every concrete fault type, keyed by its serialised kind name
+FAULT_KINDS: Dict[str, type] = {
+    "node_crash": NodeCrash,
+    "broker_partition": BrokerPartition,
+    "delivery_delay": DeliveryDelay,
+    "delivery_duplicate": DeliveryDuplicate,
+    "rsync_failure": RsyncFailure,
+    "file_corruption": FileCorruption,
+    "rollover_storm": RolloverStorm,
+}
+_KIND_BY_TYPE = {t: k for k, t in FAULT_KINDS.items()}
+
+
+def _window(fault) -> Optional[Tuple[int, int]]:
+    """(start, end) relative window for windowed faults, else None."""
+    duration = getattr(fault, "duration", None)
+    if duration is None:
+        return None
+    return (fault.at, fault.at + duration)
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events."""
+
+    def __init__(self, faults: Sequence[object], seed: Optional[int] = None) -> None:
+        for f in faults:
+            if type(f) not in _KIND_BY_TYPE:
+                raise TypeError(f"unknown fault type {type(f).__name__}")
+            if f.at < 0:
+                raise ValueError(f"fault scheduled before scenario start: {f}")
+        self.faults: Tuple[object, ...] = tuple(
+            sorted(faults, key=lambda f: (f.at, _KIND_BY_TYPE[type(f)]))
+        )
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def counts(self) -> Dict[str, int]:
+        """Fault count per kind name (only kinds present)."""
+        out: Dict[str, int] = {}
+        for f in self.faults:
+            kind = _KIND_BY_TYPE[type(f)]
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def of_kind(self, kind: str) -> List[object]:
+        """All faults of one serialised kind name, in time order."""
+        t = FAULT_KINDS[kind]
+        return [f for f in self.faults if type(f) is t]
+
+    # -- (de)serialisation ---------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [
+            {"kind": _KIND_BY_TYPE[type(f)], **asdict(f)} for f in self.faults
+        ]
+
+    @classmethod
+    def from_dicts(
+        cls, items: Sequence[Dict[str, object]], seed: Optional[int] = None
+    ) -> "FaultPlan":
+        faults = []
+        for item in items:
+            item = dict(item)
+            kind = item.pop("kind")
+            faults.append(FAULT_KINDS[str(kind)](**item))
+        return cls(faults, seed=seed)
+
+    # -- generation ----------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: int,
+        node_names: Sequence[str],
+        interval: int = 600,
+        max_crashes: Optional[int] = None,
+        reboot_fraction: float = 0.5,
+        partitions: int = 1,
+        crash_partition_margin: int = 1800,
+    ) -> "FaultPlan":
+        """Draw a reproducible schedule for a ``duration``-second run.
+
+        Scales with the scenario: short runs (under a handful of
+        sampling intervals) get transport pathologies only, longer runs
+        add node crashes and reboots.  Crashes are kept clear of broker
+        partition windows by ``crash_partition_margin`` so the daemon
+        loss bound ("at most the last interval") stays assertable — a
+        crash *during* a partition additionally loses the partition
+        backlog, which is a different bound.
+        """
+        rng = np.random.default_rng(seed)
+        nodes = list(node_names)
+        faults: List[object] = []
+
+        # transport windows in the middle 70% of the run
+        lo, hi = int(0.15 * duration), int(0.85 * duration)
+        windows: List[Tuple[int, int]] = []
+        if hi - lo > 4 * interval:
+            for _ in range(partitions):
+                start = int(rng.integers(lo, hi - 2 * interval))
+                length = int(rng.integers(interval, 2 * interval))
+                faults.append(BrokerPartition(at=start, duration=length))
+                windows.append((start, start + length))
+            start = int(rng.integers(lo, hi - interval))
+            faults.append(
+                DeliveryDelay(at=start, duration=interval,
+                              extra_latency=int(rng.integers(15, 90)))
+            )
+            start = int(rng.integers(lo, hi - interval))
+            faults.append(
+                DeliveryDuplicate(at=start, duration=2 * interval,
+                                  probability=float(rng.uniform(0.15, 0.5)))
+            )
+            start = int(rng.integers(lo, hi - interval))
+            faults.append(RsyncFailure(at=start, duration=4 * 3600))
+
+        # node crashes, clear of partition windows
+        if max_crashes is None:
+            max_crashes = max(0, min(len(nodes) // 3, 3))
+        crash_lo = max(2 * interval, lo)
+        crash_hi = int(0.9 * duration)
+        n_crashes = max_crashes if crash_hi - crash_lo > 2 * interval else 0
+        if n_crashes > 0:
+            victims = rng.choice(len(nodes), size=n_crashes, replace=False)
+            for v in victims:
+                for _ in range(64):  # rejection-sample clear of partitions
+                    t = int(rng.integers(crash_lo, crash_hi))
+                    if all(
+                        not (s - crash_partition_margin <= t <= e + crash_partition_margin)
+                        for s, e in windows
+                    ):
+                        break
+                else:  # no clear slot: place after every window
+                    t = max(e for _s, e in windows) + crash_partition_margin
+                reboot = None
+                if rng.random() < reboot_fraction:
+                    reboot = int(rng.integers(1800, 4 * 3600))
+                faults.append(
+                    NodeCrash(at=t, node=nodes[int(v)], reboot_after=reboot)
+                )
+
+        # raw-file damage + a rollover storm on a surviving node
+        if nodes and duration >= 2 * interval:
+            crashed = {f.node for f in faults if isinstance(f, NodeCrash)}
+            healthy = [n for n in nodes if n not in crashed] or nodes
+            host = healthy[int(rng.integers(0, len(healthy)))]
+            faults.append(
+                FileCorruption(
+                    at=int(rng.integers(duration // 2, duration)),
+                    host=host,
+                    mode="garbage" if rng.random() < 0.5 else "truncate",
+                )
+            )
+            storm_node = healthy[int(rng.integers(0, len(healthy)))]
+            faults.append(
+                RolloverStorm(
+                    at=int(rng.integers(interval, max(interval + 1, duration // 2))),
+                    node=storm_node,
+                )
+            )
+        return cls(faults, seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, {self.counts()})"

@@ -1,0 +1,64 @@
+"""Retry policies: exponential backoff for transient transport faults.
+
+Both transports gain the same recovery discipline the production stacks
+around TACC Stats use (collectd → MQ relays, rsync cron jobs): an
+operation that fails transiently is retried with exponentially growing
+delays, capped, with a bounded number of escalations.  The policy is a
+frozen value object so daemons, cron jobs and tests can share and
+compare configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for a retried operation.
+
+    ``delay(attempt)`` is ``base_delay * factor**attempt`` capped at
+    ``max_delay``; ``attempt`` counts from 0.  ``max_retries`` bounds
+    how many consecutive failures an operation tolerates before its
+    caller gives up (what "giving up" means is the caller's business:
+    the daemon keeps its buffer and waits for the next collection tick,
+    cron keeps rotated logs for the next midnight).
+    """
+
+    base_delay: float = 5.0
+    factor: float = 2.0
+    max_delay: float = 300.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return float(min(self.base_delay * self.factor ** attempt, self.max_delay))
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per allowed retry."""
+        for attempt in range(self.max_retries):
+            yield self.delay(attempt)
+
+    def total_wait(self) -> float:
+        """Worst-case seconds spent waiting across all retries."""
+        return float(sum(self.delays()))
+
+
+#: default for daemon-mode broker publishes: quick first retry, minutes cap
+PUBLISH_RETRY = RetryPolicy(base_delay=5.0, factor=2.0, max_delay=300.0, max_retries=8)
+
+#: default for cron-mode rsync: retries are cheap but the window is hours
+RSYNC_RETRY = RetryPolicy(base_delay=600.0, factor=2.0, max_delay=7200.0, max_retries=6)

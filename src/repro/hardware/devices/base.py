@@ -188,6 +188,33 @@ class Device:
         """Zero an instance's counters (device re-enumeration / reboot)."""
         self._true[str(instance)][:] = 0.0
 
+    def preset(self, instance: str, values: Mapping[str, float]) -> None:
+        """Directly set true counter values by name.
+
+        Fault injection uses this to park event counters just below
+        their register width so the next increments wrap — exercising
+        the reader-side rollover correction with real register
+        semantics instead of synthetic arrays.
+        """
+        row = self._true[str(instance)]
+        for name, value in values.items():
+            row[self.schema.index[name]] = float(value)
+
+    def near_wrap(self, margin: float = 1000.0) -> None:
+        """Park every event counter ``margin`` below its wrap point.
+
+        The margin is widened where float64 cannot represent
+        ``2**W - margin`` (wide registers): near ``2**64`` the value
+        spacing is ``2**12``, so a too-small margin would round back up
+        to the wrap point itself and read as zero.
+        """
+        for row in self._true.values():
+            for i, entry in enumerate(self.schema.entries):
+                if entry.event:
+                    width = 2.0 ** entry.width
+                    m = max(margin, width * 2.0 ** -44)
+                    row[i] = max(row[i], width - m)
+
     # -- workload coupling ---------------------------------------------------
     def advance(
         self, activity, dt: float, rng: np.random.Generator

@@ -16,7 +16,7 @@ Stages:
 """
 
 from repro.pipeline.accum import CANONICAL_QUANTITIES, JobAccum, accumulate
-from repro.pipeline.ingest import ingest_jobs
+from repro.pipeline.ingest import IngestCheckpoint, ingest_jobs
 from repro.pipeline.jobmap import JobData, map_jobs
 from repro.pipeline.pickles import JobPickleStore
 
@@ -27,5 +27,6 @@ __all__ = [
     "accumulate",
     "CANONICAL_QUANTITIES",
     "ingest_jobs",
+    "IngestCheckpoint",
     "JobPickleStore",
 ]

@@ -2,12 +2,23 @@
 
 Ties the pipeline together: map samples to jobs, accumulate, compute
 metrics, evaluate flags, and bulk-insert :class:`JobRecord` rows.
+
+Ingest is *idempotent*: jobs whose rows already exist in the target
+database (or are listed in an :class:`IngestCheckpoint`) are skipped,
+so re-running a pass over redelivered or re-synced raw data has
+exactly-once effect on the job table — the recovery guarantee the
+at-least-once broker transport needs.  Rows are committed in batches
+and checkpointed after each batch, so a crash mid-pass loses at most
+one batch of work, never completed work.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.cluster.jobs import Job
 from repro.core.store import CentralStore
@@ -20,12 +31,57 @@ from repro.pipeline.pickles import JobPickleStore
 from repro.pipeline.records import JobRecord
 
 
+class IngestCheckpoint:
+    """Durable record of jobids whose rows are already committed.
+
+    A JSON file updated atomically (write-temp + rename) after every
+    committed batch.  A crashed ingest process resumes by constructing
+    the checkpoint from the same path: completed jobs are skipped, the
+    interrupted batch is re-done — harmless, because the database-side
+    dedup makes re-insertion a no-op anyway.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._done: set = set()
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+                self._done = set(payload.get("done", []))
+            except (ValueError, OSError):
+                # corrupt checkpoint: start over; idempotent ingest
+                # makes the re-work safe, just slower
+                self._done = set()
+
+    def __contains__(self, jobid: str) -> bool:
+        return jobid in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def done(self) -> List[str]:
+        return sorted(self._done)
+
+    def mark_many(self, jobids: Iterable[str]) -> None:
+        """Record a committed batch and flush atomically."""
+        self._done.update(jobids)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps({"done": sorted(self._done)}))
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        self._done = set()
+        self.path.unlink(missing_ok=True)
+
+
 @dataclass
 class IngestResult:
     """What happened during one ingest pass."""
 
     ingested: int = 0
     dropped_short: int = 0
+    #: jobs skipped because they were already ingested (idempotency)
+    skipped_existing: int = 0
     errors: List[str] = field(default_factory=list)
     flagged: Dict[str, List[str]] = field(default_factory=dict)
 
@@ -68,6 +124,9 @@ def ingest_jobs(
     thresholds: Optional[Thresholds] = None,
     create_table: bool = True,
     pickle_store: Optional[JobPickleStore] = None,
+    checkpoint: Optional[IngestCheckpoint] = None,
+    skip_existing: bool = True,
+    batch_size: int = 200,
 ) -> IngestResult:
     """Full ETL pass: store → mapped jobs → metrics → database rows.
 
@@ -75,14 +134,42 @@ def ingest_jobs(
     epilog sample and would bias the averages).  When ``pickle_store``
     is given, each job's accumulation is also materialised as a job
     pickle so detail views and re-analyses skip the raw parse.
+
+    Recovery semantics: with ``skip_existing`` (default) a job whose
+    row is already in the database is not re-inserted, so replaying the
+    pass over redelivered data has exactly-once effect.  ``checkpoint``
+    adds durable cross-process resume: rows are committed and
+    checkpointed every ``batch_size`` jobs, and a later pass with the
+    same checkpoint skips everything already committed.
     """
     JobRecord.bind(db)
     if create_table:
         JobRecord.create_table()
     jobdata, dropped = map_jobs(store, jobs)
     result = IngestResult(dropped_short=len(dropped))
-    records = []
+    already: set = set()
+    if skip_existing:
+        try:
+            already = set(JobRecord.objects.all().values_list("jobid", flat=True))
+        except Exception:
+            already = set()  # table absent (create_table=False, first run)
+
+    records: List[JobRecord] = []
+
+    def commit_batch() -> None:
+        if not records:
+            return
+        JobRecord.objects.bulk_create(records)
+        db.commit()
+        result.ingested += len(records)
+        if checkpoint is not None:
+            checkpoint.mark_many(r.jobid for r in records)
+        records.clear()
+
     for jid in sorted(jobdata):
+        if jid in already or (checkpoint is not None and jid in checkpoint):
+            result.skipped_existing += 1
+            continue
         jd = jobdata[jid]
         job = jd.job
         if job is not None and not job.state.finished:
@@ -104,6 +191,7 @@ def ingest_jobs(
         if flag_names:
             result.flagged[jid] = flag_names
         records.append(record_from(jid, metrics, job, flag_names))
-    JobRecord.objects.bulk_create(records)
-    result.ingested = len(records)
+        if batch_size and len(records) >= batch_size:
+            commit_batch()
+    commit_batch()
     return result

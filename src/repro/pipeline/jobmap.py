@@ -76,7 +76,9 @@ def map_jobs(
     for host in hosts if hosts is not None else store.hosts():
         from repro.core.rawfile import RawFileParser  # local: keeps import light
 
-        parser = RawFileParser()
+        # tolerant parsing: corrupt lines are quarantined via the
+        # store's ledger instead of aborting the whole ETL pass
+        parser = RawFileParser(on_error="quarantine")
         path = store.path_for(host)
         if not path.exists():
             continue
@@ -94,6 +96,8 @@ def map_jobs(
                     # late schema lines (new day headers) may add types
                     elif len(parser.schemas) > len(jd.schemas):
                         jd.schemas.update(parser.schemas)
+        if parser.errors:
+            store.record_parse_errors(host, parser.errors)
 
     dropped: Dict[str, int] = {}
     for jid, jd in list(out.items()):

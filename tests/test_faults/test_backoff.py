@@ -1,0 +1,52 @@
+"""RetryPolicy: the exponential backoff schedule both transports share."""
+
+import pytest
+
+from repro.faults.recovery import PUBLISH_RETRY, RSYNC_RETRY, RetryPolicy
+
+
+def test_delay_grows_exponentially_from_base():
+    p = RetryPolicy(base_delay=5.0, factor=2.0, max_delay=1e9, max_retries=8)
+    assert [p.delay(a) for a in range(5)] == [5.0, 10.0, 20.0, 40.0, 80.0]
+
+
+def test_delay_caps_at_max_delay():
+    p = RetryPolicy(base_delay=5.0, factor=2.0, max_delay=60.0, max_retries=8)
+    assert p.delay(3) == 40.0
+    assert p.delay(4) == 60.0  # 80 capped
+    assert p.delay(100) == 60.0
+
+
+def test_delays_yields_one_entry_per_allowed_retry():
+    p = RetryPolicy(base_delay=1.0, factor=3.0, max_delay=100.0, max_retries=4)
+    assert list(p.delays()) == [1.0, 3.0, 9.0, 27.0]
+    assert p.total_wait() == 40.0
+
+
+def test_negative_attempt_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(-1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_delay": 0.0},
+        {"base_delay": -1.0},
+        {"factor": 0.5},
+        {"max_delay": 1.0, "base_delay": 5.0},
+        {"max_retries": 0},
+    ],
+)
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_default_policies_are_sane():
+    # daemon publishes: fast first retry, bounded minutes-scale cap
+    assert PUBLISH_RETRY.delay(0) <= 10.0
+    assert max(PUBLISH_RETRY.delays()) == PUBLISH_RETRY.max_delay
+    # cron rsync: retries spread over hours but finish before the next
+    # midnight rotation would take over anyway
+    assert RSYNC_RETRY.total_wait() < 24 * 3600

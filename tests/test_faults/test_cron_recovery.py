@@ -1,0 +1,81 @@
+"""Cron-mode recovery: rsync retry/backoff, give-up, crash accounting."""
+
+from repro import cron_session
+from repro.faults import FaultInjector, FaultPlan, NodeCrash, RsyncFailure
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+def test_transient_rsync_failure_retries_and_delivers_same_morning():
+    sess = cron_session(nodes=2, seed=21, tick=600)
+    calls = {}
+
+    def flaky(node_name, now):
+        calls[node_name] = calls.get(node_name, 0) + 1
+        return calls[node_name] <= 2  # first two attempts fail
+
+    sess.cron.rsync_fault = flaky
+    sess.cluster.run_for(2 * SECONDS_PER_DAY)
+    n = len(sess.cluster.nodes)
+    assert sess.cron.rsync_failures == 2 * n
+    assert sess.cron.rsync_retries == 2 * n
+    assert sess.cron.synced_samples > 0
+    # backoff (600 + 1200 s) kept delivery inside the same morning:
+    # every day-1 sample arrived before day-2 noon
+    day2_noon = sess.cluster.clock.epoch + SECONDS_PER_DAY + 12 * 3600
+    for name in sess.cluster.nodes:
+        for _collect, arrive in sess.store.arrivals.get(name, []):
+            assert arrive < day2_noon
+
+
+def test_persistent_rsync_failure_gives_up_but_keeps_data_buffered():
+    sess = cron_session(nodes=2, seed=22, tick=600)
+    plan = FaultPlan([RsyncFailure(at=0, duration=3 * SECONDS_PER_DAY)])
+    inj = FaultInjector(plan, sess.cluster, cron=sess.cron, store=sess.store)
+    inj.arm()
+    sess.cluster.run_for(2 * SECONDS_PER_DAY)
+    n = len(sess.cluster.nodes)
+    # initial attempt + max_retries backoffs, then give up until tomorrow
+    assert sess.cron.rsync_failures >= (sess.cron.retry.max_retries + 1) * n
+    assert sess.cron.synced_samples == 0
+    assert sess.store.arrivals == {}
+    # the data is buffered, not lost: final_sync (window over) delivers
+    res = sess.ingest()
+    assert sess.cron.synced_samples > 0
+    assert sess.cron.lost_samples == 0
+    assert res.ingested == 0  # no jobs were submitted; data is idle
+
+
+def test_crashed_node_loses_exactly_its_unsynced_buffer():
+    sess = cron_session(nodes=3, seed=23, tick=600)
+    victim = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([NodeCrash(at=5 * 3600, node=victim)])
+    inj = FaultInjector(plan, sess.cluster, cron=sess.cron, store=sess.store)
+    inj.arm()
+    sess.cluster.run_for(2 * SECONDS_PER_DAY)
+    sess.cron.final_sync()
+    # crashed before the first rotation: nothing of it ever synced
+    assert sess.cron.lost_samples > 0
+    assert victim not in sess.store.hosts()
+    # survivors are unaffected
+    for name in sess.cluster.nodes:
+        if name != victim:
+            assert sess.store.arrivals.get(name)
+
+
+def test_rebooted_node_restarts_log_and_resumes_syncing():
+    sess = cron_session(nodes=2, seed=24, tick=600)
+    victim = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([
+        NodeCrash(at=5 * 3600, node=victim, reboot_after=2 * 3600),
+    ])
+    inj = FaultInjector(plan, sess.cluster, cron=sess.cron, store=sess.store)
+    inj.arm()
+    sess.cluster.run_for(2 * SECONDS_PER_DAY)
+    sess.cron.final_sync()
+    reboot_t = inj.reboot_times[victim]
+    # the fresh log starts with a fresh header: strict parsing works and
+    # only post-reboot samples exist (pre-crash buffer died with disk)
+    samples = list(sess.store.samples(victim, strict=True))
+    assert samples
+    assert all(s.timestamp >= reboot_t for s in samples)
+    assert sess.cron.lost_samples > 0

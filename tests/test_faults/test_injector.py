@@ -1,0 +1,145 @@
+"""FaultInjector: each fault kind actually lands where it should."""
+
+import pytest
+
+from repro import monitoring_session
+from repro.faults import (
+    BrokerPartition,
+    DeliveryDelay,
+    DeliveryDuplicate,
+    FaultInjector,
+    FaultPlan,
+    FileCorruption,
+    NodeCrash,
+    RolloverStorm,
+)
+
+
+def _session(nodes=3, seed=5):
+    return monitoring_session(nodes=nodes, seed=seed, tick=600)
+
+
+def _inject(sess, plan):
+    inj = FaultInjector(
+        plan, sess.cluster, broker=sess.broker, daemon=sess.daemon,
+        store=sess.store,
+    )
+    inj.arm()
+    return inj
+
+
+def test_arm_twice_raises():
+    sess = _session()
+    inj = _inject(sess, FaultPlan([]))
+    with pytest.raises(RuntimeError):
+        inj.arm()
+
+
+def test_partition_window_rejects_publishes():
+    sess = _session()
+    plan = FaultPlan([BrokerPartition(at=1000, duration=700)])
+    inj = _inject(sess, plan)
+    epoch = sess.cluster.now()
+    assert inj.publish_allowed(epoch + 999)
+    assert not inj.publish_allowed(epoch + 1000)
+    assert not inj.publish_allowed(epoch + 1699)
+    assert inj.publish_allowed(epoch + 1700)
+    sess.cluster.run_for(3 * 3600)
+    assert sess.broker.rejected > 0
+
+
+def test_delivery_delay_adds_latency_inside_window():
+    sess = _session()
+    plan = FaultPlan([DeliveryDelay(at=600, duration=1200, extra_latency=45)])
+    inj = _inject(sess, plan)
+    epoch = sess.cluster.now()
+    assert inj.extra_latency(epoch + 599) == 0
+    assert inj.extra_latency(epoch + 700) == 45
+    sess.cluster.run_for(3600)
+    # samples collected inside the window arrived >= 45 s late
+    lagged = [lag for lag in sess.store.lags() if lag >= 45]
+    assert lagged
+
+
+def test_duplicate_window_duplicates_some_deliveries():
+    sess = _session()
+    plan = FaultPlan(
+        [DeliveryDuplicate(at=0, duration=4 * 3600, probability=1.0)],
+        seed=1,
+    )
+    _inject(sess, plan)
+    sess.cluster.run_for(2 * 3600)
+    assert sess.broker.duplicated > 0
+    # duplicates are marked so they can never fork again
+    assert sess.broker.duplicated <= sess.broker.published
+
+
+def test_crash_fault_fails_node_and_records_forensics():
+    sess = _session()
+    victim = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([NodeCrash(at=1800, node=victim)])
+    inj = _inject(sess, plan)
+    sess.cluster.run_for(3600)
+    assert sess.cluster.nodes[victim].failed
+    assert inj.crash_times[victim] == sess.cluster.clock.epoch + 1800
+    assert any(kind == "node_crash" for _t, kind, _d in inj.log)
+
+
+def test_reboot_recovers_node_and_resets_counters():
+    sess = _session()
+    victim = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([NodeCrash(at=1800, node=victim, reboot_after=1200)])
+    inj = _inject(sess, plan)
+    sess.cluster.run_for(1900)
+    assert sess.cluster.nodes[victim].failed
+    sess.cluster.run_for(7200)
+    node = sess.cluster.nodes[victim]
+    assert not node.failed
+    assert inj.reboot_times[victim] == inj.crash_times[victim] + 1200
+    # the daemon's header is re-announced, so the central raw file for
+    # the node still parses end to end
+    assert sess.store.sample_count(victim) > 0
+    assert sess.store.quarantine_counts().get(victim, 0) == 0
+
+
+def test_garbage_corruption_is_quarantined():
+    sess = _session()
+    host = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([FileCorruption(at=3600, host=host, mode="garbage")])
+    _inject(sess, plan)
+    sess.cluster.run_for(2 * 3600)
+    good = sess.store.sample_count(host)
+    assert good > 0  # healthy samples survive the damage
+    assert sess.store.quarantine_counts()[host] >= 3
+
+
+def test_truncate_corruption_costs_at_most_one_block():
+    sess = _session()
+    host = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([FileCorruption(at=3600, host=host, mode="truncate")])
+    inj = _inject(sess, plan)
+    sess.cluster.run_for(2 * 3600)
+    applied = [d for _t, k, d in inj.log if k == "file_corruption:truncate"]
+    assert applied == [host]
+    # parsing still completes; the torn line (and possibly the block it
+    # merged into) is quarantined, everything else survives
+    assert sess.store.sample_count(host) > 0
+
+
+def test_rollover_storm_parks_counters_near_wrap():
+    sess = _session()
+    node_name = next(iter(sess.cluster.nodes))
+    plan = FaultPlan([RolloverStorm(at=900, node=node_name, type_name="ib")])
+    _inject(sess, plan)
+    sess.cluster.run_for(1000)
+    dev = sess.cluster.nodes[node_name].tree.devices["ib"]
+    for vals in dev.read_true().values():
+        for entry, v in zip(dev.schema.entries, vals):
+            if entry.event:
+                assert v >= 2.0**entry.width * 0.99
+    # the *register* view must still be representable (not wrapped to 0
+    # by float rounding) so the next increment genuinely wraps
+    for vals in dev.read().values():
+        for entry, v in zip(dev.schema.entries, vals):
+            if entry.event:
+                assert 0 < v < 2.0**entry.width

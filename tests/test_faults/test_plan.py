@@ -1,0 +1,90 @@
+"""FaultPlan: validation, ordering, serialisation and generation."""
+
+import pytest
+
+from repro.faults import (
+    BrokerPartition,
+    DeliveryDuplicate,
+    FaultPlan,
+    FileCorruption,
+    NodeCrash,
+    RsyncFailure,
+)
+
+NODES = [f"c401-{100 + i}" for i in range(1, 9)]
+
+
+def test_plan_sorts_faults_by_time():
+    plan = FaultPlan([
+        NodeCrash(at=500, node="a"),
+        BrokerPartition(at=100, duration=60),
+        FileCorruption(at=300, host="a"),
+    ])
+    assert [f.at for f in plan] == [100, 300, 500]
+
+
+def test_plan_rejects_unknown_types_and_negative_times():
+    with pytest.raises(TypeError):
+        FaultPlan(["not a fault"])
+    with pytest.raises(ValueError):
+        FaultPlan([NodeCrash(at=-1, node="a")])
+
+
+def test_counts_and_of_kind():
+    plan = FaultPlan([
+        NodeCrash(at=10, node="a"),
+        NodeCrash(at=20, node="b"),
+        RsyncFailure(at=5, duration=60),
+    ])
+    assert plan.counts() == {"node_crash": 2, "rsync_failure": 1}
+    crashes = plan.of_kind("node_crash")
+    assert [f.node for f in crashes] == ["a", "b"]
+    assert plan.of_kind("broker_partition") == []
+
+
+def test_dict_roundtrip_preserves_schedule():
+    plan = FaultPlan([
+        NodeCrash(at=100, node="a", reboot_after=600),
+        DeliveryDuplicate(at=50, duration=120, probability=0.4),
+    ], seed=7)
+    clone = FaultPlan.from_dicts(plan.to_dicts(), seed=plan.seed)
+    assert clone.faults == plan.faults
+    assert clone.seed == 7
+
+
+def test_generate_is_reproducible_per_seed():
+    a = FaultPlan.generate(3, 24 * 3600, NODES)
+    b = FaultPlan.generate(3, 24 * 3600, NODES)
+    c = FaultPlan.generate(4, 24 * 3600, NODES)
+    assert a.to_dicts() == b.to_dicts()
+    assert a.to_dicts() != c.to_dicts()
+
+
+def test_generate_short_runs_get_no_crashes():
+    plan = FaultPlan.generate(0, 30 * 60, NODES, interval=600)
+    assert plan.of_kind("node_crash") == []
+    assert plan.of_kind("broker_partition") == []
+
+
+def test_generate_targets_only_known_nodes_within_run():
+    duration = 36 * 3600
+    plan = FaultPlan.generate(1, duration, NODES)
+    for f in plan:
+        assert 0 <= f.at < duration
+        node = getattr(f, "node", None) or getattr(f, "host", None)
+        if node is not None:
+            assert node in NODES
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generate_keeps_crashes_clear_of_partitions(seed):
+    margin = 1800
+    plan = FaultPlan.generate(
+        seed, 48 * 3600, NODES, crash_partition_margin=margin
+    )
+    windows = [
+        (p.at, p.at + p.duration) for p in plan.of_kind("broker_partition")
+    ]
+    for crash in plan.of_kind("node_crash"):
+        for s, e in windows:
+            assert not (s - margin <= crash.at <= e + margin)

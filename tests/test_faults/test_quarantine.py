@@ -1,0 +1,98 @@
+"""Tolerant raw-file parsing: quarantine instead of crash."""
+
+import numpy as np
+import pytest
+
+from repro.core.rawfile import RawFileParser
+from repro.core.store import CentralStore
+
+GOOD = """\
+$tacc_stats 2.3.2
+$hostname c401-101
+$arch intel_snb
+$mem 34359738368
+!ib rx_bytes,E,W=64,U=B tx_bytes,E,W=64,U=B
+1443657600 1000001
+ib 0 100 200
+1443658200 1000001
+ib 0 150 260
+"""
+
+
+def test_raise_mode_stops_at_first_bad_line():
+    text = GOOD + "ib 0 not a number\n"
+    parser = RawFileParser()  # historical default: fail fast
+    with pytest.raises(ValueError):
+        list(parser.parse(text))
+
+
+def test_quarantine_mode_skips_bad_values_line_keeps_rest():
+    text = GOOD + "ib 0 junk junk\n1443658800 1000001\nib 0 170 280\n"
+    parser = RawFileParser(on_error="quarantine")
+    samples = list(parser.parse(text))
+    assert [s.timestamp for s in samples] == [1443657600, 1443658200,
+                                             1443658800]
+    assert len(parser.errors) == 1
+    assert "junk" in parser.errors[0].line
+
+
+def test_wrong_arity_against_schema_is_quarantined():
+    text = GOOD + "1443658800 1000001\nib 0 170\n"  # schema wants 2 values
+    parser = RawFileParser(on_error="quarantine")
+    samples = list(parser.parse(text))
+    assert len(samples) == 3
+    assert samples[-1].data == {}  # the damaged line contributed nothing
+    assert len(parser.errors) == 1
+    assert "schema" in parser.errors[0].reason
+
+
+def test_corrupt_record_open_swallows_the_orphaned_block():
+    text = GOOD + "14436x8800 1000001\nib 0 170 280\nib 1 1 2\n"
+    parser = RawFileParser(on_error="quarantine")
+    samples = list(parser.parse(text))
+    assert [s.timestamp for s in samples] == [1443657600, 1443658200]
+    # only the torn open-line is reported; its orphan data lines are
+    # part of the same damaged block, not three separate errors
+    assert len(parser.errors) == 1
+
+
+def test_truncated_tail_costs_only_the_last_block():
+    text = GOOD + "1443658800 1000001\nib 0 17"  # torn mid-line
+    parser = RawFileParser(on_error="quarantine")
+    samples = list(parser.parse(text))
+    assert len(samples) == 3
+    assert len(parser.errors) == 1
+
+
+def test_store_quarantines_and_writes_ledger(tmp_path):
+    store = CentralStore(tmp_path)
+    store.append("c401-101", GOOD, arrived_at=1443658200,
+                 collect_times=[1443657600, 1443658200])
+    store.append("c401-101", "total garbage line\n", arrived_at=1443658300)
+    store.append(
+        "c401-101",
+        "1443658800 1000001\nib 0 170 280\n",
+        arrived_at=1443658900,
+        collect_times=[1443658800],
+    )
+    samples = list(store.samples("c401-101"))
+    assert [s.timestamp for s in samples] == [1443657600, 1443658200,
+                                             1443658800]
+    assert store.quarantine_counts() == {"c401-101": 1}
+    ledger = tmp_path / "quarantine" / "c401-101.bad"
+    assert ledger.exists()
+    assert "garbage" in ledger.read_text()
+    # strict mode still fails fast for callers that want it
+    with pytest.raises(ValueError):
+        list(store.samples("c401-101", strict=True))
+
+
+def test_clean_parse_leaves_no_quarantine(tmp_path):
+    store = CentralStore(tmp_path)
+    store.append("c401-101", GOOD, arrived_at=1443658200,
+                 collect_times=[1443657600, 1443658200])
+    samples = list(store.samples("c401-101"))
+    assert len(samples) == 2
+    assert np.array_equal(samples[0].data["ib"]["0"], [100.0, 200.0])
+    assert store.quarantine_counts() == {}
+    assert not (tmp_path / "quarantine").exists()

@@ -1,0 +1,129 @@
+"""Golden-value regression tests for every Table I metric.
+
+The fixture is a tiny hand-computable :class:`JobAccum` — two hosts,
+two intervals of 100 s and 300 s — and every expected value below was
+worked out by hand from the kernel definitions (``arc``: per-node mean
+of sum/elapsed; ``max_rate``: peak node-summed interval rate;
+``ratio_of_sums``: totals before ratios; min/max balance ratios).  A
+change to any metric's formula or units must consciously update the
+golden number here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.table1 import METRIC_REGISTRY, compute_metrics
+from repro.pipeline.accum import JobAccum
+
+GB = float(1 << 30)
+
+
+def _golden_accum() -> JobAccum:
+    """times [1000, 1100, 1400] → dt [100, 300], elapsed 400, 2 hosts."""
+    deltas = {
+        # Lustre: host0 12000 reqs, host1 4000 → arc mean(30, 10) = 20;
+        # interval node-sums [6000, 10000] / dt → peak 60 req/s
+        "mdc_reqs": [[4000.0, 8000.0], [2000.0, 2000.0]],
+        "mdc_wait_us": [[8000.0, 8000.0], [8000.0, 8000.0]],
+        "osc_reqs": [[1000.0, 1000.0], [1000.0, 5000.0]],
+        "osc_wait_us": [[12000.0, 12000.0], [12000.0, 12000.0]],
+        "llite_oc": [[200.0, 600.0], [400.0, 400.0]],
+        "lnet_bytes": [[100e6, 300e6], [200e6, 200e6]],
+        # Network
+        "ib_bytes": [[4e8, 4e8], [4e8, 4e8]],
+        "ib_packets": [[1e5, 1e5], [1e5, 1e5]],
+        "gige_bytes": [[2e6, 2e6], [2e6, 2e6]],
+        # Processor
+        "instructions": [[3e9, 3e9], [3e9, 3e9]],
+        "cycles": [[6e9, 6e9], [6e9, 6e9]],
+        "loads": [[2e9, 2e9], [2e9, 2e9]],
+        "l1_hits": [[1e9, 1e9], [1e9, 1e9]],
+        "l2_hits": [[4e8, 4e8], [4e8, 4e8]],
+        "llc_hits": [[2e8, 2e8], [2e8, 2e8]],
+        "fp_scalar": [[1e9, 1e9], [1e9, 1e9]],
+        "fp_vector": [[3e9, 3e9], [3e9, 3e9]],
+        "imc_cas": [[5e8, 5e8], [5e8, 5e8]],
+        # Energy (microjoules)
+        "rapl_pkg_uj": [[1e10, 3e10], [1e10, 3e10]],
+        "rapl_core_uj": [[0.8e10, 2.4e10], [0.8e10, 2.4e10]],
+        "rapl_dram_uj": [[0.2e10, 0.6e10], [0.2e10, 0.6e10]],
+        # OS jiffies: host0 user fraction 4000/12800, host1 12800/12800
+        "cpu_total": [[3200.0, 9600.0], [3200.0, 9600.0]],
+        "cpu_user": [[1600.0, 2400.0], [3200.0, 9600.0]],
+        "cpu_iowait": [[0.0, 0.0], [0.0, 0.0]],
+        # coprocessor
+        "mic_user": [[400.0, 400.0], [400.0, 400.0]],
+        "mic_total": [[800.0, 800.0], [800.0, 800.0]],
+    }
+    gauges = {
+        "mem_used": [[8 * GB, 12 * GB, 10 * GB], [6 * GB, 9 * GB, 16 * GB]],
+    }
+    return JobAccum(
+        jobid="golden",
+        hosts=["c401-101", "c401-102"],
+        times=np.array([1000, 1100, 1400], dtype=np.int64),
+        deltas={k: np.array(v, dtype=np.float64) for k, v in deltas.items()},
+        gauges={k: np.array(v, dtype=np.float64) for k, v in gauges.items()},
+        vector_width=4,
+    )
+
+
+#: every Table I (+ Energy) metric and its hand-computed value
+GOLDEN = {
+    # Lustre
+    "MetaDataRate": 60.0,          # max(6000/100, 10000/300)
+    "MDCReqs": 20.0,               # mean(12000, 4000) / 400
+    "OSCReqs": 10.0,               # mean(2000, 6000) / 400
+    "MDCWait": 2.0,                # 32000 us / 16000 reqs
+    "OSCWait": 6.0,                # 48000 us / 8000 reqs
+    "LLiteOpenClose": 2.0,         # mean(800, 800) / 400
+    "LnetAveBW": 1.0,              # mean(400e6, 400e6) / 400 / 1e6
+    "LnetMaxBW": 3.0,              # max(300e6/100, 500e6/300) / 1e6
+    # Network
+    "InternodeIBAveBW": 2.0,       # mean(8e8, 8e8) / 400 / 1e6
+    "InternodeIBMaxBW": 8.0,       # 8e8 / 100 / 1e6
+    "Packetsize": 4000.0,          # 1.6e9 B / 4e5 pkts
+    "Packetrate": 500.0,           # mean(2e5, 2e5) / 400
+    "GigEBW": 0.01,                # mean(4e6, 4e6) / 400 / 1e6
+    # Processor
+    "Load_All": 1e7,               # mean(4e9, 4e9) / 400
+    "Load_L1Hits": 5e6,
+    "Load_L2Hits": 2e6,
+    "Load_LLCHits": 1e6,
+    "cpi": 2.0,                    # 2.4e10 cycles / 1.2e10 ins
+    "cpld": 3.0,                   # 2.4e10 cycles / 8e9 loads
+    "flops": 0.065,                # (4e9 + 4*1.2e10) / 400 / 2 / 1e9
+    "VecPercent": 75.0,            # 1.2e10 / 1.6e10
+    "mbw": 0.16,                   # mean(1e9, 1e9)/400 * 64 / 1e9
+    # OS
+    "MemUsage": 16.0,              # gauge max 16 GB
+    "CPU_Usage": 0.65625,          # (4000+12800) / 25600
+    "idle": 0.3125,                # min/max(4000/12800, 12800/12800)
+    "catastrophe": 0.625 / 0.75,   # windows (4800/6400, 12000/19200)
+    "MIC_Usage": 0.5,              # 1600 / 3200
+    # Energy
+    "PkgPower": 100.0,             # mean(4e10, 4e10)/400 uJ/s → W
+    "CorePower": 80.0,
+    "DramPower": 20.0,
+    "TotalEnergy": 96000.0,        # (8e10 pkg + 1.6e10 dram) uJ → J
+}
+
+
+def test_golden_covers_the_entire_registry():
+    """A new metric must add a golden value; a removed one must drop it."""
+    assert set(GOLDEN) == set(METRIC_REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_metric_matches_hand_computed_value(name):
+    accum = _golden_accum()
+    value = METRIC_REGISTRY[name](accum)
+    assert value == pytest.approx(GOLDEN[name], rel=1e-12), (
+        f"{name}: formula or units drifted from the documented definition"
+    )
+
+
+def test_compute_metrics_returns_full_finite_registry():
+    out = compute_metrics(_golden_accum())
+    assert set(out) == set(METRIC_REGISTRY)
+    assert all(np.isfinite(v) for v in out.values())
