@@ -5,6 +5,8 @@ pickling, ingest, portal management); the reproduction exposes the
 analogous workflow over the simulator::
 
     python -m repro.cli simulate --db quarter.db --nodes 12 --hours 12
+    python -m repro.cli ingest   --store rawdata/ --db quarter.db \\
+                                 --workers 4 --batch-size 500
     python -m repro.cli popgen   --db quarter.db --jobs 30000
     python -m repro.cli search   --db quarter.db --exe wrf \\
                                  --field MetaDataRate__gt=10000
@@ -14,9 +16,10 @@ analogous workflow over the simulator::
     python -m repro.cli chaos    --seed 0 --minutes 30
 
 ``simulate`` runs a monitored cluster (daemon mode) on a preset
-workload and ingests the results; ``popgen`` synthesises a
-database-scale population; the remaining commands are portal-style
-queries over the resulting job table.
+workload and ingests the results; ``ingest`` runs the parallel,
+batched ETL pass over a directory of raw per-host stats files;
+``popgen`` synthesises a database-scale population; the remaining
+commands are portal-style queries over the resulting job table.
 """
 
 from __future__ import annotations
@@ -72,15 +75,51 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ))
     sess.cluster.run_for(args.hours * 3600)
     db = _open_db(args.db)
-    from repro.pipeline import ingest_jobs
+    from repro.pipeline.parallel import parallel_ingest_jobs
 
-    result = ingest_jobs(sess.store, sess.cluster.jobs, db)
+    result = parallel_ingest_jobs(
+        sess.store, sess.cluster.jobs, db,
+        workers=args.workers, batch_size=args.batch_size,
+    )
     db.commit()
     print(f"simulated {args.hours}h on {args.nodes} nodes "
           f"(preset={args.preset}); ingested {result.ingested} jobs "
           f"into {args.db}")
     for jid, flags in result.flagged.items():
         print(f"  flagged {jid}: {', '.join(flags)}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.store import CentralStore
+    from repro.pipeline.parallel import ShardedCheckpoint, parallel_ingest_jobs
+
+    store = CentralStore(args.store)
+    db = _open_db(args.db)
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = ShardedCheckpoint(
+            args.checkpoint, shards=max(args.workers, 1)
+        )
+    result = parallel_ingest_jobs(
+        store, None, db,
+        workers=args.workers,
+        executor=args.executor,
+        batch_size=args.batch_size,
+        chunk_size=args.chunk_size,
+        checkpoint=checkpoint,
+    )
+    db.commit()
+    quarantined = sum(store.quarantine_counts().values())
+    print(f"ingested {result.ingested} jobs into {args.db} "
+          f"(workers={args.workers}, batch={args.batch_size}); "
+          f"skipped {result.skipped_existing} already present, "
+          f"dropped {result.dropped_short} short, "
+          f"quarantined {quarantined} corrupt lines")
+    for jid, flags in result.flagged.items():
+        print(f"  flagged {jid}: {', '.join(flags)}")
+    for err in result.errors:
+        print(f"  error: {err}", file=sys.stderr)
     return 0
 
 
@@ -231,7 +270,30 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=42)
     sim.add_argument("--runtime", type=float, default=4000.0)
     sim.add_argument("--preset", choices=sorted(PRESETS), default="standard")
+    sim.add_argument("--workers", type=int, default=1,
+                     help="parse/ingest worker count (1 = serial)")
+    sim.add_argument("--batch-size", type=int, default=200,
+                     help="jobs per committed+checkpointed batch")
     sim.set_defaults(fn=cmd_simulate)
+
+    ing = sub.add_parser(
+        "ingest",
+        help="parallel batched ETL over a directory of raw stats files",
+    )
+    ing.add_argument("--store", required=True,
+                     help="directory of per-host .raw stats files")
+    ing.add_argument("--db", required=True)
+    ing.add_argument("--workers", type=int, default=1,
+                     help="parse worker count (1 = serial)")
+    ing.add_argument("--batch-size", type=int, default=200,
+                     help="jobs per committed+checkpointed batch")
+    ing.add_argument("--chunk-size", type=int, default=500,
+                     help="rows per bulk-insert executemany chunk")
+    ing.add_argument("--executor", default="auto",
+                     choices=("auto", "serial", "thread", "process"))
+    ing.add_argument("--checkpoint", default="",
+                     help="directory for durable per-shard checkpoints")
+    ing.set_defaults(fn=cmd_ingest)
 
     pop = sub.add_parser("popgen", help="synthesise a job population")
     pop.add_argument("--db", required=True)

@@ -11,6 +11,29 @@ Three layers:
 
 :mod:`repro.faults.recovery` holds the :class:`RetryPolicy` backoff
 schedules the production code paths (daemon publish, cron rsync) use.
+
+Example
+-------
+A :class:`RetryPolicy` is a frozen backoff schedule — exponential,
+capped, bounded:
+
+>>> from repro.faults import RetryPolicy
+>>> policy = RetryPolicy(base_delay=1.0, factor=2.0, max_delay=8.0,
+...                      max_retries=5)
+>>> list(policy.delays())
+[1.0, 2.0, 4.0, 8.0, 8.0]
+
+A :class:`FaultPlan` is reproducible from its seed alone — the same
+seed always draws the same schedule:
+
+>>> from repro.faults import FaultPlan
+>>> nodes = [f"c100-{i:03d}" for i in range(4)]
+>>> a = FaultPlan.generate(seed=7, duration=7200, node_names=nodes)
+>>> b = FaultPlan.generate(seed=7, duration=7200, node_names=nodes)
+>>> a.to_dicts() == b.to_dicts()
+True
+>>> len(a) > 0
+True
 """
 
 from repro.faults.chaos import ChaosReport, InvariantResult, run_chaos

@@ -16,26 +16,74 @@
 
 :func:`compute_metrics` evaluates the full Table I set (plus the
 energy extension metrics the contributions section mentions) on a
-:class:`~repro.pipeline.accum.JobAccum`; :mod:`repro.metrics.flags`
-implements the §V-A automatic job flags.
+:class:`~repro.pipeline.accum.JobAccum`; :func:`compute_metrics_batch`
+evaluates it on many jobs at once by stacking same-shaped jobs into
+``(jobs, nodes, windows)`` tensors — bit-identical results, one set of
+NumPy reductions per metric.  :mod:`repro.metrics.flags` implements
+the §V-A automatic job flags.
+
+Example
+-------
+The kernels operate on ``(nodes, windows)`` interval-delta arrays.
+One node advancing a counter by 100 in each of two 10-second windows
+averages 10 ops/s; the peak windowed rate over both nodes is 30 ops/s:
+
+>>> import numpy as np
+>>> from repro.metrics import arc, max_rate, ratio_of_sums
+>>> deltas = np.array([[100.0, 100.0],
+...                    [200.0, 100.0]])
+>>> arc(deltas[:1], elapsed=20.0)
+10.0
+>>> max_rate(deltas, dt=np.array([10.0, 10.0]))
+30.0
+
+Ratios divide totals, so elapsed-time factors cancel
+(ratio-of-averages, §IV-A):
+
+>>> ratio_of_sums(np.array([30.0, 30.0]), np.array([40.0, 80.0]))
+0.5
 """
 
 from repro.metrics.flags import FLAG_REGISTRY, FlagResult, evaluate_flags
-from repro.metrics.kernels import arc, max_rate, ratio_of_sums
+from repro.metrics.kernels import (
+    arc,
+    arc_batch,
+    gauge_max,
+    gauge_max_batch,
+    max_rate,
+    max_rate_batch,
+    node_balance_ratio,
+    node_balance_ratio_batch,
+    ratio_of_sums,
+    ratio_of_sums_batch,
+    time_balance_ratio,
+    time_balance_ratio_batch,
+)
 from repro.metrics.table1 import (
     METRIC_REGISTRY,
     MetricDef,
     compute_metrics,
+    compute_metrics_batch,
     metric_names,
 )
 
 __all__ = [
     "arc",
+    "arc_batch",
     "max_rate",
+    "max_rate_batch",
     "ratio_of_sums",
+    "ratio_of_sums_batch",
+    "gauge_max",
+    "gauge_max_batch",
+    "node_balance_ratio",
+    "node_balance_ratio_batch",
+    "time_balance_ratio",
+    "time_balance_ratio_batch",
     "MetricDef",
     "METRIC_REGISTRY",
     "compute_metrics",
+    "compute_metrics_batch",
     "metric_names",
     "FLAG_REGISTRY",
     "FlagResult",

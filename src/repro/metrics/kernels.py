@@ -4,6 +4,13 @@ All kernels take ``(N, T-1)`` per-node interval-delta arrays (or
 ``(N, T)`` gauge arrays) and are pure NumPy — they are also reused by
 the batched population generator, where the same formulas run on
 ``(jobs, T)`` arrays along the same axis conventions.
+
+Each kernel also has a ``*_batch`` variant operating on whole
+job×device arrays — ``(J, N, T-1)`` stacks of same-shaped jobs —
+returning one value per job.  The batch variants reduce along the same
+axes in the same order as the scalar kernels, so for every job ``j``
+``arc_batch(D, e)[j] == arc(D[j], e[j])`` bitwise; the batched ingest
+pipeline relies on that equivalence.
 """
 
 from __future__ import annotations
@@ -66,6 +73,73 @@ def node_balance_ratio(per_node: np.ndarray) -> float:
     if hi <= 0:
         return 1.0
     return float(per_node.min()) / hi
+
+
+# -- batched variants: one value per job over (J, N, T-1) stacks --------------
+
+
+def arc_batch(deltas: np.ndarray, elapsed: np.ndarray) -> np.ndarray:
+    """:func:`arc` for a ``(J, N, T-1)`` stack; ``elapsed`` is ``(J,)``."""
+    J = deltas.shape[0]
+    if deltas.size == 0:
+        return np.zeros(J)
+    safe = np.where(elapsed > 0, elapsed, 1.0)
+    per_node = deltas.sum(axis=-1) / safe[:, None]
+    out = per_node.mean(axis=-1)
+    out[elapsed <= 0] = 0.0
+    return out
+
+
+def max_rate_batch(deltas: np.ndarray, dt: np.ndarray) -> np.ndarray:
+    """:func:`max_rate` for a ``(J, N, T-1)`` stack; ``dt`` is ``(J, T-1)``."""
+    J = deltas.shape[0]
+    if deltas.size == 0:
+        return np.zeros(J)
+    summed = deltas.sum(axis=1)  # (J, T-1)
+    rates = summed / np.maximum(dt, EPS)
+    return rates.max(axis=-1)
+
+
+def ratio_of_sums_batch(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """:func:`ratio_of_sums` per job over ``(J, ...)`` stacks."""
+    J = num.shape[0]
+    n = num.reshape(J, -1).sum(axis=-1)
+    d = den.reshape(J, -1).sum(axis=-1)
+    ok = d > 0
+    return np.where(ok, n / np.where(ok, d, 1.0), 0.0)
+
+
+def gauge_max_batch(gauge: np.ndarray) -> np.ndarray:
+    """:func:`gauge_max` per job over a ``(J, N, T)`` stack."""
+    J = gauge.shape[0]
+    if gauge.size == 0:
+        return np.zeros(J)
+    return gauge.reshape(J, -1).max(axis=-1)
+
+
+def node_balance_ratio_batch(per_node: np.ndarray) -> np.ndarray:
+    """:func:`node_balance_ratio` per job over a ``(J, N)`` stack."""
+    J = per_node.shape[0]
+    if per_node.size == 0:
+        return np.ones(J)
+    hi = per_node.max(axis=-1)
+    lo = per_node.min(axis=-1)
+    ok = hi > 0
+    return np.where(ok, lo / np.where(ok, hi, 1.0), 1.0)
+
+
+def time_balance_ratio_batch(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """:func:`time_balance_ratio` per job over ``(J, N, T-1)`` stacks."""
+    J = num.shape[0]
+    if num.size == 0:
+        return np.ones(J)
+    n = num.sum(axis=1)
+    d = np.maximum(den.sum(axis=1), EPS)
+    frac = n / d
+    hi = frac.max(axis=-1)
+    lo = frac.min(axis=-1)
+    ok = hi > 0
+    return np.where(ok, lo / np.where(ok, hi, 1.0), 1.0)
 
 
 def time_balance_ratio(num: np.ndarray, den: np.ndarray) -> float:

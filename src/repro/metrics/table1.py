@@ -14,19 +14,25 @@ dram components") are included in the ``Energy`` category.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.metrics.kernels import (
     arc,
+    arc_batch,
     gauge_max,
+    gauge_max_batch,
     max_rate,
+    max_rate_batch,
     node_balance_ratio,
+    node_balance_ratio_batch,
     ratio_of_sums,
+    ratio_of_sums_batch,
     time_balance_ratio,
+    time_balance_ratio_batch,
 )
-from repro.pipeline.accum import JobAccum
+from repro.pipeline.accum import CANONICAL_QUANTITIES, JobAccum
 
 MB = 1e6
 GB2 = float(1 << 30)
@@ -215,3 +221,126 @@ def metric_names(category: str = "") -> List[str]:
 def compute_metrics(accum: JobAccum) -> Dict[str, float]:
     """Evaluate the full registry on one job."""
     return {name: d.fn(accum) for name, d in METRIC_REGISTRY.items()}
+
+
+# -- batched evaluation --------------------------------------------------------
+#
+# The parallel ingest pipeline evaluates the registry on whole
+# job×device stacks: jobs with the same (n_hosts, T) shape are stacked
+# into (J, N, T-1) arrays and every metric is computed for all of them
+# in one set of NumPy reductions.  The batched formulas reduce along
+# the same axes in the same order as the per-job ones, so the results
+# are bit-identical — `tests/test_metrics` asserts exactly that.
+
+
+def _stack(accums: List[JobAccum], key: str, gauge: bool = False) -> np.ndarray:
+    source = "gauges" if gauge else "deltas"
+    return np.stack([getattr(a, source)[key] for a in accums])
+
+
+def _batch_group(accums: List[JobAccum]) -> List[Dict[str, float]]:
+    """Evaluate the registry on same-shaped jobs, vectorized across jobs."""
+    J = len(accums)
+    elapsed = np.array([a.elapsed for a in accums])
+    dt = np.stack([a.dt for a in accums])
+    vw = np.array([a.vector_width for a in accums], dtype=np.float64)
+    n_hosts = accums[0].n_hosts
+    D = {
+        k: _stack(accums, k)
+        for k in accums[0].deltas
+    }
+
+    def sums(key: str) -> np.ndarray:
+        return D[key].reshape(J, -1).sum(axis=-1)
+
+    out: Dict[str, np.ndarray] = {}
+    # Lustre
+    out["MetaDataRate"] = max_rate_batch(D["mdc_reqs"], dt)
+    out["MDCReqs"] = arc_batch(D["mdc_reqs"], elapsed)
+    out["OSCReqs"] = arc_batch(D["osc_reqs"], elapsed)
+    out["MDCWait"] = ratio_of_sums_batch(D["mdc_wait_us"], D["mdc_reqs"])
+    out["OSCWait"] = ratio_of_sums_batch(D["osc_wait_us"], D["osc_reqs"])
+    out["LLiteOpenClose"] = arc_batch(D["llite_oc"], elapsed)
+    out["LnetAveBW"] = arc_batch(D["lnet_bytes"], elapsed) / MB
+    out["LnetMaxBW"] = max_rate_batch(D["lnet_bytes"], dt) / MB
+    # Network
+    out["InternodeIBAveBW"] = arc_batch(D["ib_bytes"], elapsed) / MB
+    out["InternodeIBMaxBW"] = max_rate_batch(D["ib_bytes"], dt) / MB
+    out["Packetsize"] = ratio_of_sums_batch(D["ib_bytes"], D["ib_packets"])
+    out["Packetrate"] = arc_batch(D["ib_packets"], elapsed)
+    out["GigEBW"] = arc_batch(D["gige_bytes"], elapsed) / MB
+    # Processor
+    out["Load_All"] = arc_batch(D["loads"], elapsed)
+    out["Load_L1Hits"] = arc_batch(D["l1_hits"], elapsed)
+    out["Load_L2Hits"] = arc_batch(D["l2_hits"], elapsed)
+    out["Load_LLCHits"] = arc_batch(D["llc_hits"], elapsed)
+    out["cpi"] = ratio_of_sums_batch(D["cycles"], D["instructions"])
+    out["cpld"] = ratio_of_sums_batch(D["cycles"], D["loads"])
+    scalar = sums("fp_scalar")
+    vector = sums("fp_vector")
+    safe_e = np.where(elapsed > 0, elapsed, 1.0)
+    flops = (scalar + vector * vw) / safe_e / n_hosts / 1e9
+    flops[elapsed <= 0] = 0.0
+    out["flops"] = flops
+    fp_total = scalar + vector
+    ok = fp_total > 0
+    out["VecPercent"] = np.where(
+        ok,
+        np.minimum(100.0, 100.0 * vector / np.where(ok, fp_total, 1.0)),
+        0.0,
+    )
+    out["mbw"] = arc_batch(D["imc_cas"], elapsed) * 64.0 / 1e9
+    # OS
+    out["MemUsage"] = gauge_max_batch(_stack(accums, "mem_used", True)) / GB2
+    out["CPU_Usage"] = ratio_of_sums_batch(D["cpu_user"], D["cpu_total"])
+    user = D["cpu_user"].sum(axis=-1)
+    total = np.maximum(D["cpu_total"].sum(axis=-1), 1e-300)
+    out["idle"] = node_balance_ratio_batch(user / total)
+    out["catastrophe"] = time_balance_ratio_batch(
+        D["cpu_user"], D["cpu_total"]
+    )
+    out["MIC_Usage"] = ratio_of_sums_batch(D["mic_user"], D["mic_total"])
+    # Energy
+    out["PkgPower"] = arc_batch(D["rapl_pkg_uj"], elapsed) / 1e6
+    out["CorePower"] = arc_batch(D["rapl_core_uj"], elapsed) / 1e6
+    out["DramPower"] = arc_batch(D["rapl_dram_uj"], elapsed) / 1e6
+    pkg = D["rapl_pkg_uj"].reshape(J, -1).sum(axis=-1)
+    dram = D["rapl_dram_uj"].reshape(J, -1).sum(axis=-1)
+    out["TotalEnergy"] = (pkg + dram) / 1e6
+
+    results: List[Dict[str, float]] = []
+    for j, a in enumerate(accums):
+        row = {}
+        for name, mdef in METRIC_REGISTRY.items():
+            if name in out:
+                row[name] = float(out[name][j])
+            else:  # registry extended beyond the batched set
+                row[name] = mdef.fn(a)
+        results.append(row)
+    return results
+
+
+_EVENT_KEYS = {q.key for q in CANONICAL_QUANTITIES if not q.gauge}
+_GAUGE_KEYS = {q.key for q in CANONICAL_QUANTITIES if q.gauge}
+
+
+def compute_metrics_batch(accums: List[JobAccum]) -> List[Dict[str, float]]:
+    """Evaluate the registry on many jobs at once.
+
+    Jobs sharing an ``(n_hosts, T)`` shape are stacked and computed
+    with one set of whole-array reductions; odd shapes (or accums
+    built from non-canonical quantity sets) fall back to
+    :func:`compute_metrics`.  Values are bit-identical to the per-job
+    path either way.
+    """
+    out: List[Optional[Dict[str, float]]] = [None] * len(accums)
+    groups: Dict[tuple, List[int]] = {}
+    for i, a in enumerate(accums):
+        if set(a.deltas) >= _EVENT_KEYS and set(a.gauges) >= _GAUGE_KEYS:
+            groups.setdefault((a.n_hosts, len(a.times)), []).append(i)
+        else:
+            out[i] = compute_metrics(a)
+    for idxs in groups.values():
+        for i, row in zip(idxs, _batch_group([accums[i] for i in idxs])):
+            out[i] = row
+    return out  # type: ignore[return-value]

@@ -13,11 +13,65 @@ Stages:
    canonical quantities, the metrics engine's input representation.
 3. :func:`ingest_jobs` — compute Table I metrics and write one row per
    job into the database.
+
+:func:`parallel_ingest_jobs` is the production-scale variant of the
+same pass: per-host raw files are sharded across a worker pool and
+parsed into columnar blocks (:class:`~repro.core.rawfile.BlockParser`),
+jobs are accumulated with whole-array NumPy operations
+(:func:`accumulate_blocks`), metrics are evaluated on stacked job
+tensors, and rows reach the database via chunked bulk inserts.  Its
+output is byte-identical to the streaming path at any worker count —
+see ``docs/architecture.md`` for the full data-flow picture and
+``docs/performance.md`` for tuning.
+
+Example
+-------
+Write a two-host raw store, then run the parallel batched ingest:
+
+>>> import tempfile
+>>> import numpy as np
+>>> from repro.core.collector import Sample
+>>> from repro.core.rawfile import RawFileWriter
+>>> from repro.core.store import CentralStore
+>>> from repro.db import Database
+>>> from repro.hardware.devices.base import Schema, SchemaEntry
+>>> from repro.pipeline import parallel_ingest_jobs
+>>> schemas = {"cpu": Schema([SchemaEntry("user", unit="cs"),
+...                           SchemaEntry("idle", unit="cs")])}
+>>> tmp = tempfile.TemporaryDirectory()
+>>> store = CentralStore(tmp.name)
+>>> for host in ("c100-001", "c100-002"):
+...     w = RawFileWriter(host, "intel_snb", schemas, mem_bytes=1 << 34)
+...     parts = [w.header()]
+...     for i in range(3):
+...         data = {"cpu": {"0": np.array([100.0 * i, 50.0 * i])}}
+...         parts.append(w.record(Sample(host=host, timestamp=600 * i,
+...                                      jobids=["42"], data=data,
+...                                      procs=[])))
+...     store.append(host, "".join(parts), arrived_at=1800)
+>>> db = Database()
+>>> result = parallel_ingest_jobs(store, None, db, workers=2,
+...                               executor="thread")
+>>> result.ingested
+1
+>>> tmp.cleanup()
 """
 
-from repro.pipeline.accum import CANONICAL_QUANTITIES, JobAccum, accumulate
-from repro.pipeline.ingest import IngestCheckpoint, ingest_jobs
+from repro.pipeline.accum import (
+    CANONICAL_QUANTITIES,
+    JobAccum,
+    accumulate,
+    accumulate_blocks,
+)
+from repro.pipeline.ingest import IngestCheckpoint, IngestResult, ingest_jobs
 from repro.pipeline.jobmap import JobData, map_jobs
+from repro.pipeline.parallel import (
+    ShardedCheckpoint,
+    assemble_jobs,
+    parallel_ingest_jobs,
+    parse_blocks,
+    shard_hosts,
+)
 from repro.pipeline.pickles import JobPickleStore
 
 __all__ = [
@@ -25,8 +79,15 @@ __all__ = [
     "map_jobs",
     "JobAccum",
     "accumulate",
+    "accumulate_blocks",
     "CANONICAL_QUANTITIES",
     "ingest_jobs",
+    "IngestResult",
     "IngestCheckpoint",
     "JobPickleStore",
+    "parallel_ingest_jobs",
+    "parse_blocks",
+    "assemble_jobs",
+    "shard_hosts",
+    "ShardedCheckpoint",
 ]

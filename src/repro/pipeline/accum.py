@@ -231,6 +231,158 @@ def accumulate(jd: JobData, quantities: Sequence[Quantity] = CANONICAL_QUANTITIE
     )
 
 
+def _counter_width(schema, counters: Tuple[str, ...]) -> float:
+    """Largest register modulus among the requested event counters."""
+    return max(
+        (
+            2.0**e.width
+            for e in schema.entries
+            if e.event and e.name in counters
+        ),
+        default=2.0**64,
+    )
+
+
+def _nan_add(total: np.ndarray, contrib: np.ndarray) -> np.ndarray:
+    """Elementwise add treating NaN as *absent* (not poisonous).
+
+    Mirrors the row-at-a-time accumulation: an instance missing from
+    one sample contributes nothing there, while a timestamp where *no*
+    instance reported stays NaN.
+    """
+    both = ~np.isnan(total) & ~np.isnan(contrib)
+    out = np.where(np.isnan(total), contrib, total)
+    out[both] = total[both] + contrib[both]
+    return out
+
+
+def accumulate_blocks(
+    jobid: str,
+    host_rows: Dict[str, Tuple["HostBlock", np.ndarray]],
+    schemas: Dict[str, Schema],
+    arch: Optional[str],
+    quantities: Sequence[Quantity] = CANONICAL_QUANTITIES,
+) -> JobAccum:
+    """Columnar :func:`accumulate`: reduce host *blocks* to a JobAccum.
+
+    Takes, per host, a :class:`~repro.core.rawfile.HostBlock` plus the
+    record indices belonging to the job, and produces bit-identical
+    results to running :func:`accumulate` over the materialised
+    per-sample view — but with whole-array NumPy operations per
+    (host, device, instance) instead of a Python loop per sample.
+    This is the metric hot path of the batched ingest pipeline
+    (:mod:`repro.pipeline.parallel`).
+    """
+    hosts = sorted(host_rows)
+    if not hosts:
+        raise ValueError(f"job {jobid}: no hosts")
+    common = None
+    for h in hosts:
+        block, rows = host_rows[h]
+        ts = set(block.times[rows].tolist())
+        common = ts if common is None else (common & ts)
+    times = np.array(sorted(common or ()), dtype=np.int64)
+    if len(times) < 2:
+        raise ValueError(
+            f"job {jobid}: only {len(times)} aligned samples"
+        )
+    T, N = len(times), len(hosts)
+
+    arch_obj = ARCHITECTURES.get(arch or "", None)
+    vector_width = arch_obj.vector_width_doubles if arch_obj else 4
+
+    # per host: for each device type, NaN-aligned (T, C) value matrices
+    # in file instance order (NaN row = instance absent at that time)
+    aligned: List[Dict[str, List[np.ndarray]]] = []
+    type_orders: List[List[str]] = []
+    for h in hosts:
+        block, rows = host_rows[h]
+        trow = block.times[rows]
+        # dedupe repeated timestamps keeping the later sample, exactly
+        # like the stable-sorted dict overwrite in the streaming path
+        order = np.argsort(trow, kind="stable")
+        sorted_t = trow[order]
+        pos = np.searchsorted(sorted_t, times, side="right") - 1
+        sel = rows[order[pos]]  # (T,) record index per aligned time
+        per_type: Dict[str, List[np.ndarray]] = {}
+        for type_name in block.type_order:
+            mats: List[np.ndarray] = []
+            any_found = False
+            for grp in block.groups[type_name].values():
+                if grp.ragged is not None:
+                    continue  # schema-less ragged data: no counter index
+                p = np.searchsorted(grp.rows, sel)
+                p = np.minimum(p, len(grp.rows) - 1)
+                found = grp.rows[p] == sel
+                if not found.any():
+                    continue
+                any_found = True
+                mat = np.full((T, grp.values.shape[1]), np.nan)
+                mat[found] = grp.values[p[found]]
+                mats.append(mat)
+            if any_found:
+                per_type[type_name] = mats
+        aligned.append(per_type)
+        type_orders.append(list(block.type_order))
+
+    deltas: Dict[str, np.ndarray] = {}
+    gauges: Dict[str, np.ndarray] = {}
+    for q in quantities:
+        event_rows = np.zeros((N, T - 1))
+        gauge_rows = np.zeros((N, T))
+        present = False
+        for n in range(N):
+            per_type = aligned[n]
+            if q.type_name:
+                type_name = q.type_name if q.type_name in per_type else None
+            else:
+                type_name = next(
+                    (
+                        t for t in type_orders[n]
+                        if t in _CORE_TYPES and t in per_type
+                    ),
+                    None,
+                )
+            if type_name is None:
+                continue
+            schema = schemas.get(type_name)
+            if schema is None:
+                continue
+            idx = [schema.index[c] for c in q.counters if c in schema.index]
+            if not idx:
+                continue
+            series: Optional[np.ndarray] = None
+            for mat in per_type[type_name]:
+                contrib = mat[:, idx].sum(axis=1)
+                series = (
+                    contrib if series is None
+                    else _nan_add(series, contrib)
+                )
+            if series is None or np.all(np.isnan(series)):
+                continue
+            present = True
+            filled = _ffill(series)
+            if q.gauge:
+                gauge_rows[n] = filled
+            else:
+                width = _counter_width(schema, q.counters)
+                event_rows[n] = _unwrap(np.diff(filled), filled[1:], width)
+        if q.gauge:
+            gauges[q.key] = gauge_rows if present else np.zeros((N, T))
+        else:
+            deltas[q.key] = event_rows if present else np.zeros((N, T - 1))
+
+    return JobAccum(
+        jobid=jobid,
+        hosts=hosts,
+        times=times,
+        deltas=deltas,
+        gauges=gauges,
+        vector_width=vector_width,
+        meta={"arch": arch},
+    )
+
+
 def _unwrap(
     deltas: np.ndarray, later_values: np.ndarray, width: float
 ) -> np.ndarray:

@@ -1,0 +1,94 @@
+"""Documentation integrity: links resolve, references aren't stale.
+
+Docs rot silently — a renamed file or module breaks every page that
+points at it without failing anything.  This suite keeps the markdown
+in ``docs/`` and the README honest: every relative link must resolve
+to a real file, and every ``repro.*`` module or CLI subcommand a doc
+names must actually exist.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)")
+
+
+def doc_ids(paths):
+    return [str(p.relative_to(REPO)) for p in paths]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+def test_relative_links_resolve(doc):
+    """Every non-external markdown link points at an existing file."""
+    text = doc.read_text()
+    missing = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            missing.append(target)
+    assert not missing, f"{doc.name}: broken links {missing}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+def test_referenced_modules_exist(doc):
+    """Every `repro.foo.bar` a doc mentions is importable."""
+    text = doc.read_text()
+    bad = []
+    for name in sorted({m.group(1) for m in MODULE_RE.finditer(text)}):
+        parts = name.split(".")
+        # allow `repro.module.attribute` — try successively shorter
+        # prefixes until one imports, then getattr the rest
+        obj = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+                rest = parts[cut:]
+                break
+            except ImportError:
+                continue
+        if obj is None:
+            bad.append(name)
+            continue
+        for attr in rest:
+            if not hasattr(obj, attr):
+                bad.append(name)
+                break
+            obj = getattr(obj, attr)
+    assert not bad, f"{doc.name}: stale module references {bad}"
+
+
+def test_documented_cli_commands_exist():
+    """Every subcommand the docs name is a real cli.py subparser."""
+    from repro import cli
+
+    parser = cli.build_parser()
+    sub = next(
+        a for a in parser._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    real = set(sub.choices)
+    pattern = re.compile(r"repro\.cli (\w+) ")
+    for doc in DOC_FILES:
+        for m in pattern.finditer(doc.read_text()):
+            assert m.group(1) in real, (
+                f"{doc.name} documents unknown command {m.group(1)!r}"
+            )
+
+
+def test_all_docs_linked_from_readme():
+    """docs/*.md pages are discoverable from the README."""
+    readme = (REPO / "README.md").read_text()
+    for doc in REPO.glob("docs/*.md"):
+        assert f"docs/{doc.name}" in readme, f"{doc.name} not in README"
