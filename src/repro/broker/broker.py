@@ -23,11 +23,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.broker.message import Delivery, Message
 from repro.broker.routing import topic_matches
 from repro.sim.events import EventQueue
 
 ConsumerCallback = Callable[["Channel", Delivery], None]
+
+#: redeliveries of one message before it is dead-lettered (a consumer
+#: that always crashes must not livelock the queue head forever)
+DEFAULT_MAX_REDELIVERIES = 5
 
 
 class BrokerUnavailable(RuntimeError):
@@ -77,6 +82,8 @@ class _BrokerQueue:
     def __init__(self, name: str) -> None:
         self.name = name
         self.ready: Deque[Message] = deque()
+        #: messages that exhausted their redelivery budget (forensics)
+        self.dead: Deque[Message] = deque()
         self.consumers: List[_Consumer] = []
         self._rr = 0
         self.enqueued = 0
@@ -97,9 +104,11 @@ class Broker:
         self,
         events: Optional[EventQueue] = None,
         latency: float = 0.05,
+        max_redeliveries: int = DEFAULT_MAX_REDELIVERIES,
     ) -> None:
         self.events = events
         self.latency = latency
+        self.max_redeliveries = max_redeliveries
         self._exchanges: Dict[str, _Exchange] = {
             "": _Exchange(name="", kind="direct")  # default exchange
         }
@@ -110,6 +119,7 @@ class Broker:
         self.dropped = 0
         self.rejected = 0  # publishes refused while partitioned
         self.duplicated = 0  # deliveries duplicated by injected faults
+        self.dead_lettered = 0  # messages that exhausted redelivery
         #: optional fault hook (duck-typed; see repro.faults.injector).
         #: Must offer publish_allowed(now), extra_latency(now) and
         #: duplicate_delivery(now) -> bool.  None = healthy broker.
@@ -161,6 +171,10 @@ class Broker:
         now = self.events.clock.now() if self.events is not None else None
         if self.faults is not None and not self.faults.publish_allowed(now):
             self.rejected += 1
+            obs.counter(
+                "repro_broker_rejected_total",
+                "publishes refused while a partition fault was active",
+            ).inc()
             raise BrokerUnavailable(f"broker unreachable at t={now}")
         msg = Message(
             body=body,
@@ -171,8 +185,15 @@ class Broker:
         targets = self._exchanges[exchange].route(routing_key)
         if not targets:
             self.dropped += 1
+            obs.counter(
+                "repro_broker_unroutable_total",
+                "published messages that matched no queue binding",
+            ).inc()
             return 0
         self.published += 1
+        obs.counter(
+            "repro_broker_published_total", "messages accepted for routing"
+        ).inc()
         for qname in targets:
             q = self._queues[qname]
             q.ready.append(msg)
@@ -228,6 +249,10 @@ class Broker:
                 q.ready.append(dup)
                 q.enqueued += 1
                 self.duplicated += 1
+                obs.counter(
+                    "repro_broker_duplicated_total",
+                    "deliveries duplicated by injected transport faults",
+                ).inc(queue=q.name)
             dv = Delivery(
                 message=msg,
                 delivery_tag=tag,
@@ -236,30 +261,73 @@ class Broker:
                 delivered_at=now,
             )
             q.delivered += 1
+            obs.counter(
+                "repro_broker_delivered_total",
+                "deliveries handed to a consumer callback",
+            ).inc(queue=q.name)
+            if dv.redelivered:
+                obs.counter(
+                    "repro_broker_redelivered_total",
+                    "deliveries of previously-delivered messages",
+                ).inc(queue=q.name)
             if not consumer.auto_ack:
                 consumer.channel._unacked[tag] = (q.name, msg)
             try:
                 consumer.callback(consumer.channel, dv)
             except Exception:
                 # consumer crashed mid-handle: with explicit acks the
-                # message is requeued; with auto-ack it was considered
-                # acknowledged at delivery and is lost with the crash
+                # message is requeued (up to the redelivery budget);
+                # with auto-ack it was considered acknowledged at
+                # delivery and is lost with the crash
                 consumer.channel._unacked.pop(tag, None)
                 if not consumer.auto_ack:
-                    msg.headers["_redelivered"] = True
-                    q.ready.appendleft(msg)
+                    self._requeue(q, msg)
                 consumer.channel.close()
                 q.consumers = [c for c in q.consumers if c.channel is not consumer.channel]
+        obs.gauge(
+            "repro_broker_queue_depth", "ready messages per queue"
+        ).set(len(q.ready), queue=q.name)
+
+    def _requeue(self, q: _BrokerQueue, msg: Message) -> bool:
+        """Requeue at the head for redelivery, or dead-letter.
+
+        Uncapped head-requeueing livelocks the queue when a consumer
+        deterministically crashes on one message (the same frame is
+        redelivered forever and everything behind it starves).  After
+        ``max_redeliveries`` redeliveries the message moves to the
+        queue's dead-letter ledger instead; returns False then.
+        """
+        n = int(msg.headers.get("_redelivery_count", 0)) + 1
+        msg.headers["_redelivery_count"] = n
+        msg.headers["_redelivered"] = True
+        if self.max_redeliveries is not None and n > self.max_redeliveries:
+            q.dead.append(msg)
+            self.dead_lettered += 1
+            obs.counter(
+                "repro_broker_dead_lettered_total",
+                "messages dropped after exhausting the redelivery budget",
+            ).inc(queue=q.name)
+            return False
+        q.ready.appendleft(msg)
+        return True
 
     def queue_depth(self, name: str) -> int:
         return len(self._queues[name].ready)
+
+    def dead_letter_count(self, name: str) -> int:
+        return len(self._queues[name].dead)
 
     def stats(self) -> Dict[str, Any]:
         return {
             "published": self.published,
             "dropped": self.dropped,
+            "dead_lettered": self.dead_lettered,
             "queues": {
-                n: {"ready": len(q.ready), "delivered": q.delivered}
+                n: {
+                    "ready": len(q.ready),
+                    "delivered": q.delivered,
+                    "dead": len(q.dead),
+                }
                 for n, q in self._queues.items()
             },
         }
@@ -283,10 +351,9 @@ class Broker:
     def _requeue_unacked(self, channel: "Channel") -> int:
         n = 0
         for tag, (qname, msg) in list(channel._unacked.items()):
-            msg.headers["_redelivered"] = True
             q = self._queues[qname]
-            q.ready.appendleft(msg)
-            n += 1
+            if self._requeue(q, msg):
+                n += 1
             self._kick(q)
         channel._unacked.clear()
         return n
@@ -334,9 +401,8 @@ class Channel:
     def basic_nack(self, delivery_tag: int, requeue: bool = True) -> None:
         qname, msg = self._unacked.pop(delivery_tag)
         if requeue:
-            msg.headers["_redelivered"] = True
             q = self.broker._queues[qname]
-            q.ready.appendleft(msg)
+            self.broker._requeue(q, msg)
             self.broker._kick(q)
 
     def close(self) -> int:

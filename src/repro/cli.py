@@ -235,6 +235,47 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Simulate a monitored day and report the monitor's own telemetry."""
+    from repro import obs
+    from repro.core.overhead import measured_fleet_overhead, predicted_overhead
+    from repro.pipeline.parallel import parallel_ingest_jobs
+
+    obs.reset()
+    sess = monitoring_session(
+        nodes=args.nodes, seed=args.seed, interval=args.interval
+    )
+    obs.set_clock(sess.cluster.clock.now)
+    for user, app, nodes in PRESETS[args.preset]:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=args.runtime),
+            nodes=min(nodes, args.nodes),
+        ))
+    sess.cluster.run_for(args.hours * 3600)
+    result = parallel_ingest_jobs(
+        sess.store, sess.cluster.jobs, Database(), workers=args.workers
+    )
+    if args.format == "json":
+        print(obs.render_json(indent=2))
+    else:
+        print(obs.render_text())
+    node = next(iter(sess.cluster.nodes.values()))
+    cores = node.tree.arch.cores
+    measured = measured_fleet_overhead(cores)
+    predicted = predicted_overhead(
+        args.interval, cores, sess.collector.overhead.collect_seconds
+    )
+    tracer = obs.get_tracer()
+    print(f"# collections traced: {tracer.count('collector.collect')}")
+    print(f"# ingested jobs: {result.ingested}")
+    print(f"# measured fleet overhead:  {measured * 100:.5f}%")
+    print(f"# predicted (0.09 s model): {predicted * 100:.5f}%")
+    if predicted > 0:
+        print(f"# ratio measured/predicted: {measured / predicted:.2f}x")
+    return 0
+
+
 def cmd_casestudy(args: argparse.Namespace) -> int:
     _open_db(args.db)
     try:
@@ -327,6 +368,21 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--db", required=True)
     fl.add_argument("--top", type=int, default=10)
     fl.set_defaults(fn=cmd_fleet)
+
+    ob = sub.add_parser(
+        "obs",
+        help="simulate a monitored day, then dump the monitor's own "
+             "metrics, spans and overhead self-measurement",
+    )
+    ob.add_argument("--nodes", type=int, default=8)
+    ob.add_argument("--hours", type=int, default=24)
+    ob.add_argument("--seed", type=int, default=42)
+    ob.add_argument("--interval", type=int, default=600)
+    ob.add_argument("--runtime", type=float, default=4000.0)
+    ob.add_argument("--preset", choices=sorted(PRESETS), default="standard")
+    ob.add_argument("--workers", type=int, default=2)
+    ob.add_argument("--format", choices=("text", "json"), default="text")
+    ob.set_defaults(fn=cmd_obs)
 
     ch = sub.add_parser(
         "chaos",

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.core.config import BuildConfig, MonitorConfig
 from repro.core.overhead import OverheadModel
@@ -65,28 +66,45 @@ class Collector:
         """
         node = self.cluster.nodes[node_name]
         if node.failed:
+            obs.counter(
+                "repro_collector_skipped_down_total",
+                "collection attempts against failed nodes",
+            ).inc()
             return None
-        now = self.cluster.now()
-        self.cluster.catch_up(node_name, now)
-        wanted = self.build.wanted_types()
-        data = {
-            t: dev.read()
-            for t, dev in node.tree.devices.items()
-            if t in wanted
-        }
-        jobids = list(node.jobids)
-        if jobid_hint and jobid_hint not in jobids:
-            jobids.append(jobid_hint)
-        procs = node.tree.read_procs()
-        self.collections += 1
-        self.overhead.charge(node_name, now)
-        return Sample(
-            host=node_name,
-            timestamp=now,
-            jobids=sorted(jobids),
-            data=data,
-            procs=procs,
-        )
+        with obs.span("collector.collect", node=node_name) as sp:
+            now = self.cluster.now()
+            self.cluster.catch_up(node_name, now)
+            wanted = self.build.wanted_types()
+            data = {
+                t: dev.read()
+                for t, dev in node.tree.devices.items()
+                if t in wanted
+            }
+            jobids = list(node.jobids)
+            if jobid_hint and jobid_hint not in jobids:
+                jobids.append(jobid_hint)
+            procs = node.tree.read_procs()
+            self.collections += 1
+            self.overhead.charge(node_name, now)
+            # self-telemetry: the modeled per-collection core cost plus
+            # the sim timestamp, so measured_fleet_overhead() can
+            # recompute the paper's 0.02 % figure from spans alone
+            sp.set(
+                sim_time=now,
+                core_seconds=self.overhead.collect_seconds,
+                devices=len(data),
+            )
+            obs.counter(
+                "repro_collector_collections_total",
+                "successful device-snapshot collections",
+            ).inc()
+            return Sample(
+                host=node_name,
+                timestamp=now,
+                jobids=sorted(jobids),
+                data=data,
+                procs=procs,
+            )
 
     def schemas_for(self, node_name: str) -> Dict[str, object]:
         """Schemas of the devices this build collects on ``node_name``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.jobs import Job
 from repro.core.collector import Collector, Sample
@@ -153,14 +154,26 @@ class CronMode:
             return  # nothing reachable to copy
         log = self._logs[node_name]
         now = self.cluster.clock.now()
+        obs.counter(
+            "repro_cron_rsync_attempts_total",
+            "daily rsync transfer attempts (including retries)",
+        ).inc()
         if self.rsync_fault is not None and self.rsync_fault(node_name, now):
             self.rsync_failures += 1
+            obs.counter(
+                "repro_cron_rsync_failures_total",
+                "rsync attempts that failed (injected transfer faults)",
+            ).inc()
             attempt = self._rsync_attempts.get(node_name, 0)
             if attempt < self.retry.max_retries:
                 # transient transfer failure: back off and retry; the
                 # rotated logs stay buffered on the node meanwhile
                 self._rsync_attempts[node_name] = attempt + 1
                 self.rsync_retries += 1
+                obs.counter(
+                    "repro_cron_rsync_retries_total",
+                    "rsync retries scheduled after a transfer failure",
+                ).inc()
                 self.cluster.events.schedule_in(
                     max(1, int(round(self.retry.delay(attempt)))),
                     lambda: self._rsync(node_name),
@@ -175,6 +188,10 @@ class CronMode:
         for _day, text, times in log.rotated:
             self.store.append(node_name, text, arrived_at=now, collect_times=times)
             self.synced_samples += len(times)
+            obs.counter(
+                "repro_cron_synced_samples_total",
+                "samples delivered centrally by the daily rsync",
+            ).inc(len(times))
         log.rotated.clear()
 
     # -- reboot handling -----------------------------------------------------
@@ -199,6 +216,11 @@ class CronMode:
             len(times) for _d, _t, times in log.rotated
         )
         self.lost_samples += lost
+        if lost:
+            obs.counter(
+                "repro_cron_lost_samples_total",
+                "samples destroyed with a failed node's local log",
+            ).inc(lost)
         log.lines = []
         log.collect_times = []
         log.rotated = []

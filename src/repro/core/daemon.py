@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from repro import obs
 from repro.broker import Broker, BrokerUnavailable, Channel, Delivery
 from repro.cluster.cluster import Cluster
 from repro.cluster.jobs import Job
@@ -133,9 +134,21 @@ class DaemonMode:
                 )
             except BrokerUnavailable:
                 self._arm_retry(node_name)
+                obs.gauge(
+                    "repro_daemon_buffered_samples",
+                    "samples buffered in daemon memory awaiting publish",
+                ).set(sum(len(p) for p in self._pending.values()))
                 return
             pending.popleft()
+            obs.counter(
+                "repro_daemon_published_total",
+                "samples published by the per-node daemons",
+            ).inc()
         self._attempts[node_name] = 0
+        obs.gauge(
+            "repro_daemon_buffered_samples",
+            "samples buffered in daemon memory awaiting publish",
+        ).set(sum(len(p) for p in self._pending.values()))
 
     def _arm_retry(self, node_name: str) -> None:
         if self._retry_armed[node_name]:
@@ -144,6 +157,10 @@ class DaemonMode:
         delay = self.retry.delay(attempt)
         self._attempts[node_name] += 1
         self.publish_retries += 1
+        obs.counter(
+            "repro_daemon_publish_retries_total",
+            "daemon publish retries armed after BrokerUnavailable",
+        ).inc()
         self._retry_armed[node_name] = True
         self.cluster.events.schedule_in(
             max(1, int(round(delay))),
@@ -170,6 +187,10 @@ class DaemonMode:
                 self.lost_buffered.get(node_name, 0) + lost
             )
             self._pending[node_name].clear()
+            obs.counter(
+                "repro_daemon_lost_samples_total",
+                "samples that died in a failed node's daemon buffer",
+            ).inc(lost)
         return lost
 
     def note_node_reboot(self, node_name: str) -> None:

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Optional, Tuple
 
+from repro import obs
+
 
 class OverheadModel:
     """Tracks monitor CPU cost per node."""
@@ -33,6 +35,10 @@ class OverheadModel:
         self.count[node] += 1
         self.first_charge.setdefault(node, now)
         self.last_charge[node] = now
+        obs.counter(
+            "repro_overhead_core_seconds_total",
+            "monitor core-seconds charged across the fleet",
+        ).inc(self.collect_seconds)
 
     def total_core_seconds(self) -> float:
         return sum(self.core_seconds.values())
@@ -59,6 +65,42 @@ class OverheadModel:
             return 0.0
         total = sum(self.core_seconds[n] for n in nodes)
         return total / (len(nodes) * cores_per_node * elapsed)
+
+
+def measured_fleet_overhead(
+    cores_per_node: int,
+    tracer=None,
+    span_name: str = "collector.collect",
+) -> float:
+    """Fleet overhead fraction recomputed from obs span telemetry.
+
+    Walks the completed ``collector.collect`` spans (each stamped with
+    the node, the sim timestamp and the core-seconds charged) and
+    returns total charged core-seconds over delivered fleet core
+    capacity — the same quantity
+    :meth:`OverheadModel.fleet_overhead_fraction` models, but derived
+    from what the pipeline *recorded about itself* rather than from
+    assumed constants.  Returns 0.0 with fewer than two spans (no
+    observable elapsed window).
+    """
+    if tracer is None:
+        tracer = obs.get_tracer()
+    total = 0.0
+    nodes = set()
+    t_lo: Optional[int] = None
+    t_hi: Optional[int] = None
+    for s in tracer.spans(span_name):
+        sim_time = s.attrs.get("sim_time")
+        if sim_time is None:
+            continue
+        total += float(s.attrs.get("core_seconds", 0.0))
+        nodes.add(s.attrs.get("node"))
+        t = int(sim_time)
+        t_lo = t if t_lo is None else min(t_lo, t)
+        t_hi = t if t_hi is None else max(t_hi, t)
+    if not nodes or t_lo is None or t_hi is None or t_hi <= t_lo:
+        return 0.0
+    return total / (len(nodes) * cores_per_node * (t_hi - t_lo))
 
 
 def predicted_overhead(

@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.rawfile import ParseError, ParsedSample, RawFileParser
 
 
@@ -97,6 +98,10 @@ class CentralStore:
         if not errors:
             return
         self.quarantined.setdefault(host, []).extend(errors)
+        obs.counter(
+            "repro_ingest_quarantined_lines_total",
+            "corrupt raw-file lines quarantined during parsing",
+        ).inc(len(errors), host=host)
         qdir = self.root / "quarantine"
         qdir.mkdir(exist_ok=True)
         with open(qdir / f"{host}.bad", "a") as fh:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.faults.plan import (
     BrokerPartition,
@@ -73,6 +74,14 @@ class FaultInjector:
         self._delays: List[Tuple[int, int, int]] = []
         self._dups: List[Tuple[int, int, float]] = []
         self._rsync_windows: List[Tuple[int, int, Optional[str]]] = []
+
+    def _note(self, t: int, kind: str, detail: str) -> None:
+        """Record an applied fault in the forensic log and telemetry."""
+        self.log.append((t, kind, detail))
+        obs.counter(
+            "repro_faults_injected_total",
+            "faults actually applied by the injector",
+        ).inc(kind=kind.split(":", 1)[0])
 
     # -- arming --------------------------------------------------------------
     def arm(self) -> None:
@@ -128,7 +137,7 @@ class FaultInjector:
     def _rsync_should_fail(self, node_name: str, now: int) -> bool:
         for s, e, node in self._rsync_windows:
             if s <= now < e and (node is None or node == node_name):
-                self.log.append((now, "rsync_failure", node_name))
+                self._note(now, "rsync_failure", node_name)
                 return True
         return False
 
@@ -140,7 +149,7 @@ class FaultInjector:
             return
         self.cluster.fail_node(fault.node)
         self.crash_times[fault.node] = now
-        self.log.append((now, "node_crash", fault.node))
+        self._note(now, "node_crash", fault.node)
         if self.cron is not None:
             self.cron.account_node_failure(fault.node)
         if self.daemon is not None:
@@ -156,7 +165,7 @@ class FaultInjector:
         now = self.cluster.clock.now()
         self.cluster.recover_node(node_name)
         self.reboot_times[node_name] = now
-        self.log.append((now, "node_reboot", node_name))
+        self._note(now, "node_reboot", node_name)
         if self.cron is not None:
             self.cron.node_rebooted(node_name)
         if self.daemon is not None:
@@ -177,7 +186,7 @@ class FaultInjector:
         else:
             with open(path, "a") as fh:
                 fh.write(GARBAGE_LINES)
-        self.log.append((now, f"file_corruption:{fault.mode}", fault.host))
+        self._note(now, f"file_corruption:{fault.mode}", fault.host)
 
     def _storm(self, fault: RolloverStorm) -> None:
         node = self.cluster.nodes.get(fault.node)
@@ -187,7 +196,8 @@ class FaultInjector:
         if dev is None:
             return
         dev.near_wrap()
-        self.log.append(
-            (self.cluster.clock.now(), "rollover_storm",
-             f"{fault.node}/{fault.type_name}")
+        self._note(
+            self.cluster.clock.now(),
+            "rollover_storm",
+            f"{fault.node}/{fault.type_name}",
         )

@@ -21,6 +21,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.counters import correct_rollover
+
 
 @dataclass(frozen=True)
 class SchemaEntry:
@@ -229,14 +231,22 @@ def rollover_delta(
     """Difference of two register reads with rollover correction.
 
     For event counters, a later read smaller than an earlier one is
-    interpreted as a wrap of the ``W``-bit register (§IV-A relies on
-    counters being cumulative; the reader must unwrap them).  Gauges
-    are returned as plain differences.
+    either a wrap of the ``W``-bit register (§IV-A relies on counters
+    being cumulative; the reader must unwrap them) or a counter reset
+    (node reboot) — disambiguated by the shared
+    :func:`~repro.hardware.counters.correct_rollover` policy, the same
+    one the batch accumulator applies, so streaming and batch readers
+    agree on every sample.  Gauges are returned as plain differences.
     """
     later = np.asarray(later, dtype=np.float64)
     earlier = np.asarray(earlier, dtype=np.float64)
     delta = later - earlier
-    for i, entry in enumerate(schema.entries):
-        if entry.event and delta[i] < 0:
-            delta[i] += 2.0**entry.width
+    event = np.array([e.event for e in schema.entries], dtype=bool)
+    if event.any():
+        widths = np.array(
+            [2.0**e.width if e.event else 0.0 for e in schema.entries]
+        )
+        delta[event] = correct_rollover(
+            delta[event], later[event], widths[event]
+        )
     return delta

@@ -1,0 +1,119 @@
+"""repro.obs — self-observability for the monitoring stack itself.
+
+The paper sells TACC Stats on monitoring a whole system at ~0.02 %
+overhead; this package is the reproduction turning that lens on its
+own pipeline: every collector tick, broker delivery, cron rsync,
+ingest stage and injected fault increments process-local metrics and
+emits spans, and the ``repro obs`` CLI / portal ``/obs`` page export
+them as text or JSON.
+
+One global :class:`~repro.obs.registry.MetricRegistry` plus one
+global :class:`~repro.obs.tracing.Tracer` serve the whole process;
+the module-level helpers below are the instrumentation API the rest
+of the codebase uses.  Tests isolate themselves with :func:`reset`.
+
+Examples
+--------
+>>> from repro import obs
+>>> obs.reset()
+>>> obs.counter("demo_events_total", "events seen").inc(3)
+>>> obs.counter("demo_events_total").value()
+3.0
+>>> with obs.span("demo.work", stage="parse") as sp:
+...     _ = sp.set(items=10)
+>>> obs.get_tracer().count("demo.work")
+1
+>>> "demo_events_total 3" in obs.render_text()
+True
+>>> obs.reset()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    DEFAULT_BUCKETS,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Span",
+    "Tracer",
+    "DEFAULT_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "get_registry",
+    "get_tracer",
+    "set_clock",
+    "set_enabled",
+    "reset",
+    "render_text",
+    "render_json",
+]
+
+#: the process-wide registry + tracer every subsystem reports into
+_REGISTRY = MetricRegistry()
+_TRACER = Tracer(registry=_REGISTRY)
+
+
+def get_registry() -> MetricRegistry:
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return _REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return _REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Optional[Iterable[float]] = None
+) -> Histogram:
+    return _REGISTRY.histogram(name, help, buckets=buckets)
+
+
+def span(name: str, **attrs: object):
+    """Open a traced span on the global tracer (context manager)."""
+    return _TRACER.span(name, **attrs)
+
+
+def set_clock(clock: Optional[Callable[[], int]]) -> None:
+    """Stamp metric updates with this clock (normally ``SimClock.now``)."""
+    _REGISTRY.set_clock(clock)
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable collection (overhead baseline runs)."""
+    _REGISTRY.enabled = bool(enabled)
+    _TRACER.enabled = bool(enabled)
+
+
+def reset() -> None:
+    """Drop all metrics and spans; keep clock and enabled state."""
+    _REGISTRY.reset()
+    _TRACER.clear()
+
+
+def render_text() -> str:
+    return _REGISTRY.render_text()
+
+
+def render_json(indent: Optional[int] = None) -> str:
+    return _REGISTRY.render_json(indent=indent)

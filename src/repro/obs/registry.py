@@ -1,0 +1,359 @@
+"""Process-local metric registry: counters, gauges, histograms.
+
+The monitor the paper describes watches *everything else* on the
+system; this module is how the reproduction watches *itself* — the
+pipeline telemetry that MPCDF's monitoring stack and DCDB ship
+built-in.  Every moving part of the data path (collector, daemons,
+broker, cron rsync, ingest, fault injector) increments named metrics
+here, and the ``repro obs`` CLI / portal ``/obs`` page render them.
+
+Design constraints, in order:
+
+* **Determinism** — metric values are pure functions of the simulated
+  workload.  Timestamps come from an injectable clock (normally the
+  sim clock), never the wall clock, so two runs of the same seed
+  produce byte-identical exports.
+* **Negligible cost** — one dict lookup plus a float add per event.
+  A disabled registry (``enabled = False``) short-circuits every
+  mutation, which is what the CI obs-overhead gate compares against.
+* **No dependencies** — pure stdlib; importable from any layer
+  without cycles.
+
+Metric naming follows the Prometheus convention the exporters mimic:
+``repro_<subsystem>_<what>[_total|_seconds]`` with optional labels,
+e.g. ``repro_ingest_stage_seconds{stage="parse"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: (labelname, labelvalue) pairs, sorted — one metric sample's identity
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram bucket upper bounds, in seconds — spans the range
+#: from per-sample observes (~µs) to whole ingest passes (~minutes)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+    0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base class: one named metric family with labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", registry: Optional["MetricRegistry"] = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+        #: label key → last-update timestamp (sim clock), if a clock is set
+        self._updated: Dict[LabelKey, int] = {}
+
+    # -- shared plumbing ---------------------------------------------------
+    def _enabled(self) -> bool:
+        return self._registry is None or self._registry.enabled
+
+    def _stamp(self, key: LabelKey) -> None:
+        reg = self._registry
+        if reg is not None and reg.clock is not None:
+            self._updated[key] = int(reg.clock())
+
+    def updated_at(self, **labels: object) -> Optional[int]:
+        """Timestamp (sim clock) of the sample's last mutation."""
+        return self._updated.get(_label_key(labels))
+
+    def label_keys(self) -> List[LabelKey]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def samples(self) -> List[Tuple[LabelKey, object]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing sum (events, bytes, core-seconds)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", registry=None) -> None:
+        super().__init__(name, help, registry)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled sample."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        if not self._enabled():
+            return
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+        self._stamp(key)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return [(k, self._values[k]) for k in sorted(self._values)]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, buffered samples)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", registry=None) -> None:
+        super().__init__(name, help, registry)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._enabled():
+            return
+        key = _label_key(labels)
+        self._values[key] = float(value)
+        self._stamp(key)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._enabled():
+            return
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+        self._stamp(key)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return [(k, self._values[k]) for k in sorted(self._values)]
+
+
+class _HistSample:
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        #: cumulative counts per bucket bound (le semantics), +Inf implicit
+        self.buckets = [0] * n_buckets
+
+
+class Histogram(Metric):
+    """A distribution of observations (stage timings, span durations)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", registry=None, buckets=None) -> None:
+        super().__init__(name, help, registry)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds: Tuple[float, ...] = bounds
+        self._values: Dict[LabelKey, _HistSample] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._enabled():
+            return
+        key = _label_key(labels)
+        s = self._values.get(key)
+        if s is None:
+            s = self._values[key] = _HistSample(len(self.bounds))
+        value = float(value)
+        s.count += 1
+        s.sum += value
+        s.min = min(s.min, value)
+        s.max = max(s.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                s.buckets[i] += 1
+        self._stamp(key)
+
+    # -- reads -------------------------------------------------------------
+    def _sample(self, labels: Mapping[str, object]) -> Optional[_HistSample]:
+        return self._values.get(_label_key(labels))
+
+    def count(self, **labels: object) -> int:
+        s = self._sample(labels)
+        return s.count if s else 0
+
+    def sum(self, **labels: object) -> float:
+        s = self._sample(labels)
+        return s.sum if s else 0.0
+
+    def mean(self, **labels: object) -> float:
+        s = self._sample(labels)
+        return s.sum / s.count if s and s.count else 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket containing the q-th observation; max observed for the
+        overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        s = self._sample(labels)
+        if s is None or s.count == 0:
+            return 0.0
+        rank = q * s.count
+        for i, bound in enumerate(self.bounds):
+            if s.buckets[i] >= rank:
+                return bound
+        return s.max
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def samples(self) -> List[Tuple[LabelKey, _HistSample]]:
+        return [(k, self._values[k]) for k in sorted(self._values)]
+
+
+class MetricRegistry:
+    """Named metric families plus the clock that stamps them.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the
+    first call fixes the kind (and help text); later calls with the
+    same name return the same object, so instrumentation sites never
+    need to share module-level metric handles.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+        #: timestamp source for sample stamps (normally SimClock.now)
+        self.clock = clock
+        #: when False every mutation is a no-op (overhead baseline)
+        self.enabled = True
+
+    # -- construction ------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls(
+                    name, help=help, registry=self, **kwargs
+                )
+            elif not isinstance(m, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {m.kind}"
+                )
+            return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- management --------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def set_clock(self, clock: Optional[Callable[[], int]]) -> None:
+        self.clock = clock
+
+    def reset(self) -> None:
+        """Drop every metric (tests / fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-friendly dump of every metric family."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            m = self._metrics[name]
+            fam: Dict[str, object] = {"kind": m.kind, "help": m.help}
+            samples = []
+            if isinstance(m, Histogram):
+                for key, s in m.samples():
+                    samples.append({
+                        "labels": dict(key),
+                        "count": s.count,
+                        "sum": s.sum,
+                        "min": s.min if s.count else None,
+                        "max": s.max if s.count else None,
+                        "buckets": dict(zip(
+                            (str(b) for b in m.bounds), s.buckets
+                        )),
+                        "updated_at": m._updated.get(key),
+                    })
+            else:
+                for key, v in m.samples():
+                    samples.append({
+                        "labels": dict(key),
+                        "value": v,
+                        "updated_at": m._updated.get(key),
+                    })
+            fam["samples"] = samples
+            out[name] = fam
+        return out
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition text."""
+        lines: List[str] = []
+        for name in self.names():
+            m = self._metrics[name]
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                for key, s in m.samples():
+                    base = dict(key)
+                    for bound, c in zip(m.bounds, s.buckets):
+                        lk = _label_key({**base, "le": bound})
+                        lines.append(f"{name}_bucket{_label_str(lk)} {c}")
+                    lk = _label_key({**base, "le": "+Inf"})
+                    lines.append(f"{name}_bucket{_label_str(lk)} {s.count}")
+                    lines.append(f"{name}_sum{_label_str(key)} {s.sum:g}")
+                    lines.append(f"{name}_count{_label_str(key)} {s.count}")
+            else:
+                for key, v in m.samples():
+                    lines.append(f"{name}{_label_str(key)} {v:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,199 @@
+"""Lightweight span tracing with context propagation.
+
+A :class:`Span` is one timed operation (a collection, an ingest
+stage, a broker drain).  Spans nest: entering a span inside another
+records the parent, giving per-request trees without any framework.
+Context propagation uses :mod:`contextvars`, so spans nest correctly
+across generators and (if it ever comes to that) asyncio tasks.
+
+Two time axes per span:
+
+* ``started``/``ended`` — the tracer's ``timer`` (default
+  ``time.perf_counter``): real self-cost of the reproduction's own
+  Python, feeding the obs-overhead CI gate.
+* ``attrs`` — anything the caller stamps, notably ``sim_time`` and
+  ``core_seconds`` on collector spans, which is what
+  :func:`repro.core.overhead.measured_fleet_overhead` consumes to
+  recompute the paper's 0.02 % claim from telemetry instead of
+  constants.
+
+Completed spans land in a bounded ring buffer; the drop count is
+itself a metric (``repro_obs_spans_dropped_total``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.obs.registry import MetricRegistry
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed, attributed operation."""
+
+    __slots__ = (
+        "name", "span_id", "trace_id", "parent_id",
+        "started", "ended", "attrs", "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        parent_id: Optional[int],
+        started: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.started = started
+        self.ended: Optional[float] = None
+        self.attrs = attrs
+        self.status = "ok"
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0 while still open)."""
+        if self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes mid-span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"dur={self.duration:.6f}s, status={self.status})"
+        )
+
+
+#: sentinel reused when the tracer is disabled — attrs still writable
+#: so instrumented code needs no enabled-check, but nothing is kept
+class _NullSpan(Span):
+    def __init__(self) -> None:
+        super().__init__("", 0, 0, None, 0.0, {})
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+
+class Tracer:
+    """Creates, nests and retains spans.
+
+    Parameters
+    ----------
+    registry:
+        When given, every completed span also observes the
+        ``repro_obs_span_seconds{span=<name>}`` histogram there, and
+        ring-buffer drops increment ``repro_obs_spans_dropped_total``.
+    timer:
+        Monotonic second source; swap for a sim-clock lambda in tests
+        that want deterministic durations.
+    max_spans:
+        Ring-buffer capacity for completed spans.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        timer: Callable[[], float] = time.perf_counter,
+        max_spans: int = 200_000,
+    ) -> None:
+        self.registry = registry
+        self.timer = timer
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+        self.dropped = 0
+        self.enabled = True
+        self._null = _NullSpan()
+
+    # -- span lifecycle ----------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Context manager: open a child of the current span."""
+        if not self.enabled:
+            yield self._null
+            return
+        parent = self._current.get()
+        span_id = next(self._ids)
+        s = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            started=self.timer(),
+            attrs=dict(attrs),
+        )
+        token = self._current.set(s)
+        try:
+            yield s
+        except BaseException:
+            s.status = "error"
+            raise
+        finally:
+            s.ended = self.timer()
+            self._current.reset(token)
+            self._finish(s)
+
+    def _finish(self, s: Span) -> None:
+        if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
+            self.dropped += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_obs_spans_dropped_total",
+                    "completed spans evicted from the tracer ring buffer",
+                ).inc()
+        self._spans.append(s)
+        if self.registry is not None:
+            self.registry.histogram(
+                "repro_obs_span_seconds",
+                "wall-clock duration of traced operations",
+            ).observe(s.duration, span=s.name)
+
+    # -- reads -------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost open span of this context, if any."""
+        return self._current.get()
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Completed spans, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def count(self, name: Optional[str] = None) -> int:
+        return len(self.spans(name))
+
+    def total_seconds(self, name: Optional[str] = None) -> float:
+        return sum(s.duration for s in self.spans(name))
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hardware.arch import ARCHITECTURES
+from repro.hardware.counters import correct_rollover
 from repro.hardware.devices.base import Schema
 from repro.pipeline.jobmap import JobData
 
@@ -203,18 +204,10 @@ def accumulate(jd: JobData, quantities: Sequence[Quantity] = CANONICAL_QUANTITIE
                 gauge_rows[n] = filled
             else:
                 if type_name is not None and type_name in jd.schemas:
-                    schema = jd.schemas[type_name]
-                    width = max(
-                        (
-                            2.0**e.width
-                            for e in schema.entries
-                            if e.event and e.name in q.counters
-                        ),
-                        default=2.0**64,
-                    )
+                    width = _counter_width(jd.schemas[type_name], q.counters)
                 else:
                     width = 2.0**64
-                event_rows[n] = _unwrap(np.diff(filled), filled[1:], width)
+                event_rows[n] = _event_deltas(filled, width)
         if q.gauge:
             gauges[q.key] = gauge_rows if present else np.zeros((N, T))
         else:
@@ -366,7 +359,7 @@ def accumulate_blocks(
                 gauge_rows[n] = filled
             else:
                 width = _counter_width(schema, q.counters)
-                event_rows[n] = _unwrap(np.diff(filled), filled[1:], width)
+                event_rows[n] = _event_deltas(filled, width)
         if q.gauge:
             gauges[q.key] = gauge_rows if present else np.zeros((N, T))
         else:
@@ -388,23 +381,24 @@ def _unwrap(
 ) -> np.ndarray:
     """Correct negative deltas: register rollover vs counter reset.
 
-    A negative delta is normally a ``W``-bit register wrap (add
-    ``2**W``).  But a *node reboot* resets counters to ~0, and naive
-    wrap-correction would then manufacture an increment of nearly the
-    full register range.  Heuristic (as in production collectors): if
-    the wrap-corrected increment is implausibly large (> ¼ of the
-    register range), treat the drop as a reset — the counter restarted
-    from zero, so the best increment estimate is the later reading.
+    Thin alias for the one shared policy in
+    :func:`repro.hardware.counters.correct_rollover` — the streaming
+    device reader (:func:`repro.hardware.devices.base.rollover_delta`)
+    delegates to the same function, so a mid-job counter reset yields
+    identical deltas on the streaming and batch paths by construction.
     """
-    out = deltas.copy()
-    neg = out < 0
-    if not np.any(neg):
-        return out
-    wrapped = out + width
-    reset = neg & (wrapped > width / 4.0)
-    out[neg & ~reset] = wrapped[neg & ~reset]
-    out[reset] = later_values[reset]
-    return out
+    return correct_rollover(deltas, later_values, width)
+
+
+def _event_deltas(filled: np.ndarray, width: float) -> np.ndarray:
+    """Per-interval increments of one forward-filled counter series.
+
+    The single call site shared by :func:`accumulate` and
+    :func:`accumulate_blocks` — both event-row reductions MUST go
+    through here so the rollover/reset policy cannot drift between
+    the per-sample and columnar paths again.
+    """
+    return _unwrap(np.diff(filled), filled[1:], width)
 
 
 def _ffill(series: np.ndarray) -> np.ndarray:

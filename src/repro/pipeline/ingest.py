@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional
 
+from repro import obs
 from repro.cluster.jobs import Job
 from repro.core.store import CentralStore
 from repro.db.connection import Database
@@ -142,10 +144,17 @@ def ingest_jobs(
     checkpointed every ``batch_size`` jobs, and a later pass with the
     same checkpoint skips everything already committed.
     """
+    stage_seconds = obs.histogram(
+        "repro_ingest_stage_seconds",
+        "wall-clock seconds spent in each ingest stage",
+    )
     JobRecord.bind(db)
     if create_table:
         JobRecord.create_table()
-    jobdata, dropped = map_jobs(store, jobs)
+    with obs.span("ingest.parse", path="serial"):
+        t0 = time.perf_counter()
+        jobdata, dropped = map_jobs(store, jobs)
+        stage_seconds.observe(time.perf_counter() - t0, stage="parse")
     result = IngestResult(dropped_short=len(dropped))
     already: set = set()
     if skip_existing:
@@ -159,39 +168,67 @@ def ingest_jobs(
     def commit_batch() -> None:
         if not records:
             return
+        t0 = time.perf_counter()
         JobRecord.objects.bulk_create(records)
         db.commit()
+        stage_seconds.observe(time.perf_counter() - t0, stage="insert")
         result.ingested += len(records)
+        obs.counter(
+            "repro_ingest_rows_committed_total",
+            "job rows committed to the database",
+        ).inc(len(records), path="serial")
         if checkpoint is not None:
             checkpoint.mark_many(r.jobid for r in records)
         records.clear()
 
-    for jid in sorted(jobdata):
-        if jid in already or (checkpoint is not None and jid in checkpoint):
-            result.skipped_existing += 1
-            continue
-        jd = jobdata[jid]
-        job = jd.job
-        if job is not None and not job.state.finished:
-            continue
-        try:
-            accum = accumulate(jd)
-            metrics = compute_metrics(accum)
-        except ValueError as exc:
-            result.errors.append(f"{jid}: {exc}")
-            continue
-        if pickle_store is not None:
-            pickle_store.save(accum)
-        meta = {
-            "queue": job.queue if job else "normal",
-            "nodes": job.nodes if job else jd.n_hosts,
-        }
-        raised = evaluate_flags(metrics, accum, meta, thresholds)
-        flag_names = [f.name for f in raised]
-        if flag_names:
-            result.flagged[jid] = flag_names
-        records.append(record_from(jid, metrics, job, flag_names))
-        if batch_size and len(records) >= batch_size:
-            commit_batch()
-    commit_batch()
+    with obs.span("ingest.run", path="serial") as run_span:
+        for jid in sorted(jobdata):
+            if jid in already or (checkpoint is not None and jid in checkpoint):
+                result.skipped_existing += 1
+                obs.counter(
+                    "repro_ingest_jobs_skipped_total",
+                    "jobs skipped because already ingested (idempotency)",
+                ).inc(path="serial")
+                continue
+            jd = jobdata[jid]
+            job = jd.job
+            if job is not None and not job.state.finished:
+                continue
+            try:
+                t0 = time.perf_counter()
+                accum = accumulate(jd)
+                stage_seconds.observe(time.perf_counter() - t0, stage="accumulate")
+                t0 = time.perf_counter()
+                metrics = compute_metrics(accum)
+                stage_seconds.observe(time.perf_counter() - t0, stage="metrics")
+            except ValueError as exc:
+                result.errors.append(f"{jid}: {exc}")
+                obs.counter(
+                    "repro_ingest_errors_total",
+                    "jobs that failed accumulation or metric computation",
+                ).inc(path="serial")
+                continue
+            obs.counter(
+                "repro_ingest_jobs_total",
+                "jobs processed through accumulation and metrics",
+            ).inc(path="serial")
+            if pickle_store is not None:
+                pickle_store.save(accum)
+            meta = {
+                "queue": job.queue if job else "normal",
+                "nodes": job.nodes if job else jd.n_hosts,
+            }
+            raised = evaluate_flags(metrics, accum, meta, thresholds)
+            flag_names = [f.name for f in raised]
+            if flag_names:
+                result.flagged[jid] = flag_names
+            records.append(record_from(jid, metrics, job, flag_names))
+            if batch_size and len(records) >= batch_size:
+                commit_batch()
+        commit_batch()
+        run_span.set(
+            ingested=result.ingested,
+            skipped=result.skipped_existing,
+            errors=len(result.errors),
+        )
     return result

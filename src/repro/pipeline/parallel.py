@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -47,6 +48,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.jobs import Job
 from repro.core.rawfile import BlockParser, HostBlock, Schema
 from repro.core.store import CentralStore
@@ -313,11 +315,20 @@ def parallel_ingest_jobs(
     """
     if db is None:
         db = Database()
+    stage_seconds = obs.histogram(
+        "repro_ingest_stage_seconds",
+        "wall-clock seconds spent in each ingest stage",
+    )
     JobRecord.bind(db)
     if create_table:
         JobRecord.create_table()
-    blocks = parse_blocks(store, workers=workers, executor=executor)
+    with obs.span("ingest.parse", path="parallel", workers=workers):
+        t0 = time.perf_counter()
+        blocks = parse_blocks(store, workers=workers, executor=executor)
+        stage_seconds.observe(time.perf_counter() - t0, stage="parse")
+    t0 = time.perf_counter()
     jobdata, dropped = assemble_jobs(blocks, jobs)
+    stage_seconds.observe(time.perf_counter() - t0, stage="assemble")
     result = IngestResult(dropped_short=len(dropped))
     already: set = set()
     if skip_existing:
@@ -329,9 +340,14 @@ def parallel_ingest_jobs(
             already = set()  # table absent (create_table=False, first run)
 
     pending: List[Tuple[str, Optional[Job], JobAccum]] = []
+    t0 = time.perf_counter()
     for jid in sorted(jobdata):
         if jid in already or (checkpoint is not None and jid in checkpoint):
             result.skipped_existing += 1
+            obs.counter(
+                "repro_ingest_jobs_skipped_total",
+                "jobs skipped because already ingested (idempotency)",
+            ).inc(path="parallel")
             continue
         jd = jobdata[jid]
         job = jd.job
@@ -341,36 +357,59 @@ def parallel_ingest_jobs(
             accum = jd.accumulate()
         except ValueError as exc:
             result.errors.append(f"{jid}: {exc}")
+            obs.counter(
+                "repro_ingest_errors_total",
+                "jobs that failed accumulation or metric computation",
+            ).inc(path="parallel")
             continue
+        obs.counter(
+            "repro_ingest_jobs_total",
+            "jobs processed through accumulation and metrics",
+        ).inc(path="parallel")
         pending.append((jid, job, accum))
+    stage_seconds.observe(time.perf_counter() - t0, stage="accumulate")
 
+    t0 = time.perf_counter()
     metric_rows = compute_metrics_batch([a for _, _, a in pending])
+    stage_seconds.observe(time.perf_counter() - t0, stage="metrics")
 
     records: List[JobRecord] = []
 
     def commit_batch() -> None:
         if not records:
             return
+        t0 = time.perf_counter()
         JobRecord.objects.bulk_create(records, chunk_size=chunk_size)
         db.commit()
+        stage_seconds.observe(time.perf_counter() - t0, stage="insert")
         result.ingested += len(records)
+        obs.counter(
+            "repro_ingest_rows_committed_total",
+            "job rows committed to the database",
+        ).inc(len(records), path="parallel")
         if checkpoint is not None:
             checkpoint.mark_many(r.jobid for r in records)
         records.clear()
 
-    for (jid, job, accum), metrics in zip(pending, metric_rows):
-        if pickle_store is not None:
-            pickle_store.save(accum)
-        meta = {
-            "queue": job.queue if job else "normal",
-            "nodes": job.nodes if job else accum.n_hosts,
-        }
-        raised = evaluate_flags(metrics, accum, meta, thresholds)
-        flag_names = [f.name for f in raised]
-        if flag_names:
-            result.flagged[jid] = flag_names
-        records.append(record_from(jid, metrics, job, flag_names))
-        if batch_size and len(records) >= batch_size:
-            commit_batch()
-    commit_batch()
+    with obs.span("ingest.run", path="parallel", workers=workers) as run_span:
+        for (jid, job, accum), metrics in zip(pending, metric_rows):
+            if pickle_store is not None:
+                pickle_store.save(accum)
+            meta = {
+                "queue": job.queue if job else "normal",
+                "nodes": job.nodes if job else accum.n_hosts,
+            }
+            raised = evaluate_flags(metrics, accum, meta, thresholds)
+            flag_names = [f.name for f in raised]
+            if flag_names:
+                result.flagged[jid] = flag_names
+            records.append(record_from(jid, metrics, job, flag_names))
+            if batch_size and len(records) >= batch_size:
+                commit_batch()
+        commit_batch()
+        run_span.set(
+            ingested=result.ingested,
+            skipped=result.skipped_existing,
+            errors=len(result.errors),
+        )
     return result

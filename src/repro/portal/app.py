@@ -68,6 +68,7 @@ class PortalApp:
             (re.compile(r"^/date/(?P<day>\d{4}-\d{2}-\d{2})$"),
              self.by_date),
             (re.compile(r"^/fleet$"), self.fleet),
+            (re.compile(r"^/obs$"), self.obs_page),
         ]
 
     # -- dispatch ----------------------------------------------------------
@@ -189,6 +190,34 @@ class PortalApp:
                             body=self._error("job table is empty"))
         body = "<pre>" + html.escape(rep.render_text()) + "</pre>"
         return Response(body=_PAGE.format(title="Fleet report", body=body))
+
+    def obs_page(self, params: Dict[str, str]) -> Response:
+        """The monitor's own telemetry: metrics registry + span stats."""
+        from repro import obs
+
+        if params.get("format") == "json":
+            return Response(
+                content_type="application/json", body=obs.render_json()
+            )
+        tracer = obs.get_tracer()
+        span_rows = ["<table><tr><th>span</th><th>count</th>"
+                     "<th>total s</th></tr>"]
+        names = sorted({s.name for s in tracer.spans()})
+        for name in names:
+            span_rows.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{tracer.count(name)}</td>"
+                f"<td>{tracer.total_seconds(name):.4f}</td></tr>"
+            )
+        span_rows.append("</table>")
+        body = (
+            "<h2>Spans</h2>" + "".join(span_rows)
+            + "<h2>Metrics</h2><pre>"
+            + html.escape(obs.render_text())
+            + "</pre>"
+        )
+        return Response(body=_PAGE.format(title="Self-observability",
+                                          body=body))
 
     # -- fragments ----------------------------------------------------------
     @staticmethod

@@ -1,0 +1,129 @@
+"""Redelivery budget and dead-lettering (the delivery-livelock fix).
+
+A consumer that deterministically crashes on one message used to cause
+an endless head-requeue loop: the poison frame was redelivered forever
+and everything behind it starved.  The broker now counts redeliveries
+per message and moves a frame to the queue's dead-letter ledger after
+``max_redeliveries``; these tests pin that contract on the crash,
+nack and channel-close paths.
+"""
+
+from repro import obs
+from repro.broker import Broker
+from repro.broker.broker import DEFAULT_MAX_REDELIVERIES
+
+
+def wired(**kwargs) -> Broker:
+    b = Broker(events=None, latency=0.0, **kwargs)
+    b.declare_exchange("x", kind="topic")
+    b.declare_queue("q")
+    b.bind("q", "x", "stats.#")
+    return b
+
+
+def drain_with_restarting_consumer(b, callback, rounds=50):
+    """Resubscribe after each consumer crash, like a supervised
+    consumer process being restarted."""
+    for _ in range(rounds):
+        if b.queue_depth("q") == 0:
+            return
+        b.channel().basic_consume("q", callback, auto_ack=False)
+
+
+def test_poison_message_dead_letters_after_budget():
+    obs.reset()
+    b = wired()
+    b.publish("x", "stats.n1", "poison")
+    b.publish("x", "stats.n1", "ok")
+    crashes, delivered = [], []
+
+    def crashing(ch, dv):
+        if dv.message.body == "poison":
+            crashes.append(dv.redelivered)
+            raise RuntimeError("cannot handle this frame")
+        delivered.append(dv.message.body)
+        ch.basic_ack(dv.delivery_tag)
+
+    drain_with_restarting_consumer(b, crashing)
+
+    # initial delivery + max_redeliveries redeliveries, then dead-letter
+    assert len(crashes) == DEFAULT_MAX_REDELIVERIES + 1
+    assert crashes[0] is False and all(crashes[1:])
+    assert delivered == ["ok"]  # the queue drained past the poison
+    assert b.dead_lettered == 1
+    assert b.dead_letter_count("q") == 1
+    assert b.queue_depth("q") == 0
+    assert b.stats()["queues"]["q"]["dead"] == 1
+    assert obs.counter(
+        "repro_broker_dead_lettered_total").value(queue="q") == 1.0
+    obs.reset()
+
+
+def test_custom_redelivery_budget():
+    b = wired(max_redeliveries=1)
+    b.publish("x", "stats.n1", "poison")
+    crashes = []
+
+    def crashing(ch, dv):
+        crashes.append(1)
+        raise RuntimeError("boom")
+
+    drain_with_restarting_consumer(b, crashing)
+    assert len(crashes) == 2  # initial + 1 redelivery
+    assert b.dead_lettered == 1
+
+
+def test_unlimited_budget_keeps_requeueing():
+    b = wired(max_redeliveries=None)
+    b.publish("x", "stats.n1", "poison")
+
+    def crashing(ch, dv):
+        raise RuntimeError("boom")
+
+    for _ in range(25):
+        b.channel().basic_consume("q", crashing, auto_ack=False)
+    assert b.dead_lettered == 0
+    assert b.queue_depth("q") == 1  # still parked, never dropped
+
+
+def test_nack_requeue_eventually_dead_letters():
+    b = wired(max_redeliveries=2)
+    b.publish("x", "stats.n1", "m")
+    seen = []
+
+    def nacking(ch, dv):
+        seen.append(dv.delivery_tag)
+        ch.basic_nack(dv.delivery_tag, requeue=True)
+
+    b.channel().basic_consume("q", nacking, auto_ack=False)
+    assert len(seen) == 3  # initial + 2 redeliveries
+    assert b.dead_lettered == 1
+    assert b.queue_depth("q") == 0
+
+
+def test_dead_letter_preserves_message_and_count():
+    b = wired(max_redeliveries=0)
+    b.publish("x", "stats.n1", "fragile", headers={"host": "n1"})
+
+    def crashing(ch, dv):
+        raise RuntimeError("boom")
+
+    b.channel().basic_consume("q", crashing, auto_ack=False)
+    dead = b._queues["q"].dead
+    assert len(dead) == 1
+    assert dead[0].body == "fragile"
+    assert dead[0].headers["host"] == "n1"
+    assert dead[0].headers["_redelivery_count"] == 1
+
+
+def test_healthy_consumer_unaffected_by_budget():
+    b = wired(max_redeliveries=0)
+    got = []
+    b.channel().basic_consume(
+        "q", lambda c, d: (got.append(d.message.body),
+                           c.basic_ack(d.delivery_tag)),
+        auto_ack=False)
+    for i in range(5):
+        b.publish("x", "stats.n1", i)
+    assert got == [0, 1, 2, 3, 4]
+    assert b.dead_lettered == 0

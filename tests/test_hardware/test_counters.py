@@ -1,0 +1,134 @@
+"""The one shared rollover/reset policy (hardware/counters.py).
+
+Regression suite for the streaming/batch divergence: the streaming
+reader (`rollover_delta`) used to blindly add ``2**W`` to *any*
+negative event delta, while the batch accumulator (`_unwrap`)
+classified large apparent wraps as reboot resets.  A mid-job counter
+reset therefore produced a ~``2**W`` phantom increment on one path and
+a small, plausible estimate on the other.  Both now delegate to
+:func:`repro.hardware.counters.correct_rollover`; these tests pin the
+policy and the agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import RESET_FRACTION, correct_rollover
+from repro.hardware.devices.base import Schema, SchemaEntry, rollover_delta
+from repro.pipeline.accum import _unwrap
+
+W32 = 2.0**32
+
+
+# -- the policy itself --------------------------------------------------------
+
+
+def test_positive_deltas_untouched():
+    d = np.array([1.0, 5.0, 0.0])
+    out = correct_rollover(d, np.array([10.0, 20.0, 30.0]), W32)
+    assert np.array_equal(out, d)
+
+
+def test_small_wrap_is_unwrapped():
+    # earlier = 2**32 - 100, later = 50 → true increment 150
+    delta = np.array([50.0 - (W32 - 100.0)])
+    out = correct_rollover(delta, np.array([50.0]), W32)
+    assert out[0] == pytest.approx(150.0)
+
+
+def test_large_jump_is_reset_estimate():
+    # earlier = 3e9, later = 1e9: "wrap" would claim ~2.3e9 increments
+    # (> width/4) in one interval — implausible; a reboot zeroed the
+    # register, so the best increment estimate is the later reading
+    delta = np.array([1e9 - 3e9])
+    out = correct_rollover(delta, np.array([1e9]), W32)
+    assert out[0] == pytest.approx(1e9)
+
+
+def test_boundary_exactly_quarter_range_is_wrap():
+    # classification is strictly '>': wrapped == width/4 stays a wrap
+    width = 2.0**8  # 256; quarter range = 64
+    earlier, later = 224.0, 32.0  # wrapped increment exactly 64
+    out = correct_rollover(np.array([later - earlier]),
+                           np.array([later]), width)
+    assert out[0] == 64.0
+    # one count past the boundary flips to the reset estimate
+    out = correct_rollover(np.array([later + 1 - earlier]),
+                           np.array([later + 1]), width)
+    assert out[0] == 33.0
+
+
+def test_per_element_widths_broadcast():
+    widths = np.array([2.0**8, 2.0**32])
+    deltas = np.array([-192.0, -192.0])  # same delta, different widths
+    later = np.array([32.0, 32.0])
+    out = correct_rollover(deltas, later, widths)
+    assert out[0] == 64.0  # 8-bit register: plausible wrap
+    assert out[1] == 32.0  # 32-bit register: tiny later value → reset
+
+
+def test_reset_fraction_constant():
+    assert RESET_FRACTION == 0.25
+
+
+def test_input_not_mutated():
+    d = np.array([-100.0])
+    correct_rollover(d, np.array([5.0]), 2.0**8)
+    assert d[0] == -100.0
+
+
+# -- streaming/batch agreement (the regression) -------------------------------
+
+
+def _event_schema(width=32):
+    return Schema([SchemaEntry("ctr", width=width)])
+
+
+def test_streaming_reader_agrees_with_batch_unwrap_on_wrap():
+    schema = _event_schema(width=8)
+    earlier = np.array([224.0])
+    later = np.array([32.0])
+    stream = rollover_delta(later, earlier, schema)
+    batch = _unwrap(later - earlier, later, 2.0**8)
+    assert np.array_equal(stream, batch)
+    assert stream[0] == 64.0
+
+
+def test_streaming_reader_agrees_with_batch_unwrap_on_reset():
+    """The divergence bug: a reboot reset read as a ~2**W phantom.
+
+    Pre-fix, rollover_delta returned ``delta + 2**32`` (~2.3e9 phantom
+    events) here while _unwrap returned the reset estimate (1e9); any
+    job spanning a node reboot got different metrics on the streaming
+    and batch ingest paths.
+    """
+    schema = _event_schema(width=32)
+    earlier = np.array([3e9])
+    later = np.array([1e9])
+    stream = rollover_delta(later, earlier, schema)
+    batch = _unwrap(later - earlier, later, W32)
+    assert np.array_equal(stream, batch)
+    assert stream[0] == pytest.approx(1e9)  # not (1e9 - 3e9) + 2**32
+
+
+def test_streaming_reader_agreement_randomised():
+    rng = np.random.default_rng(11)
+    schema = _event_schema(width=32)
+    for _ in range(200):
+        earlier = np.floor(rng.uniform(0, W32, size=1))
+        later = np.floor(rng.uniform(0, W32, size=1))
+        stream = rollover_delta(later, earlier, schema)
+        batch = _unwrap(later - earlier, later, W32)
+        assert np.array_equal(stream, batch), (earlier, later)
+
+
+def test_gauges_keep_plain_differences():
+    schema = Schema([
+        SchemaEntry("ctr", width=8),
+        SchemaEntry("mem", event=False),
+    ])
+    stream = rollover_delta(
+        np.array([32.0, 100.0]), np.array([224.0, 300.0]), schema
+    )
+    assert stream[0] == 64.0  # event: wrap-corrected
+    assert stream[1] == -200.0  # gauge: negative difference is fine

@@ -1,0 +1,54 @@
+"""Tier-1 hook for the bare-except hygiene lint.
+
+Runs ``tools/lint_bare_except.py`` over ``src/`` on every test run, so
+a silently swallowed exception can never merge — the failure mode a
+self-observability layer most needs to forbid in its own codebase.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_bare_except", REPO / "tools" / "lint_bare_except.py")
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def test_src_has_no_silent_broad_handlers():
+    violations = lint.check_path(REPO / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_lint_flags_the_forbidden_shapes():
+    for snippet in (
+        "try:\n    x()\nexcept:\n    pass\n",
+        "try:\n    x()\nexcept Exception:\n    pass\n",
+        "try:\n    x()\nexcept BaseException:\n    ...\n",
+        "try:\n    x()\nexcept (ValueError, Exception):\n    pass\n",
+        "try:\n    x()\nexcept builtins.Exception:\n    pass\n",
+    ):
+        assert lint.check_source(snippet), snippet
+
+
+def test_lint_allows_narrow_or_handled():
+    for snippet in (
+        # narrow type, even silent: an explicit decision
+        "try:\n    x()\nexcept FileNotFoundError:\n    pass\n",
+        # broad but handled
+        "try:\n    x()\nexcept Exception:\n    log.warning('x')\n",
+        # broad but re-raised
+        "try:\n    x()\nexcept Exception:\n    raise\n",
+        # broad but counted
+        "try:\n    x()\nexcept Exception as e:\n    n += 1\n",
+    ):
+        assert lint.check_source(snippet) == [], snippet
+
+
+def test_lint_reports_file_and_line():
+    out = lint.check_source(
+        "x = 1\ntry:\n    x()\nexcept Exception:\n    pass\n",
+        filename="src/repro/fake.py")
+    assert len(out) == 1
+    assert out[0].startswith("src/repro/fake.py:4:")

@@ -1,0 +1,188 @@
+"""Metric registry semantics: counters, gauges, histograms, export."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, Counter, MetricRegistry
+
+
+@pytest.fixture
+def reg() -> MetricRegistry:
+    return MetricRegistry()
+
+
+# -- counters -----------------------------------------------------------------
+
+
+def test_counter_inc_value_total(reg):
+    c = reg.counter("events_total", "events")
+    c.inc()
+    c.inc(2.5)
+    c.inc(3, node="c001")
+    assert c.value() == 3.5
+    assert c.value(node="c001") == 3.0
+    assert c.total() == 6.5
+
+
+def test_counter_rejects_negative(reg):
+    with pytest.raises(ValueError):
+        reg.counter("x_total").inc(-1)
+
+
+def test_counter_labels_are_order_insensitive(reg):
+    c = reg.counter("x_total")
+    c.inc(1, a="1", b="2")
+    assert c.value(b="2", a="1") == 1.0
+
+
+def test_get_or_create_returns_same_object(reg):
+    a = reg.counter("same_total", "first help wins")
+    b = reg.counter("same_total", "ignored")
+    assert a is b
+    assert a.help == "first help wins"
+
+
+def test_kind_mismatch_raises(reg):
+    reg.counter("x_total")
+    with pytest.raises(TypeError):
+        reg.gauge("x_total")
+    with pytest.raises(TypeError):
+        reg.histogram("x_total")
+
+
+# -- gauges -------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec(reg):
+    g = reg.gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value() == 12.0
+    g.set(0, queue="q")
+    g.dec(2, queue="q")
+    assert g.value(queue="q") == -2.0
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def test_histogram_count_sum_mean(reg):
+    h = reg.histogram("lat_seconds")
+    for v in (0.001, 0.01, 0.1):
+        h.observe(v, stage="parse")
+    assert h.count(stage="parse") == 3
+    assert h.sum(stage="parse") == pytest.approx(0.111)
+    assert h.mean(stage="parse") == pytest.approx(0.037)
+    assert h.count(stage="other") == 0
+
+
+def test_histogram_buckets_cumulative(reg):
+    h = reg.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    s = h._sample({})
+    assert s.buckets == [1, 2, 3]  # +Inf implicit = count (4)
+    assert s.min == 0.05 and s.max == 50.0
+
+
+def test_histogram_quantile_bucket_resolution(reg):
+    h = reg.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.quantile(0.25) == 1.0
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(1.0) == 100.0  # overflow bucket → max observed
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_default_buckets_are_sorted():
+    assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+# -- clock stamping -----------------------------------------------------------
+
+
+def test_clock_stamps_updates(reg):
+    t = {"now": 100}
+    reg.set_clock(lambda: t["now"])
+    c = reg.counter("x_total")
+    c.inc()
+    assert c.updated_at() == 100
+    t["now"] = 250
+    c.inc(node="c001")
+    assert c.updated_at(node="c001") == 250
+    assert c.updated_at() == 100
+
+
+def test_no_clock_no_stamp(reg):
+    c = reg.counter("x_total")
+    c.inc()
+    assert c.updated_at() is None
+
+
+# -- enable/disable -----------------------------------------------------------
+
+
+def test_disabled_registry_short_circuits(reg):
+    reg.enabled = False
+    reg.counter("x_total").inc(5)
+    reg.gauge("g").set(5)
+    reg.histogram("h").observe(5)
+    assert reg.counter("x_total").value() == 0.0
+    assert reg.gauge("g").value() == 0.0
+    assert reg.histogram("h").count() == 0
+    reg.enabled = True
+    reg.counter("x_total").inc(5)
+    assert reg.counter("x_total").value() == 5.0
+
+
+def test_unregistered_counter_always_enabled():
+    c = Counter("loose_total")
+    c.inc(2)
+    assert c.value() == 2.0
+
+
+# -- export -------------------------------------------------------------------
+
+
+def test_render_text_prometheus_format(reg):
+    reg.counter("repro_x_total", "things").inc(3, node="c001")
+    reg.gauge("repro_depth").set(7)
+    reg.histogram("repro_lat_seconds", buckets=(1.0,)).observe(0.5)
+    text = reg.render_text()
+    assert "# HELP repro_x_total things" in text
+    assert "# TYPE repro_x_total counter" in text
+    assert 'repro_x_total{node="c001"} 3' in text
+    assert "repro_depth 7" in text
+    assert 'repro_lat_seconds_bucket{le="1.0"} 1' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_lat_seconds_sum 0.5" in text
+    assert "repro_lat_seconds_count 1" in text
+
+
+def test_render_json_roundtrips(reg):
+    reg.set_clock(lambda: 42)
+    reg.counter("x_total").inc(3, a="b")
+    reg.histogram("h_seconds", buckets=(1.0,)).observe(0.25)
+    payload = json.loads(reg.render_json())
+    assert payload["x_total"]["kind"] == "counter"
+    assert payload["x_total"]["samples"] == [
+        {"labels": {"a": "b"}, "value": 3.0, "updated_at": 42}
+    ]
+    hist = payload["h_seconds"]["samples"][0]
+    assert hist["count"] == 1 and hist["sum"] == 0.25
+
+
+def test_reset_drops_everything(reg):
+    reg.counter("x_total").inc()
+    reg.reset()
+    assert reg.names() == []
+    assert reg.counter("x_total").value() == 0.0
+
+
+def test_empty_registry_renders_empty(reg):
+    assert reg.render_text() == ""
+    assert json.loads(reg.render_json()) == {}

@@ -1,0 +1,105 @@
+"""Span tracing: nesting, error status, retention, registry coupling."""
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.obs.tracing import Tracer
+
+
+class FakeTimer:
+    """Deterministic timer: each call advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def test_span_records_duration_and_attrs():
+    tr = Tracer(timer=FakeTimer())
+    with tr.span("work", node="c001") as sp:
+        sp.set(items=3)
+    assert tr.count("work") == 1
+    (s,) = tr.spans("work")
+    assert s.duration == pytest.approx(1.0)
+    assert s.attrs == {"node": "c001", "items": 3}
+    assert s.status == "ok"
+    assert tr.total_seconds("work") == pytest.approx(1.0)
+
+
+def test_nesting_builds_parent_links():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        assert tr.current() is outer
+        with tr.span("inner") as inner:
+            assert tr.current() is inner
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+        assert tr.current() is outer
+    assert tr.current() is None
+    assert outer.parent_id is None
+    assert outer.trace_id == outer.span_id
+
+
+def test_exception_marks_error_and_reraises():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("explodes"):
+            raise RuntimeError("boom")
+    (s,) = tr.spans("explodes")
+    assert s.status == "error"
+    assert s.ended is not None  # closed despite the exception
+
+
+def test_disabled_tracer_keeps_nothing():
+    tr = Tracer()
+    tr.enabled = False
+    with tr.span("ignored") as sp:
+        sp.set(anything=1)  # must not raise
+    assert tr.count() == 0
+    assert tr.current() is None
+
+
+def test_ring_buffer_drops_are_counted():
+    reg = MetricRegistry()
+    tr = Tracer(registry=reg, max_spans=2)
+    for _ in range(5):
+        with tr.span("s"):
+            pass
+    assert tr.count("s") == 2
+    assert tr.dropped == 3
+    assert reg.counter("repro_obs_spans_dropped_total").value() == 3.0
+
+
+def test_registry_observes_span_histogram():
+    reg = MetricRegistry()
+    tr = Tracer(registry=reg, timer=FakeTimer(0.5))
+    with tr.span("collect"):
+        pass
+    h = reg.histogram("repro_obs_span_seconds")
+    assert h.count(span="collect") == 1
+    assert h.sum(span="collect") == pytest.approx(0.5)
+
+
+def test_clear_resets_spans_and_drops():
+    tr = Tracer(max_spans=1)
+    for _ in range(3):
+        with tr.span("s"):
+            pass
+    tr.clear()
+    assert tr.count() == 0
+    assert tr.dropped == 0
+
+
+def test_to_dict_shape():
+    tr = Tracer(timer=FakeTimer())
+    with tr.span("w", k="v"):
+        pass
+    d = tr.spans("w")[0].to_dict()
+    assert d["name"] == "w"
+    assert d["status"] == "ok"
+    assert d["attrs"] == {"k": "v"}
+    assert d["duration"] == pytest.approx(1.0)

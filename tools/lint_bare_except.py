@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Reject silently swallowed exceptions under src/.
+
+A handler that catches everything and does nothing::
+
+    except Exception:
+        pass
+
+hides exactly the failures the observability layer exists to count —
+the error vanishes with no log line, no metric, no re-raise.  This
+lint walks the AST of every ``.py`` file under the given roots and
+flags any handler whose caught type is broad (bare ``except``,
+``Exception`` or ``BaseException``, alone or in a tuple) *and* whose
+body does nothing (only ``pass`` / ``...``).
+
+Narrow handlers (``except FileNotFoundError: pass``) stay legal: they
+name the one expected failure and swallowing it is a decision, not an
+accident.  Broad handlers remain legal too when the body does
+anything at all — counts it, logs it, or re-raises.
+
+Usage::
+
+    python tools/lint_bare_except.py [root ...]   # default: src/
+
+Exit status 1 if any violation is found.  Wired into the tier-1 suite
+via ``tests/test_obs/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(node: ast.expr | None) -> bool:
+    """Does this handler's type catch (effectively) everything?"""
+    if node is None:  # bare `except:`
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(elt) for elt in node.elts)
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """Does the handler body do nothing at all?"""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def check_source(source: str, filename: str = "<string>") -> list[str]:
+    """Return ``file:line: message`` strings for each violation."""
+    violations = []
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [f"{filename}:{exc.lineno or 0}: unparseable: {exc.msg}"]
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ExceptHandler)
+                and _is_broad(node.type)
+                and _is_silent(node.body)):
+            caught = "bare except" if node.type is None else ast.unparse(
+                node.type)
+            violations.append(
+                f"{filename}:{node.lineno}: silently swallowed "
+                f"exception ({caught}: pass) — count it, log it or "
+                f"re-raise"
+            )
+    return violations
+
+
+def check_path(root: Path) -> list[str]:
+    """Lint one file or every ``.py`` file under a directory."""
+    files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+    violations = []
+    for path in files:
+        violations.extend(
+            check_source(path.read_text(encoding="utf-8"), str(path)))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path("src")]
+    violations = []
+    for root in roots:
+        if not root.exists():
+            print(f"lint_bare_except: no such path: {root}",
+                  file=sys.stderr)
+            return 2
+        violations.extend(check_path(root))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_bare_except: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
