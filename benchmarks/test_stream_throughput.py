@@ -1,0 +1,100 @@
+"""CI gate: the live path must keep up and must flag promptly.
+
+Mirrors the obs-overhead gate's structure — one deterministic scenario,
+a hard assertion, and the measured numbers recorded for the artifact
+upload (``BENCH_stream.json``).  Two numbers matter:
+
+* **throughput** — samples/second through the full live path (broker
+  delivery → parse → TSDB write → streaming flag evaluation), reported
+  for trend tracking;
+* **sample→flag latency** — sim-seconds from the aligned sample that
+  tripped a predicate to the alert firing.  This one is deterministic
+  (it is simulated time, not wall time), so it gates hard: p99 must
+  stay within two collection intervals.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks._support import report
+from repro import monitoring_session, obs
+from repro.cluster import JobSpec, make_app
+from repro.stream import StreamPipeline
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+INTERVAL = 600
+#: a streaming flag may lag its data by at most two collection cycles
+LATENCY_BUDGET = 2 * INTERVAL
+
+#: offender-heavy mix so several predicates actually fire
+MIX = (
+    ("mduser", "metadata_thrash", 2),
+    ("idleuser", "idle_half", 2),
+    ("ptruser", "hicpi", 2),
+    ("ethuser", "gige_mpi", 2),
+)
+
+
+def record_bench(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_stream_latency_and_throughput_gate():
+    obs.reset()
+    sess = monitoring_session(nodes=8, seed=404, interval=INTERVAL)
+    obs.set_clock(sess.cluster.clock.now)
+    stream = StreamPipeline(sess.broker, jobs=sess.cluster.jobs)
+    stream.start()
+    for user, app, nodes in MIX:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=4000.0, fail_prob=0.0),
+            nodes=nodes,
+        ))
+    t0 = time.perf_counter()
+    sess.cluster.run_for(12 * 3600)
+    stream.finalize()
+    wall = time.perf_counter() - t0
+    obs.reset()
+
+    assert stream.samples > 0 and stream.alerts.ledger
+    samples_per_s = stream.samples / wall
+    points_per_s = stream.points / wall
+    latencies = sorted(a.latency for a in stream.alerts.ledger)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+
+    report("stream gate (8 nodes, 12 h, offender mix)", [
+        ("throughput", f"{samples_per_s:,.0f} samples/s",
+         f"{points_per_s:,.0f} points/s"),
+        ("flag latency", f"p50 {p50} sim-s",
+         f"p99 {p99} sim-s (budget {LATENCY_BUDGET})"),
+        ("alerts", str(len(stream.alerts.ledger)),
+         f"suppressed {stream.alerts.suppressed}"),
+    ], ["measure", "value", "detail"])
+    record_bench("live_path_8x12h", {
+        "scenario": "8 nodes, 12 h sim, 600 s cadence, offender mix",
+        "samples": stream.samples,
+        "tsdb_points": stream.points,
+        "wall_s": round(wall, 3),
+        "samples_per_s": round(samples_per_s, 1),
+        "points_per_s": round(points_per_s, 1),
+        "alerts": len(stream.alerts.ledger),
+        "flag_latency_sim_s_p50": p50,
+        "flag_latency_sim_s_p99": p99,
+        "flag_latency_budget_sim_s": LATENCY_BUDGET,
+    })
+    assert p99 <= LATENCY_BUDGET, (
+        f"p99 sample→flag latency {p99} sim-s exceeds "
+        f"{LATENCY_BUDGET} sim-s ({LATENCY_BUDGET // INTERVAL} "
+        f"collection intervals)"
+    )

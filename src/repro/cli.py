@@ -14,12 +14,15 @@ analogous workflow over the simulator::
     python -m repro.cli casestudy --db quarter.db
     python -m repro.cli fleet    --db quarter.db --top 10
     python -m repro.cli chaos    --seed 0 --minutes 30
+    python -m repro.cli stream   --nodes 8 --hours 24 --verify
 
 ``simulate`` runs a monitored cluster (daemon mode) on a preset
 workload and ingests the results; ``ingest`` runs the parallel,
 batched ETL pass over a directory of raw per-host stats files;
-``popgen`` synthesises a database-scale population; the remaining
-commands are portal-style queries over the resulting job table.
+``popgen`` synthesises a database-scale population; ``stream`` runs a
+fleet with the real-time telemetry pipeline attached (live TSDB feed,
+streaming flags, alerts); the remaining commands are portal-style
+queries over the resulting job table.
 """
 
 from __future__ import annotations
@@ -276,6 +279,77 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run a fleet with the real-time telemetry pipeline attached."""
+    from repro import obs
+    from repro.stream import StreamPipeline, log_sink
+
+    obs.reset()
+    sess = monitoring_session(
+        nodes=args.nodes, seed=args.seed, interval=args.interval
+    )
+    obs.set_clock(sess.cluster.clock.now)
+    types = tuple(t for t in args.types.split(",") if t) or None
+    stream = StreamPipeline(
+        sess.broker, jobs=sess.cluster.jobs, types=types
+    )
+    if not args.quiet_alerts:
+        stream.alerts.add_sink(log_sink(sys.stdout))
+    stream.start()
+    for user, app, nodes in PRESETS[args.preset]:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=args.runtime),
+            nodes=min(nodes, args.nodes),
+        ))
+    sess.cluster.run_for(args.hours * 3600)
+    completed = stream.finalize()
+    flagged = {
+        j: r.final_flags for j, r in sorted(completed.items())
+        if r.final_flags
+    }
+    print(f"streamed {args.hours}h on {args.nodes} nodes "
+          f"(preset={args.preset}): {stream.samples} samples, "
+          f"{stream.points} points into "
+          f"{stream.tsdb.n_series()} series "
+          f"({stream.tsdb.n_points()} retained)")
+    print(f"completed jobs: {len(completed)}; "
+          f"alerts: {len(stream.alerts.ledger)} "
+          f"(suppressed {stream.alerts.suppressed})")
+    for jid, flags in flagged.items():
+        print(f"  flagged {jid}: {', '.join(flags)}")
+    latencies = sorted(a.latency for a in stream.alerts.ledger)
+    if latencies:
+        p99 = latencies[min(len(latencies) - 1,
+                            int(0.99 * len(latencies)))]
+        print(f"sample→flag latency (sim s): "
+              f"median {latencies[len(latencies) // 2]}, p99 {p99}")
+    if args.verify:
+        from repro.pipeline import ingest_jobs
+
+        # only jobs the batch path ingests are comparable: a job still
+        # running at the end of the window is force-drained (truncated)
+        # by the stream but skipped entirely by the batch pipeline
+        db = Database()
+        result = ingest_jobs(sess.store, sess.cluster.jobs, db)
+        JobRecord.bind(db)
+        mismatches = []
+        for rec in JobRecord.objects.all():
+            res = completed.get(rec.jobid)
+            want = sorted(rec.flags or [])
+            got = None if res is None else sorted(res.final_flags)
+            if res is None or (not res.diverged and got != want):
+                mismatches.append((rec.jobid, want, got))
+        if mismatches:
+            for jid, want, got in mismatches:
+                print(f"MISMATCH {jid}: batch={want} stream={got}",
+                      file=sys.stderr)
+            return 1
+        print(f"verified: streaming flags match batch ingest "
+              f"({result.ingested} jobs)")
+    return 0
+
+
 def cmd_casestudy(args: argparse.Namespace) -> int:
     _open_db(args.db)
     try:
@@ -383,6 +457,28 @@ def build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--workers", type=int, default=2)
     ob.add_argument("--format", choices=("text", "json"), default="text")
     ob.set_defaults(fn=cmd_obs)
+
+    st = sub.add_parser(
+        "stream",
+        help="run a fleet with the real-time telemetry pipeline: live "
+             "TSDB feed, streaming §V-A flags and alerting",
+    )
+    st.add_argument("--nodes", type=int, default=8)
+    st.add_argument("--hours", type=int, default=24)
+    st.add_argument("--seed", type=int, default=42)
+    st.add_argument("--interval", type=int, default=600)
+    st.add_argument("--runtime", type=float, default=4000.0)
+    st.add_argument("--preset", choices=sorted(PRESETS),
+                    default="offenders")
+    st.add_argument("--types", default="",
+                    help="comma-separated device types for the TSDB "
+                         "feed (default: all)")
+    st.add_argument("--quiet-alerts", action="store_true",
+                    help="suppress the per-alert log lines")
+    st.add_argument("--verify", action="store_true",
+                    help="after the run, batch-ingest the store and "
+                         "assert the streaming flags match")
+    st.set_defaults(fn=cmd_stream)
 
     ch = sub.add_parser(
         "chaos",

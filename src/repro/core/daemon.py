@@ -104,17 +104,27 @@ class DaemonMode:
             self._publish(name, job.jobid)
 
     def _publish(self, node_name: str, jobid: Optional[str]) -> None:
-        sample = self.collector.collect(node_name, jobid_hint=jobid)
-        if sample is None:  # daemon died with the node
-            return
-        writer = self._writers[node_name]
-        text = writer.record(sample)
-        if not self._header_sent[node_name]:
-            text = writer.header() + text
-            self._header_sent[node_name] = True
-        self._pending[node_name].append(
-            (text, {"host": node_name, "timestamp": sample.timestamp})
-        )
+        # the publish span is the trace root: the collection below is
+        # its child, and its ids travel in the message headers so the
+        # consumer-side spans join the same trace (one trace per
+        # sample, end to end)
+        with obs.span("daemon.publish", node=node_name) as pub:
+            sample = self.collector.collect(node_name, jobid_hint=jobid)
+            if sample is None:  # daemon died with the node
+                pub.set(skipped=True)
+                return
+            writer = self._writers[node_name]
+            text = writer.record(sample)
+            if not self._header_sent[node_name]:
+                text = writer.header() + text
+                self._header_sent[node_name] = True
+            headers: Dict[str, object] = {
+                "host": node_name,
+                "timestamp": sample.timestamp,
+            }
+            obs.inject_context(headers, pub)
+            pub.set(sim_time=sample.timestamp)
+            self._pending[node_name].append((text, headers))
         self._flush(node_name)
 
     # -- publish buffering / retry -----------------------------------------
@@ -226,11 +236,18 @@ class StatsConsumer:
             if delivery.delivered_at is not None
             else (msg.published_at or 0)
         )
-        self.store.append(
-            host,
-            msg.body,
-            arrived_at=arrived,
-            collect_times=[ts] if ts is not None else None,
-        )
-        channel.basic_ack(delivery.delivery_tag)
-        self.consumed += 1
+        # rejoin the publisher's trace across the broker hop
+        with obs.span(
+            "consumer.handle",
+            remote_parent=obs.extract_context(msg.headers),
+            queue=delivery.queue,
+        ) as sp:
+            sp.set(host=host, sim_time=ts)
+            self.store.append(
+                host,
+                msg.body,
+                arrived_at=arrived,
+                collect_times=[ts] if ts is not None else None,
+            )
+            channel.basic_ack(delivery.delivery_tag)
+            self.consumed += 1

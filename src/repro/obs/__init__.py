@@ -30,7 +30,7 @@ True
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Tuple
 
 from repro.obs.registry import (
     Counter,
@@ -39,7 +39,14 @@ from repro.obs.registry import (
     MetricRegistry,
     DEFAULT_BUCKETS,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    Tracer,
+    extract_context,
+    inject_context,
+)
 
 __all__ = [
     "Counter",
@@ -49,6 +56,10 @@ __all__ = [
     "Span",
     "Tracer",
     "DEFAULT_BUCKETS",
+    "TRACE_ID_HEADER",
+    "SPAN_ID_HEADER",
+    "inject_context",
+    "extract_context",
     "counter",
     "gauge",
     "histogram",
@@ -89,9 +100,13 @@ def histogram(
     return _REGISTRY.histogram(name, help, buckets=buckets)
 
 
-def span(name: str, **attrs: object):
+def span(
+    name: str,
+    remote_parent: Optional[Tuple[int, int]] = None,
+    **attrs: object,
+):
     """Open a traced span on the global tracer (context manager)."""
-    return _TRACER.span(name, **attrs)
+    return _TRACER.span(name, remote_parent=remote_parent, **attrs)
 
 
 def set_clock(clock: Optional[Callable[[], int]]) -> None:

@@ -19,6 +19,15 @@ Two time axes per span:
 
 Completed spans land in a bounded ring buffer; the drop count is
 itself a metric (``repro_obs_spans_dropped_total``).
+
+Traces also cross process boundaries (in the simulation: broker
+messages).  :func:`inject_context` stamps the current span's ids into
+a message-header mapping at publish time and :func:`extract_context`
+recovers them at delivery; passing the result as ``remote_parent=`` to
+:meth:`Tracer.span` makes the consumer-side span a child of the
+publisher-side span, so one trace follows a sample from node
+collection through broker delivery to TSDB write and alert
+evaluation.
 """
 
 from __future__ import annotations
@@ -28,11 +37,55 @@ import itertools
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Callable, Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.obs.registry import MetricRegistry
 
-__all__ = ["Span", "Tracer"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACE_ID_HEADER",
+    "SPAN_ID_HEADER",
+    "inject_context",
+    "extract_context",
+]
+
+#: header keys used to carry trace context inside broker message
+#: headers.  The ``x_``-prefix keeps them clearly separate from the
+#: payload headers (``host``, ``timestamp``) and from the broker's own
+#: ``_``-prefixed internal bookkeeping headers.
+TRACE_ID_HEADER = "x_trace_id"
+SPAN_ID_HEADER = "x_span_id"
+
+
+def inject_context(headers: Dict[str, object], span: "Span") -> Dict[str, object]:
+    """Stamp a span's trace context into a message-header dict.
+
+    No-op for the disabled-tracer sentinel span (id 0), so turning obs
+    off also stops header stamping.  Returns ``headers`` for chaining.
+    """
+    if span.span_id:
+        headers[TRACE_ID_HEADER] = span.trace_id
+        headers[SPAN_ID_HEADER] = span.span_id
+    return headers
+
+
+def extract_context(
+    headers: Mapping[str, object],
+) -> Optional[Tuple[int, int]]:
+    """Recover ``(trace_id, span_id)`` stamped by :func:`inject_context`.
+
+    Returns ``None`` when the message carries no (or malformed) trace
+    context — the consumer span then simply starts a fresh trace.
+    """
+    trace_id = headers.get(TRACE_ID_HEADER)
+    span_id = headers.get(SPAN_ID_HEADER)
+    try:
+        if trace_id is None or span_id is None:
+            return None
+        return int(trace_id), int(span_id)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
 
 
 class Span:
@@ -136,18 +189,35 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
     @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span]:
-        """Context manager: open a child of the current span."""
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional[Tuple[int, int]] = None,
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Context manager: open a child of the current span.
+
+        ``remote_parent`` is a ``(trace_id, span_id)`` pair recovered
+        by :func:`extract_context` from message headers; it is used
+        when no local parent is open, joining this span to the
+        publisher's trace across the broker hop.
+        """
         if not self.enabled:
             yield self._null
             return
         parent = self._current.get()
         span_id = next(self._ids)
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif remote_parent is not None:
+            trace_id, parent_id = remote_parent
+        else:
+            trace_id, parent_id = span_id, None
         s = Span(
             name=name,
             span_id=span_id,
-            trace_id=parent.trace_id if parent is not None else span_id,
-            parent_id=parent.span_id if parent is not None else None,
+            trace_id=trace_id,
+            parent_id=parent_id,
             started=self.timer(),
             attrs=dict(attrs),
         )

@@ -56,11 +56,15 @@ class PortalApp:
         store: Optional[CentralStore] = None,
         jobs: Optional[Mapping] = None,
         xalt=None,
+        stream=None,
     ) -> None:
         self.db = db
         self.store = store
         self.jobs = jobs
         self.xalt = xalt
+        #: optional live StreamPipeline: /fleet gains a live-health
+        #: section with the alert feed when one is attached
+        self.stream = stream
         self._routes: List[Tuple[re.Pattern, Callable]] = [
             (re.compile(r"^/$"), self.front_page),
             (re.compile(r"^/search$"), self.search),
@@ -180,16 +184,61 @@ class PortalApp:
         ))
 
     def fleet(self, params: Dict[str, str]) -> Response:
-        """The XDMOD-style rollup page (§I reporting)."""
+        """The XDMOD-style rollup page (§I reporting), plus — when a
+        live :class:`~repro.stream.pipeline.StreamPipeline` is attached
+        — the current fleet health: in-flight jobs and the alert feed."""
         from repro.analysis.fleet import fleet_report
 
+        sections: List[str] = []
         try:
             rep = fleet_report(top=int(params.get("top", "10")))
+            sections.append(
+                "<pre>" + html.escape(rep.render_text()) + "</pre>"
+            )
         except LookupError:
-            return Response(status=404,
-                            body=self._error("job table is empty"))
-        body = "<pre>" + html.escape(rep.render_text()) + "</pre>"
-        return Response(body=_PAGE.format(title="Fleet report", body=body))
+            if self.stream is None:
+                return Response(status=404,
+                                body=self._error("job table is empty"))
+            sections.append("<p>job table is empty</p>")
+        if self.stream is not None:
+            sections.append(self._live_section())
+        return Response(body=_PAGE.format(
+            title="Fleet report", body="".join(sections)
+        ))
+
+    def _live_section(self) -> str:
+        s = self.stream
+        parts = [
+            "<h2>Live health</h2>",
+            f"<p>in-flight jobs: {s.analyzer.inflight} &middot; "
+            f"samples streamed: {s.samples} &middot; "
+            f"tsdb: {s.tsdb.n_series()} series / "
+            f"{s.tsdb.n_points()} points &middot; "
+            f"alerts: {len(s.alerts.ledger)} "
+            f"(suppressed {s.alerts.suppressed})</p>",
+            "<h3>Alert feed</h3>",
+        ]
+        recent = s.alerts.recent(20)
+        if not recent:
+            parts.append("<p>no alerts</p>")
+            return "".join(parts)
+        parts.append(
+            "<table><tr><th>fired at</th><th>severity</th><th>rule</th>"
+            "<th>job</th><th>value</th><th>threshold</th>"
+            "<th>detail</th></tr>"
+        )
+        for a in recent:
+            parts.append(
+                f"<tr><td>{a.fired_at}</td>"
+                f"<td>{html.escape(a.severity)}</td>"
+                f"<td>{html.escape(a.rule)}</td>"
+                f'<td><a href="/job/{html.escape(a.jobid)}">'
+                f"{html.escape(a.jobid)}</a></td>"
+                f"<td>{a.value:,.3g}</td><td>{a.threshold:,.3g}</td>"
+                f"<td>{html.escape(a.detail)}</td></tr>"
+            )
+        parts.append("</table>")
+        return "".join(parts)
 
     def obs_page(self, params: Dict[str, str]) -> Response:
         """The monitor's own telemetry: metrics registry + span stats."""

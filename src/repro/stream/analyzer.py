@@ -1,0 +1,463 @@
+"""Streaming §V-A flag evaluation over in-flight jobs.
+
+The batch pipeline flags a job once, after it ends:
+``map_jobs → accumulate → compute_metrics → evaluate_flags``.  This
+module computes the same flags *while the job runs*, from samples as
+the broker delivers them, with no full-job replay — and reproduces the
+batch answer exactly at job completion.
+
+Bit-exactness is by construction, not by approximation:
+
+* Per (job, host) the analyzer keeps the *same* per-timestamp summed
+  counter values batch accumulation builds, computed with the shared
+  :func:`~repro.pipeline.accum._sum_counters` /
+  :func:`~repro.pipeline.accum._resolve_type` helpers.
+* Hosts are aligned on the intersection of their sample timestamps
+  exactly like :func:`~repro.pipeline.accum.accumulate`: an aligned
+  timestamp ``T`` is only *consumed* once every participating host has
+  reported past ``T`` (or finished), so late per-host deliveries —
+  which stay FIFO per node even through daemon publish retries — can
+  never rewrite consumed history.
+* Per consumed timestamp, forward-fill and rollover/reset correction
+  are applied incrementally with the shared policy
+  (:func:`~repro.hardware.counters.correct_rollover`), yielding the
+  identical per-interval delta the batch ``_ffill``/``_event_deltas``
+  pair produces.
+* Flag evaluation assembles the per-host delta lists into the same
+  ``(N, T-1)`` arrays and calls the *same* Table I metric functions
+  and :func:`~repro.metrics.flags.evaluate_flags` — so even NumPy's
+  pairwise-summation order matches the batch path bit for bit.
+
+Only the quantities the §V-A flag set consumes are tracked
+(:data:`STREAM_QUANTITIES`), keeping per-sample work small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hardware.counters import correct_rollover
+from repro.metrics.flags import FlagResult, Thresholds, evaluate_flags
+from repro.metrics.table1 import METRIC_REGISTRY
+from repro.pipeline.accum import (
+    CANONICAL_QUANTITIES,
+    JobAccum,
+    Quantity,
+    _counter_width,
+    _resolve_type,
+    _sum_counters,
+)
+
+__all__ = [
+    "STREAM_QUANTITIES",
+    "STREAM_METRICS",
+    "StreamEvent",
+    "StreamJobResult",
+    "StreamingFlagAnalyzer",
+]
+
+#: quantities the §V-A flag predicates actually consume
+_STREAM_KEYS = (
+    "mdc_reqs",      # high_metadata_rate
+    "gige_bytes",    # high_gige
+    "cycles",        # high_cpi
+    "instructions",  # high_cpi
+    "cpu_user",      # idle_nodes, sudden_drop/rise
+    "cpu_total",     # idle_nodes, sudden_drop/rise
+    "mem_used",      # largemem_waste
+)
+STREAM_QUANTITIES: Tuple[Quantity, ...] = tuple(
+    q for q in CANONICAL_QUANTITIES if q.key in _STREAM_KEYS
+)
+
+#: Table I metrics those predicates read
+STREAM_METRICS = (
+    "MetaDataRate", "GigEBW", "MemUsage", "idle", "catastrophe", "cpi",
+)
+
+#: job-metadata provider: (jobid, observed hosts) → evaluate_flags meta
+MetaFn = Callable[[str, Sequence[str]], Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One flag newly fired on an in-flight job."""
+
+    jobid: str
+    flag: FlagResult
+    data_time: int  # the aligned sample timestamp that tripped it
+
+
+@dataclass
+class StreamJobResult:
+    """Final state of one job after its stream completed."""
+
+    jobid: str
+    hosts: List[str]
+    n_times: int
+    #: flags raised by the completion-time evaluation — the set the
+    #: batch pipeline computes for the same job
+    final_flags: List[str] = field(default_factory=list)
+    #: every flag that fired at any point while the job ran
+    live_flags: List[str] = field(default_factory=list)
+    #: True when samples arrived in an order the incremental alignment
+    #: cannot reproduce exactly (a host joining after evaluation began)
+    diverged: bool = False
+    #: fewer than two aligned samples: batch drops such jobs too
+    short: bool = False
+
+
+class _HostState:
+    """Per-(job, host) incremental accumulation state."""
+
+    __slots__ = (
+        "pending", "done", "max_ts", "types", "widths",
+        "last_filled", "deltas", "gauge_values", "gauge_last",
+        "gauge_leading",
+    )
+
+    def __init__(self, quantities: Sequence[Quantity]) -> None:
+        #: timestamp → quantity key → raw summed counter value
+        self.pending: Dict[int, Dict[str, float]] = {}
+        self.done = False
+        self.max_ts = -1
+        self.types: Dict[str, Optional[str]] = {}
+        self.widths: Dict[str, float] = {}
+        self.last_filled: Dict[str, Optional[float]] = {
+            q.key: None for q in quantities if not q.gauge
+        }
+        #: per event quantity: consumed per-interval deltas (length T-1)
+        self.deltas: Dict[str, List[float]] = {
+            q.key: [] for q in quantities if not q.gauge
+        }
+        #: per gauge quantity: consumed forward-filled values (length T)
+        self.gauge_values: Dict[str, List[float]] = {
+            q.key: [] for q in quantities if q.gauge
+        }
+        self.gauge_last: Dict[str, Optional[float]] = {
+            q.key: None for q in quantities if q.gauge
+        }
+        self.gauge_leading: Dict[str, int] = {
+            q.key: 0 for q in quantities if q.gauge
+        }
+
+
+class _JobStream:
+    """Incremental accumulator for one in-flight job."""
+
+    def __init__(self, jobid: str, quantities: Sequence[Quantity]) -> None:
+        self.jobid = jobid
+        self.quantities = tuple(quantities)
+        self.hosts: Dict[str, _HostState] = {}
+        self.times: List[int] = []  # consumed aligned timestamps
+        self.fired: Dict[str, FlagResult] = {}
+        self.diverged = False
+
+    # -- sample intake -----------------------------------------------------
+    def observe(self, host: str, sample, schemas: Mapping[str, object]) -> None:
+        hs = self.hosts.get(host)
+        if hs is None:
+            if self.times:
+                # a host joining after alignment began: batch would
+                # have shrunk the intersection retroactively, which an
+                # incremental consumer cannot. Track it best-effort and
+                # mark the job so equivalence checks can exclude it.
+                self.diverged = True
+            hs = self.hosts[host] = _HostState(self.quantities)
+            for q in self.quantities:
+                if q.gauge:
+                    hs.gauge_values[q.key] = [math.nan] * len(self.times)
+                    hs.gauge_leading[q.key] = len(self.times)
+                else:
+                    hs.deltas[q.key] = [0.0] * max(0, len(self.times) - 1)
+        ts = int(sample.timestamp)
+        hs.max_ts = max(hs.max_ts, ts)
+        row: Dict[str, float] = {}
+        for q in self.quantities:
+            type_name = hs.types.get(q.key)
+            if type_name is None:
+                # same lazy resolution as accumulate(): retry until a
+                # sample actually carries the device type
+                type_name = _resolve_type(q, list(sample.data))
+                if type_name is not None:
+                    hs.types[q.key] = type_name
+            if type_name is None:
+                row[q.key] = math.nan
+                continue
+            schema = schemas.get(type_name)
+            if schema is None:
+                row[q.key] = math.nan
+                continue
+            if not q.gauge and q.key not in hs.widths:
+                hs.widths[q.key] = _counter_width(schema, q.counters)
+            row[q.key] = _sum_counters(sample.data, type_name, schema, q.counters)
+        # duplicate timestamps (prolog + periodic coincide): last wins,
+        # matching the by_t dict overwrite in accumulate()
+        hs.pending[ts] = row
+
+    def mark_done(self, host: str) -> None:
+        hs = self.hosts.get(host)
+        if hs is not None:
+            hs.done = True
+
+    # -- frontier advance --------------------------------------------------
+    def _ready_times(self, force: bool) -> List[int]:
+        if not self.hosts:
+            return []
+        states = list(self.hosts.values())
+        common: Optional[Set[int]] = None
+        for hs in states:
+            keys = set(hs.pending)
+            common = keys if common is None else (common & keys)
+        if not common:
+            return []
+        ready = [
+            t for t in common
+            if force or all(hs.done or hs.max_ts > t for hs in states)
+        ]
+        return sorted(ready)
+
+    def _consume(self, t: int) -> None:
+        self.times.append(t)
+        first = len(self.times) == 1
+        for hs in self.hosts.values():
+            row = hs.pending.pop(t)
+            for q in self.quantities:
+                v = row.get(q.key, math.nan)
+                if q.gauge:
+                    self._consume_gauge(hs, q.key, v)
+                else:
+                    self._consume_event(hs, q.key, v, first)
+
+    @staticmethod
+    def _consume_gauge(hs: _HostState, key: str, v: float) -> None:
+        vals = hs.gauge_values[key]
+        if not math.isnan(v):
+            if hs.gauge_last[key] is None and hs.gauge_leading[key]:
+                # leading NaNs backfill with the first finite value,
+                # exactly like _ffill()
+                for i in range(hs.gauge_leading[key]):
+                    vals[i] = v
+            hs.gauge_leading[key] = 0
+            hs.gauge_last[key] = v
+            vals.append(v)
+        elif hs.gauge_last[key] is not None:
+            vals.append(hs.gauge_last[key])  # forward-fill the gap
+        else:
+            vals.append(math.nan)
+            hs.gauge_leading[key] += 1
+
+    def _consume_event(
+        self, hs: _HostState, key: str, v: float, first: bool
+    ) -> None:
+        prev = hs.last_filled[key]
+        if not math.isnan(v):
+            if prev is None:
+                # leading-NaN backfill: all earlier intervals were
+                # already recorded as 0.0, matching diff-of-constant
+                if not first:
+                    hs.deltas[key].append(0.0)
+                hs.last_filled[key] = v
+                return
+            raw = v - prev
+            if raw < 0:
+                corrected = correct_rollover(
+                    np.array([raw]),
+                    np.array([v]),
+                    hs.widths.get(key, 2.0**64),
+                )
+                hs.deltas[key].append(float(corrected[0]))
+            else:
+                hs.deltas[key].append(float(raw))
+            hs.last_filled[key] = v
+        else:
+            # forward-filled value ⇒ zero increment over this interval
+            if not first:
+                hs.deltas[key].append(0.0)
+
+    def _prune_stale_pending(self) -> None:
+        """Drop pending timestamps that can no longer become common.
+
+        After consuming up to ``self.times[-1]``, any pending timestamp
+        ≤ that frontier is missing from at least one other host that
+        has already reported past it — it will never align.
+        """
+        if not self.times:
+            return
+        frontier = self.times[-1]
+        for hs in self.hosts.values():
+            for t in [t for t in hs.pending if t <= frontier]:
+                del hs.pending[t]
+
+    def advance(
+        self,
+        thresholds: Thresholds,
+        meta_fn: Optional[MetaFn],
+        force: bool = False,
+    ) -> List[StreamEvent]:
+        """Consume every ready aligned timestamp; evaluate when grown."""
+        ready = self._ready_times(force)
+        for t in ready:
+            self._consume(t)
+        self._prune_stale_pending()
+        if force or all(hs.done for hs in self.hosts.values()):
+            # no further deliveries can arrive: whatever is still
+            # pending never made the intersection and never will
+            for hs in self.hosts.values():
+                hs.pending.clear()
+        if not ready or len(self.times) < 2:
+            return []
+        raised = self.evaluate(thresholds, meta_fn)
+        events: List[StreamEvent] = []
+        for r in raised:
+            if r.name in self.fired:
+                continue
+            self.fired[r.name] = r
+            events.append(
+                StreamEvent(jobid=self.jobid, flag=r, data_time=self.times[-1])
+            )
+        return events
+
+    # -- evaluation --------------------------------------------------------
+    def _assemble(self) -> JobAccum:
+        hosts = sorted(self.hosts)
+        T = len(self.times)
+        deltas: Dict[str, np.ndarray] = {}
+        gauges: Dict[str, np.ndarray] = {}
+        for q in self.quantities:
+            if q.gauge:
+                rows = np.zeros((len(hosts), T))
+                for n, h in enumerate(hosts):
+                    vals = self.hosts[h].gauge_values[q.key]
+                    if self.hosts[h].gauge_last[q.key] is not None:
+                        rows[n] = vals
+                    # else: all-NaN series stays a zero row, like batch
+                gauges[q.key] = rows
+            else:
+                rows = np.zeros((len(hosts), max(0, T - 1)))
+                for n, h in enumerate(hosts):
+                    if self.hosts[h].last_filled[q.key] is not None:
+                        rows[n] = self.hosts[h].deltas[q.key]
+                deltas[q.key] = rows
+        return JobAccum(
+            jobid=self.jobid,
+            hosts=hosts,
+            times=np.array(self.times, dtype=np.int64),
+            deltas=deltas,
+            gauges=gauges,
+        )
+
+    def evaluate(
+        self, thresholds: Thresholds, meta_fn: Optional[MetaFn]
+    ) -> List[FlagResult]:
+        accum = self._assemble()
+        metrics = {
+            name: METRIC_REGISTRY[name].fn(accum) for name in STREAM_METRICS
+        }
+        if meta_fn is not None:
+            meta = meta_fn(self.jobid, accum.hosts)
+        else:
+            meta = {"queue": "normal", "nodes": len(accum.hosts)}
+        return evaluate_flags(metrics, accum, meta, thresholds)
+
+    def complete(self) -> bool:
+        return bool(self.hosts) and all(
+            hs.done and not hs.pending for hs in self.hosts.values()
+        )
+
+
+class StreamingFlagAnalyzer:
+    """Runs the streaming flag predicates over every in-flight job."""
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        job_meta: Optional[MetaFn] = None,
+        quantities: Sequence[Quantity] = STREAM_QUANTITIES,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self.job_meta = job_meta
+        self.quantities = tuple(quantities)
+        self.active: Dict[str, _JobStream] = {}
+        self.completed: Dict[str, StreamJobResult] = {}
+        #: host → jobids currently observed on that host
+        self._host_jobs: Dict[str, Set[str]] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self.active)
+
+    def observe(
+        self, host: str, sample, schemas: Mapping[str, object]
+    ) -> List[StreamEvent]:
+        """Feed one parsed sample; returns flags that newly fired."""
+        mentioned = set(sample.jobids)
+        touched: List[str] = []
+        known = self._host_jobs.setdefault(host, set())
+        # a job this host stopped mentioning has ended on this host
+        for jid in sorted(known - mentioned):
+            known.discard(jid)
+            js = self.active.get(jid)
+            if js is not None:
+                js.mark_done(host)
+                touched.append(jid)
+        for jid in sample.jobids:
+            if jid in self.completed:
+                continue
+            js = self.active.get(jid)
+            if js is None:
+                js = self.active[jid] = _JobStream(jid, self.quantities)
+            js.observe(host, sample, schemas)
+            known.add(jid)
+            touched.append(jid)
+        events: List[StreamEvent] = []
+        for jid in dict.fromkeys(touched):
+            js = self.active.get(jid)
+            if js is None:
+                continue
+            events.extend(js.advance(self.thresholds, self.job_meta))
+            if js.complete():
+                self._finalize(js)
+        return events
+
+    def _finalize(self, js: _JobStream) -> None:
+        final: List[str] = []
+        short = len(js.times) < 2
+        if not short:
+            final = [
+                r.name for r in js.evaluate(self.thresholds, self.job_meta)
+            ]
+        self.completed[js.jobid] = StreamJobResult(
+            jobid=js.jobid,
+            hosts=sorted(js.hosts),
+            n_times=len(js.times),
+            final_flags=final,
+            live_flags=sorted(js.fired),
+            diverged=js.diverged,
+            short=short,
+        )
+        del self.active[js.jobid]
+        for jobs in self._host_jobs.values():
+            jobs.discard(js.jobid)
+
+    def finalize(self) -> List[StreamEvent]:
+        """End of stream: consume everything still pending and close.
+
+        With no further deliveries possible, the per-host sample sets
+        are final, so the remaining intersection can be consumed
+        without the reported-past-``T`` guard.
+        """
+        events: List[StreamEvent] = []
+        for jid in sorted(self.active):
+            js = self.active[jid]
+            for hs in js.hosts.values():
+                hs.done = True
+            events.extend(
+                js.advance(self.thresholds, self.job_meta, force=True)
+            )
+            self._finalize(js)
+        return events

@@ -1,0 +1,213 @@
+"""The real-time telemetry pipeline: a tap on daemon-mode traffic.
+
+:class:`StreamPipeline` is a second consumer on the ``tacc_stats``
+exchange (its own queue, bound ``stats.#``, exactly like the archiving
+:class:`~repro.core.daemon.StatsConsumer` it rides next to).  Every
+delivery is parsed once and fans out three ways:
+
+1. **TSDB feed** — each counter value becomes a point tagged
+   ``(host, type, device, event)`` in a live
+   :class:`~repro.tsdb.store.TimeSeriesDB`, written through a
+   :class:`~repro.stream.retention.RetainingWriter` so memory stays
+   bounded by the retention policy, not the run length;
+2. **streaming analysis** — the
+   :class:`~repro.stream.analyzer.StreamingFlagAnalyzer` advances its
+   incremental per-job accumulators and fires §V-A flags while the
+   job is still running;
+3. **alerting** — newly-fired flags are routed through the
+   :class:`~repro.stream.alerts.AlertRouter` with sim-clock
+   timestamps and the delivery's trace id.
+
+Trace context stamped into the message headers at daemon publish is
+restored here, so one trace runs collection → broker delivery → TSDB
+write → alert evaluation (`daemon.publish` → `stream.process` →
+`stream.tsdb_write` / `stream.analyze`).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro import obs
+from repro.broker import Broker, Channel, Delivery
+from repro.cluster.jobs import Job
+from repro.core.daemon import EXCHANGE
+from repro.core.rawfile import RawFileParser
+from repro.metrics.flags import Thresholds
+from repro.stream.alerts import AlertRouter
+from repro.stream.analyzer import StreamEvent, StreamingFlagAnalyzer
+from repro.stream.retention import RetainingWriter, RetentionPolicy
+from repro.tsdb.store import TimeSeriesDB
+
+__all__ = ["STREAM_QUEUE", "LATENCY_BUCKETS", "StreamPipeline"]
+
+STREAM_QUEUE = "tacc_stats_stream"
+
+#: sim-second buckets for sample→flag latency: collection intervals,
+#: not milliseconds, are the natural scale here
+LATENCY_BUCKETS = (10.0, 60.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 3600.0)
+
+
+class StreamPipeline:
+    """Broker tap → live TSDB + streaming flags + alerts."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        tsdb: Optional[TimeSeriesDB] = None,
+        jobs: Optional[Mapping[str, Job]] = None,
+        thresholds: Optional[Thresholds] = None,
+        retention: Optional[RetentionPolicy] = None,
+        alerts: Optional[AlertRouter] = None,
+        types: Optional[Iterable[str]] = None,
+        metric: str = "stats",
+    ) -> None:
+        self.broker = broker
+        self.tsdb = tsdb if tsdb is not None else TimeSeriesDB()
+        self.writer = RetainingWriter(self.tsdb, retention)
+        self.alerts = alerts if alerts is not None else AlertRouter()
+        self.metric = metric
+        self.types = set(types) if types is not None else None
+        job_meta = None
+        if jobs is not None:
+            def job_meta(jobid: str, hosts) -> Dict[str, object]:
+                # mirror the batch ingest meta exactly
+                job = jobs.get(jobid)
+                return {
+                    "queue": job.queue if job else "normal",
+                    "nodes": job.nodes if job else len(hosts),
+                }
+        self.analyzer = StreamingFlagAnalyzer(thresholds, job_meta=job_meta)
+        self._parsers: Dict[str, RawFileParser] = {}
+        self._errors_seen: Dict[str, int] = {}
+        self.samples = 0
+        self.points = 0
+        self.last_seen = 0  # sim time of the latest delivery processed
+        self._started = False
+
+    # -- wiring ------------------------------------------------------------
+    def start(self) -> None:
+        """Declare, bind and consume; call before the fleet runs."""
+        if self._started:
+            raise RuntimeError("stream pipeline already started")
+        self._started = True
+        self.broker.declare_exchange(EXCHANGE, kind="topic")
+        self.broker.declare_queue(STREAM_QUEUE)
+        self.broker.bind(STREAM_QUEUE, EXCHANGE, "stats.#")
+        channel = self.broker.channel()
+        channel.basic_consume(STREAM_QUEUE, self._on_delivery, auto_ack=True)
+
+    # -- the live path -----------------------------------------------------
+    def _on_delivery(self, channel: Channel, delivery: Delivery) -> None:
+        msg = delivery.message
+        host = str(msg.headers.get("host", "?"))
+        now = (
+            delivery.delivered_at
+            if delivery.delivered_at is not None
+            else (msg.published_at or 0)
+        )
+        self.last_seen = max(self.last_seen, int(now))
+        with obs.span(
+            "stream.process",
+            remote_parent=obs.extract_context(msg.headers),
+            host=host,
+        ) as sp:
+            parser = self._parsers.get(host)
+            if parser is None:
+                parser = self._parsers[host] = RawFileParser(
+                    on_error="quarantine"
+                )
+                self._errors_seen[host] = 0
+            events: List[StreamEvent] = []
+            n_samples = 0
+            for sample in parser.parse(io.StringIO(msg.body)):
+                n_samples += 1
+                with obs.span("stream.tsdb_write") as wsp:
+                    wsp.set(points=self._write_sample(host, sample, parser))
+                with obs.span("stream.analyze"):
+                    events.extend(
+                        self.analyzer.observe(host, sample, parser.schemas)
+                    )
+            if len(parser.errors) > self._errors_seen[host]:
+                obs.counter(
+                    "repro_stream_parse_errors_total",
+                    "corrupt raw lines quarantined on the live path",
+                ).inc(len(parser.errors) - self._errors_seen[host], host=host)
+                self._errors_seen[host] = len(parser.errors)
+            self.samples += n_samples
+            obs.counter(
+                "repro_stream_samples_total",
+                "samples processed through the live pipeline",
+            ).inc(n_samples)
+            sp.set(samples=n_samples, sim_time=now)
+            self._route(events, int(now), sp.trace_id or None)
+        obs.gauge(
+            "repro_stream_jobs_inflight",
+            "jobs currently tracked by the streaming analyzer",
+        ).set(self.analyzer.inflight)
+
+    def _write_sample(self, host: str, sample, parser: RawFileParser) -> int:
+        """Live counterpart of :func:`repro.tsdb.store.ingest_store`."""
+        n = 0
+        for type_name, per_inst in sample.data.items():
+            if self.types is not None and type_name not in self.types:
+                continue
+            schema = parser.schemas.get(type_name)
+            if schema is None:
+                continue
+            names = schema.names()
+            for device, values in per_inst.items():
+                for i, event in enumerate(names):
+                    self.writer.put(
+                        self.metric,
+                        {
+                            "host": host,
+                            "type": type_name,
+                            "device": device,
+                            "event": event,
+                        },
+                        sample.timestamp,
+                        float(values[i]),
+                    )
+                    n += 1
+        self.points += n
+        obs.counter(
+            "repro_stream_points_total",
+            "points written into the live TSDB feed",
+        ).inc(n)
+        return n
+
+    def _route(
+        self, events: List[StreamEvent], now: int, trace_id: Optional[int]
+    ) -> None:
+        latency = obs.histogram(
+            "repro_stream_flag_latency_sim_seconds",
+            "sim-seconds from aligned sample to streaming flag",
+            buckets=LATENCY_BUCKETS,
+        )
+        for ev in events:
+            latency.observe(max(0, now - ev.data_time), rule=ev.flag.name)
+            self.alerts.route(
+                ev.flag,
+                ev.jobid,
+                fired_at=now,
+                data_time=ev.data_time,
+                trace_id=trace_id,
+            )
+
+    # -- end of run ---------------------------------------------------------
+    def finalize(self) -> Dict[str, "object"]:
+        """Close the stream: drain the analyzer, flush rollup buckets.
+
+        Returns the analyzer's completed-job results (jobid →
+        :class:`~repro.stream.analyzer.StreamJobResult`).
+        """
+        events = self.analyzer.finalize()
+        self._route(events, self.last_seen, None)
+        self.writer.flush()
+        obs.gauge(
+            "repro_stream_jobs_inflight",
+            "jobs currently tracked by the streaming analyzer",
+        ).set(0)
+        return dict(self.analyzer.completed)

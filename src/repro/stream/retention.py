@@ -1,0 +1,189 @@
+"""Bounded-memory retention for the live TSDB feed.
+
+A fleet publishing every counter at a 10-minute cadence grows the
+time-series store without bound; the paper's §VI-A OpenTSDB ambition
+only works operationally with the standard TSDB answer: keep raw
+points for a short horizon, keep progressively coarser rollups for
+longer ones, and prune everything past its horizon.
+
+:class:`RetainingWriter` wraps a :class:`~repro.tsdb.store.TimeSeriesDB`
+with exactly that: every raw point is written through, each
+:class:`RetentionTier` folds it into a fixed-interval bucket, and a
+completed bucket is flushed as one point of the rollup metric
+``<metric>.<aggregate><interval>s`` (e.g. ``stats.avg3600s``).  Pruning
+runs off the *data* clock — the max timestamp written — so behaviour is
+deterministic under the sim clock and needs no background thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.tsdb.store import TimeSeriesDB, _tagkey
+
+__all__ = ["RetentionTier", "RetentionPolicy", "RetainingWriter"]
+
+_AGGREGATES = ("avg", "sum", "max", "min")
+
+
+@dataclass(frozen=True)
+class RetentionTier:
+    """One rollup tier: bucket ``interval`` seconds, keep ``horizon``."""
+
+    interval: int
+    horizon: int
+    aggregate: str = "avg"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("tier interval must be positive")
+        if self.aggregate not in _AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {self.aggregate!r}; use {_AGGREGATES}"
+            )
+
+    def rollup_metric(self, metric: str) -> str:
+        return f"{metric}.{self.aggregate}{self.interval}s"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Raw horizon plus downsampling tiers (seconds of sim time)."""
+
+    raw_horizon: int = 2 * 86400
+    tiers: Tuple[RetentionTier, ...] = (
+        RetentionTier(interval=3600, horizon=14 * 86400),
+        RetentionTier(interval=86400, horizon=365 * 86400),
+    )
+    #: how often (in data time) the pruning pass runs
+    prune_interval: int = 3600
+
+
+@dataclass
+class _Bucket:
+    start: int
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def fold(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def value(self, aggregate: str) -> float:
+        if aggregate == "avg":
+            return self.total / max(1, self.count)
+        if aggregate == "sum":
+            return self.total
+        if aggregate == "max":
+            return self.maximum
+        return self.minimum
+
+
+class RetainingWriter:
+    """Write-through TSDB writer applying a :class:`RetentionPolicy`."""
+
+    def __init__(
+        self,
+        tsdb: TimeSeriesDB,
+        policy: Optional[RetentionPolicy] = None,
+    ) -> None:
+        self.tsdb = tsdb
+        self.policy = policy or RetentionPolicy()
+        #: (tier index, metric, tagkey) → open bucket
+        self._open: Dict[Tuple[int, str, tuple], _Bucket] = {}
+        self._tags: Dict[Tuple[int, str, tuple], Dict[str, str]] = {}
+        self._max_ts: Optional[int] = None
+        self._last_prune: Optional[int] = None
+        self.pruned = 0
+        self.rollup_points = 0
+
+    def put(
+        self, metric: str, tags: Mapping[str, str], ts: int, value: float
+    ) -> None:
+        """One raw point: write through, fold into tiers, maybe prune."""
+        self.tsdb.put(metric, tags, ts, value)
+        ts = int(ts)
+        key_tags = _tagkey(tags)
+        for i, tier in enumerate(self.policy.tiers):
+            start = (ts // tier.interval) * tier.interval
+            key = (i, metric, key_tags)
+            bucket = self._open.get(key)
+            if bucket is None:
+                self._open[key] = _Bucket(start=start)
+                self._tags[key] = dict(tags)
+            elif bucket.start != start:
+                self._flush_bucket(key, tier)
+                self._open[key] = _Bucket(start=start)
+            self._open[key].fold(float(value))
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+        self._maybe_prune()
+
+    def _flush_bucket(self, key: Tuple[int, str, tuple], tier: RetentionTier) -> None:
+        bucket = self._open.pop(key)
+        _, metric, _ = key
+        self.tsdb.put(
+            tier.rollup_metric(metric),
+            self._tags[key],
+            bucket.start,
+            bucket.value(tier.aggregate),
+        )
+        self.rollup_points += 1
+        obs.counter(
+            "repro_stream_rollup_points_total",
+            "downsampled rollup points flushed into the live TSDB",
+        ).inc()
+
+    def flush(self) -> int:
+        """Flush every open bucket (end of run); returns points written."""
+        n = 0
+        for key in sorted(self._open):
+            self._flush_bucket(key, self.policy.tiers[key[0]])
+            n += 1
+        self._tags.clear()
+        return n
+
+    def _maybe_prune(self) -> None:
+        now = self._max_ts
+        assert now is not None
+        if (
+            self._last_prune is not None
+            and now - self._last_prune < self.policy.prune_interval
+        ):
+            return
+        self._last_prune = now
+        self.prune(now)
+
+    def prune(self, now: int) -> int:
+        """Apply every horizon relative to data-time ``now``."""
+        metrics = {m for m in self.tsdb.metrics()}
+        rollups = {
+            tier.rollup_metric(m)
+            for tier in self.policy.tiers
+            for m in metrics
+        }
+        dropped = 0
+        for m in metrics:
+            if m in rollups:
+                continue
+            dropped += self.tsdb.prune(now - self.policy.raw_horizon, metric=m)
+        for tier in self.policy.tiers:
+            for m in metrics:
+                if m in rollups:
+                    continue
+                dropped += self.tsdb.prune(
+                    now - tier.horizon, metric=tier.rollup_metric(m)
+                )
+        if dropped:
+            self.pruned += dropped
+            obs.counter(
+                "repro_stream_points_pruned_total",
+                "live-TSDB points dropped past their retention horizon",
+            ).inc(dropped)
+        return dropped

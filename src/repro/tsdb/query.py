@@ -3,8 +3,11 @@
 Query semantics follow OpenTSDB:
 
 1. select series by metric + tag filters,
-2. optionally convert counters to rates (negative deltas — counter
-   resets — are dropped),
+2. optionally convert counters to rates — negative deltas go through
+   the shared rollover/reset policy
+   (:func:`repro.hardware.counters.correct_rollover`), the same one
+   both ingest paths use, so a query rate around a register wrap
+   matches Table I instead of silently dropping the interval,
 3. group by any subset of tag names; within each group, align series
    on the union of their timestamps and aggregate (sum/avg/max/min,
    NaN-skipping),
@@ -18,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.counters import correct_rollover
 from repro.tsdb.store import TimeSeriesDB, _Series
 
 _AGGS = {
@@ -60,14 +64,22 @@ class QueryResult:
         return len(self.series)
 
 
-def _to_rate(t: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _to_rate(
+    t: np.ndarray, v: np.ndarray, width: float = 2.0**64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Counter series → per-interval rates.
+
+    Negative deltas are not dropped: they are routed through the one
+    shared rollover/reset policy
+    (:func:`repro.hardware.counters.correct_rollover`, ``width`` being
+    the register modulus), exactly like the streaming and batch ingest
+    paths, so rates around a mid-series wrap agree with Table I.
+    """
     if len(t) < 2:
         return t[:0], v[:0]
     dt = np.diff(t).astype(np.float64)
-    dv = np.diff(v)
-    rate = dv / np.maximum(dt, 1e-300)
-    keep = dv >= 0  # drop counter resets, as OpenTSDB's rate() can
-    return t[1:][keep], rate[keep]
+    dv = correct_rollover(np.diff(v), v[1:], width)
+    return t[1:], dv / np.maximum(dt, 1e-300)
 
 
 def query(
@@ -77,10 +89,15 @@ def query(
     group_by: Sequence[str] = (),
     aggregate: str = "sum",
     rate: bool = False,
+    counter_width: float = 2.0**64,
     downsample: Optional[Tuple[int, str]] = None,
     time_range: Optional[Tuple[int, int]] = None,
 ) -> QueryResult:
-    """Run one query; see module docstring for semantics."""
+    """Run one query; see module docstring for semantics.
+
+    ``counter_width`` is the register modulus handed to the rollover
+    policy when ``rate=True`` (e.g. ``2.0**32`` for 32-bit counters).
+    """
     if aggregate not in _AGGS:
         raise ValueError(f"unknown aggregator {aggregate!r}; use {_AGGS}")
     selected = tsdb.select(metric, tags)
@@ -100,7 +117,7 @@ def query(
                 m = (t >= lo) & (t < hi)
                 t, v = t[m], v[m]
             if rate:
-                t, v = _to_rate(t, v)
+                t, v = _to_rate(t, v, counter_width)
             if len(t):
                 prepared.append((t, v))
         if not prepared:

@@ -48,6 +48,21 @@ class _Series:
             self._arrays = (t, v)
         return self._arrays
 
+    def prune(self, before: int) -> int:
+        """Drop points older than ``before``; returns points dropped."""
+        if not self._times or min(self._times) >= before:
+            return 0
+        kept = [
+            (t, v)
+            for t, v in zip(self._times, self._values)
+            if t >= before
+        ]
+        dropped = len(self._times) - len(kept)
+        self._times = [t for t, _ in kept]
+        self._values = [v for _, v in kept]
+        self._arrays = None
+        return dropped
+
     def __len__(self) -> int:
         return len(self._times)
 
@@ -74,6 +89,34 @@ class TimeSeriesDB:
             for k, v in s.tags.items():
                 self._index[k][str(v)].add(key)
         s.add(ts, value)
+
+    def prune(self, before: int, metric: Optional[str] = None) -> int:
+        """Drop points older than ``before`` (optionally one metric).
+
+        Series left empty are removed entirely, including their
+        inverted-index entries, so long-running live feeds keep both
+        point and series counts bounded.  Returns points dropped.
+        """
+        dropped = 0
+        for key in list(self._series):
+            if metric is not None and key[0] != metric:
+                continue
+            s = self._series[key]
+            dropped += s.prune(before)
+            if not len(s):
+                del self._series[key]
+                for k, v in s.tags.items():
+                    by_value = self._index.get(k)
+                    if by_value is None:
+                        continue
+                    members = by_value.get(str(v))
+                    if members is not None:
+                        members.discard(key)
+                        if not members:
+                            del by_value[str(v)]
+                    if not by_value:
+                        del self._index[k]
+        return dropped
 
     # -- introspection -----------------------------------------------------
     def metrics(self) -> List[str]:

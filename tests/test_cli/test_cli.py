@@ -115,3 +115,65 @@ def test_fleet_command_empty_db(tmp_path, capsys):
     db.commit()
     rc = main(["fleet", "--db", str(path)])
     assert rc == 1
+
+
+def test_obs_command_emits_parseable_metrics(capsys):
+    import re
+
+    rc = main(["obs", "--nodes", "4", "--hours", "3", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    sample_re = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+        r" [-+]?([0-9.]+([eE][-+]?[0-9]+)?|inf|nan)$"
+    )
+    metric_lines = [
+        ln for ln in out.splitlines() if ln and not ln.startswith("#")
+    ]
+    assert metric_lines
+    for line in metric_lines:
+        assert sample_re.match(line), f"unparseable line: {line!r}"
+    assert any(
+        ln.startswith("repro_collector_collections_total")
+        for ln in metric_lines
+    )
+    assert "# measured fleet overhead:" in out
+
+
+def test_obs_command_json_format(capsys):
+    import json
+
+    rc = main([
+        "obs", "--nodes", "4", "--hours", "3", "--seed", "5",
+        "--format", "json",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = out.split("\n# ", 1)[0]  # JSON block precedes the summary
+    data = json.loads(payload)
+    assert any(k.startswith("repro_") for k in data)
+
+
+def test_stream_command_with_verify(capsys):
+    rc = main([
+        "stream", "--nodes", "4", "--hours", "4", "--seed", "5",
+        "--verify",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert "ALERT [" in captured.out  # live alerts reached stdout
+    assert "verified: streaming flags match batch ingest" in captured.out
+    assert "MISMATCH" not in captured.err
+
+
+def test_stream_command_quiet_and_typed(capsys):
+    rc = main([
+        "stream", "--nodes", "4", "--hours", "3", "--seed", "5",
+        "--types", "mdc,cpu", "--quiet-alerts",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ALERT [" not in out
+    assert "streamed 3h on 4 nodes" in out

@@ -1,0 +1,91 @@
+"""Exporter determinism: byte-exact golden output, order-independent.
+
+Two guarantees pinned here:
+
+* ``render_text()`` / ``render_json()`` match golden strings exactly —
+  metric families sorted by name, samples by sorted label key — so two
+  runs of the same seed produce byte-identical exports;
+* insertion order (of metrics and of label values) is irrelevant.
+"""
+
+import json
+
+from repro.obs.registry import MetricRegistry
+
+GOLDEN_TEXT = """\
+# HELP demo_latency_seconds time spent parsing
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1",stage="parse"} 1
+demo_latency_seconds_bucket{le="1.0",stage="parse"} 2
+demo_latency_seconds_bucket{le="+Inf",stage="parse"} 2
+demo_latency_seconds_sum{stage="parse"} 0.55
+demo_latency_seconds_count{stage="parse"} 2
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2
+# HELP demo_requests_total requests handled
+# TYPE demo_requests_total counter
+demo_requests_total{host="n1",zone="b"} 3
+demo_requests_total{host="n2",zone="a"} 1
+"""
+
+
+def _populate(reg: MetricRegistry, scrambled: bool) -> None:
+    """Same metric state, two different insertion orders."""
+    if scrambled:
+        c = reg.counter("demo_requests_total", "requests handled")
+        c.inc(1, zone="a", host="n2")
+        h = reg.histogram("demo_latency_seconds", "time spent parsing",
+                          buckets=(1.0, 0.1))
+        h.observe(0.5, stage="parse")
+        h.observe(0.05, stage="parse")
+        reg.gauge("demo_queue_depth").set(2)
+        c.inc(3, host="n1", zone="b")
+    else:
+        reg.gauge("demo_queue_depth").set(2)
+        h = reg.histogram("demo_latency_seconds", "time spent parsing",
+                          buckets=(0.1, 1.0))
+        h.observe(0.05, stage="parse")
+        h.observe(0.5, stage="parse")
+        c = reg.counter("demo_requests_total", "requests handled")
+        c.inc(3, zone="b", host="n1")
+        c.inc(1, host="n2", zone="a")
+
+
+def test_render_text_matches_golden():
+    reg = MetricRegistry()
+    _populate(reg, scrambled=False)
+    assert reg.render_text() == GOLDEN_TEXT
+
+
+def test_render_text_is_insertion_order_independent():
+    a, b = MetricRegistry(), MetricRegistry()
+    _populate(a, scrambled=False)
+    _populate(b, scrambled=True)
+    assert a.render_text() == b.render_text() == GOLDEN_TEXT
+
+
+def test_render_json_is_insertion_order_independent():
+    a, b = MetricRegistry(), MetricRegistry()
+    _populate(a, scrambled=False)
+    _populate(b, scrambled=True)
+    assert a.render_json() == b.render_json()
+    assert a.render_json(indent=2) == b.render_json(indent=2)
+
+
+def test_render_json_structure_is_sorted():
+    reg = MetricRegistry()
+    _populate(reg, scrambled=True)
+    data = json.loads(reg.render_json())
+    assert list(data) == sorted(data)
+    fam = data["demo_requests_total"]
+    assert fam["kind"] == "counter"
+    labels = [s["labels"] for s in fam["samples"]]
+    assert labels == [
+        {"host": "n1", "zone": "b"}, {"host": "n2", "zone": "a"}
+    ]
+
+
+def test_empty_registry_renders_empty():
+    reg = MetricRegistry()
+    assert reg.render_text() == ""
+    assert json.loads(reg.render_json()) == {}

@@ -1,0 +1,82 @@
+"""Portal /obs page: the monitor's own telemetry, text and JSON.
+
+The text block embedded in the page must be real Prometheus
+exposition format — every line parses — and the JSON variant must be
+valid JSON with the same metric families.
+"""
+
+import html
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.portal.app import PortalApp
+
+#: one exposition line: name{labels} value  (or a # HELP/# TYPE comment)
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [-+]?([0-9.]+([eE][-+]?[0-9]+)?|inf|nan)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
+
+
+@pytest.fixture
+def app(fresh_db):
+    obs.reset()
+    obs.counter("repro_demo_events_total", "events seen").inc(
+        3, host="n1"
+    )
+    obs.histogram("repro_demo_seconds", "work time",
+                  buckets=(0.1, 1.0)).observe(0.2, stage="parse")
+    with obs.span("demo.tick"):
+        pass
+    yield PortalApp(fresh_db)
+    obs.reset()
+
+
+def _embedded_text(body: str) -> str:
+    m = re.search(r"<pre>(.*)</pre>", body, re.S)
+    assert m, "metrics <pre> block missing"
+    return html.unescape(m.group(1))
+
+
+def test_obs_page_renders(app):
+    resp = app.get("/obs")
+    assert resp.ok
+    assert "Spans" in resp.body and "Metrics" in resp.body
+    assert "demo.tick" in resp.body
+    assert "repro_demo_events_total" in resp.body
+
+
+def test_obs_page_text_parses_line_by_line(app):
+    text = _embedded_text(app.get("/obs").body)
+    lines = [ln for ln in text.splitlines() if ln]
+    assert lines
+    for line in lines:
+        assert SAMPLE_RE.match(line) or COMMENT_RE.match(line), (
+            f"unparseable exposition line: {line!r}"
+        )
+    # both families made it through the HTML escaping
+    assert any(ln.startswith("repro_demo_events_total{") for ln in lines)
+    assert any(
+        ln.startswith("repro_demo_seconds_bucket{") for ln in lines
+    )
+
+
+def test_obs_page_json_format(app):
+    resp = app.get("/obs", {"format": "json"})
+    assert resp.ok
+    assert resp.content_type == "application/json"
+    data = json.loads(resp.body)
+    assert data["repro_demo_events_total"]["kind"] == "counter"
+    assert data["repro_demo_seconds"]["kind"] == "histogram"
+    (sample,) = data["repro_demo_events_total"]["samples"]
+    assert sample["labels"] == {"host": "n1"}
+    assert sample["value"] == 3
+
+
+def test_obs_page_matches_render_text(app):
+    assert _embedded_text(app.get("/obs").body) == obs.render_text()

@@ -1,0 +1,1 @@
+"""Tests for repro.stream — the real-time telemetry pipeline."""

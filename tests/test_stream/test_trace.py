@@ -1,0 +1,99 @@
+"""Trace-context propagation: header inject/extract and span joining."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    extract_context,
+    inject_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    yield
+    obs.set_enabled(True)
+    obs.reset()
+
+
+def test_inject_extract_round_trip():
+    headers = {"host": "n1"}
+    with obs.span("publish") as sp:
+        inject_context(headers, sp)
+    assert headers[TRACE_ID_HEADER] == sp.trace_id
+    assert headers[SPAN_ID_HEADER] == sp.span_id
+    assert extract_context(headers) == (sp.trace_id, sp.span_id)
+    assert headers["host"] == "n1"  # untouched
+
+
+def test_extract_missing_headers_is_none():
+    assert extract_context({}) is None
+    assert extract_context({TRACE_ID_HEADER: 5}) is None
+    assert extract_context({SPAN_ID_HEADER: 5}) is None
+
+
+def test_extract_malformed_headers_is_none():
+    assert extract_context(
+        {TRACE_ID_HEADER: "xyz", SPAN_ID_HEADER: 5}
+    ) is None
+
+
+def test_disabled_tracer_injects_nothing():
+    obs.set_enabled(False)
+    headers = {}
+    with obs.span("publish") as sp:
+        inject_context(headers, sp)
+    assert headers == {}
+    assert extract_context(headers) is None
+
+
+def test_remote_parent_joins_the_publisher_trace():
+    headers = {}
+    with obs.span("publish") as pub:
+        inject_context(headers, pub)
+    with obs.span("consume", remote_parent=extract_context(headers)) as con:
+        pass
+    assert con.trace_id == pub.trace_id
+    assert con.parent_id == pub.span_id
+    assert con.span_id != pub.span_id
+
+
+def test_local_parent_wins_over_remote():
+    with obs.span("pub") as pub:
+        ctx = (pub.trace_id, pub.span_id)
+    with obs.span("outer") as outer:
+        with obs.span("inner", remote_parent=ctx) as inner:
+            pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+
+def test_no_parent_starts_a_fresh_trace():
+    with obs.span("root", remote_parent=None) as sp:
+        pass
+    assert sp.trace_id == sp.span_id
+    assert sp.parent_id is None
+
+
+def test_consumer_spans_join_daemon_traces(soak_run):
+    """Archiving consumer side of the contract, over the real run."""
+    by_name = {}
+    for s in soak_run.spans:
+        by_name.setdefault(s.name, []).append(s)
+    pub_traces = {s.trace_id for s in by_name["daemon.publish"]}
+    handles = by_name["consumer.handle"]
+    assert handles
+    joined = [s for s in handles if s.trace_id in pub_traces]
+    assert len(joined) == len(handles)
+
+
+def test_collector_spans_are_children_of_publish(soak_run):
+    by_id = {s.span_id: s for s in soak_run.spans}
+    collects = [s for s in soak_run.spans if s.name == "collector.collect"]
+    assert collects
+    for s in collects:
+        parent = by_id.get(s.parent_id)
+        assert parent is not None and parent.name == "daemon.publish"

@@ -68,13 +68,44 @@ def test_rate_conversion():
     assert list(res.series[0].times) == [600, 1200]
 
 
-def test_rate_drops_counter_resets():
+def test_rate_corrects_counter_resets():
     db = TimeSeriesDB()
     fill(db, "n1", [100, 200, 5, 65])  # reset at third sample
     res = query(db, "m", rate=True)
-    # the negative delta is dropped; others kept
-    assert len(res.series[0].values) == 2
-    assert res.series[0].values[0] == pytest.approx(100 / 600)
+    # a reset is corrected to the post-reset value, not dropped: the
+    # series keeps every interval, shared policy with the batch
+    # pipeline (repro.hardware.counters.correct_rollover)
+    assert list(res.series[0].times) == [600, 1200, 1800]
+    assert list(res.series[0].values) == pytest.approx(
+        [100 / 600, 5 / 600, 60 / 600]
+    )
+
+
+def test_rate_corrects_mid_series_wrap():
+    width = 2**32
+    db = TimeSeriesDB()
+    fill(db, "n1", [width - 300, width - 100, 100])  # wraps past 2**32
+    res = query(db, "m", rate=True, counter_width=float(width))
+    assert list(res.series[0].times) == [600, 1200]
+    assert list(res.series[0].values) == pytest.approx(
+        [200 / 600, 200 / 600]
+    )
+
+
+def test_rate_wrap_policy_matches_batch_pipeline():
+    import numpy as np
+
+    from repro.hardware.counters import correct_rollover
+
+    width = 2**32
+    values = np.array([width - 1000.0, 500.0, 600.0, 50.0])
+    db = TimeSeriesDB()
+    fill(db, "n1", list(values))
+    res = query(db, "m", rate=True, counter_width=float(width))
+    expected = correct_rollover(
+        np.diff(values), values[1:], float(width)
+    ) / 600.0
+    assert list(res.series[0].values) == pytest.approx(list(expected))
 
 
 def test_downsample_avg():
