@@ -1,0 +1,208 @@
+"""CI gates for the chunked columnar TSDB storage engine.
+
+Three promises back the engine swap, each measured against the
+retained list-backed reference (:mod:`repro.tsdb.baseline`) on one
+deterministic counter corpus and recorded in ``BENCH_tsdb.json`` for
+the artifact upload:
+
+* **write throughput** — batched :meth:`TimeSeriesDB.put_many` must
+  land points at ≥3× the rate of per-point :meth:`put` on the same
+  engine (the ISSUE 5 bar; in practice it is far higher);
+* **compression** — sealed chunks must hold the corpus at ≤8
+  bytes/point, at least 4 bytes/point under the 16 B/point raw
+  columns (delta-of-delta timestamps + XOR values);
+* **query latency** — cold chunked queries must stay within 1.3× of
+  the list engine's p50 (decode cost vs. list re-materialisation),
+  and the epoch-invalidated result cache must answer repeats at least
+  5× faster than computing.
+
+Wall-time numbers (points/s, p50/p99 µs) are hardware-dependent and
+reported for trend tracking; the gates above are the hard assertions.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._support import report
+from repro import obs
+from repro.tsdb import TimeSeriesDB
+from repro.tsdb.baseline import ListBackedTSDB
+from repro.tsdb.query import query
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_tsdb.json"
+
+#: corpus shape: 2 simulated days at 600 s cadence across a small fleet
+HOSTS = 8
+EVENTS = 8
+POINTS = 2 * 86400 // 600  # 288 samples/day → 576 per series
+RAW_BYTES_PER_POINT = 16.0  # one int64 + one float64
+
+#: ISSUE 5 gates
+WRITE_SPEEDUP_FLOOR = 3.0
+BYTES_PER_POINT_CEILING = 8.0
+QUERY_PARITY_MARGIN = 1.3
+CACHE_SPEEDUP_FLOOR = 5.0
+
+
+def _corpus():
+    """Deterministic per-series columns: cadenced Lustre-ish counters."""
+    rng = np.random.default_rng(20151001)
+    times = np.arange(POINTS, dtype=np.int64) * 600 + 1_400_000_000
+    out = []
+    for h in range(HOSTS):
+        for e in range(EVENTS):
+            values = np.cumsum(
+                rng.integers(0, 200_000, size=POINTS).astype(np.float64)
+            ) + 1e9 * (h + 1)
+            tags = {
+                "host": f"n{h:03d}", "type": "llite",
+                "device": "scratch", "event": f"ev{e}",
+            }
+            out.append((tags, times, values))
+    return out
+
+
+def record_bench(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _fill_per_point(db, corpus):
+    t0 = time.perf_counter()
+    for tags, times, values in corpus:
+        for ts, val in zip(times.tolist(), values.tolist()):
+            db.put("stats", tags, ts, val)
+    return time.perf_counter() - t0
+
+
+def _fill_batched(db, corpus):
+    t0 = time.perf_counter()
+    for tags, times, values in corpus:
+        db.put_many("stats", tags, times, values)
+    return time.perf_counter() - t0
+
+
+def _query_latencies(db, repeats=30):
+    """Wall µs for the portal-style query mix; returns sorted array."""
+    span_lo = 1_400_000_000 + 600 * POINTS // 4
+    span_hi = 1_400_000_000 + 600 * POINTS // 2
+    mix = [
+        dict(group_by=("host",), rate=True),
+        dict(tags={"event": "ev0"}, group_by=("host",)),
+        dict(rate=True, downsample=(3600, "avg")),
+        dict(time_range=(span_lo, span_hi), group_by=("host",), rate=True),
+    ]
+    lat = []
+    for _ in range(repeats):
+        for kw in mix:
+            t0 = time.perf_counter()
+            res = query(db, "stats", **kw)
+            lat.append((time.perf_counter() - t0) * 1e6)
+            assert res.series
+    return np.sort(np.asarray(lat))
+
+
+def test_tsdb_engine_gates():
+    obs.reset()
+    corpus = _corpus()
+    n_total = sum(len(t) for _, t, _ in corpus)
+
+    # -- write path ---------------------------------------------------------
+    per_point_db = TimeSeriesDB(cache=None)
+    per_point_s = _fill_per_point(per_point_db, corpus)
+    batched_db = TimeSeriesDB(cache=None)
+    batched_s = _fill_batched(batched_db, corpus)
+    list_db = ListBackedTSDB(cache=None)
+    list_s = _fill_per_point(list_db, corpus)
+    assert per_point_db.n_points() == batched_db.n_points() == n_total
+
+    per_point_rate = n_total / per_point_s
+    batched_rate = n_total / batched_s
+    write_speedup = batched_rate / per_point_rate
+
+    # -- at-rest size -------------------------------------------------------
+    batched_db.seal_heads()
+    bytes_per_point = batched_db.storage_bytes() / batched_db.n_points()
+
+    # -- query latency ------------------------------------------------------
+    lat_chunked = _query_latencies(batched_db)
+    lat_list = _query_latencies(list_db)
+    cached_db = TimeSeriesDB(chunk_size=batched_db.chunk_size)
+    _fill_batched(cached_db, corpus)
+    _query_latencies(cached_db, repeats=1)  # populate the cache
+    lat_cached = _query_latencies(cached_db)
+
+    def p(lat, q):
+        return float(lat[min(len(lat) - 1, int(q * len(lat)))])
+
+    payload = {
+        "scenario": (
+            f"{HOSTS * EVENTS} series x {POINTS} points "
+            f"(2 days @ 600 s), counter-style values"
+        ),
+        "points": n_total,
+        "write_per_point_points_per_s": round(per_point_rate),
+        "write_put_many_points_per_s": round(batched_rate),
+        "write_list_baseline_points_per_s": round(n_total / list_s),
+        "write_speedup_put_many": round(write_speedup, 2),
+        "write_speedup_floor": WRITE_SPEEDUP_FLOOR,
+        "bytes_per_point_at_rest": round(bytes_per_point, 3),
+        "bytes_per_point_raw": RAW_BYTES_PER_POINT,
+        "bytes_per_point_ceiling": BYTES_PER_POINT_CEILING,
+        "compression_ratio": round(
+            RAW_BYTES_PER_POINT / bytes_per_point, 2
+        ),
+        "chunks": batched_db.n_chunks(),
+        "query_p50_us_chunked": round(p(lat_chunked, 0.50), 1),
+        "query_p99_us_chunked": round(p(lat_chunked, 0.99), 1),
+        "query_p50_us_list": round(p(lat_list, 0.50), 1),
+        "query_p99_us_list": round(p(lat_list, 0.99), 1),
+        "query_p50_us_cached": round(p(lat_cached, 0.50), 1),
+        "query_parity_margin": QUERY_PARITY_MARGIN,
+        "cache_speedup_floor": CACHE_SPEEDUP_FLOOR,
+    }
+    record_bench("engine_gates", payload)
+    report("tsdb engine (chunked columnar vs list baseline)", [
+        ("write put()", f"{per_point_rate:,.0f} pts/s", "chunked engine"),
+        ("write put_many()", f"{batched_rate:,.0f} pts/s",
+         f"{write_speedup:.1f}x (floor {WRITE_SPEEDUP_FLOOR}x)"),
+        ("write list put()", f"{n_total / list_s:,.0f} pts/s", "baseline"),
+        ("at rest", f"{bytes_per_point:.2f} B/pt",
+         f"raw {RAW_BYTES_PER_POINT:.0f} B/pt, "
+         f"ceiling {BYTES_PER_POINT_CEILING:.0f}"),
+        ("query p50/p99", f"{p(lat_chunked, .5):,.0f}/"
+         f"{p(lat_chunked, .99):,.0f} us",
+         f"list {p(lat_list, .5):,.0f}/{p(lat_list, .99):,.0f} us"),
+        ("cached p50", f"{p(lat_cached, .5):,.0f} us",
+         f"hit ratio {cached_db.cache.hit_ratio:.2f}"),
+    ], ["measure", "value", "detail"])
+    obs.reset()
+
+    assert write_speedup >= WRITE_SPEEDUP_FLOOR, (
+        f"put_many is only {write_speedup:.2f}x per-point put "
+        f"(floor {WRITE_SPEEDUP_FLOOR}x)"
+    )
+    assert bytes_per_point <= BYTES_PER_POINT_CEILING, (
+        f"{bytes_per_point:.2f} B/point at rest exceeds the "
+        f"{BYTES_PER_POINT_CEILING} B/point ceiling"
+    )
+    assert bytes_per_point <= RAW_BYTES_PER_POINT - 4.0, (
+        "compression saves less than 4 B/point over raw columns"
+    )
+    assert p(lat_chunked, 0.50) <= QUERY_PARITY_MARGIN * p(lat_list, 0.50), (
+        f"chunked query p50 {p(lat_chunked, .5):.0f} us regressed past "
+        f"{QUERY_PARITY_MARGIN}x the list baseline "
+        f"{p(lat_list, .5):.0f} us"
+    )
+    assert p(lat_cached, 0.50) * CACHE_SPEEDUP_FLOOR <= p(lat_chunked, 0.50), (
+        "result-cache hits are not meaningfully faster than computing"
+    )

@@ -14,6 +14,15 @@ Routes
 ``/job/<jobid>``          detail page (metrics, flags, processes,
                           XALT environment when the plugin is wired)
 ``/date/<YYYY-MM-DD>``    all jobs that ended on a day (Fig. 3 calendar)
+``/fleet``                XDMOD-style rollup; with a live stream
+                          attached, fleet health, the alert feed and a
+                          cached live-TSDB activity chart
+``/tsdb``                 ad-hoc plot endpoint over the live TSDB:
+                          ``metric``, ``tag.<name>=v`` filters,
+                          ``group_by`` (comma list), ``agg``, ``rate``,
+                          ``downsample=<s>:<agg>``, ``range=<lo>:<hi>``
+                          — served through the epoch-invalidated query
+                          cache
 """
 
 from __future__ import annotations
@@ -72,6 +81,7 @@ class PortalApp:
             (re.compile(r"^/date/(?P<day>\d{4}-\d{2}-\d{2})$"),
              self.by_date),
             (re.compile(r"^/fleet$"), self.fleet),
+            (re.compile(r"^/tsdb$"), self.tsdb_plot),
             (re.compile(r"^/obs$"), self.obs_page),
         ]
 
@@ -208,14 +218,26 @@ class PortalApp:
 
     def _live_section(self) -> str:
         s = self.stream
+        cache = getattr(s.tsdb, "cache", None)
+        cache_line = ""
+        if cache is not None:
+            cache_line = (
+                f" &middot; query cache: {cache.hits} hits / "
+                f"{cache.misses} misses "
+                f"({100.0 * cache.hit_ratio:.0f}% hit)"
+            )
         parts = [
             "<h2>Live health</h2>",
             f"<p>in-flight jobs: {s.analyzer.inflight} &middot; "
             f"samples streamed: {s.samples} &middot; "
             f"tsdb: {s.tsdb.n_series()} series / "
-            f"{s.tsdb.n_points()} points &middot; "
+            f"{s.tsdb.n_points()} points in "
+            f"{s.tsdb.n_chunks()} sealed chunks "
+            f"({s.tsdb.storage_bytes():,} B at rest) &middot; "
             f"alerts: {len(s.alerts.ledger)} "
-            f"(suppressed {s.alerts.suppressed})</p>",
+            f"(suppressed {s.alerts.suppressed})"
+            f"{cache_line}</p>",
+            self._live_activity_chart(),
             "<h3>Alert feed</h3>",
         ]
         recent = s.alerts.recent(20)
@@ -239,6 +261,89 @@ class PortalApp:
             )
         parts.append("</table>")
         return "".join(parts)
+
+    def _live_activity_chart(self) -> str:
+        """Fleet-wide per-host activity off the live TSDB, rendered
+        through the cached query path (repeat page loads hit)."""
+        from repro.tsdb.query import query
+        from repro.tsdb.render import render_result_ascii
+
+        s = self.stream
+        try:
+            res = query(
+                s.tsdb, s.metric, group_by=("host",), aggregate="sum",
+                rate=True, downsample=(600, "avg"),
+            )
+        except ValueError:
+            return ""
+        if not res.series:
+            return ""
+        chart = render_result_ascii(
+            res, label=f"{s.metric} rate by host (600 s avg)"
+        )
+        return (
+            "<h3>Live activity</h3><pre>" + html.escape(chart) + "</pre>"
+        )
+
+    def tsdb_plot(self, params: Dict[str, str]) -> Response:
+        """Ad-hoc aggregation plots over the live TSDB (§VI-A graphs).
+
+        Query parameters mirror :func:`repro.tsdb.query.query`; every
+        request is served through the store's epoch-invalidated result
+        cache, so dashboard reloads of an unchanged store cost one
+        cache lookup.
+        """
+        if self.stream is None:
+            return Response(
+                status=404, body=self._error("no live TSDB attached")
+            )
+        from repro.tsdb.query import query
+        from repro.tsdb.render import render_result_ascii, render_result_svg
+
+        tsdb = self.stream.tsdb
+        metric = params.get("metric", self.stream.metric)
+        tags = {
+            k[len("tag."):]: v for k, v in params.items()
+            if k.startswith("tag.") and v
+        }
+        group_by = tuple(
+            g for g in params.get("group_by", "").split(",") if g
+        )
+        downsample = None
+        if params.get("downsample"):
+            interval, _, agg = params["downsample"].partition(":")
+            downsample = (int(interval), agg or "avg")
+        time_range = None
+        if params.get("range"):
+            lo, _, hi = params["range"].partition(":")
+            time_range = (int(lo), int(hi))
+        res = query(
+            tsdb, metric,
+            tags=tags or None,
+            group_by=group_by,
+            aggregate=params.get("agg", "sum"),
+            rate=params.get("rate", "") in ("1", "true", "yes"),
+            counter_width=float(params.get("width", 2.0**64)),
+            downsample=downsample,
+            time_range=time_range,
+        )
+        label = metric + (f" {tags}" if tags else "")
+        cache = getattr(tsdb, "cache", None)
+        footer = (
+            f"<p>{len(res)} series &middot; store epoch {tsdb.epoch}"
+            + (
+                f" &middot; cache {cache.hits}/{cache.hits + cache.misses}"
+                f" hits" if cache is not None else ""
+            )
+            + "</p>"
+        )
+        body = (
+            f"<h2>tsdb: {html.escape(label)}</h2>"
+            + render_result_svg(res, label=label)
+            + "<pre>" + html.escape(render_result_ascii(res, label=label))
+            + "</pre>" + footer
+        )
+        return Response(body=_PAGE.format(title="TSDB query", body=body))
 
     def obs_page(self, params: Dict[str, str]) -> Response:
         """The monitor's own telemetry: metrics registry + span stats."""

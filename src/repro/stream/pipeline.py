@@ -7,9 +7,11 @@ delivery is parsed once and fans out three ways:
 
 1. **TSDB feed** — each counter value becomes a point tagged
    ``(host, type, device, event)`` in a live
-   :class:`~repro.tsdb.store.TimeSeriesDB`, written through a
-   :class:`~repro.stream.retention.RetainingWriter` so memory stays
-   bounded by the retention policy, not the run length;
+   :class:`~repro.tsdb.store.TimeSeriesDB`: the delivery's samples
+   are gathered into per-series columns and written in one batched
+   :meth:`~repro.stream.retention.RetainingWriter.put_many` per
+   series, through the retention policy so memory stays bounded by
+   the policy, not the run length;
 2. **streaming analysis** — the
    :class:`~repro.stream.analyzer.StreamingFlagAnalyzer` advances its
    incremental per-job accumulators and fires §V-A flags while the
@@ -121,14 +123,20 @@ class StreamPipeline:
                 self._errors_seen[host] = 0
             events: List[StreamEvent] = []
             n_samples = 0
+            #: (type, device, event) → aligned time/value columns,
+            #: gathered across every sample in this delivery so the
+            #: TSDB sees one batched put_many per series
+            batch: Dict[Tuple[str, str, str], Tuple[list, list]] = {}
             for sample in parser.parse(io.StringIO(msg.body)):
                 n_samples += 1
-                with obs.span("stream.tsdb_write") as wsp:
-                    wsp.set(points=self._write_sample(host, sample, parser))
+                self._collect_sample(sample, parser, batch)
                 with obs.span("stream.analyze"):
                     events.extend(
                         self.analyzer.observe(host, sample, parser.schemas)
                     )
+            if batch:
+                with obs.span("stream.tsdb_write") as wsp:
+                    wsp.set(points=self._write_batch(host, batch))
             if len(parser.errors) > self._errors_seen[host]:
                 obs.counter(
                     "repro_stream_parse_errors_total",
@@ -147,9 +155,13 @@ class StreamPipeline:
             "jobs currently tracked by the streaming analyzer",
         ).set(self.analyzer.inflight)
 
-    def _write_sample(self, host: str, sample, parser: RawFileParser) -> int:
-        """Live counterpart of :func:`repro.tsdb.store.ingest_store`."""
-        n = 0
+    def _collect_sample(
+        self,
+        sample,
+        parser: RawFileParser,
+        batch: Dict[Tuple[str, str, str], Tuple[list, list]],
+    ) -> None:
+        """Fold one parsed sample into the delivery's write batch."""
         for type_name, per_inst in sample.data.items():
             if self.types is not None and type_name not in self.types:
                 continue
@@ -159,18 +171,30 @@ class StreamPipeline:
             names = schema.names()
             for device, values in per_inst.items():
                 for i, event in enumerate(names):
-                    self.writer.put(
-                        self.metric,
-                        {
-                            "host": host,
-                            "type": type_name,
-                            "device": device,
-                            "event": event,
-                        },
-                        sample.timestamp,
-                        float(values[i]),
-                    )
-                    n += 1
+                    col = batch.get((type_name, device, event))
+                    if col is None:
+                        col = batch[(type_name, device, event)] = ([], [])
+                    col[0].append(sample.timestamp)
+                    col[1].append(float(values[i]))
+
+    def _write_batch(
+        self, host: str, batch: Dict[Tuple[str, str, str], Tuple[list, list]]
+    ) -> int:
+        """Live counterpart of :func:`repro.tsdb.store.ingest_store`:
+        one batched :meth:`RetainingWriter.put_many` per series."""
+        n = 0
+        for (type_name, device, event), (ts_col, val_col) in batch.items():
+            n += self.writer.put_many(
+                self.metric,
+                {
+                    "host": host,
+                    "type": type_name,
+                    "device": device,
+                    "event": event,
+                },
+                ts_col,
+                val_col,
+            )
         self.points += n
         obs.counter(
             "repro_stream_points_total",

@@ -18,7 +18,7 @@ deterministic under the sim clock and needs no background thread.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.tsdb.store import TimeSeriesDB, _tagkey
@@ -108,8 +108,43 @@ class RetainingWriter:
     ) -> None:
         """One raw point: write through, fold into tiers, maybe prune."""
         self.tsdb.put(metric, tags, ts, value)
-        ts = int(ts)
+        self._fold(metric, tags, _tagkey(tags), int(ts), float(value))
+        self._maybe_prune()
+
+    def put_many(
+        self,
+        metric: str,
+        tags: Mapping[str, str],
+        times: Sequence[int],
+        values: Sequence[float],
+    ) -> int:
+        """Batched raw points for one series: one write-through call.
+
+        The raw columns go to the store via
+        :meth:`~repro.tsdb.store.TimeSeriesDB.put_many` (one series
+        lookup, one epoch bump); tier folding stays per-point in
+        arrival order so bucket flush behaviour is identical to a
+        sequence of :meth:`put` calls.  The prune check runs once for
+        the whole batch.  Returns points written.
+        """
+        n = self.tsdb.put_many(metric, tags, times, values)
+        if not n:
+            return 0
         key_tags = _tagkey(tags)
+        for ts, value in zip(times, values):
+            self._fold(metric, tags, key_tags, int(ts), float(value))
+        self._maybe_prune()
+        return n
+
+    def _fold(
+        self,
+        metric: str,
+        tags: Mapping[str, str],
+        key_tags: tuple,
+        ts: int,
+        value: float,
+    ) -> None:
+        """Fold one point into every tier's open bucket."""
         for i, tier in enumerate(self.policy.tiers):
             start = (ts // tier.interval) * tier.interval
             key = (i, metric, key_tags)
@@ -120,10 +155,9 @@ class RetainingWriter:
             elif bucket.start != start:
                 self._flush_bucket(key, tier)
                 self._open[key] = _Bucket(start=start)
-            self._open[key].fold(float(value))
+            self._open[key].fold(value)
         if self._max_ts is None or ts > self._max_ts:
             self._max_ts = ts
-        self._maybe_prune()
 
     def _flush_bucket(self, key: Tuple[int, str, tuple], tier: RetentionTier) -> None:
         bucket = self._open.pop(key)

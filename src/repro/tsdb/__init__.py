@@ -10,7 +10,14 @@ This package implements exactly that data model:
 
 * :class:`TimeSeriesDB` — put/ingest/query with tag filters,
   group-by over any tag subset, sum/avg/max/min aggregation,
-  counter→rate conversion and time-bucket downsampling.
+  counter→rate conversion and time-bucket downsampling.  Storage is
+  a chunked columnar engine (:mod:`repro.tsdb.chunks`): compressed
+  immutable chunks behind a small mutable head, a per-metric series
+  index, time-range pushdown, batched :meth:`TimeSeriesDB.put_many`
+  writes and an epoch-invalidated LRU query-result cache
+  (:mod:`repro.tsdb.cache`).  The displaced growable-list engine
+  survives as :class:`repro.tsdb.baseline.ListBackedTSDB`, the golden
+  reference the equivalence suite and benchmarks compare against.
 * :func:`ingest_store` — load every counter of every host from a
   :class:`~repro.core.store.CentralStore` under the paper's tag
   scheme (``host``, ``type``, ``device``, ``event``).
@@ -18,6 +25,8 @@ This package implements exactly that data model:
   series (the §VI-A cross-user interference analysis).
 """
 
+from repro.tsdb.cache import QueryCache
+from repro.tsdb.chunks import CHUNK_POINTS, Chunk
 from repro.tsdb.query import QueryResult, ResultSeries, correlate
 from repro.tsdb.store import TimeSeriesDB, ingest_store
 
@@ -26,5 +35,8 @@ __all__ = [
     "ingest_store",
     "ResultSeries",
     "QueryResult",
+    "QueryCache",
+    "Chunk",
+    "CHUNK_POINTS",
     "correlate",
 ]

@@ -1,0 +1,110 @@
+"""The original growable-list series — kept as a golden reference.
+
+This is, verbatim in behaviour, the storage engine the chunked
+columnar store replaced: per-point appends into Python lists,
+lazily materialised to sorted deduplicated NumPy arrays, pruning by
+list rebuild.  It stays in the tree for two jobs:
+
+* the **equivalence suite** (``tests/test_stream/test_tsdb_equivalence``
+  and ``tests/test_tsdb``) proves the chunked engine's query results
+  are bit-identical to this implementation on the multi-day soak
+  corpus;
+* the **benchmarks** (``benchmarks/test_tsdb_engine.py``) report
+  write throughput, at-rest bytes/point and query latency against it.
+
+Do not use it on the hot path — that is the point of the new engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tsdb.store import TimeSeriesDB
+
+__all__ = ["ListSeries", "ListBackedTSDB"]
+
+
+@dataclass
+class ListSeries:
+    """Growable-list series with lazy sorted-array materialisation."""
+
+    metric: str
+    tags: Dict[str, str]
+    chunk_size: int = 0  # accepted for interface parity; unused
+    _times: List[int] = field(default_factory=list)
+    _values: List[float] = field(default_factory=list)
+    _arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def add(self, ts: int, value: float) -> None:
+        self._times.append(int(ts))
+        self._values.append(float(value))
+        self._arrays = None
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> int:
+        t = np.asarray(times, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError("times/values must be aligned 1-d columns")
+        self._times.extend(t.tolist())
+        self._values.extend(v.tolist())
+        self._arrays = None
+        return len(t)
+
+    def arrays(
+        self, time_range: Optional[Tuple[int, int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            t = np.asarray(self._times, dtype=np.int64)
+            v = np.asarray(self._values, dtype=np.float64)
+            order = np.argsort(t, kind="stable")
+            # last write wins for duplicate timestamps
+            t, v = t[order], v[order]
+            if len(t) > 1:
+                keep = np.append(t[1:] != t[:-1], True)
+                t, v = t[keep], v[keep]
+            self._arrays = (t, v)
+        t, v = self._arrays
+        if time_range is not None:
+            lo, hi = time_range
+            m = (t >= lo) & (t < hi)
+            t, v = t[m], v[m]
+        return t, v
+
+    def prune(self, before: int) -> int:
+        """Drop points older than ``before``; returns points dropped."""
+        if not self._times or min(self._times) >= before:
+            return 0
+        kept = [
+            (t, v)
+            for t, v in zip(self._times, self._values)
+            if t >= before
+        ]
+        dropped = len(self._times) - len(kept)
+        self._times = [t for t, _ in kept]
+        self._values = [v for _, v in kept]
+        self._arrays = None
+        return dropped
+
+    def seal(self) -> None:
+        """Nothing to seal; lists are the at-rest format."""
+
+    @property
+    def chunks(self) -> tuple:
+        return ()
+
+    @property
+    def nbytes(self) -> int:
+        """At-rest cost: one int64 + one float64 per raw point."""
+        return 16 * len(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+class ListBackedTSDB(TimeSeriesDB):
+    """A :class:`TimeSeriesDB` storing series as growable lists."""
+
+    series_cls = ListSeries

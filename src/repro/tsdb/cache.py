@@ -1,0 +1,72 @@
+"""LRU result cache for TSDB queries, invalidated by write epoch.
+
+The portal's ``/fleet`` and plot pages re-issue the same handful of
+aggregation queries on every page load; under the paper's
+million-user north star those queries dominate read traffic.  Every
+:class:`~repro.tsdb.store.TimeSeriesDB` mutation bumps the store's
+``epoch``, and each cache entry remembers the epoch it was computed
+at — a lookup only hits when the store has not changed since, so a
+hit is always byte-identical to recomputing.  Stale entries are
+evicted on contact; capacity is bounded LRU.
+
+Hits and misses are exported as ``repro_tsdb_cache_hits_total`` /
+``repro_tsdb_cache_misses_total`` on the shared obs registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro import obs
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """Bounded LRU of query results keyed on (query shape, epoch)."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, epoch: int) -> Optional[Any]:
+        """The cached result, or None on miss / stale entry."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == epoch:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.counter(
+                "repro_tsdb_cache_hits_total",
+                "TSDB query results served from the result cache",
+            ).inc()
+            return entry[1]
+        if entry is not None:  # written since: drop the stale result
+            del self._entries[key]
+        self.misses += 1
+        obs.counter(
+            "repro_tsdb_cache_misses_total",
+            "TSDB queries that had to be computed",
+        ).inc()
+        return None
+
+    def put(self, key: Hashable, epoch: int, result: Any) -> None:
+        self._entries[key] = (epoch, result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,224 @@
+"""Sealed columnar chunks: the TSDB's at-rest storage format.
+
+A :class:`Chunk` is an immutable, compressed segment of one series —
+the Gorilla/OpenTSDB design (Pelkonen et al., VLDB 2015) adapted to
+vectorised NumPy encode/decode:
+
+* **timestamps** — delta-of-delta: monitoring samples arrive on a
+  fixed cadence, so the second difference of the timestamp column is
+  almost always zero.  Each dod is zigzag-mapped to an unsigned word.
+* **values** — XOR with the previous value's IEEE-754 bit pattern:
+  repeated values XOR to zero and slowly-moving counters differ only
+  in low mantissa bits, so the XOR word is small.
+
+Both columns then go through one *nibble-length* codec: per word a
+4-bit byte-count (0–8, two per length byte) plus exactly that many
+little-endian payload bytes.  Unlike classic bit-packed Gorilla, every
+column decodes with a handful of whole-array NumPy operations — no
+per-point Python loop on either side — which is what lets the chunked
+store beat the list store on write *and* stay competitive on decode.
+
+Round-tripping is bit-exact for any int64 timestamp and any float64
+value (including NaN payloads and infinities): the value transform is
+a pure bit permutation, never arithmetic on the floats.
+
+Chunks carry ``(t_min, t_max, count)`` so queries can discard a whole
+chunk on its metadata before paying for a decode (predicate pushdown)
+and retention can drop expired chunks without decoding them at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Chunk", "CHUNK_POINTS"]
+
+#: default seal threshold: points buffered in a series head before
+#: they are frozen into one compressed chunk
+CHUNK_POINTS = 512
+
+#: byte-count thresholds: word > _THRESH[k] ⇒ needs more than k bytes
+_THRESH = (
+    np.uint64(1) << (np.uint64(8) * np.arange(8, dtype=np.uint64))
+) - np.uint64(1)
+
+_U1 = np.uint64(1)
+_U8 = np.uint64(8)
+
+
+def _byte_lengths(words: np.ndarray) -> np.ndarray:
+    """Minimal little-endian byte count per uint64 word (0 for 0)."""
+    return (words[:, None] > _THRESH[None, :]).sum(axis=1).astype(np.int64)
+
+
+def _pack_nibbles(lens: np.ndarray) -> bytes:
+    """Two 4-bit lengths per byte (lengths are 0..8, they fit)."""
+    if len(lens) % 2:
+        lens = np.append(lens, 0)
+    lo = lens[0::2].astype(np.uint8)
+    hi = lens[1::2].astype(np.uint8)
+    return (lo | (hi << 4)).tobytes()
+
+
+def _unpack_nibbles(buf: bytes, n: int) -> np.ndarray:
+    b = np.frombuffer(buf, dtype=np.uint8)
+    out = np.empty(2 * len(b), dtype=np.int64)
+    out[0::2] = b & 0x0F
+    out[1::2] = b >> 4
+    return out[:n]
+
+
+def _encode_words(words: np.ndarray) -> Tuple[bytes, bytes]:
+    """uint64 column → (packed nibble lengths, payload bytes)."""
+    lens = _byte_lengths(words)
+    starts = np.empty(len(words), dtype=np.int64)
+    if len(words):
+        starts[0] = 0
+        np.cumsum(lens[:-1], out=starts[1:])
+    payload = np.zeros(int(lens.sum()), dtype=np.uint8)
+    for j in range(8):
+        m = lens > j
+        if not m.any():
+            break
+        payload[starts[m] + j] = (
+            (words[m] >> np.uint64(8 * j)) & np.uint64(0xFF)
+        ).astype(np.uint8)
+    return _pack_nibbles(lens), payload.tobytes()
+
+
+def _decode_words(lens_buf: bytes, payload_buf: bytes, n: int) -> np.ndarray:
+    """Inverse of :func:`_encode_words`."""
+    lens = _unpack_nibbles(lens_buf, n)
+    starts = np.empty(n, dtype=np.int64)
+    if n:
+        starts[0] = 0
+        np.cumsum(lens[:-1], out=starts[1:])
+    payload = np.frombuffer(payload_buf, dtype=np.uint8)
+    words = np.zeros(n, dtype=np.uint64)
+    for j in range(8):
+        m = lens > j
+        if not m.any():
+            break
+        words[m] |= payload[starts[m] + j].astype(np.uint64) << np.uint64(
+            8 * j
+        )
+    return words
+
+
+def _zigzag(v: np.ndarray) -> np.ndarray:
+    """int64 → uint64 so small magnitudes get short encodings."""
+    v = v.astype(np.int64, copy=False)
+    return (np.left_shift(v, 1) ^ np.right_shift(v, 63)).view(np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    return ((u >> _U1) ^ (np.uint64(0) - (u & _U1))).view(np.int64)
+
+
+class Chunk:
+    """One sealed, compressed, immutable segment of a series.
+
+    Timestamps inside a chunk are strictly increasing; ``t_min`` /
+    ``t_max`` / ``count`` describe the chunk without decoding it.
+    """
+
+    __slots__ = (
+        "t_min", "t_max", "count",
+        "_t_lens", "_t_payload", "_v_lens", "_v_payload",
+    )
+
+    def __init__(
+        self,
+        t_min: int,
+        t_max: int,
+        count: int,
+        t_lens: bytes,
+        t_payload: bytes,
+        v_lens: bytes,
+        v_payload: bytes,
+    ) -> None:
+        self.t_min = t_min
+        self.t_max = t_max
+        self.count = count
+        self._t_lens = t_lens
+        self._t_payload = t_payload
+        self._v_lens = v_lens
+        self._v_payload = v_payload
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def seal(cls, times: np.ndarray, values: np.ndarray) -> "Chunk":
+        """Freeze two aligned columns into one compressed chunk.
+
+        ``times`` must be strictly increasing (the store sorts and
+        dedupes the head before sealing).
+        """
+        t = np.asarray(times, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        if len(t) == 0:
+            raise ValueError("cannot seal an empty chunk")
+        if len(t) != len(v):
+            raise ValueError("time/value columns differ in length")
+        if len(t) > 1 and not (t[1:] > t[:-1]).all():
+            raise ValueError("chunk timestamps must be strictly increasing")
+
+        # delta-of-delta stream: [t0, d1, d2-d1, ...]
+        dod = np.empty(len(t), dtype=np.int64)
+        dod[0] = t[0]
+        if len(t) > 1:
+            d = np.diff(t)
+            dod[1] = d[0]
+            dod[2:] = d[1:] - d[:-1]
+        t_lens, t_payload = _encode_words(_zigzag(dod))
+
+        # XOR-with-previous on the raw IEEE-754 bit patterns
+        words = v.view(np.uint64)
+        xored = words.copy()
+        xored[1:] ^= words[:-1]
+        v_lens, v_payload = _encode_words(xored)
+
+        return cls(
+            int(t[0]), int(t[-1]), len(t),
+            t_lens, t_payload, v_lens, v_payload,
+        )
+
+    # -- reading -------------------------------------------------------------
+    def decode(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Decompress back to ``(times int64, values float64)``."""
+        n = self.count
+        dod = _unzigzag(_decode_words(self._t_lens, self._t_payload, n))
+        t = np.empty(n, dtype=np.int64)
+        t[0] = dod[0]
+        if n > 1:
+            np.cumsum(np.cumsum(dod[1:]), out=t[1:])
+            t[1:] += dod[0]
+        words = _decode_words(self._v_lens, self._v_payload, n)
+        v = np.bitwise_xor.accumulate(words).view(np.float64)
+        return t, v
+
+    def overlaps(self, lo: Optional[int], hi: Optional[int]) -> bool:
+        """Does [t_min, t_max] intersect the half-open window [lo, hi)?"""
+        if lo is not None and self.t_max < lo:
+            return False
+        if hi is not None and self.t_min >= hi:
+            return False
+        return True
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed payload size (the at-rest cost of the columns)."""
+        return (
+            len(self._t_lens) + len(self._t_payload)
+            + len(self._v_lens) + len(self._v_payload)
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Chunk(n={self.count}, t=[{self.t_min},{self.t_max}], "
+            f"{self.nbytes}B)"
+        )

@@ -12,6 +12,18 @@ Query semantics follow OpenTSDB:
    on the union of their timestamps and aggregate (sum/avg/max/min,
    NaN-skipping),
 4. optionally downsample into fixed time buckets.
+
+Two storage-engine fast paths front these semantics without changing
+them:
+
+* **pushdown** — the time-range predicate is handed to
+  :meth:`_Series.arrays`, which discards whole sealed chunks on their
+  ``(t_min, t_max)`` metadata before any decompression;
+* **result cache** — when the store carries a
+  :class:`~repro.tsdb.cache.QueryCache` (the default), the fully
+  normalised query shape plus the store's write epoch is looked up
+  first, so an unchanged store answers repeat queries without
+  touching the series at all.
 """
 
 from __future__ import annotations
@@ -100,6 +112,17 @@ def query(
     """
     if aggregate not in _AGGS:
         raise ValueError(f"unknown aggregator {aggregate!r}; use {_AGGS}")
+    cache = getattr(tsdb, "cache", None)
+    cache_key = None
+    if cache is not None:
+        cache_key = _cache_key(
+            metric, tags, group_by, aggregate, rate, counter_width,
+            downsample, time_range,
+        )
+        cached = cache.get(cache_key, tsdb.epoch)
+        if cached is not None:
+            # fresh wrapper, shared (treat-as-immutable) series
+            return QueryResult(series=list(cached.series))
     selected = tsdb.select(metric, tags)
     groups: Dict[Tuple[str, ...], List[_Series]] = {}
     for s in selected:
@@ -111,11 +134,7 @@ def query(
         members = groups[key]
         prepared = []
         for s in members:
-            t, v = s.arrays()
-            if time_range is not None:
-                lo, hi = time_range
-                m = (t >= lo) & (t < hi)
-                t, v = t[m], v[m]
+            t, v = s.arrays(time_range)
             if rate:
                 t, v = _to_rate(t, v, counter_width)
             if len(t):
@@ -137,7 +156,38 @@ def query(
                 tags=dict(zip(group_by, key)), times=times, values=values
             )
         )
-    return QueryResult(series=out)
+    result = QueryResult(series=out)
+    if cache is not None:
+        cache.put(cache_key, tsdb.epoch, result)
+    return result
+
+
+def _cache_key(
+    metric: str,
+    tags: Optional[Mapping[str, object]],
+    group_by: Sequence[str],
+    aggregate: str,
+    rate: bool,
+    counter_width: float,
+    downsample: Optional[Tuple[int, str]],
+    time_range: Optional[Tuple[int, int]],
+) -> Tuple:
+    """A hashable, order-insensitive normalisation of a query shape."""
+    norm_tags = tuple(
+        sorted(
+            (
+                str(k),
+                tuple(sorted(str(a) for a in want))
+                if isinstance(want, (list, tuple, set))
+                else (str(want),),
+            )
+            for k, want in (tags or {}).items()
+        )
+    )
+    return (
+        metric, norm_tags, tuple(group_by), aggregate, bool(rate),
+        float(counter_width), downsample, time_range,
+    )
 
 
 def _downsample(

@@ -1,19 +1,38 @@
 """Time-series storage and ingest.
 
-Series are keyed by (metric, sorted tag items).  Points append to
-growable lists and are materialised to sorted NumPy arrays lazily, so
-bulk ingest stays linear and queries stay vectorised.
+Series are keyed by (metric, sorted tag items).  Each series is a
+chunked columnar store: writes land in a small mutable head, and once
+the head reaches ``chunk_size`` points it is sealed into an immutable
+compressed :class:`~repro.tsdb.chunks.Chunk` (delta-of-delta varint
+timestamps, XOR-packed float values) carrying ``(t_min, t_max,
+count)`` metadata.  Reads materialise sorted NumPy arrays with
+last-write-wins duplicate handling — semantically identical to the
+original growable-list store (see :mod:`repro.tsdb.baseline`, the
+retained reference implementation) — but
+
+* time-range reads skip whole chunks on metadata before any decode,
+* :meth:`TimeSeriesDB.select` resolves series through a per-metric
+  index instead of scanning every key in the store,
+* :meth:`TimeSeriesDB.prune` drops expired sealed chunks by comparing
+  ``t_max`` against the horizon, decoding only the one chunk that
+  straddles it, and
+* :meth:`TimeSeriesDB.put_many` appends whole columns in one call.
+
+Every write bumps the store's ``epoch``, which is what lets the
+query-result cache (:mod:`repro.tsdb.cache`) invalidate precisely.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.store import CentralStore
+from repro.tsdb.chunks import CHUNK_POINTS, Chunk
 
 TagKey = Tuple[Tuple[str, str], ...]
 
@@ -22,89 +41,294 @@ def _tagkey(tags: Mapping[str, str]) -> TagKey:
     return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
 
 
+def _sort_dedupe(
+    t: np.ndarray, v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable sort by time, keep the *last-inserted* value per ts."""
+    order = np.argsort(t, kind="stable")
+    t, v = t[order], v[order]
+    if len(t) > 1:
+        keep = np.append(t[1:] != t[:-1], True)
+        t, v = t[keep], v[keep]
+    return t, v
+
+
 @dataclass
 class _Series:
+    """One chunked series: sealed chunks + a mutable head."""
+
     metric: str
     tags: Dict[str, str]
-    _times: List[int] = field(default_factory=list)
-    _values: List[float] = field(default_factory=list)
-    _arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    chunk_size: int = CHUNK_POINTS
+    chunks: List[Chunk] = field(default_factory=list)
+    _head_t: List[int] = field(default_factory=list)
+    _head_v: List[float] = field(default_factory=list)
+    #: strictly-increasing fast path: every append so far was newer
+    #: than everything before it (chunks disjoint + head in order)
+    _ordered: bool = True
+    _max_ts: Optional[int] = None
+    _full: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
+    # -- writing ------------------------------------------------------------
     def add(self, ts: int, value: float) -> None:
-        self._times.append(int(ts))
-        self._values.append(float(value))
-        self._arrays = None
+        ts = int(ts)
+        if self._max_ts is not None and ts <= self._max_ts:
+            self._ordered = False
+        else:
+            self._max_ts = ts
+        self._head_t.append(ts)
+        self._head_v.append(float(value))
+        self._full = None
+        if len(self._head_t) >= self.chunk_size:
+            self._seal_head()
 
-    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._arrays is None:
-            t = np.asarray(self._times, dtype=np.int64)
-            v = np.asarray(self._values, dtype=np.float64)
-            order = np.argsort(t, kind="stable")
-            # last write wins for duplicate timestamps
-            t, v = t[order], v[order]
-            if len(t) > 1:
-                keep = np.append(t[1:] != t[:-1], True)
-                t, v = t[keep], v[keep]
-            self._arrays = (t, v)
-        return self._arrays
+    def extend(self, times: np.ndarray, values: np.ndarray) -> int:
+        """Bulk append two aligned columns; returns points appended."""
+        t = np.asarray(times, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError("times/values must be aligned 1-d columns")
+        if len(t) == 0:
+            return 0
+        if self._ordered:
+            in_order = len(t) == 1 or bool((t[1:] > t[:-1]).all())
+            if not in_order or (
+                self._max_ts is not None and int(t[0]) <= self._max_ts
+            ):
+                self._ordered = False
+        last = int(t.max())
+        if self._max_ts is None or last > self._max_ts:
+            self._max_ts = last
+        self._head_t.extend(t.tolist())
+        self._head_v.extend(v.tolist())
+        self._full = None
+        while len(self._head_t) >= self.chunk_size:
+            self._seal_head()
+        return len(t)
+
+    def _seal_head(self) -> None:
+        """Freeze the oldest ``chunk_size`` buffered points."""
+        n = min(self.chunk_size, len(self._head_t))
+        t = np.asarray(self._head_t[:n], dtype=np.int64)
+        v = np.asarray(self._head_v[:n], dtype=np.float64)
+        del self._head_t[:n], self._head_v[:n]
+        # within one sealed slice, last-inserted wins for duplicate
+        # timestamps; later slices/heads override at merge time because
+        # chunks are concatenated in seal order before the stable sort
+        t, v = _sort_dedupe(t, v)
+        chunk = Chunk.seal(t, v)
+        self.chunks.append(chunk)
+        obs.counter(
+            "repro_tsdb_chunk_seals_total",
+            "series heads frozen into compressed columnar chunks",
+        ).inc(metric=self.metric)
+        obs.counter(
+            "repro_tsdb_chunk_bytes_total",
+            "compressed bytes at rest in sealed TSDB chunks",
+        ).inc(chunk.nbytes, metric=self.metric)
+
+    def seal(self) -> None:
+        """Seal whatever is buffered (benchmarking/at-rest sizing)."""
+        while self._head_t:
+            self._seal_head()
+
+    # -- reading ------------------------------------------------------------
+    def arrays(
+        self, time_range: Optional[Tuple[int, int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted, deduplicated columns, optionally only [lo, hi).
+
+        With a ``time_range`` the sealed chunks are filtered on their
+        metadata first, so out-of-window chunks are never decoded; a
+        series whose full columns are already materialised answers a
+        window by binary-search slicing instead.
+        """
+        if self._full is not None:
+            t, v = self._full
+            if time_range is None:
+                return t, v
+            lo, hi = time_range
+            i, j = np.searchsorted(t, lo), np.searchsorted(t, hi)
+            return t[i:j], v[i:j]
+        lo, hi = time_range if time_range is not None else (None, None)
+
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        for chunk in self.chunks:
+            if not chunk.overlaps(lo, hi):
+                continue
+            t, v = chunk.decode()
+            if lo is not None and hi is not None and (
+                t[0] < lo or t[-1] >= hi
+            ):
+                m = (t >= lo) & (t < hi)
+                t, v = t[m], v[m]
+            parts.append((t, v))
+        if self._head_t:
+            t = np.asarray(self._head_t, dtype=np.int64)
+            v = np.asarray(self._head_v, dtype=np.float64)
+            if lo is not None:
+                m = (t >= lo) & (t < hi)
+                t, v = t[m], v[m]
+            parts.append((t, v))
+
+        if not parts:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0))
+            if time_range is None:
+                self._full = empty
+            return empty
+        t = np.concatenate([p[0] for p in parts])
+        v = np.concatenate([p[1] for p in parts])
+        if not self._ordered:
+            # rare path: out-of-order or duplicate writes happened;
+            # concatenation order is insertion order, so the stable
+            # sort + keep-last reproduces the flat-list semantics
+            t, v = _sort_dedupe(t, v)
+        if time_range is None:
+            self._full = (t, v)
+        return t, v
 
     def prune(self, before: int) -> int:
-        """Drop points older than ``before``; returns points dropped."""
-        if not self._times or min(self._times) >= before:
+        """Drop points older than ``before``; returns points dropped.
+
+        Whole expired chunks are discarded on their ``t_max`` alone;
+        only a chunk straddling the horizon is decoded and re-sealed.
+        """
+        t_min = self._t_min()
+        if t_min is None or t_min >= before:
             return 0
-        kept = [
-            (t, v)
-            for t, v in zip(self._times, self._values)
-            if t >= before
-        ]
-        dropped = len(self._times) - len(kept)
-        self._times = [t for t, _ in kept]
-        self._values = [v for _, v in kept]
-        self._arrays = None
+        dropped = 0
+        kept_chunks: List[Chunk] = []
+        for chunk in self.chunks:
+            if chunk.t_max < before:
+                dropped += chunk.count
+            elif chunk.t_min >= before:
+                kept_chunks.append(chunk)
+            else:
+                t, v = chunk.decode()
+                m = t >= before
+                dropped += int((~m).sum())
+                kept_chunks.append(Chunk.seal(t[m], v[m]))
+        self.chunks = kept_chunks
+        if self._head_t:
+            kept = [
+                (t, v)
+                for t, v in zip(self._head_t, self._head_v)
+                if t >= before
+            ]
+            dropped += len(self._head_t) - len(kept)
+            self._head_t = [t for t, _ in kept]
+            self._head_v = [v for _, v in kept]
+        if dropped:
+            self._full = None
         return dropped
 
+    def _t_min(self) -> Optional[int]:
+        lows = [c.t_min for c in self.chunks]
+        if self._head_t:
+            lows.append(min(self._head_t))
+        return min(lows) if lows else None
+
+    @property
+    def nbytes(self) -> int:
+        """At-rest size: compressed chunks + raw head columns."""
+        return sum(c.nbytes for c in self.chunks) + 16 * len(self._head_t)
+
     def __len__(self) -> int:
-        return len(self._times)
+        return sum(c.count for c in self.chunks) + len(self._head_t)
 
 
 class TimeSeriesDB:
-    """An in-memory tag-indexed TSDB."""
+    """An in-memory tag-indexed TSDB over chunked columnar series."""
 
-    def __init__(self) -> None:
+    #: series implementation; the list-backed reference store
+    #: (:mod:`repro.tsdb.baseline`) swaps this out
+    series_cls = _Series
+
+    def __init__(
+        self,
+        chunk_size: int = CHUNK_POINTS,
+        cache: Optional[object] = ...,
+    ) -> None:
+        from repro.tsdb.cache import QueryCache
+
         self._series: Dict[Tuple[str, TagKey], _Series] = {}
         #: tag name → tag value → set of series keys (inverted index)
         self._index: Dict[str, Dict[str, set]] = defaultdict(
             lambda: defaultdict(set)
         )
+        #: metric → set of series keys, so per-metric operations never
+        #: scan the whole store
+        self._by_metric: Dict[str, set] = defaultdict(set)
+        self.chunk_size = int(chunk_size)
+        #: bumped on every mutation; the query cache keys on it
+        self.epoch = 0
+        #: LRU query-result cache consulted by :func:`repro.tsdb.query`
+        #: (pass ``cache=None`` to disable)
+        self.cache = QueryCache() if cache is ... else cache
 
     # -- writing ------------------------------------------------------------
+    def _get_series(self, metric: str, tags: Mapping[str, str]) -> _Series:
+        key = (metric, _tagkey(tags))
+        s = self._series.get(key)
+        if s is None:
+            s = self._series[key] = self.series_cls(
+                metric=metric, tags=dict(tags), chunk_size=self.chunk_size
+            )
+            self._by_metric[metric].add(key)
+            for k, v in s.tags.items():
+                self._index[k][str(v)].add(key)
+        return s
+
     def put(
         self, metric: str, tags: Mapping[str, str], ts: int, value: float
     ) -> None:
         """Insert one data point."""
-        key = (metric, _tagkey(tags))
-        s = self._series.get(key)
-        if s is None:
-            s = self._series[key] = _Series(metric=metric, tags=dict(tags))
-            for k, v in s.tags.items():
-                self._index[k][str(v)].add(key)
-        s.add(ts, value)
+        self._get_series(metric, tags).add(ts, value)
+        self.epoch += 1
+
+    def put_many(
+        self,
+        metric: str,
+        tags: Mapping[str, str],
+        times: Sequence[int],
+        values: Sequence[float],
+    ) -> int:
+        """Batched insert of aligned time/value columns into one series.
+
+        One key computation, one index lookup and one epoch bump for
+        the whole batch; returns points inserted.
+        """
+        if len(times) == 0:
+            return 0
+        n = self._get_series(metric, tags).extend(
+            np.asarray(times), np.asarray(values)
+        )
+        if n:
+            self.epoch += 1
+        return n
 
     def prune(self, before: int, metric: Optional[str] = None) -> int:
         """Drop points older than ``before`` (optionally one metric).
 
         Series left empty are removed entirely, including their
         inverted-index entries, so long-running live feeds keep both
-        point and series counts bounded.  Returns points dropped.
+        point and series counts bounded.  Expired sealed chunks are
+        discarded on metadata comparison alone.  Returns points
+        dropped.
         """
+        if metric is None:
+            keys = list(self._series)
+        else:
+            keys = list(self._by_metric.get(metric, ()))
         dropped = 0
-        for key in list(self._series):
-            if metric is not None and key[0] != metric:
-                continue
+        for key in keys:
             s = self._series[key]
             dropped += s.prune(before)
             if not len(s):
                 del self._series[key]
+                self._by_metric[key[0]].discard(key)
+                if not self._by_metric[key[0]]:
+                    del self._by_metric[key[0]]
                 for k, v in s.tags.items():
                     by_value = self._index.get(k)
                     if by_value is None:
@@ -116,11 +340,18 @@ class TimeSeriesDB:
                             del by_value[str(v)]
                     if not by_value:
                         del self._index[k]
+        if dropped:
+            self.epoch += 1
         return dropped
+
+    def seal_heads(self) -> None:
+        """Seal every series head (at-rest sizing; not required)."""
+        for s in self._series.values():
+            s.seal()
 
     # -- introspection -----------------------------------------------------
     def metrics(self) -> List[str]:
-        return sorted({m for m, _ in self._series})
+        return sorted(self._by_metric)
 
     def tag_values(self, tag: str) -> List[str]:
         return sorted(self._index.get(tag, {}))
@@ -131,6 +362,13 @@ class TimeSeriesDB:
     def n_points(self) -> int:
         return sum(len(s) for s in self._series.values())
 
+    def n_chunks(self) -> int:
+        return sum(len(s.chunks) for s in self._series.values())
+
+    def storage_bytes(self) -> int:
+        """At-rest bytes across all series (chunks + raw heads)."""
+        return sum(s.nbytes for s in self._series.values())
+
     # -- selection -----------------------------------------------------------
     def select(
         self,
@@ -140,9 +378,13 @@ class TimeSeriesDB:
         """All series of ``metric`` matching the tag filters.
 
         A filter value may be a single value or a list of alternatives.
+        Resolution starts from the per-metric index, so cost scales
+        with the metric's own series count, not the store's.
         """
-        keys = {k for k in self._series if k[0] == metric}
+        keys = set(self._by_metric.get(metric, ()))
         for tag, want in (tags or {}).items():
+            if not keys:
+                break
             alts = want if isinstance(want, (list, tuple, set)) else [want]
             hit = set()
             for v in alts:
@@ -160,18 +402,22 @@ def ingest_store(
     """Load a raw-data store into the TSDB under the paper's tag scheme.
 
     Every counter value becomes a point in series tagged
-    ``(host, type, device, event)``.  Returns points ingested.
-    ``types`` optionally restricts to certain device types (metadata
-    analyses only need ``mdc``; loading everything is supported but
-    larger).
+    ``(host, type, device, event)``.  Points are gathered into
+    per-series columns across each host's whole file and written with
+    one :meth:`TimeSeriesDB.put_many` per series.  Returns points
+    ingested.  ``types`` optionally restricts to certain device types
+    (metadata analyses only need ``mdc``; loading everything is
+    supported but larger).
     """
+    from repro.core.rawfile import RawFileParser
+
     wanted = set(types) if types is not None else None
     n = 0
     for host in store.hosts():
-        from repro.core.rawfile import RawFileParser
-
         parser = RawFileParser()
         store.flush()
+        #: (type, device, event) → ([ts...], [value...])
+        columns: Dict[Tuple[str, str, str], Tuple[list, list]] = {}
         with open(store.path_for(host)) as fh:
             for sample in parser.parse(fh):
                 for type_name, per_inst in sample.data.items():
@@ -183,16 +429,23 @@ def ingest_store(
                     names = schema.names()
                     for device, values in per_inst.items():
                         for i, event in enumerate(names):
-                            tsdb.put(
-                                metric,
-                                {
-                                    "host": host,
-                                    "type": type_name,
-                                    "device": device,
-                                    "event": event,
-                                },
-                                sample.timestamp,
-                                float(values[i]),
-                            )
-                            n += 1
+                            col = columns.get((type_name, device, event))
+                            if col is None:
+                                col = columns[
+                                    (type_name, device, event)
+                                ] = ([], [])
+                            col[0].append(sample.timestamp)
+                            col[1].append(float(values[i]))
+        for (type_name, device, event), (ts_col, val_col) in columns.items():
+            n += tsdb.put_many(
+                metric,
+                {
+                    "host": host,
+                    "type": type_name,
+                    "device": device,
+                    "event": event,
+                },
+                ts_col,
+                val_col,
+            )
     return n

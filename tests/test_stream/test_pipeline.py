@@ -115,3 +115,43 @@ def test_portal_fleet_live_section(mirror_run, fresh_db):
 
 def test_portal_fleet_without_stream_still_404s_on_empty_db(fresh_db):
     assert PortalApp(fresh_db).get("/fleet").status == 404
+
+
+def test_portal_fleet_live_activity_chart(mirror_run, fresh_db):
+    _, stream = mirror_run
+    app = PortalApp(fresh_db, stream=stream)
+    resp = app.get("/fleet")
+    assert resp.ok
+    assert "Live activity" in resp.body
+    assert "rate by host" in resp.body
+    assert "query cache" in resp.body
+
+
+def test_portal_tsdb_plot_endpoint(mirror_run, fresh_db):
+    _, stream = mirror_run
+    app = PortalApp(fresh_db, stream=stream)
+    resp = app.get_url(
+        "/tsdb?metric=stats&tag.type=mdc&group_by=host&rate=1"
+        "&downsample=600:avg"
+    )
+    assert resp.ok
+    assert "<svg" in resp.body
+    assert "store epoch" in resp.body
+    # a reload of the unchanged store is served from the result cache
+    hits_before = stream.tsdb.cache.hits
+    assert app.get_url(
+        "/tsdb?metric=stats&tag.type=mdc&group_by=host&rate=1"
+        "&downsample=600:avg"
+    ).ok
+    assert stream.tsdb.cache.hits == hits_before + 1
+
+
+def test_portal_tsdb_rejects_bad_query(mirror_run, fresh_db):
+    _, stream = mirror_run
+    app = PortalApp(fresh_db, stream=stream)
+    assert app.get_url("/tsdb?agg=median").status == 400
+    assert app.get_url("/tsdb?range=abc:def").status == 400
+
+
+def test_portal_tsdb_requires_stream(fresh_db):
+    assert PortalApp(fresh_db).get("/tsdb").status == 404

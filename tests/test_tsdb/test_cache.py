@@ -1,0 +1,115 @@
+"""The query-result cache: LRU bounds, epoch invalidation, wiring."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.tsdb import QueryCache, TimeSeriesDB
+from repro.tsdb.query import query
+
+
+def test_hit_requires_matching_epoch():
+    c = QueryCache()
+    c.put("k", 3, "result")
+    assert c.get("k", 3) == "result"
+    assert c.get("k", 4) is None  # store mutated since
+    assert c.get("k", 3) is None  # stale entry was evicted on contact
+
+
+def test_lru_eviction_order():
+    c = QueryCache(maxsize=2)
+    c.put("a", 0, 1)
+    c.put("b", 0, 2)
+    assert c.get("a", 0) == 1  # refresh a
+    c.put("c", 0, 3)           # evicts b, the least recently used
+    assert c.get("b", 0) is None
+    assert c.get("a", 0) == 1
+    assert c.get("c", 0) == 3
+    assert len(c) == 2
+
+
+def test_maxsize_must_be_positive():
+    with pytest.raises(ValueError):
+        QueryCache(maxsize=0)
+
+
+def fill(db, host, values):
+    for i, v in enumerate(values):
+        db.put("m", {"host": host}, i * 600, v)
+
+
+def test_query_results_served_from_cache():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0, 3.0])
+    r1 = query(db, "m")
+    r2 = query(db, "m")
+    assert db.cache.hits == 1 and db.cache.misses == 1
+    # identical payloads; the wrapper is fresh so callers may extend it
+    assert r1 is not r2
+    assert np.array_equal(r1.series[0].values, r2.series[0].values)
+
+
+def test_write_invalidates_cached_query():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0])
+    assert list(query(db, "m").series[0].values) == [1.0, 2.0]
+    db.put("m", {"host": "n1"}, 1800, 9.0)
+    res = query(db, "m")
+    assert list(res.series[0].values) == [1.0, 2.0, 9.0]
+    assert db.cache.hits == 0 and db.cache.misses == 2
+
+
+def test_prune_invalidates_cached_query():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0, 3.0])
+    query(db, "m")
+    db.prune(before=600)
+    assert list(query(db, "m").series[0].values) == [2.0, 3.0]
+
+
+def test_noop_prune_keeps_cache_warm():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0])
+    query(db, "m")
+    assert db.prune(before=-1) == 0  # nothing dropped, epoch unchanged
+    query(db, "m")
+    assert db.cache.hits == 1
+
+
+def test_distinct_query_shapes_do_not_collide():
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0, 3.0])
+    a = query(db, "m", aggregate="sum")
+    b = query(db, "m", aggregate="max")
+    c = query(db, "m", time_range=(0, 600))
+    assert db.cache.misses == 3
+    assert len(a.series[0].values) == 3
+    assert len(b.series[0].values) == 3
+    assert len(c.series[0].values) == 1
+
+
+def test_tag_filter_order_normalised():
+    db = TimeSeriesDB()
+    db.put("m", {"host": "n1", "type": "mdc"}, 0, 1.0)
+    query(db, "m", tags={"host": "n1", "type": "mdc"})
+    query(db, "m", tags={"type": "mdc", "host": "n1"})
+    query(db, "m", tags={"host": ["n1"], "type": "mdc"})
+    assert db.cache.hits == 2  # all three normalise to one key
+
+
+def test_cache_can_be_disabled():
+    db = TimeSeriesDB(cache=None)
+    fill(db, "n1", [1.0])
+    assert query(db, "m").series[0].values[0] == 1.0
+    assert db.cache is None
+
+
+def test_cache_counters_on_obs_registry():
+    obs.reset()
+    db = TimeSeriesDB()
+    fill(db, "n1", [1.0, 2.0])
+    query(db, "m")
+    query(db, "m")
+    assert obs.counter("repro_tsdb_cache_misses_total").value() == 1
+    assert obs.counter("repro_tsdb_cache_hits_total").value() == 1
+    obs.reset()

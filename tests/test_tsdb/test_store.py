@@ -1,8 +1,10 @@
-"""TSDB storage: series identity, indexing, ingest."""
+"""TSDB storage: series identity, indexing, ingest, chunk boundaries."""
 
+import numpy as np
 import pytest
 
 from repro.tsdb import TimeSeriesDB, ingest_store
+from repro.tsdb.baseline import ListBackedTSDB
 
 
 def test_series_identity_by_metric_and_tags():
@@ -69,3 +71,176 @@ def test_ingest_store_all_types(monitored_run):
     assert set(db.tag_values("type")) == {"cpu", "mem"}
     # per-cpu instances became device tags
     assert "0" in db.tag_values("device")
+
+
+# -- chunked engine: seal boundaries, ordering, batching, pruning ----------
+
+def _arrays(db, metric="m", **tags):
+    s = db.select(metric, tags or None)[0]
+    return s.arrays()
+
+
+def test_head_seals_into_chunks():
+    db = TimeSeriesDB(chunk_size=8)
+    for i in range(20):
+        db.put("m", {"h": "x"}, i * 600, float(i))
+    s = db.select("m")[0]
+    assert len(s.chunks) == 2          # two sealed, four in the head
+    assert len(s) == 20
+    assert db.n_chunks() == 2
+    t, v = s.arrays()
+    assert list(t) == [i * 600 for i in range(20)]
+    assert list(v) == [float(i) for i in range(20)]
+
+
+def test_duplicate_timestamp_last_write_wins_across_seal_boundary():
+    """A rewrite of a timestamp already frozen in a sealed chunk must
+    still win when the series is read back."""
+    db = TimeSeriesDB(chunk_size=4)
+    for i in range(4):                  # seals exactly one chunk
+        db.put("m", {"h": "x"}, i * 600, float(i))
+    assert db.select("m")[0].chunks
+    db.put("m", {"h": "x"}, 600, 99.0)  # overrides a sealed point
+    t, v = _arrays(db, h="x")
+    assert list(t) == [0, 600, 1200, 1800]
+    assert list(v) == [0.0, 99.0, 2.0, 3.0]
+
+
+def test_duplicate_timestamps_within_one_sealed_chunk():
+    db = TimeSeriesDB(chunk_size=4)
+    for ts, val in ((0, 1.0), (600, 2.0), (600, 5.0), (1200, 3.0)):
+        db.put("m", {"h": "x"}, ts, val)
+    t, v = _arrays(db, h="x")
+    assert list(t) == [0, 600, 1200]
+    assert list(v) == [1.0, 5.0, 3.0]
+
+
+def test_out_of_order_writes_across_chunk_boundary():
+    """Late-arriving old points interleave correctly with sealed data."""
+    db = TimeSeriesDB(chunk_size=4)
+    ref = ListBackedTSDB()
+    writes = [
+        (3000, 1.0), (600, 2.0), (2400, 3.0), (0, 4.0),       # chunk 1
+        (1200, 5.0), (1800, 6.0), (300, 7.0), (600, 8.0),     # chunk 2
+        (900, 9.0), (2400, 10.0),                              # head
+    ]
+    for ts, val in writes:
+        db.put("m", {"h": "x"}, ts, val)
+        ref.put("m", {"h": "x"}, ts, val)
+    t, v = _arrays(db, h="x")
+    rt, rv = _arrays(ref, h="x")
+    assert list(t) == list(rt)
+    assert list(v) == list(rv)
+    assert db.select("m")[0].chunks    # the boundary was actually hit
+
+
+def test_put_many_equals_put_loop():
+    a = TimeSeriesDB(chunk_size=16)
+    b = TimeSeriesDB(chunk_size=16)
+    times = [i * 600 for i in range(50)]
+    values = [float(i) ** 2 for i in range(50)]
+    n = a.put_many("m", {"h": "x"}, times, values)
+    assert n == 50
+    for ts, val in zip(times, values):
+        b.put("m", {"h": "x"}, ts, val)
+    ta, va = _arrays(a, h="x")
+    tb, vb = _arrays(b, h="x")
+    assert np.array_equal(ta, tb) and np.array_equal(va, vb)
+    assert len(a.select("m")[0].chunks) == len(b.select("m")[0].chunks)
+
+
+def test_put_many_unsorted_batch():
+    db = TimeSeriesDB(chunk_size=4)
+    ref = ListBackedTSDB()
+    times = [1800, 0, 600, 600, 1200]
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    db.put_many("m", {"h": "x"}, times, values)
+    ref.put_many("m", {"h": "x"}, times, values)
+    t, v = _arrays(db, h="x")
+    rt, rv = _arrays(ref, h="x")
+    assert list(t) == list(rt) and list(v) == list(rv)
+
+
+def test_put_many_empty_batch_is_noop():
+    db = TimeSeriesDB()
+    epoch = db.epoch
+    assert db.put_many("m", {"h": "x"}, [], []) == 0
+    assert db.epoch == epoch and db.n_series() == 0
+
+
+def test_prune_drops_whole_chunks_by_metadata():
+    db = TimeSeriesDB(chunk_size=10)
+    for i in range(40):
+        db.put("m", {"h": "x"}, i * 600, float(i))
+    s = db.select("m")[0]
+    assert len(s.chunks) == 4
+    # horizon at a chunk boundary: two chunks expire outright
+    dropped = db.prune(before=20 * 600)
+    assert dropped == 20
+    assert len(s.chunks) == 2
+    t, _ = s.arrays()
+    assert list(t) == [i * 600 for i in range(20, 40)]
+
+
+def test_prune_decodes_only_straddling_chunk():
+    db = TimeSeriesDB(chunk_size=10)
+    for i in range(30):
+        db.put("m", {"h": "x"}, i * 600, float(i))
+    dropped = db.prune(before=15 * 600)  # mid-chunk horizon
+    assert dropped == 15
+    t, v = _arrays(db, h="x")
+    assert list(t) == [i * 600 for i in range(15, 30)]
+    assert list(v) == [float(i) for i in range(15, 30)]
+
+
+def test_prune_time_range_reads_after():
+    """Pushdown reads agree with the store state after pruning."""
+    db = TimeSeriesDB(chunk_size=8)
+    for i in range(32):
+        db.put("m", {"h": "x"}, i * 600, float(i))
+    db.prune(before=10 * 600)
+    s = db.select("m")[0]
+    t, v = s.arrays(time_range=(12 * 600, 20 * 600))
+    assert list(t) == [i * 600 for i in range(12, 20)]
+
+
+def test_time_range_pushdown_equals_post_filter():
+    db = TimeSeriesDB(chunk_size=8)
+    rng = np.random.default_rng(3)
+    for ts in rng.permutation(100):
+        db.put("m", {"h": "x"}, int(ts) * 600, float(ts))
+    s = db.select("m")[0]
+    lo, hi = 17 * 600, 63 * 600
+    t_push, v_push = s.arrays(time_range=(lo, hi))
+    t_full, v_full = s.arrays()
+    m = (t_full >= lo) & (t_full < hi)
+    assert np.array_equal(t_push, t_full[m])
+    assert np.array_equal(v_push, v_full[m])
+
+
+def test_per_metric_index_tracks_insert_and_prune():
+    db = TimeSeriesDB()
+    db.put("a", {"h": "x"}, 0, 1.0)
+    db.put("a", {"h": "y"}, 0, 1.0)
+    db.put("b", {"h": "x"}, 5000, 1.0)
+    assert db.metrics() == ["a", "b"]
+    assert len(db.select("a")) == 2
+    # metric-filtered prune touches only 'a'; 'b' survives untouched
+    assert db.prune(before=1000, metric="a") == 2
+    assert db.metrics() == ["b"]
+    assert db.select("a") == []
+    assert len(db.select("b")) == 1
+    assert db.tag_values("h") == ["x"]
+
+
+def test_storage_bytes_shrink_after_seal():
+    db = TimeSeriesDB(chunk_size=10**9)  # never auto-seal
+    for i in range(1000):
+        db.put("m", {"h": "x"}, i * 600, 1e9 + i * 1e5)
+    raw = db.storage_bytes()
+    assert raw == 16 * 1000              # head is uncompressed columns
+    db.seal_heads()
+    assert db.n_chunks() == 1
+    assert db.storage_bytes() < raw / 2  # compression actually engaged
+    t, v = _arrays(db, h="x")
+    assert len(t) == 1000 and v[0] == 1e9
