@@ -216,16 +216,37 @@ class PortalApp:
             title="Fleet report", body="".join(sections)
         ))
 
+    @staticmethod
+    def _read_path_line(tsdb) -> str:
+        """Render :meth:`TimeSeriesDB.read_stats` — the result cache,
+        the decoded-buffer cache and pre-aggregate skips are distinct
+        accelerators and report separately."""
+        read_stats = getattr(tsdb, "read_stats", None)
+        if read_stats is None:
+            return ""
+        stats = read_stats()
+
+        def _cache(label: str, c) -> str:
+            if c is None:
+                return f" &middot; {label}: off"
+            return (
+                f" &middot; {label}: {c['hits']} hits / "
+                f"{c['misses']} misses "
+                f"({100.0 * c['hit_ratio']:.0f}% hit, "
+                f"{c['entries']} entries)"
+            )
+
+        pre = stats["preagg"]
+        return (
+            _cache("result cache", stats["result_cache"])
+            + _cache("buffer cache", stats["buffer_cache"])
+            + f" &middot; preagg: {pre['chunks_skipped']} chunk decodes "
+            f"skipped over {pre['windows']} windows"
+        )
+
     def _live_section(self) -> str:
         s = self.stream
-        cache = getattr(s.tsdb, "cache", None)
-        cache_line = ""
-        if cache is not None:
-            cache_line = (
-                f" &middot; query cache: {cache.hits} hits / "
-                f"{cache.misses} misses "
-                f"({100.0 * cache.hit_ratio:.0f}% hit)"
-            )
+        cache_line = self._read_path_line(s.tsdb)
         parts = [
             "<h2>Live health</h2>",
             f"<p>in-flight jobs: {s.analyzer.inflight} &middot; "

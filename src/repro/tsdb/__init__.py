@@ -21,13 +21,22 @@ This package implements exactly that data model:
 * :func:`ingest_store` — load every counter of every host from a
   :class:`~repro.core.store.CentralStore` under the paper's tag
   scheme (``host``, ``type``, ``device``, ``event``).
+* :func:`window_stats` — scalar count/sum/min/max/mean/first/last per
+  series over a time window, answered from sealed per-chunk
+  pre-aggregates whenever the window fully covers a chunk.
 * :func:`correlate` — Pearson correlation between two aggregated
   series (the §VI-A cross-user interference analysis).
 """
 
-from repro.tsdb.cache import QueryCache
-from repro.tsdb.chunks import CHUNK_POINTS, Chunk
-from repro.tsdb.query import QueryResult, ResultSeries, correlate
+from repro.tsdb.cache import BufferCache, QueryCache
+from repro.tsdb.chunks import CHUNK_POINTS, Chunk, decode_many
+from repro.tsdb.query import (
+    QueryResult,
+    ResultSeries,
+    SeriesStats,
+    correlate,
+    window_stats,
+)
 from repro.tsdb.store import TimeSeriesDB, ingest_store
 
 __all__ = [
@@ -35,8 +44,12 @@ __all__ = [
     "ingest_store",
     "ResultSeries",
     "QueryResult",
+    "SeriesStats",
+    "window_stats",
     "QueryCache",
+    "BufferCache",
     "Chunk",
     "CHUNK_POINTS",
+    "decode_many",
     "correlate",
 ]

@@ -1,26 +1,42 @@
-"""LRU result cache for TSDB queries, invalidated by write epoch.
+"""Read-path caches: query results and decoded chunk buffers.
 
-The portal's ``/fleet`` and plot pages re-issue the same handful of
-aggregation queries on every page load; under the paper's
-million-user north star those queries dominate read traffic.  Every
-:class:`~repro.tsdb.store.TimeSeriesDB` mutation bumps the store's
-``epoch``, and each cache entry remembers the epoch it was computed
-at — a lookup only hits when the store has not changed since, so a
-hit is always byte-identical to recomputing.  Stale entries are
-evicted on contact; capacity is bounded LRU.
+Two caches with different invalidation rules front the TSDB:
 
-Hits and misses are exported as ``repro_tsdb_cache_hits_total`` /
-``repro_tsdb_cache_misses_total`` on the shared obs registry.
+* :class:`QueryCache` — LRU of *query results*, invalidated by write
+  epoch.  The portal's ``/fleet`` and plot pages re-issue the same
+  handful of aggregation queries on every page load; under the
+  paper's million-user north star those queries dominate read
+  traffic.  Every :class:`~repro.tsdb.store.TimeSeriesDB` mutation
+  bumps the store's ``epoch``, and each cache entry remembers the
+  epoch it was computed at — a lookup only hits when the store has
+  not changed since, so a hit is always byte-identical to
+  recomputing.  Stale entries are evicted on contact; capacity is
+  bounded LRU.
+* :class:`BufferCache` — LRU of *decoded chunk columns*, keyed by the
+  chunk's process-unique ``chunk_id``.  Sealed chunks are immutable,
+  so an entry can never go stale — no epoch check is needed, which is
+  exactly why this cache keeps paying off on a live store whose
+  result cache is invalidated by every write.  The only bookkeeping
+  is garbage collection: when :meth:`~repro.tsdb.store._Series.prune`
+  drops or re-seals chunks it calls :meth:`BufferCache.invalidate`
+  with the dead ids (chunk ids are never reused, so a missed
+  invalidation wastes memory but can never alias).
+
+Hits and misses are exported on the shared obs registry as
+``repro_tsdb_cache_{hits,misses}_total`` (results) and
+``repro_tsdb_buffer_cache_{hits,misses}_total`` (decoded buffers).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro import obs
 
-__all__ = ["QueryCache"]
+__all__ = ["QueryCache", "BufferCache"]
 
 
 class QueryCache:
@@ -59,6 +75,96 @@ class QueryCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferCache:
+    """Bounded LRU of decoded ``(times, values)`` chunk columns.
+
+    Entries are keyed by ``chunk_id`` and treated as immutable by
+    every consumer (the query kernels never write into decoded
+    buffers — they slice and copy).  ``maxsize`` bounds resident
+    entries; at the default chunk size that is ~8 KiB per entry.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, chunk_id: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The decoded columns, or None when the chunk must be decoded."""
+        entry = self._entries.get(chunk_id)
+        if entry is not None:
+            self._entries.move_to_end(chunk_id)
+            self.hits += 1
+            obs.counter(
+                "repro_tsdb_buffer_cache_hits_total",
+                "chunk decodes avoided by the decoded-buffer cache",
+            ).inc()
+            return entry
+        self.misses += 1
+        obs.counter(
+            "repro_tsdb_buffer_cache_misses_total",
+            "chunk decodes that had to run",
+        ).inc()
+        return None
+
+    def put(self, chunk_id: int, t: np.ndarray, v: np.ndarray) -> None:
+        self._entries[chunk_id] = (t, v)
+        self._entries.move_to_end(chunk_id)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def put_many(
+        self, items: Iterable[Tuple[int, Tuple[np.ndarray, np.ndarray]]]
+    ) -> None:
+        """Insert freshly decoded chunks in bulk (ids must be new).
+
+        The batched scan only decodes chunks that are *not* resident,
+        so plain insertion already lands every entry at the MRU end;
+        eviction runs once for the whole batch.
+        """
+        entries = self._entries
+        for chunk_id, cols in items:
+            entries[chunk_id] = cols
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def note_misses(self, n: int) -> None:
+        """Account for ``n`` decodes planned against this cache.
+
+        The batched scan path peeks at membership first, gathers every
+        absent chunk across all series, and decodes them in one call —
+        so the misses are counted here, once per planned decode,
+        instead of through :meth:`get`.
+        """
+        if n:
+            self.misses += n
+            obs.counter(
+                "repro_tsdb_buffer_cache_misses_total",
+                "chunk decodes that had to run",
+            ).inc(n)
+
+    def invalidate(self, chunk_ids: Iterable[int]) -> None:
+        """Drop entries for chunks that no longer exist (prune/reseal)."""
+        for cid in chunk_ids:
+            self._entries.pop(cid, None)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -24,7 +24,9 @@ query-result cache (:mod:`repro.tsdb.cache`) invalidate precisely.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,9 +34,31 @@ import numpy as np
 
 from repro import obs
 from repro.core.store import CentralStore
-from repro.tsdb.chunks import CHUNK_POINTS, Chunk
+from repro.tsdb.chunks import CHUNK_POINTS, Chunk, decode_concat, decode_many
 
 TagKey = Tuple[Tuple[str, str], ...]
+
+#: scans with at least this many chunks to decode are worth handing to
+#: the shared thread pool when ``scan_threads`` > 1
+_PARALLEL_SCAN_MIN_CHUNKS = 8
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def _scan_pool(threads: int) -> ThreadPoolExecutor:
+    """One shared decode pool, grown on demand (never per-query)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < threads:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="tsdb-scan"
+            )
+            _POOL_SIZE = threads
+        return _POOL
 
 
 def _tagkey(tags: Mapping[str, str]) -> TagKey:
@@ -61,6 +85,8 @@ class _Series:
     tags: Dict[str, str]
     chunk_size: int = CHUNK_POINTS
     chunks: List[Chunk] = field(default_factory=list)
+    #: decoded-chunk LRU shared across the store (None disables)
+    buffer_cache: Optional[object] = None
     _head_t: List[int] = field(default_factory=list)
     _head_v: List[float] = field(default_factory=list)
     #: strictly-increasing fast path: every append so far was newer
@@ -68,6 +94,10 @@ class _Series:
     _ordered: bool = True
     _max_ts: Optional[int] = None
     _full: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    #: memoised head columns — a write-side artifact (the head *is*
+    #: these arrays between appends), so unlike ``_full`` it survives
+    #: :meth:`drop_read_cache`
+    _head_cols: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- writing ------------------------------------------------------------
     def add(self, ts: int, value: float) -> None:
@@ -79,6 +109,7 @@ class _Series:
         self._head_t.append(ts)
         self._head_v.append(float(value))
         self._full = None
+        self._head_cols = None
         if len(self._head_t) >= self.chunk_size:
             self._seal_head()
 
@@ -102,6 +133,7 @@ class _Series:
         self._head_t.extend(t.tolist())
         self._head_v.extend(v.tolist())
         self._full = None
+        self._head_cols = None
         while len(self._head_t) >= self.chunk_size:
             self._seal_head()
         return len(t)
@@ -112,6 +144,7 @@ class _Series:
         t = np.asarray(self._head_t[:n], dtype=np.int64)
         v = np.asarray(self._head_v[:n], dtype=np.float64)
         del self._head_t[:n], self._head_v[:n]
+        self._head_cols = None
         # within one sealed slice, last-inserted wins for duplicate
         # timestamps; later slices/heads override at merge time because
         # chunks are concatenated in seal order before the stable sort
@@ -141,22 +174,100 @@ class _Series:
         With a ``time_range`` the sealed chunks are filtered on their
         metadata first, so out-of-window chunks are never decoded; a
         series whose full columns are already materialised answers a
-        window by binary-search slicing instead.
+        window by binary-search slicing instead.  Chunk decodes go
+        through the store's decoded-buffer cache when one is attached,
+        and the misses of one call are decoded in a single batch.
+        """
+        lo, hi = time_range if time_range is not None else (None, None)
+        if self._full is not None:
+            return self._slice_full(lo, hi, time_range is None)
+        _, needed = self.pending_chunks(lo, hi)
+        decoded = self.decode_into({}, needed)
+        return self.assemble(decoded, lo, hi, cache_full=time_range is None)
+
+    def _head_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The buffered head as columns, memoised between appends."""
+        if self._head_cols is None:
+            self._head_cols = (
+                np.asarray(self._head_t, dtype=np.int64),
+                np.asarray(self._head_v, dtype=np.float64),
+            )
+        return self._head_cols
+
+    def _slice_full(
+        self, lo: Optional[int], hi: Optional[int], full: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        t, v = self._full
+        if full:
+            return t, v
+        i, j = np.searchsorted(t, lo), np.searchsorted(t, hi)
+        return t[i:j], v[i:j]
+
+    def pending_chunks(
+        self, lo: Optional[int], hi: Optional[int]
+    ) -> Tuple[List[Chunk], List[Chunk]]:
+        """``(overlapping, pending)`` sealed chunks for a window.
+
+        ``overlapping`` survived the metadata pushdown; ``pending`` is
+        the subset whose decode is not in the buffer cache yet.
+        Store-level :meth:`TimeSeriesDB.scan` collects the pending
+        sets across every selected series and decodes them in one
+        :func:`~repro.tsdb.chunks.decode_concat` batch — and when
+        *every* overlapping chunk is pending (a truly cold series) it
+        skips the per-chunk merge entirely, because consecutive chunks
+        of one series decode into one contiguous span.
         """
         if self._full is not None:
-            t, v = self._full
-            if time_range is None:
-                return t, v
-            lo, hi = time_range
-            i, j = np.searchsorted(t, lo), np.searchsorted(t, hi)
-            return t[i:j], v[i:j]
-        lo, hi = time_range if time_range is not None else (None, None)
+            return [], []
+        if lo is None and hi is None:
+            overlapping = self.chunks
+        else:
+            overlapping = [c for c in self.chunks if c.overlaps(lo, hi)]
+        if self.buffer_cache is None or not self.buffer_cache._entries:
+            return overlapping, overlapping
+        resident = self.buffer_cache._entries
+        pending = [c for c in overlapping if c.chunk_id not in resident]
+        return overlapping, pending
 
+    def decode_into(
+        self,
+        decoded: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        needed: List[Chunk],
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Batch-decode ``needed`` into the ``decoded`` map."""
+        if needed:
+            if self.buffer_cache is not None:
+                self.buffer_cache.note_misses(len(needed))
+            for chunk, cols in zip(needed, decode_many(needed)):
+                decoded[chunk.chunk_id] = cols
+        return decoded
+
+    def assemble(
+        self,
+        decoded: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        lo: Optional[int],
+        hi: Optional[int],
+        cache_full: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge decoded chunks + head into the final sorted columns.
+
+        ``decoded`` maps chunk ids to freshly decoded columns; chunks
+        not in it are taken from the buffer cache (populating the
+        cache with the fresh decodes on the way through).
+        """
+        cache = self.buffer_cache
         parts: List[Tuple[np.ndarray, np.ndarray]] = []
         for chunk in self.chunks:
             if not chunk.overlaps(lo, hi):
                 continue
-            t, v = chunk.decode()
+            cols = decoded.get(chunk.chunk_id)
+            if cols is None and cache is not None:
+                cols = cache.get(chunk.chunk_id)
+            if cols is None:  # decoded without a cache attached
+                cols = decode_many([chunk])[0]
+            elif cache is not None and chunk.chunk_id not in cache._entries:
+                cache.put(chunk.chunk_id, *cols)
+            t, v = cols
             if lo is not None and hi is not None and (
                 t[0] < lo or t[-1] >= hi
             ):
@@ -164,8 +275,7 @@ class _Series:
                 t, v = t[m], v[m]
             parts.append((t, v))
         if self._head_t:
-            t = np.asarray(self._head_t, dtype=np.int64)
-            v = np.asarray(self._head_v, dtype=np.float64)
+            t, v = self._head_arrays()
             if lo is not None:
                 m = (t >= lo) & (t < hi)
                 t, v = t[m], v[m]
@@ -173,7 +283,7 @@ class _Series:
 
         if not parts:
             empty = (np.empty(0, dtype=np.int64), np.empty(0))
-            if time_range is None:
+            if cache_full:
                 self._full = empty
             return empty
         t = np.concatenate([p[0] for p in parts])
@@ -183,9 +293,13 @@ class _Series:
             # concatenation order is insertion order, so the stable
             # sort + keep-last reproduces the flat-list semantics
             t, v = _sort_dedupe(t, v)
-        if time_range is None:
+        if cache_full:
             self._full = (t, v)
         return t, v
+
+    def drop_read_cache(self) -> None:
+        """Forget materialised columns (cold-read benchmarking)."""
+        self._full = None
 
     def prune(self, before: int) -> int:
         """Drop points older than ``before``; returns points dropped.
@@ -198,9 +312,11 @@ class _Series:
             return 0
         dropped = 0
         kept_chunks: List[Chunk] = []
+        dead_ids: List[int] = []
         for chunk in self.chunks:
             if chunk.t_max < before:
                 dropped += chunk.count
+                dead_ids.append(chunk.chunk_id)
             elif chunk.t_min >= before:
                 kept_chunks.append(chunk)
             else:
@@ -208,7 +324,11 @@ class _Series:
                 m = t >= before
                 dropped += int((~m).sum())
                 kept_chunks.append(Chunk.seal(t[m], v[m]))
+                dead_ids.append(chunk.chunk_id)
         self.chunks = kept_chunks
+        if dead_ids and self.buffer_cache is not None:
+            # ids are never reused, so this is pure garbage collection
+            self.buffer_cache.invalidate(dead_ids)
         if self._head_t:
             kept = [
                 (t, v)
@@ -218,6 +338,7 @@ class _Series:
             dropped += len(self._head_t) - len(kept)
             self._head_t = [t for t, _ in kept]
             self._head_v = [v for _, v in kept]
+            self._head_cols = None
         if dropped:
             self._full = None
         return dropped
@@ -248,8 +369,10 @@ class TimeSeriesDB:
         self,
         chunk_size: int = CHUNK_POINTS,
         cache: Optional[object] = ...,
+        buffer_cache: Optional[object] = ...,
+        scan_threads: int = 1,
     ) -> None:
-        from repro.tsdb.cache import QueryCache
+        from repro.tsdb.cache import BufferCache, QueryCache
 
         self._series: Dict[Tuple[str, TagKey], _Series] = {}
         #: tag name → tag value → set of series keys (inverted index)
@@ -265,6 +388,17 @@ class TimeSeriesDB:
         #: LRU query-result cache consulted by :func:`repro.tsdb.query`
         #: (pass ``cache=None`` to disable)
         self.cache = QueryCache() if cache is ... else cache
+        #: LRU of decoded chunk columns shared by every series
+        #: (pass ``buffer_cache=None`` to disable)
+        self.buffer_cache = (
+            BufferCache() if buffer_cache is ... else buffer_cache
+        )
+        #: decode pool width for multi-series scans (1 = serial)
+        self.scan_threads = int(scan_threads)
+        #: windowed-stats calls answered through the chunk path, and
+        #: chunk decodes skipped outright thanks to pre-aggregates
+        self.preagg_windows = 0
+        self.preagg_chunks_skipped = 0
 
     # -- writing ------------------------------------------------------------
     def _get_series(self, metric: str, tags: Mapping[str, str]) -> _Series:
@@ -274,6 +408,8 @@ class TimeSeriesDB:
             s = self._series[key] = self.series_cls(
                 metric=metric, tags=dict(tags), chunk_size=self.chunk_size
             )
+            if isinstance(s, _Series):
+                s.buffer_cache = self.buffer_cache
             self._by_metric[metric].add(key)
             for k, v in s.tags.items():
                 self._index[k][str(v)].add(key)
@@ -348,6 +484,164 @@ class TimeSeriesDB:
         """Seal every series head (at-rest sizing; not required)."""
         for s in self._series.values():
             s.seal()
+
+    # -- reading ------------------------------------------------------------
+    def scan(
+        self,
+        series_list: Sequence[object],
+        time_range: Optional[Tuple[int, int]] = None,
+        threads: Optional[int] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Materialise many series at once; returns aligned ``(t, v)``.
+
+        The fleet-wide read path: every sealed chunk that survives
+        pushdown and misses the decoded-buffer cache — across *all*
+        requested series — is decompressed in one batched
+        :func:`~repro.tsdb.chunks.decode_many` call (optionally split
+        over a shared thread pool), then each series assembles its
+        columns from the decode map.  Results are independent of
+        ``threads``: chunks decode bit-exactly in isolation and
+        assembly order is the caller's series order.
+        """
+        lo, hi = time_range if time_range is not None else (None, None)
+        threads = self.scan_threads if threads is None else int(threads)
+
+        needed: List[Chunk] = []
+        plans: List[Optional[Tuple[List[Chunk], List[Chunk], int]]] = []
+        for s in series_list:
+            if not isinstance(s, _Series):
+                plans.append(None)  # foreign series answer on their own
+                continue
+            overlapping, pending = s.pending_chunks(lo, hi)
+            plans.append((overlapping, pending, len(needed)))
+            needed.extend(pending)
+
+        if self.buffer_cache is not None:
+            self.buffer_cache.note_misses(len(needed))
+        decoded: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        spans: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        if threads > 1 and len(needed) >= _PARALLEL_SCAN_MIN_CHUNKS:
+            pool = _scan_pool(threads)
+            slabs = [needed[i::threads] for i in range(threads)]
+            for slab, cols in zip(slabs, pool.map(decode_many, slabs)):
+                for chunk, tv in zip(slab, cols):
+                    decoded[chunk.chunk_id] = tv
+            if self.buffer_cache is not None:
+                self.buffer_cache.put_many(decoded.items())
+        elif needed:
+            spans = decode_concat(needed)
+
+        def _chunk_cols(start: int, k: int) -> None:
+            """Lazily slice per-chunk columns out of the batch decode.
+
+            Only series that fall back to the per-chunk merge (warm
+            cache, out-of-order writes) pay for this; a cold full
+            scan hands each series its contiguous span directly and
+            its repeat reads are served by ``_full``, so populating
+            the chunk cache for it would be pure overhead.
+            """
+            gt, gv, bounds = spans
+            fresh = []
+            for i in range(start, start + k):
+                cols = (
+                    gt[bounds[i]:bounds[i + 1]],
+                    gv[bounds[i]:bounds[i + 1]],
+                )
+                decoded[needed[i].chunk_id] = cols
+                fresh.append((needed[i].chunk_id, cols))
+            if self.buffer_cache is not None:
+                self.buffer_cache.put_many(fresh)
+
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for s, plan in zip(series_list, plans):
+            if plan is None:
+                out.append(s.arrays(time_range))
+                continue
+            overlapping, pending, start = plan
+            if s._full is not None:
+                out.append(s._slice_full(lo, hi, time_range is None))
+            elif (
+                spans is not None
+                and s._ordered
+                and len(pending) == len(overlapping)
+            ):
+                # truly cold in-order series: its chunks decoded into
+                # one contiguous span of the batch — slice, window,
+                # append the head; no per-chunk merge at all
+                gt, gv, bounds = spans
+                a, b = bounds[start], bounds[start + len(pending)]
+                t, v = gt[a:b], gv[a:b]
+                if lo is not None and len(t) and (t[0] < lo or t[-1] >= hi):
+                    # the span is sorted, so the window is a slice
+                    i, j = np.searchsorted(t, (lo, hi))
+                    t, v = t[i:j], v[i:j]
+                if s._head_t:
+                    ht, hv = s._head_arrays()
+                    if lo is not None:
+                        i, j = np.searchsorted(ht, (lo, hi))
+                        ht, hv = ht[i:j], hv[i:j]
+                    t = np.concatenate([t, ht])
+                    v = np.concatenate([v, hv])
+                if time_range is None:
+                    s._full = (t, v)
+                out.append((t, v))
+                if time_range is not None and pending:
+                    # windowed scans keep the chunk decodes around —
+                    # the next window will want (some of) them again
+                    _chunk_cols(start, len(pending))
+            else:
+                if spans is not None and pending:
+                    _chunk_cols(start, len(pending))
+                out.append(
+                    s.assemble(
+                        decoded, lo, hi, cache_full=time_range is None
+                    )
+                )
+        return out
+
+    def drop_read_caches(self) -> None:
+        """Forget every cached read artifact (cold-read benchmarking).
+
+        Clears materialised per-series columns, the decoded-buffer
+        cache and the query-result cache; the next query pays the full
+        decode + compute cost, as a freshly restarted process would.
+        """
+        for s in self._series.values():
+            s.drop_read_cache()
+        if self.buffer_cache is not None:
+            self.buffer_cache.clear()
+        if self.cache is not None:
+            self.cache.clear()
+
+    def read_stats(self) -> Dict[str, object]:
+        """Read-path accelerator counters for the portal ``/fleet`` page.
+
+        Schema (pinned by ``tests/test_tsdb/test_cache.py``): the
+        result cache and buffer cache report independently —
+        result-cache hits skip the whole computation, buffer-cache
+        hits only skip chunk decodes, and pre-aggregate skips avoid
+        decodes without any cache involved.  ``None`` marks a disabled
+        cache.
+        """
+        def _cache_stats(c) -> Optional[Dict[str, object]]:
+            if c is None:
+                return None
+            return {
+                "hits": c.hits,
+                "misses": c.misses,
+                "hit_ratio": c.hit_ratio,
+                "entries": len(c),
+            }
+
+        return {
+            "epoch": self.epoch,
+            "result_cache": _cache_stats(self.cache),
+            "buffer_cache": _cache_stats(self.buffer_cache),
+            "preagg": {
+                "windows": self.preagg_windows,
+                "chunks_skipped": self.preagg_chunks_skipped,
+            },
+        }
 
     # -- introspection -----------------------------------------------------
     def metrics(self) -> List[str]:

@@ -124,7 +124,11 @@ def test_portal_fleet_live_activity_chart(mirror_run, fresh_db):
     assert resp.ok
     assert "Live activity" in resp.body
     assert "rate by host" in resp.body
-    assert "query cache" in resp.body
+    # the three read-path accelerators report separately (ISSUE 6)
+    assert "result cache" in resp.body
+    assert "buffer cache" in resp.body
+    assert "preagg:" in resp.body
+    assert "chunk decodes" in resp.body
 
 
 def test_portal_tsdb_plot_endpoint(mirror_run, fresh_db):

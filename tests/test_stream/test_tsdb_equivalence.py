@@ -13,8 +13,8 @@ exercised, not just the head.
 import numpy as np
 import pytest
 
-from repro.tsdb import TimeSeriesDB, ingest_store
-from repro.tsdb.baseline import ListBackedTSDB
+from repro.tsdb import TimeSeriesDB, ingest_store, window_stats
+from repro.tsdb.baseline import ListBackedTSDB, baseline_query
 from repro.tsdb.query import query
 
 #: small enough that the soak corpus seals many chunks per series
@@ -31,6 +31,25 @@ def engines(soak_run):
     assert n1 == n2 > 0
     assert chunked.n_chunks() > 50, "corpus too small to stress sealing"
     return chunked, listed
+
+
+@pytest.fixture(scope="module")
+def engine_matrix(soak_run):
+    """Chunked engines in every read-path configuration under test:
+
+    buffer cache enabled (default), disabled, and parallel scans —
+    all loaded with the same soak corpus as the frozen list baseline.
+    """
+    configs = {
+        "buffered": TimeSeriesDB(chunk_size=CHUNK_SIZE),
+        "unbuffered": TimeSeriesDB(chunk_size=CHUNK_SIZE, buffer_cache=None),
+        "threaded": TimeSeriesDB(chunk_size=CHUNK_SIZE, scan_threads=4),
+    }
+    listed = ListBackedTSDB()
+    n_ref = ingest_store(listed, soak_run.sess.store, types=["mdc"])
+    for db in configs.values():
+        assert ingest_store(db, soak_run.sess.store, types=["mdc"]) == n_ref
+    return configs, listed
 
 
 def assert_results_bit_identical(ra, rb, ctx=""):
@@ -137,3 +156,110 @@ def test_interference_analysis_identical_end_to_end(engines, soak_run):
     )
     assert ra.load_share == rb.load_share
     assert ra.implicated == rb.implicated
+
+
+# -- ISSUE 6: cache-mode matrix vs the frozen baseline ------------------------
+
+def test_battery_vs_frozen_baseline_all_cache_modes(engine_matrix):
+    """The full battery, bit-identical to the *frozen* pre-vectorisation
+    query path (`tsdb/baseline.py`), with the decoded-buffer cache
+    enabled, disabled, and scans parallelised.  Each query runs twice
+    per configuration so the second pass reads through whatever caches
+    the configuration keeps (result cache, buffer cache, ``_full``)."""
+    configs, listed = engine_matrix
+    for kw in QUERIES:
+        expected = baseline_query(listed, "stats", **kw)
+        assert expected.series, f"empty result would prove nothing: {kw}"
+        for name, db in configs.items():
+            for attempt in ("cold", "warm"):
+                ra = query(db, "stats", **kw)
+                assert_results_bit_identical(
+                    ra, expected, ctx=f"{name}/{attempt}/{kw}"
+                )
+
+
+def test_windowed_battery_vs_frozen_baseline_all_cache_modes(engine_matrix):
+    configs, listed = engine_matrix
+    t0 = min(s.arrays()[0][0] for s in listed.select("stats"))
+    t1 = max(s.arrays()[0][-1] for s in listed.select("stats"))
+    span = int(t1 - t0)
+    windows = [
+        (int(t0) + span // 3, int(t0) + span // 2 + 17),
+        (int(t0) - 10_000, int(t1) + 10_000),
+    ]
+    for window in windows:
+        for kw in (
+            {"group_by": ("host",)},
+            {"rate": True, "downsample": (1800, "avg")},
+        ):
+            expected = baseline_query(
+                listed, "stats", time_range=window, **kw
+            )
+            for name, db in configs.items():
+                for _ in range(2):
+                    ra = query(db, "stats", time_range=window, **kw)
+                    assert_results_bit_identical(
+                        ra, expected, ctx=f"{name}/{window}/{kw}"
+                    )
+
+
+def test_parallel_scan_determinism(soak_run):
+    """scan() must return bit-identical columns at 1 and N threads,
+    cold and warm, windowed and unwindowed."""
+    serial = TimeSeriesDB(chunk_size=CHUNK_SIZE, scan_threads=1)
+    threaded = TimeSeriesDB(chunk_size=CHUNK_SIZE, scan_threads=4)
+    ingest_store(serial, soak_run.sess.store, types=["mdc"])
+    ingest_store(threaded, soak_run.sess.store, types=["mdc"])
+    t0, t1 = None, None
+    for s in serial.select("stats"):
+        t, _ = s.arrays()
+        t0 = int(t[0]) if t0 is None else min(t0, int(t[0]))
+        t1 = int(t[-1]) if t1 is None else max(t1, int(t[-1]))
+    serial.drop_read_caches()
+    threaded.drop_read_caches()
+    for time_range in (None, (t0 + (t1 - t0) // 3, t0 + (t1 - t0) // 2)):
+        for _ in range(2):  # cold, then through the caches
+            cols_a = serial.scan(serial.select("stats"), time_range)
+            cols_b = threaded.scan(threaded.select("stats"), time_range)
+            assert len(cols_a) == len(cols_b) > 0
+            for (ta, va), (tb, vb) in zip(cols_a, cols_b):
+                assert np.array_equal(ta, tb)
+                assert np.array_equal(
+                    va.view(np.uint64), vb.view(np.uint64)
+                )
+
+
+def test_window_stats_matches_list_recompute_on_soak(engine_matrix):
+    """Fleet summaries (the /fleet page) agree bit-for-bit with a
+    materialise-and-reduce pass over the list engine, preagg on/off."""
+    configs, listed = engine_matrix
+    t0 = min(s.arrays()[0][0] for s in listed.select("stats"))
+    t1 = max(s.arrays()[0][-1] for s in listed.select("stats"))
+    mid = (int(t0) + int(t1)) // 2
+    for time_range in (None, (int(t0), mid), (mid, int(t1) + 1)):
+        ref = {}
+        for s in listed.select("stats"):
+            t, v = s.arrays(time_range)
+            cnt = int(np.count_nonzero(~np.isnan(v)))
+            with np.errstate(all="ignore"):
+                ref[tuple(sorted(s.tags.items()))] = (
+                    len(v), cnt,
+                    np.float64(np.nansum(v)).tobytes(),
+                    np.float64(np.nanmin(v) if cnt else np.nan).tobytes(),
+                    np.float64(np.nanmax(v) if cnt else np.nan).tobytes(),
+                )
+        for name, db in configs.items():
+            for use_preagg in (True, False):
+                got = window_stats(
+                    db, "stats", time_range=time_range,
+                    use_preagg=use_preagg,
+                )
+                assert len(got) == len(ref)
+                for st in got:
+                    key = tuple(sorted(st.tags.items()))
+                    n, cnt, s_b, mn_b, mx_b = ref[key]
+                    ctx = f"{name}/preagg={use_preagg}/{time_range}/{key}"
+                    assert st.points == n and st.count == cnt, ctx
+                    assert np.float64(st.sum).tobytes() == s_b, ctx
+                    assert np.float64(st.min).tobytes() == mn_b, ctx
+                    assert np.float64(st.max).tobytes() == mx_b, ctx

@@ -1,10 +1,11 @@
-"""The query-result cache: LRU bounds, epoch invalidation, wiring."""
+"""The read-path caches: result cache, decoded-buffer cache, and the
+``read_stats()`` schema the portal ``/fleet`` page renders."""
 
 import numpy as np
 import pytest
 
 from repro import obs
-from repro.tsdb import QueryCache, TimeSeriesDB
+from repro.tsdb import BufferCache, QueryCache, TimeSeriesDB, window_stats
 from repro.tsdb.query import query
 
 
@@ -113,3 +114,84 @@ def test_cache_counters_on_obs_registry():
     assert obs.counter("repro_tsdb_cache_misses_total").value() == 1
     assert obs.counter("repro_tsdb_cache_hits_total").value() == 1
     obs.reset()
+
+
+# -- the decoded-buffer cache (ISSUE 6) ---------------------------------------
+
+def cols(n):
+    return np.arange(n, dtype=np.int64), np.ones(n, dtype=np.float64)
+
+
+def test_buffer_cache_lru_and_counters():
+    bc = BufferCache(maxsize=2)
+    bc.put(1, *cols(3))
+    bc.put(2, *cols(3))
+    assert bc.get(1) is not None        # refresh 1
+    bc.put(3, *cols(3))                 # evicts 2
+    assert bc.get(2) is None
+    assert bc.get(1) is not None and bc.get(3) is not None
+    assert len(bc) == 2
+    assert (bc.hits, bc.misses) == (3, 1)
+    assert bc.hit_ratio == 0.75
+
+
+def test_buffer_cache_put_many_and_note_misses():
+    bc = BufferCache(maxsize=3)
+    bc.note_misses(4)
+    bc.put_many((cid, cols(2)) for cid in (10, 11, 12, 13))
+    assert len(bc) == 3
+    assert bc.get(10) is None  # batch eviction dropped the oldest
+    assert bc.get(13) is not None
+    assert bc.misses == 5
+    bc.invalidate([13, 999])
+    assert 13 not in bc._entries
+    bc.clear()
+    assert len(bc) == 0
+
+
+def test_buffer_cache_maxsize_must_be_positive():
+    with pytest.raises(ValueError):
+        BufferCache(maxsize=0)
+
+
+def test_buffer_cache_can_be_disabled():
+    db = TimeSeriesDB(buffer_cache=None)
+    fill(db, "n1", [1.0, 2.0])
+    assert db.buffer_cache is None
+    assert query(db, "m").series[0].values[-1] == 2.0
+
+
+# -- the /fleet stats schema --------------------------------------------------
+
+def test_read_stats_schema_pinned():
+    """The exact shape the portal ``/fleet`` page renders: the result
+    cache, the buffer cache, and pre-aggregate skips report separately,
+    and a disabled cache shows as None (not zeros)."""
+    db = TimeSeriesDB(chunk_size=4)
+    for i in range(12):
+        db.put("m", {"host": "n1"}, i, float(i))
+    db.seal_heads()
+    db.drop_read_caches()
+    window_stats(db, "m")                       # preagg path
+    window_stats(db, "m", time_range=(1, 7))    # edge decodes
+    query(db, "m")
+    query(db, "m")                              # result-cache hit
+    stats = db.read_stats()
+    assert set(stats) == {
+        "epoch", "result_cache", "buffer_cache", "preagg"
+    }
+    for cache_key in ("result_cache", "buffer_cache"):
+        c = stats[cache_key]
+        assert set(c) == {"hits", "misses", "hit_ratio", "entries"}
+        assert all(isinstance(c[k], int) for k in ("hits", "misses", "entries"))
+        assert isinstance(c["hit_ratio"], float)
+    assert stats["result_cache"]["hits"] >= 1
+    assert stats["buffer_cache"]["misses"] >= 1
+    assert set(stats["preagg"]) == {"windows", "chunks_skipped"}
+    assert stats["preagg"]["windows"] >= 2
+    assert stats["preagg"]["chunks_skipped"] >= 3  # full-history pass
+    assert isinstance(stats["epoch"], int)
+
+    off = TimeSeriesDB(cache=None, buffer_cache=None).read_stats()
+    assert off["result_cache"] is None
+    assert off["buffer_cache"] is None

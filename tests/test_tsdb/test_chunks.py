@@ -130,3 +130,108 @@ def test_property_joint_round_trip(pairs):
     t = np.cumsum(np.asarray([p[0] for p in pairs], dtype=np.int64))
     v = [p[1] for p in pairs]
     assert_bit_identical(seal(t, v), t, v)
+
+
+# -- cadence elision + batched decode (ISSUE 6) -------------------------------
+
+def test_regular_cadence_elides_timestamp_stream():
+    """Perfectly regular series — the monitoring norm — store only the
+    cadence, no timestamp stream at all."""
+    t = np.arange(64, dtype=np.int64) * 600 + 1_400_000_000
+    c = seal(t, np.ones(64))
+    assert c.t_step == 600
+    assert c._t_lens == b"" and c._t_payload == b""
+    assert_bit_identical(c, t, np.ones(64))
+
+
+def test_single_point_counts_as_regular():
+    c = seal([7], [1.0])
+    assert c.t_step == 0
+    assert c._t_lens == b"" and c._t_payload == b""
+
+
+def test_irregular_cadence_keeps_encoded_stream():
+    t = np.array([0, 600, 1201, 1800], dtype=np.int64)
+    c = seal(t, np.zeros(4))
+    assert c.t_step is None
+    assert len(c._t_lens) > 0
+    assert_bit_identical(c, t, np.zeros(4))
+
+
+def test_decode_concat_bounds_and_mixed_cadence():
+    """decode_concat over a regular/irregular mix: bounds partition the
+    concatenation and every slice is bit-identical to a solo decode."""
+    from repro.tsdb.chunks import decode_concat, decode_many
+
+    rng = np.random.default_rng(7)
+    specs = []
+    for i in range(6):
+        n = int(rng.integers(1, 40))
+        if i % 2:
+            t = np.arange(n, dtype=np.int64) * 600 + i * 10**6
+        else:
+            t = np.cumsum(rng.integers(1, 900, n)) + i * 10**6
+        specs.append((t.astype(np.int64), rng.normal(size=n)))
+    chunks = [seal(t, v) for t, v in specs]
+    assert any(c.t_step is not None for c in chunks)
+    assert any(c.t_step is None for c in chunks)
+
+    t_all, v_all, bounds = decode_concat(chunks)
+    assert bounds[0] == 0 and bounds[-1] == len(t_all) == sum(
+        len(t) for t, _ in specs
+    )
+    for i, (t, v) in enumerate(specs):
+        sl = slice(bounds[i], bounds[i + 1])
+        assert np.array_equal(t_all[sl], t)
+        assert np.array_equal(
+            v_all[sl].view(np.uint64), np.asarray(v).view(np.uint64)
+        )
+    # decode_many agrees with per-chunk decode()
+    for (bt, bv), c in zip(decode_many(chunks), chunks):
+        st_, sv = c.decode()
+        assert np.array_equal(bt, st_)
+        assert np.array_equal(bv.view(np.uint64), sv.view(np.uint64))
+
+
+def test_decode_many_empty():
+    from repro.tsdb.chunks import decode_many
+
+    assert decode_many([]) == []
+
+
+def test_decode_concat_all_regular_and_all_irregular():
+    from repro.tsdb.chunks import decode_concat
+
+    reg = [
+        seal(np.arange(5, dtype=np.int64) * 60 + k * 1000, np.full(5, k))
+        for k in range(3)
+    ]
+    t, v, bounds = decode_concat(reg)
+    assert len(t) == 15 and list(bounds) == [0, 5, 10, 15]
+    irr = [
+        seal(np.array([0, 1, 3], dtype=np.int64) + k * 1000, np.full(3, k))
+        for k in range(3)
+    ]
+    t2, _, bounds2 = decode_concat(irr)
+    assert list(bounds2) == [0, 3, 6, 9]
+    assert np.array_equal(t2[:3], [0, 1, 3])
+
+
+def test_preaggregates_present_on_seal():
+    t = np.arange(8, dtype=np.int64)
+    v = np.array([1.0, np.nan, 3.0, -2.0, np.inf, 0.5, -0.0, 4.0])
+    c = seal(t, v)
+    assert c.agg_count == 7
+    assert c.agg_sum == np.nansum(v)
+    assert c.agg_min == -2.0 and c.agg_max == np.inf
+    assert (c.v_first, c.v_last) == (1.0, 4.0)
+
+
+def test_wide_value_plane_sparse_path():
+    """A few full-width words among many narrow ones exercises the
+    occupancy-capped sparse plane decode."""
+    n = 600
+    v = np.full(n, 1.5)
+    v[::97] = 1e300  # XOR against neighbours yields 8-byte words
+    t = np.arange(n, dtype=np.int64)
+    assert_bit_identical(seal(t, v), t, v)

@@ -244,3 +244,96 @@ def test_storage_bytes_shrink_after_seal():
     assert db.storage_bytes() < raw / 2  # compression actually engaged
     t, v = _arrays(db, h="x")
     assert len(t) == 1000 and v[0] == 1e9
+
+
+# -- batched scan + read caches (ISSUE 6) -------------------------------------
+
+def _filled(chunk_size=8, n=40, hosts=("a", "b", "c"), **kw):
+    db = TimeSeriesDB(chunk_size=chunk_size, **kw)
+    for h in hosts:
+        for i in range(n):
+            db.put("m", {"host": h}, i * 600, float(i) + ord(h[0]))
+    db.seal_heads()
+    return db
+
+
+def test_scan_matches_per_series_arrays():
+    db = _filled()
+    for time_range in (None, (600 * 5, 600 * 25), (10**9, 10**9 + 1)):
+        for _ in range(2):  # cold, then through the buffer cache
+            series = db.select("m")
+            cols = db.scan(series, time_range)
+            assert len(cols) == len(series)
+            for s, (t, v) in zip(series, cols):
+                rt, rv = s.arrays(time_range)
+                assert np.array_equal(t, rt)
+                assert np.array_equal(v, rv)
+
+
+def test_scan_threads_bit_identical_to_serial():
+    serial = _filled(scan_threads=1)
+    threaded = _filled(scan_threads=4)
+    a = serial.scan(serial.select("m"), None)
+    b = threaded.scan(threaded.select("m"), None)
+    for (ta, va), (tb, vb) in zip(a, b):
+        assert np.array_equal(ta, tb) and np.array_equal(va, vb)
+
+
+def test_drop_read_caches_forces_fresh_decode():
+    db = _filled()
+    # unwindowed cold scans memoise whole series (``_full``) instead of
+    # per-chunk buffers; a windowed scan keeps its chunk decodes around
+    db.scan(db.select("m"), (600 * 2, 600 * 30))
+    assert db.buffer_cache is not None and len(db.buffer_cache) > 0
+    db.drop_read_caches()
+    assert len(db.buffer_cache) == 0
+    before = db.buffer_cache.misses
+    db.scan(db.select("m"), None)
+    assert db.buffer_cache.misses > before
+
+
+def test_prune_invalidates_buffer_cache_entries():
+    """Decode-cache invalidation rule: chunk ids die with their chunks,
+    so a pruned or resealed chunk can never serve stale columns."""
+    db = _filled(chunk_size=8, n=32, hosts=("a",))
+    db.scan(db.select("m"), (0, 600 * 32))  # windowed: fills buffer cache
+    s = db.select("m")[0]
+    cached_ids = set(db.buffer_cache._entries)
+    assert {c.chunk_id for c in s.chunks} <= cached_ids
+    horizon = 600 * 12  # kills one whole chunk, straddles another
+    db.prune(horizon)
+    live_ids = {c.chunk_id for c in s.chunks}
+    assert all(
+        cid in live_ids or cid not in db.buffer_cache._entries
+        for cid in cached_ids
+    )
+    t, v = s.arrays()
+    assert t[0] >= horizon
+    # the resealed straddler got a fresh id and decodes correctly
+    cols = db.scan(db.select("m"), None)
+    assert np.array_equal(cols[0][0], t)
+
+
+def test_scan_unordered_series_falls_back():
+    db = TimeSeriesDB(chunk_size=4)
+    for i in (0, 5, 3, 8, 2, 9, 1, 7, 6, 4):  # shuffled arrivals
+        db.put("m", {"host": "a"}, i, float(i))
+    db.seal_heads()
+    s = db.select("m")[0]
+    assert not s._ordered
+    (t, v), = db.scan([s], (2, 8))
+    assert np.array_equal(t, np.arange(2, 8))
+    assert np.array_equal(v, np.arange(2, 8, dtype=np.float64))
+
+
+def test_read_stats_counts_scan_activity():
+    db = _filled()
+    db.scan(db.select("m"), None)
+    stats = db.read_stats()
+    assert stats["buffer_cache"]["misses"] > 0
+    db.scan(db.select("m"), None)
+    # second scan is answered from memoised series columns or the
+    # buffer cache — either way no new decode misses
+    assert db.read_stats()["buffer_cache"]["misses"] == (
+        stats["buffer_cache"]["misses"]
+    )
