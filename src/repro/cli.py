@@ -93,10 +93,63 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest_sharded(args: argparse.Namespace) -> int:
+    """Sharded TSDB load of the raw store (``--shards N``).
+
+    The raw files scatter across a consistent-hash ring of shard
+    stores; ``--shard-workers`` OS processes host the shards, packed
+    by observed load (file sizes) by the resource-aware scheduler.
+    """
+    from repro.shard import ResourceScheduler, ShardedTSDB, StoreSource
+
+    source = StoreSource(args.store)
+    hosts = source.hosts()
+    if not hosts:
+        print(f"no .raw files under {args.store}", file=sys.stderr)
+        return 1
+    workers = max(args.shard_workers, 0)
+    tsdb = ShardedTSDB(shards=args.shards, workers=workers)
+    shard_loads: dict = {}
+    if workers:
+        hints = source.load_hints(hosts)
+        for h, load in hints.items():
+            s = tsdb.map.place(h)
+            shard_loads[s] = shard_loads.get(s, 0.0) + load
+        scheduler = ResourceScheduler(workers)
+        tsdb.close()
+        tsdb = ShardedTSDB(
+            shards=args.shards, workers=workers,
+            scheduler=scheduler, loads=shard_loads,
+        )
+    types = tuple(t for t in args.types.split(",") if t) or None
+    report = tsdb.ingest(source, hosts=hosts, types=types)
+    print(f"sharded ingest: {len(hosts)} hosts -> {args.shards} shards "
+          f"({workers or 'in-process'} workers): "
+          f"{report.points} points, {report.samples} samples "
+          f"in {report.seconds:.2f}s "
+          f"({report.samples_per_sec:,.0f} samples/s)")
+    for sid in sorted(report.per_shard):
+        r = report.per_shard[sid]
+        print(f"  shard {sid}: {int(r['points'])} points, "
+              f"{int(r['samples'])} samples, {r['seconds']:.2f}s")
+    stats = tsdb.window_stats("stats")
+    print(f"  series: {len(stats)}; "
+          f"storage: {tsdb.storage_bytes():,} bytes "
+          f"in {tsdb.n_chunks()} chunks")
+    tsdb.close()
+    return 0
+
+
 def cmd_ingest(args: argparse.Namespace) -> int:
     from repro.core.store import CentralStore
     from repro.pipeline.parallel import ShardedCheckpoint, parallel_ingest_jobs
 
+    if args.shards:
+        return _cmd_ingest_sharded(args)
+    if not args.db:
+        print("error: --db is required unless --shards is given",
+              file=sys.stderr)
+        return 2
     store = CentralStore(args.store)
     db = _open_db(args.db)
     checkpoint = None
@@ -290,9 +343,17 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
     obs.set_clock(sess.cluster.clock.now)
     types = tuple(t for t in args.types.split(",") if t) or None
-    stream = StreamPipeline(
-        sess.broker, jobs=sess.cluster.jobs, types=types
-    )
+    if args.shards:
+        from repro.shard import ShardedStreamPipeline
+
+        stream = ShardedStreamPipeline(
+            sess.broker, shards=args.shards, jobs=sess.cluster.jobs,
+            types=types,
+        )
+    else:
+        stream = StreamPipeline(
+            sess.broker, jobs=sess.cluster.jobs, types=types
+        )
     if not args.quiet_alerts:
         stream.alerts.add_sink(log_sink(sys.stdout))
     stream.start()
@@ -308,11 +369,22 @@ def cmd_stream(args: argparse.Namespace) -> int:
         j: r.final_flags for j, r in sorted(completed.items())
         if r.final_flags
     }
+    n_series = (
+        stream.n_series() if args.shards else stream.tsdb.n_series()
+    )
+    n_points = (
+        stream.n_points() if args.shards else stream.tsdb.n_points()
+    )
     print(f"streamed {args.hours}h on {args.nodes} nodes "
           f"(preset={args.preset}): {stream.samples} samples, "
           f"{stream.points} points into "
-          f"{stream.tsdb.n_series()} series "
-          f"({stream.tsdb.n_points()} retained)")
+          f"{n_series} series "
+          f"({n_points} retained)")
+    if args.shards:
+        spread = stream.shard_points()
+        print("shard spread: " + ", ".join(
+            f"{k}={spread[k]}" for k in sorted(spread)
+        ))
     print(f"completed jobs: {len(completed)}; "
           f"alerts: {len(stream.alerts.ledger)} "
           f"(suppressed {stream.alerts.suppressed})")
@@ -397,7 +469,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ing.add_argument("--store", required=True,
                      help="directory of per-host .raw stats files")
-    ing.add_argument("--db", required=True)
+    ing.add_argument("--db", default="",
+                     help="job database to fill (required unless "
+                          "--shards is given)")
+    ing.add_argument("--shards", type=int, default=0,
+                     help="shard the TSDB load across a consistent-hash "
+                          "ring (0 = classic job ETL)")
+    ing.add_argument("--shard-workers", type=int, default=0,
+                     help="OS processes hosting the shards "
+                          "(0 = in-process)")
+    ing.add_argument("--types", default="",
+                     help="comma-separated device types for the sharded "
+                          "TSDB load (default: all)")
     ing.add_argument("--workers", type=int, default=1,
                      help="parse worker count (1 = serial)")
     ing.add_argument("--batch-size", type=int, default=200,
@@ -473,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--types", default="",
                     help="comma-separated device types for the TSDB "
                          "feed (default: all)")
+    st.add_argument("--shards", type=int, default=0,
+                    help="partition the live feed across a sharded "
+                         "exchange (0 = single consumer)")
     st.add_argument("--quiet-alerts", action="store_true",
                     help="suppress the per-alert log lines")
     st.add_argument("--verify", action="store_true",

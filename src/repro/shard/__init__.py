@@ -1,0 +1,66 @@
+"""Multi-process scale-out: consistent-hash sharding for the TSDB.
+
+One collector box stops being enough somewhere between a rack and a
+fleet (the paper's deployment watches 50k+ hosts); this package scales
+the ingest and query load across OS processes without changing a
+single result bit:
+
+* :mod:`repro.shard.ring` — :class:`ShardMap`, a consistent-hash ring
+  with virtual nodes giving every ``(host, metric)`` partition key a
+  deterministic owner shard;
+* :mod:`repro.shard.worker` — :class:`ShardSet` (the shard-local
+  chunked TSDBs) and the spawn-safe worker entry point;
+* :mod:`repro.shard.pool` — :class:`ShardWorkerPool`, shard workers
+  as OS processes behind duplex pipes, placed by the resource-aware
+  :class:`~repro.shard.scheduler.ResourceScheduler`;
+* :mod:`repro.shard.coordinator` — :class:`QueryCoordinator` (the
+  scatter-gather read side) and :class:`ShardedTSDB` (the facade that
+  routes writes through the ring);
+* :mod:`repro.shard.stream` — the sharded streaming pipeline: a
+  router partitions the broker's live feed per shard.
+
+The contract, enforced by the equivalence suites: any query answered
+by a :class:`ShardedTSDB` — at any shard count, in-process or across
+workers — is *bit-identical* to the same query on one
+:class:`~repro.tsdb.store.TimeSeriesDB` holding the same data.
+
+>>> from repro.shard import ShardMap, ShardedTSDB
+>>> ShardMap(shards=4).place("c001-003")
+3
+>>> db = ShardedTSDB(shards=4)
+>>> _ = db.put_many("stats", {"host": "c001-003"}, [0, 10], [1.0, 2.0])
+>>> [s.count for s in db.window_stats("stats")]
+[2]
+
+See docs/scaling.md for the design and the scaling benchmark.
+"""
+
+from repro.shard.coordinator import (
+    QueryCoordinator,
+    RemoteSeries,
+    ShardedTSDB,
+    ShardIngestReport,
+)
+from repro.shard.ingest import StoreSource, TemplateSource
+from repro.shard.pool import ShardWorkerDied, ShardWorkerPool
+from repro.shard.ring import DEFAULT_VNODES, ShardMap
+from repro.shard.scheduler import ResourceScheduler
+from repro.shard.stream import ShardedStreamPipeline
+from repro.shard.worker import ShardSet, worker_main
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "QueryCoordinator",
+    "RemoteSeries",
+    "ResourceScheduler",
+    "ShardIngestReport",
+    "ShardMap",
+    "ShardSet",
+    "ShardWorkerDied",
+    "ShardWorkerPool",
+    "ShardedStreamPipeline",
+    "ShardedTSDB",
+    "StoreSource",
+    "TemplateSource",
+    "worker_main",
+]

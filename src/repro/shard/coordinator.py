@@ -1,0 +1,328 @@
+"""Scatter-gather query coordination over a sharded fleet.
+
+:class:`QueryCoordinator` is the read side: it fans ``select`` /
+``scan`` / ``window_stats`` out to every shard, merges the partial
+results, and exposes exactly the interface the central query engine
+(:mod:`repro.tsdb.query`) expects from a store — ``select``, ``scan``,
+``cache``, ``epoch``.  That shape is the whole trick behind the
+bit-exactness guarantee:
+
+* **window_stats** merges shard-local partial aggregates.  The
+  partition key is ``(host, metric)``, so *all* points of one series
+  live on one shard — each shard computes its per-series
+  count/sum/min/max/first/last exactly as the single store would
+  (same chunks, same pre-aggregate folds), and the coordinator only
+  has to re-sort the concatenated partials into the single store's
+  ``sorted(series key)`` order.  Nothing numeric is combined across
+  shards, so nothing can drift.
+* **query** (group-by / rate / downsample) runs the *central*
+  aggregation code over shard-materialised per-series columns: the
+  coordinator's ``select`` returns lightweight handles sorted exactly
+  like :meth:`TimeSeriesDB.select`, its ``scan`` gathers each shard's
+  batch-decoded columns back into that order, and then
+  :func:`repro.tsdb.query.query` proceeds as if it were reading one
+  store.  (Cross-shard *sum* partials would not be bit-stable —
+  float addition is non-associative — which is why group aggregation
+  reduces centrally over full columns rather than merging per-shard
+  sums.)
+
+:class:`ShardedTSDB` is the write-side facade around the coordinator:
+it routes ``put``/``put_many``/``ingest`` through the
+:class:`~repro.shard.ring.ShardMap` and bumps the coordinator's write
+epoch so the shared :class:`~repro.tsdb.cache.QueryCache` invalidates
+exactly like the single store's.  With ``workers=0`` the backend is
+an in-process :class:`~repro.shard.worker.ShardSet`; with
+``workers>0`` it is a spawn-started
+:class:`~repro.shard.pool.ShardWorkerPool`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.shard.ring import DEFAULT_VNODES, ShardMap
+from repro.shard.worker import ShardSet
+from repro.tsdb.cache import QueryCache
+from repro.tsdb.chunks import CHUNK_POINTS
+from repro.tsdb.query import (
+    QueryResult,
+    SeriesStats,
+    _norm_tags,
+    query as _central_query,
+)
+from repro.tsdb.store import TagKey, _tagkey
+
+__all__ = ["QueryCoordinator", "RemoteSeries", "ShardedTSDB",
+           "ShardIngestReport"]
+
+
+@dataclass(frozen=True)
+class RemoteSeries:
+    """A selected series handle: which shard owns it, and its tags."""
+
+    shard: int
+    metric: str
+    tags: Dict[str, str] = field(compare=False)
+    key: TagKey
+
+    def __hash__(self) -> int:  # hashable despite the dict field
+        return hash((self.shard, self.metric, self.key))
+
+
+@dataclass
+class ShardIngestReport:
+    """What a sharded ingest did, per shard and in total."""
+
+    points: int
+    samples: int
+    seconds: float  # coordinator wall clock, not summed worker time
+    per_shard: Dict[int, Dict[str, float]]
+    workers: int
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.points / self.seconds if self.seconds else 0.0
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.seconds if self.seconds else 0.0
+
+
+class QueryCoordinator:
+    """Fan reads out to the shard backend; merge to single-store order."""
+
+    def __init__(self, backend, cache: Optional[QueryCache] = None) -> None:
+        self.backend = backend
+        self.cache = cache if cache is not None else QueryCache()
+        #: write epoch — bumped by the owning facade on every mutation,
+        #: which makes the shared QueryCache invalidate exactly like a
+        #: single store's (per-shard epochs never cross the pipe)
+        self.epoch = 0
+
+    def note_write(self) -> None:
+        self.epoch += 1
+
+    # -- the store interface the central query engine consumes --------------
+    def select(
+        self, metric: str, tags: Optional[Mapping[str, object]] = None
+    ) -> List[RemoteSeries]:
+        """Matching series across all shards, in single-store order.
+
+        :meth:`TimeSeriesDB.select` returns series sorted by their
+        ``(metric, tag-items)`` key; sorting the gathered handles by
+        the same key restores that order globally, so everything
+        downstream (grouping, stacking, caching) sees the series in
+        the exact sequence the single store would produce.
+        """
+        rows = self.backend.select(metric, tags)
+        handles = [
+            RemoteSeries(shard, metric, t, _tagkey(t)) for shard, t in rows
+        ]
+        handles.sort(key=lambda h: h.key)
+        return handles
+
+    def scan(
+        self,
+        series_list: Sequence[RemoteSeries],
+        time_range: Optional[Tuple[int, int]] = None,
+    ):
+        """Materialise handles as columns, preserving caller order.
+
+        Each shard still batch-decodes all of its requested series in
+        one pass; the coordinator just re-threads the per-shard
+        results back into the request order.
+        """
+        if not series_list:
+            return []
+        metric = series_list[0].metric
+        items = [(h.shard, h.key) for h in series_list]
+        return self.backend.scan(metric, items, time_range)
+
+    def window_stats(
+        self,
+        metric: str,
+        tags: Optional[Mapping[str, object]] = None,
+        time_range: Optional[Tuple[int, int]] = None,
+        use_preagg: bool = True,
+    ) -> List[SeriesStats]:
+        """Merge per-shard partial aggregates into single-store output.
+
+        Every shard folds its own chunk partials (sealed
+        pre-aggregates included); because a series never spans shards,
+        the merge is a pure re-sort — no cross-shard arithmetic.
+        """
+        cache_key = (
+            "window_stats", metric, _norm_tags(tags), time_range,
+            bool(use_preagg),
+        )
+        cached = self.cache.get(cache_key, self.epoch)
+        if cached is not None:
+            return list(cached)
+        out = self.backend.window_stats(metric, tags, time_range, use_preagg)
+        out.sort(key=lambda st: _tagkey(st.tags))
+        self.cache.put(cache_key, self.epoch, tuple(out))
+        return out
+
+    def query(self, metric: str, **kw) -> QueryResult:
+        """One aggregation query, scatter-gathered across shards.
+
+        Bit-identical to the same query on one
+        :class:`~repro.tsdb.store.TimeSeriesDB` holding the same data
+        — the equivalence suite pins it.
+
+        >>> from repro.shard import ShardedTSDB
+        >>> db = ShardedTSDB(shards=4)
+        >>> for host in ("c001-001", "c001-002"):
+        ...     _ = db.put_many("stats", {"host": host, "event": "user"},
+        ...                     [0, 10], [1.0, 3.0])
+        >>> r = db.query("stats", group_by=("host",), aggregate="sum")
+        >>> [(s.tags["host"], s.values.tolist()) for s in r.series]
+        [('c001-001', [1.0, 3.0]), ('c001-002', [1.0, 3.0])]
+        """
+        return _central_query(self, metric, **kw)
+
+
+class ShardedTSDB:
+    """The sharded drop-in for :class:`~repro.tsdb.store.TimeSeriesDB`.
+
+    ``shards=1, workers=0`` is byte-identical to the single-process
+    store on every read path (the equivalence suite pins it), which
+    is what makes ``--shards`` safe to default off.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        workers: int = 0,
+        chunk_size: int = CHUNK_POINTS,
+        vnodes: int = DEFAULT_VNODES,
+        shard_map: Optional[ShardMap] = None,
+        cache: Optional[QueryCache] = None,
+        scheduler=None,
+        loads: Optional[Mapping[int, float]] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        self.map = shard_map or ShardMap(shards, vnodes=vnodes)
+        self.n_shards = self.map.shards
+        self.workers = int(workers)
+        if self.workers > 0:
+            from repro.shard.pool import ShardWorkerPool
+
+            self.backend = ShardWorkerPool(
+                self.n_shards, self.workers, chunk_size=chunk_size,
+                scheduler=scheduler, loads=loads, start_method=start_method,
+            )
+        else:
+            self.backend = ShardSet(
+                range(self.n_shards), chunk_size=chunk_size
+            )
+        self.coordinator = QueryCoordinator(self.backend, cache=cache)
+
+    # -- write path (routed by the ring) -------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self.coordinator.epoch
+
+    @property
+    def cache(self) -> QueryCache:
+        return self.coordinator.cache
+
+    def put(
+        self, metric: str, tags: Mapping[str, str], ts: int, value: float
+    ) -> None:
+        shard = self.map.place_tags(metric, tags)
+        self.backend.put(shard, metric, tags, ts, value)
+        self.coordinator.note_write()
+
+    def put_many(
+        self,
+        metric: str,
+        tags: Mapping[str, str],
+        times: Sequence[int],
+        values: Sequence[float],
+    ) -> int:
+        shard = self.map.place_tags(metric, tags)
+        n = self.backend.put_many(shard, metric, tags, times, values)
+        self.coordinator.note_write()
+        return n
+
+    def ingest(
+        self,
+        source,
+        hosts: Optional[Sequence[str]] = None,
+        types: Optional[Sequence[str]] = None,
+        metric: str = "stats",
+    ) -> ShardIngestReport:
+        """Scatter a host source across the shards and load it all."""
+        import time
+
+        if hosts is None:
+            hosts = source.hosts()
+        host_shards = [(h, self.map.place(h, metric)) for h in hosts]
+        t0 = time.perf_counter()
+        per_shard = self.backend.ingest(
+            source, host_shards, types=types, metric=metric
+        )
+        seconds = time.perf_counter() - t0
+        self.coordinator.note_write()
+        return ShardIngestReport(
+            points=int(sum(r["points"] for r in per_shard.values())),
+            samples=int(sum(r["samples"] for r in per_shard.values())),
+            seconds=seconds,
+            per_shard=per_shard,
+            workers=self.workers,
+        )
+
+    def prune(self, before: int, metric: Optional[str] = None) -> int:
+        n = self.backend.prune(before, metric)
+        if n:
+            self.coordinator.note_write()
+        return n
+
+    # -- read path (scatter-gather) ------------------------------------------
+    def select(self, metric, tags=None) -> List[RemoteSeries]:
+        return self.coordinator.select(metric, tags)
+
+    def scan(self, series_list, time_range=None):
+        return self.coordinator.scan(series_list, time_range)
+
+    def query(self, metric: str, **kw) -> QueryResult:
+        return self.coordinator.query(metric, **kw)
+
+    def window_stats(self, metric: str, **kw) -> List[SeriesStats]:
+        return self.coordinator.window_stats(metric, **kw)
+
+    # -- bookkeeping ----------------------------------------------------------
+    def shard_stats(self) -> Dict[int, Dict[str, int]]:
+        return self.backend.stats()
+
+    def n_points(self) -> int:
+        return sum(r["points"] for r in self.shard_stats().values())
+
+    def n_series(self) -> int:
+        return sum(r["series"] for r in self.shard_stats().values())
+
+    def n_chunks(self) -> int:
+        return sum(r["chunks"] for r in self.shard_stats().values())
+
+    def storage_bytes(self) -> int:
+        return sum(r["bytes"] for r in self.shard_stats().values())
+
+    def drop_read_caches(self) -> None:
+        self.backend.drop_read_caches()
+        self.coordinator.cache.clear()
+
+    def seal_heads(self) -> None:
+        self.backend.seal_heads()
+
+    def close(self) -> None:
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ShardedTSDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

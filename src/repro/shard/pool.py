@@ -1,0 +1,256 @@
+"""A spawn-started pool of shard worker processes.
+
+:class:`ShardWorkerPool` hosts ``shards`` shard stores across
+``workers`` OS processes.  The shard→worker assignment comes from the
+resource-aware :class:`~repro.shard.scheduler.ResourceScheduler`
+(load-hinted LPT packing), every process runs
+:func:`~repro.shard.worker.worker_main`, and all traffic is
+``(cmd, payload)`` request/response over one duplex pipe per worker.
+Scatter-gather calls send to every worker first and only then collect
+replies, so workers genuinely overlap on multi-core hosts.
+
+Failure behaviour is deliberately simple and visible: a worker whose
+pipe drops raises :class:`ShardWorkerDied` naming the worker and the
+shards it owned.  The shard stores are in-memory, so that data is
+*gone* — :meth:`respawn` brings the worker back empty and returns the
+shard ids to re-ingest (raw files are the durable copy, exactly as in
+the paper's architecture).  See docs/operations.md for the runbook.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.shard.scheduler import ResourceScheduler
+from repro.shard.worker import worker_main
+from repro.tsdb.chunks import CHUNK_POINTS
+
+__all__ = ["ShardWorkerDied", "ShardWorkerPool"]
+
+
+class ShardWorkerDied(RuntimeError):
+    """A worker process vanished mid-conversation.
+
+    Carries ``worker`` (index) and ``shards`` (the shard ids whose
+    in-memory stores died with it).
+    """
+
+    def __init__(self, worker: int, shards: Sequence[int]) -> None:
+        super().__init__(
+            f"shard worker {worker} died; shards {sorted(shards)} lost"
+        )
+        self.worker = worker
+        self.shards = list(shards)
+
+
+class ShardWorkerPool:
+    """``shards`` chunked TSDBs served by ``workers`` processes."""
+
+    def __init__(
+        self,
+        shards: int,
+        workers: int,
+        chunk_size: int = CHUNK_POINTS,
+        scheduler: Optional[ResourceScheduler] = None,
+        loads: Optional[Mapping[int, float]] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if shards < 1 or workers < 1:
+            raise ValueError("shards and workers must be >= 1")
+        self.n_shards = int(shards)
+        self.workers = int(workers)
+        self.chunk_size = int(chunk_size)
+        self.scheduler = scheduler or ResourceScheduler(self.workers)
+        #: worker index → sorted shard ids it owns
+        self.assignment = self.scheduler.plan(range(self.n_shards), loads)
+        self._ctx = mp.get_context(start_method)
+        self._procs: List[Optional[mp.process.BaseProcess]] = []
+        self._conns: List[Optional[object]] = []
+        self._worker_of: Dict[int, int] = {}
+        for w, sids in enumerate(self.assignment):
+            for sid in sids:
+                self._worker_of[sid] = w
+            self._spawn(w, sids, append=True)
+
+    def _spawn(self, w: int, sids: Sequence[int], append: bool) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child, tuple(sids), self.chunk_size),
+            name=f"repro-shard-w{w}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        if append:
+            self._procs.append(proc)
+            self._conns.append(parent)
+        else:
+            self._procs[w] = proc
+            self._conns[w] = parent
+        obs.counter(
+            "repro_shard_workers_spawned_total",
+            "shard worker processes started (including respawns)",
+        ).inc()
+
+    # -- RPC plumbing --------------------------------------------------------
+    def _send(self, w: int, cmd: str, payload: tuple) -> None:
+        conn = self._conns[w]
+        if conn is None:
+            raise ShardWorkerDied(w, self.assignment[w])
+        try:
+            conn.send((cmd, payload))
+        except (BrokenPipeError, OSError):
+            self._mark_dead(w)
+
+    def _recv(self, w: int):
+        conn = self._conns[w]
+        if conn is None:
+            raise ShardWorkerDied(w, self.assignment[w])
+        try:
+            status, result = conn.recv()
+        except (EOFError, OSError):
+            self._mark_dead(w)
+        if status != "ok":
+            raise RuntimeError(f"shard worker {w}: {result}")
+        return result
+
+    def _mark_dead(self, w: int) -> None:
+        self._conns[w] = None
+        proc = self._procs[w]
+        if proc is not None:
+            proc.join(timeout=1.0)
+        obs.counter(
+            "repro_shard_worker_deaths_total",
+            "shard worker processes lost mid-conversation",
+        ).inc()
+        raise ShardWorkerDied(w, self.assignment[w])
+
+    def _scatter(self, calls: Dict[int, Tuple[str, tuple]]) -> Dict[int, object]:
+        """Send every request, then gather every reply (true overlap)."""
+        for w, (cmd, payload) in calls.items():
+            self._send(w, cmd, payload)
+        return {w: self._recv(w) for w in calls}
+
+    def _all(self, cmd: str, payload: tuple) -> Dict[int, object]:
+        live = [
+            w for w, sids in enumerate(self.assignment)
+            if sids or cmd == "close"
+        ]
+        return self._scatter({w: (cmd, payload) for w in live})
+
+    # -- backend operations (mirror ShardSet) --------------------------------
+    def put(self, shard, metric, tags, ts, value) -> None:
+        w = self._worker_of[shard]
+        self._send(w, "put", (shard, metric, dict(tags), ts, value))
+        self._recv(w)
+
+    def put_many(self, shard, metric, tags, times, values) -> int:
+        w = self._worker_of[shard]
+        self._send(w, "put_many", (shard, metric, dict(tags),
+                                   list(times), list(values)))
+        return self._recv(w)
+
+    def ingest(self, source, host_shards, types=None, metric="stats"):
+        groups: Dict[int, list] = {}
+        for host, shard in host_shards:
+            groups.setdefault(self._worker_of[shard], []).append(
+                (host, shard)
+            )
+        replies = self._scatter({
+            w: ("ingest", (source, part, types, metric))
+            for w, part in groups.items()
+        })
+        merged: Dict[int, Dict[str, float]] = {}
+        for report in replies.values():
+            for sid, r in report.items():
+                merged[sid] = r
+                if r["points"] or r["samples"]:
+                    self.scheduler.observe(
+                        sid, points=int(r["points"]), seconds=r["seconds"]
+                    )
+        return merged
+
+    def select(self, metric, tags=None):
+        out = []
+        for rows in self._all("select", (metric, tags)).values():
+            out.extend(rows)
+        return out
+
+    def scan(self, metric, items, time_range=None):
+        by_worker: Dict[int, List[int]] = {}
+        for i, (sid, _) in enumerate(items):
+            by_worker.setdefault(self._worker_of[sid], []).append(i)
+        replies = self._scatter({
+            w: ("scan", (metric, [items[i] for i in idxs], time_range))
+            for w, idxs in by_worker.items()
+        })
+        out: List[Optional[tuple]] = [None] * len(items)
+        for w, idxs in by_worker.items():
+            for i, cols in zip(idxs, replies[w]):
+                out[i] = cols
+        return out
+
+    def window_stats(self, metric, tags=None, time_range=None,
+                     use_preagg=True):
+        out = []
+        replies = self._all(
+            "window_stats", (metric, tags, time_range, use_preagg)
+        )
+        for rows in replies.values():
+            out.extend(rows)
+        return out
+
+    def prune(self, before, metric=None) -> int:
+        return sum(self._all("prune", (before, metric)).values())
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        merged: Dict[int, Dict[str, int]] = {}
+        for report in self._all("stats", ()).values():
+            merged.update(report)
+        return merged
+
+    def drop_read_caches(self) -> None:
+        self._all("drop_read_caches", ())
+
+    def seal_heads(self) -> None:
+        self._all("seal_heads", ())
+
+    # -- lifecycle -----------------------------------------------------------
+    def respawn(self, worker: int) -> List[int]:
+        """Restart a dead worker with empty shard stores.
+
+        Returns the shard ids that must be re-ingested from their
+        durable raw files before the shard answers queries again.
+        """
+        proc = self._procs[worker]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+        self._spawn(worker, self.assignment[worker], append=False)
+        return list(self.assignment[worker])
+
+    def close(self) -> None:
+        for w, conn in enumerate(self._conns):
+            if conn is None:
+                continue
+            try:
+                conn.send(("close", ()))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            self._conns[w] = None
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""Consistent-hash shard placement for the fleet.
+
+A :class:`ShardMap` deterministically assigns every ``(host, metric)``
+partition key to one shard.  Placement is a classic consistent-hash
+ring: each shard owns ``vnodes`` pseudo-random points on a 64-bit
+ring (hashed with :func:`hashlib.blake2b`, never Python's salted
+``hash()``, so placement is identical across processes, machines and
+runs), and a key belongs to the first shard point clockwise of the
+key's own hash.
+
+Two properties matter operationally:
+
+* **determinism** — every ingest worker, stream router and query
+  coordinator computes the same owner for a key with no shared state;
+* **minimal movement** — growing the ring from *n* to *n+1* shards
+  relocates roughly ``1/(n+1)`` of the keys (:meth:`ShardMap.moved`
+  measures it), so a rebalance re-ingests a slice of the fleet, not
+  the whole of it.
+
+Virtual nodes smooth the load spread: with the default 64 vnodes per
+shard the heaviest shard of a 4-shard ring carries within a few
+percent of ``1/4`` of a large fleet (:meth:`ShardMap.spread`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["ShardMap", "DEFAULT_VNODES"]
+
+#: ring points per shard; more vnodes = smoother spread, slower build
+DEFAULT_VNODES = 64
+
+
+def _h64(key: str) -> int:
+    """64-bit position on the ring; stable across processes/platforms."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ShardMap:
+    """Deterministic ``(host, metric) → shard`` placement.
+
+    >>> m = ShardMap(shards=4)
+    >>> m.place("c001-003")            # stable across runs & processes
+    3
+    >>> m.place("c001-003") == ShardMap(shards=4).place("c001-003")
+    True
+    >>> sorted({m.place(f"c{i:03d}-000") for i in range(64)})
+    [0, 1, 2, 3]
+    >>> ShardMap(shards=1).place("anything", metric="stats")
+    0
+    """
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = int(shards)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, int]] = []
+        for s in range(self.shards):
+            for v in range(self.vnodes):
+                points.append((_h64(f"shard:{s}:vnode:{v}"), s))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    # -- placement ----------------------------------------------------------
+    def place(self, host: str, metric: str = "stats") -> int:
+        """The shard owning partition key ``(host, metric)``."""
+        h = _h64(f"{metric}\x00{host}")
+        i = bisect_right(self._points, h) % len(self._points)
+        return self._owners[i]
+
+    def place_tags(self, metric: str, tags: Mapping[str, str]) -> int:
+        """Placement for a tagged series: keyed on its ``host`` tag.
+
+        Series without a ``host`` tag still place deterministically
+        (on the empty host key), so nothing ever lacks an owner.
+        """
+        return self.place(str(tags.get("host", "")), metric)
+
+    # -- ring management ----------------------------------------------------
+    def with_shards(self, shards: int) -> "ShardMap":
+        """A new ring with a different shard count, same vnode density."""
+        return ShardMap(shards, vnodes=self.vnodes)
+
+    def spread(
+        self, hosts: Iterable[str], metric: str = "stats"
+    ) -> Dict[int, int]:
+        """Hosts per shard — the balance a fleet would see."""
+        out: Dict[int, int] = {s: 0 for s in range(self.shards)}
+        for h in hosts:
+            out[self.place(h, metric)] += 1
+        return out
+
+    def moved(
+        self, other: "ShardMap", hosts: Iterable[str], metric: str = "stats"
+    ) -> float:
+        """Fraction of ``hosts`` whose owner differs under ``other``."""
+        hosts = list(hosts)
+        if not hosts:
+            return 0.0
+        n = sum(
+            1 for h in hosts
+            if self.place(h, metric) != other.place(h, metric)
+        )
+        return n / len(hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardMap(shards={self.shards}, vnodes={self.vnodes})"

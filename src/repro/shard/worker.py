@@ -1,0 +1,207 @@
+"""Shard workers: each owns the chunked TSDBs of its shards.
+
+:class:`ShardSet` is the worker-side state — a handful of shard ids,
+each backed by its own :class:`~repro.tsdb.store.TimeSeriesDB` — plus
+the operations the coordinator scatters: bulk ingest of a host list,
+series selection, batched scans, windowed statistics, pruning.  It is
+used two ways:
+
+* **in-process** (``workers=0``): the coordinator holds one ShardSet
+  directly — deterministic, sim-friendly, and the configuration the
+  equivalence suites pin bit-for-bit against the single store;
+* **multi-process**: :func:`worker_main` is the spawn entry point; a
+  :class:`~repro.shard.pool.ShardWorkerPool` process runs it, serving
+  the same operations over a duplex pipe.  Everything crossing the
+  pipe (sources, tag dicts, NumPy columns,
+  :class:`~repro.tsdb.query.SeriesStats`) pickles losslessly, so a
+  scatter-gathered result is bit-identical to the in-process one.
+
+A worker never sees raw bytes from the coordinator: ingest commands
+carry a picklable *source* (:mod:`repro.shard.ingest`) and the host
+names to pull from it, and each host is parsed with the same
+:func:`~repro.tsdb.store.ingest_file` the single-process loader uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.tsdb.chunks import CHUNK_POINTS
+from repro.tsdb.query import SeriesStats, window_stats
+from repro.tsdb.store import TagKey, TimeSeriesDB, _tagkey, ingest_file
+
+__all__ = ["ShardSet", "worker_main"]
+
+#: (shard, tagkey) — how the coordinator names a series to scan
+ScanItem = Tuple[int, TagKey]
+
+
+class ShardSet:
+    """The shard-local state: one chunked TSDB per owned shard."""
+
+    def __init__(
+        self,
+        shard_ids: Iterable[int],
+        chunk_size: int = CHUNK_POINTS,
+    ) -> None:
+        self.chunk_size = int(chunk_size)
+        self.stores: Dict[int, TimeSeriesDB] = {
+            int(s): TimeSeriesDB(chunk_size=self.chunk_size)
+            for s in shard_ids
+        }
+
+    # -- writing ------------------------------------------------------------
+    def put(
+        self,
+        shard: int,
+        metric: str,
+        tags: Mapping[str, str],
+        ts: int,
+        value: float,
+    ) -> None:
+        self.stores[shard].put(metric, tags, ts, value)
+
+    def put_many(
+        self,
+        shard: int,
+        metric: str,
+        tags: Mapping[str, str],
+        times: Sequence[int],
+        values: Sequence[float],
+    ) -> int:
+        return self.stores[shard].put_many(metric, tags, times, values)
+
+    def ingest(
+        self,
+        source,
+        host_shards: Sequence[Tuple[str, int]],
+        types: Optional[Sequence[str]] = None,
+        metric: str = "stats",
+    ) -> Dict[int, Dict[str, float]]:
+        """Parse and load each ``(host, shard)`` from ``source``.
+
+        Returns per-shard ``{points, samples, seconds}`` — the
+        observed-load feedback the resource scheduler packs future
+        assignments by.
+        """
+        report: Dict[int, Dict[str, float]] = {
+            s: {"points": 0, "samples": 0, "seconds": 0.0}
+            for s in self.stores
+        }
+        for host, shard in host_shards:
+            t0 = time.perf_counter()
+            with source.open(host) as fh:
+                n, k = ingest_file(
+                    self.stores[shard], host, fh, types=types, metric=metric
+                )
+            r = report[shard]
+            r["points"] += n
+            r["samples"] += k
+            r["seconds"] += time.perf_counter() - t0
+        return report
+
+    def prune(self, before: int, metric: Optional[str] = None) -> int:
+        return sum(s.prune(before, metric) for s in self.stores.values())
+
+    # -- reading ------------------------------------------------------------
+    def select(
+        self, metric: str, tags: Optional[Mapping[str, object]] = None
+    ) -> List[Tuple[int, Dict[str, str]]]:
+        """``(shard, tags)`` of every matching series across shards."""
+        out: List[Tuple[int, Dict[str, str]]] = []
+        for sid, store in self.stores.items():
+            for s in store.select(metric, tags):
+                out.append((sid, dict(s.tags)))
+        return out
+
+    def scan(
+        self,
+        metric: str,
+        items: Sequence[ScanItem],
+        time_range: Optional[Tuple[int, int]] = None,
+    ):
+        """Materialise named series, preserving the callers' order.
+
+        Items are grouped per shard store so each store's batched
+        decode (one ``decode_many`` across all its requested series)
+        still applies.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for i, (sid, _) in enumerate(items):
+            by_shard.setdefault(sid, []).append(i)
+        out: List[Optional[Tuple]] = [None] * len(items)
+        for sid, idxs in by_shard.items():
+            store = self.stores[sid]
+            series = [store._series[(metric, items[i][1])] for i in idxs]
+            for i, cols in zip(idxs, store.scan(series, time_range)):
+                out[i] = cols
+        return out
+
+    def window_stats(
+        self,
+        metric: str,
+        tags: Optional[Mapping[str, object]] = None,
+        time_range: Optional[Tuple[int, int]] = None,
+        use_preagg: bool = True,
+    ) -> List[SeriesStats]:
+        """Shard-local scalar stats; coordinator merge-sorts globally.
+
+        Each shard store folds its own per-chunk partials (sealed
+        pre-aggregates for covered chunks), so the expensive half of
+        ``window_stats`` runs where the data lives.
+        """
+        out: List[SeriesStats] = []
+        for store in self.stores.values():
+            out.extend(
+                window_stats(
+                    store, metric, tags=tags, time_range=time_range,
+                    use_preagg=use_preagg,
+                )
+            )
+        return out
+
+    # -- bookkeeping ---------------------------------------------------------
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        return {
+            sid: {
+                "points": store.n_points(),
+                "series": store.n_series(),
+                "chunks": store.n_chunks(),
+                "bytes": store.storage_bytes(),
+            }
+            for sid, store in self.stores.items()
+        }
+
+    def drop_read_caches(self) -> None:
+        for store in self.stores.values():
+            store.drop_read_caches()
+
+    def seal_heads(self) -> None:
+        for store in self.stores.values():
+            store.seal_heads()
+
+
+def worker_main(conn, shard_ids: Sequence[int], chunk_size: int) -> None:
+    """Process entry point: serve ShardSet operations over ``conn``.
+
+    Spawn-safe: importable at module top level with picklable
+    arguments only.  The loop answers ``(cmd, payload)`` requests with
+    ``("ok", result)`` or ``("err", message)`` and exits on ``close``
+    or a dropped pipe (coordinator death must not leak workers).
+    """
+    shards = ShardSet(shard_ids, chunk_size=chunk_size)
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if cmd == "close":
+                conn.send(("ok", None))
+                break
+            result = getattr(shards, cmd)(*payload)
+            conn.send(("ok", result))
+        except Exception as exc:  # surfaced coordinator-side
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    conn.close()

@@ -687,6 +687,63 @@ class TimeSeriesDB:
         return [self._series[k] for k in sorted(keys)]
 
 
+def ingest_file(
+    tsdb: TimeSeriesDB,
+    host: str,
+    fh,
+    types: Optional[Iterable[str]] = None,
+    metric: str = "stats",
+) -> Tuple[int, int]:
+    """Load one host's raw stats stream into the TSDB.
+
+    The per-host half of :func:`ingest_store`, split out so shard
+    workers (:mod:`repro.shard`) can ingest exactly the same way from
+    any file-like source.  Points are gathered into per-series columns
+    across the host's whole stream and written with one
+    :meth:`TimeSeriesDB.put_many` per series.  Returns ``(points,
+    samples)``.
+    """
+    from repro.core.rawfile import RawFileParser
+
+    wanted = set(types) if types is not None else None
+    parser = RawFileParser()
+    #: (type, device, event) → ([ts...], [value...])
+    columns: Dict[Tuple[str, str, str], Tuple[list, list]] = {}
+    samples = 0
+    for sample in parser.parse(fh):
+        samples += 1
+        for type_name, per_inst in sample.data.items():
+            if wanted is not None and type_name not in wanted:
+                continue
+            schema = parser.schemas.get(type_name)
+            if schema is None:
+                continue
+            names = schema.names()
+            for device, values in per_inst.items():
+                for i, event in enumerate(names):
+                    col = columns.get((type_name, device, event))
+                    if col is None:
+                        col = columns[
+                            (type_name, device, event)
+                        ] = ([], [])
+                    col[0].append(sample.timestamp)
+                    col[1].append(float(values[i]))
+    n = 0
+    for (type_name, device, event), (ts_col, val_col) in columns.items():
+        n += tsdb.put_many(
+            metric,
+            {
+                "host": host,
+                "type": type_name,
+                "device": device,
+                "event": event,
+            },
+            ts_col,
+            val_col,
+        )
+    return n, samples
+
+
 def ingest_store(
     tsdb: TimeSeriesDB,
     store: CentralStore,
@@ -703,43 +760,9 @@ def ingest_store(
     (metadata analyses only need ``mdc``; loading everything is
     supported but larger).
     """
-    from repro.core.rawfile import RawFileParser
-
-    wanted = set(types) if types is not None else None
     n = 0
     for host in store.hosts():
-        parser = RawFileParser()
         store.flush()
-        #: (type, device, event) → ([ts...], [value...])
-        columns: Dict[Tuple[str, str, str], Tuple[list, list]] = {}
         with open(store.path_for(host)) as fh:
-            for sample in parser.parse(fh):
-                for type_name, per_inst in sample.data.items():
-                    if wanted is not None and type_name not in wanted:
-                        continue
-                    schema = parser.schemas.get(type_name)
-                    if schema is None:
-                        continue
-                    names = schema.names()
-                    for device, values in per_inst.items():
-                        for i, event in enumerate(names):
-                            col = columns.get((type_name, device, event))
-                            if col is None:
-                                col = columns[
-                                    (type_name, device, event)
-                                ] = ([], [])
-                            col[0].append(sample.timestamp)
-                            col[1].append(float(values[i]))
-        for (type_name, device, event), (ts_col, val_col) in columns.items():
-            n += tsdb.put_many(
-                metric,
-                {
-                    "host": host,
-                    "type": type_name,
-                    "device": device,
-                    "event": event,
-                },
-                ts_col,
-                val_col,
-            )
+            n += ingest_file(tsdb, host, fh, types=types, metric=metric)[0]
     return n

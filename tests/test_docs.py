@@ -87,6 +87,56 @@ def test_documented_cli_commands_exist():
             )
 
 
+def _documented_cli_invocations():
+    """(doc, subcommand, flags) for every ``repro.cli <sub> ...`` line.
+
+    Command examples in the docs use backslash continuations; joining
+    them first means a flag on a continuation line is still attributed
+    to its subcommand.
+    """
+    # [^\S\n] = horizontal whitespace only: a match never crosses into
+    # the next example's line
+    line_re = re.compile(r"repro\.cli[^\S\n]+(\w+)((?:[^\S\n]+\S+)*)")
+    flag_re = re.compile(r"(--[A-Za-z][A-Za-z0-9-]*)")
+    out = []
+    for doc in DOC_FILES:
+        joined = doc.read_text().replace("\\\n", " ")
+        for m in line_re.finditer(joined):
+            flags = flag_re.findall(m.group(2))
+            out.append((doc, m.group(1), flags))
+    return out
+
+
+def test_documented_cli_flags_exist():
+    """Every ``--flag`` shown next to a documented subcommand is a real
+    option of that subcommand's argparse parser — a renamed or removed
+    flag must break the doc that still shows it."""
+    from repro import cli
+
+    parser = cli.build_parser()
+    sub = next(
+        a for a in parser._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    known = {
+        name: {
+            opt for action in p._actions for opt in action.option_strings
+        }
+        for name, p in sub.choices.items()
+    }
+    invocations = _documented_cli_invocations()
+    assert invocations, "no CLI examples found in the docs at all?"
+    bad = []
+    for doc, command, flags in invocations:
+        if command not in known:
+            continue  # test_documented_cli_commands_exist covers this
+        for flag in flags:
+            if flag not in known[command]:
+                bad.append(f"{doc.name}: `repro.cli {command}` has no "
+                           f"{flag}")
+    assert not bad, "\n".join(bad)
+
+
 def test_all_docs_linked_from_readme():
     """docs/*.md pages are discoverable from the README."""
     readme = (REPO / "README.md").read_text()

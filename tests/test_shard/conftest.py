@@ -1,0 +1,35 @@
+"""Shared fixtures for the sharding suite.
+
+One simulated fleet day is archived once per session; every
+equivalence test loads it into whatever engine arrangement it is
+comparing.  ``mdc`` columns only — the same slice the storage-engine
+equivalence suite uses — keeps the corpus small while still sealing
+plenty of chunks at the tiny test chunk size.
+"""
+
+import pytest
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+
+#: small enough that the corpus seals many chunks per series
+CHUNK_SIZE = 32
+
+TYPES = ["mdc"]
+
+
+@pytest.fixture(scope="session")
+def fleet_day():
+    """A monitored day on 8 hosts, raw files flushed to disk."""
+    sess = monitoring_session(nodes=8, seed=31, interval=600)
+    for user, app, nodes in (
+        ("alice", "wrf", 4),
+        ("mduser", "metadata_thrash", 2),
+        ("bob", "namd", 2),
+    ):
+        sess.cluster.submit(JobSpec(
+            user=user, app=make_app(app, runtime_mean=6000.0), nodes=nodes
+        ))
+    sess.cluster.run_for(24 * 3600)
+    sess.store.flush()
+    return sess

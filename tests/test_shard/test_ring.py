@@ -1,0 +1,77 @@
+"""ShardMap: determinism, spread, movement, validation."""
+
+import pickle
+
+import pytest
+
+from repro.shard import DEFAULT_VNODES, ShardMap
+
+HOSTS = [f"c{h // 24:03d}-{h % 24:03d}" for h in range(2000)]
+
+
+def test_placement_is_deterministic_across_instances():
+    a, b = ShardMap(shards=8), ShardMap(shards=8)
+    assert [a.place(h) for h in HOSTS] == [b.place(h) for h in HOSTS]
+
+
+def test_placement_survives_pickle_round_trip():
+    """Spawned workers must compute the identical ring."""
+    m = ShardMap(shards=8)
+    m2 = pickle.loads(pickle.dumps(m))
+    assert [m.place(h) for h in HOSTS] == [m2.place(h) for h in HOSTS]
+
+
+def test_placement_depends_on_metric():
+    m = ShardMap(shards=16)
+    assert any(
+        m.place(h, "stats") != m.place(h, "rollup") for h in HOSTS[:200]
+    )
+
+
+def test_all_shards_receive_hosts_and_spread_is_balanced():
+    m = ShardMap(shards=4)
+    spread = m.spread(HOSTS)
+    assert sorted(spread) == [0, 1, 2, 3]
+    # 64 vnodes/shard: every shard within 2x of the fair share
+    fair = len(HOSTS) / 4
+    for n in spread.values():
+        assert fair / 2 < n < fair * 2, spread
+
+
+def test_single_shard_owns_everything():
+    m = ShardMap(shards=1)
+    assert set(m.spread(HOSTS)) == {0}
+    assert m.spread(HOSTS)[0] == len(HOSTS)
+
+
+def test_growth_moves_roughly_one_over_n_plus_one():
+    m4, m5 = ShardMap(shards=4), ShardMap(shards=5)
+    moved = m4.moved(m5, HOSTS)
+    # consistent hashing: ~1/5 of keys relocate, never a full reshuffle
+    assert 0.10 < moved < 0.35, moved
+    assert m4.moved(m4, HOSTS) == 0.0
+
+
+def test_place_tags_keys_on_host():
+    m = ShardMap(shards=8)
+    tags = {"host": "c001-003", "type": "mdc", "event": "reqs"}
+    assert m.place_tags("stats", tags) == m.place("c001-003", "stats")
+    # tagless series still get a deterministic owner
+    assert m.place_tags("stats", {}) == m.place("", "stats")
+
+
+def test_with_shards_keeps_vnode_density():
+    m = ShardMap(shards=2, vnodes=16)
+    grown = m.with_shards(6)
+    assert grown.shards == 6 and grown.vnodes == 16
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ShardMap(shards=0)
+    with pytest.raises(ValueError):
+        ShardMap(shards=2, vnodes=0)
+
+
+def test_default_vnodes_smooth_enough():
+    assert DEFAULT_VNODES >= 32

@@ -1,0 +1,126 @@
+"""Sharded streaming: the partitioned exchange changes no result.
+
+Three identical fleets run side by side: the plain
+:class:`~repro.stream.pipeline.StreamPipeline`, the sharded pipeline
+at ``shards=1`` (the regression pin — one queue, one store, original
+delivery order), and at ``shards=3``.  Flags, alert ledgers, sample
+and point counts, and every TSDB read must agree — the TSDB reads
+bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import monitoring_session
+from repro.cluster import JobSpec, make_app
+from repro.shard.stream import ShardedStreamPipeline
+from repro.stream import StreamPipeline
+from repro.tsdb.query import query, window_stats
+
+WAVE = (
+    ("alice", "wrf", 3),
+    ("mduser", "metadata_thrash", 2),
+    ("bob", "namd", 2),
+)
+
+
+def _run(shards):
+    sess = monitoring_session(nodes=8, seed=47, interval=600)
+    if shards is None:
+        pipe = StreamPipeline(
+            sess.broker, jobs=sess.cluster.jobs, types=["mdc"]
+        )
+    else:
+        pipe = ShardedStreamPipeline(
+            sess.broker, shards=shards, jobs=sess.cluster.jobs,
+            types=["mdc"],
+        )
+    pipe.start()
+    for user, app, nodes in WAVE:
+        sess.cluster.submit(JobSpec(
+            user=user, app=make_app(app, runtime_mean=6000.0), nodes=nodes
+        ))
+    sess.cluster.run_for(12 * 3600)
+    completed = pipe.finalize()
+    return pipe, completed
+
+
+@pytest.fixture(scope="module")
+def runs():
+    plain, c_plain = _run(None)
+    one, c_one = _run(1)
+    three, c_three = _run(3)
+    return (plain, c_plain), (one, c_one), (three, c_three)
+
+
+def test_sample_and_point_counts_agree(runs):
+    (plain, _), (one, _), (three, _) = runs
+    assert plain.samples == one.samples == three.samples > 0
+    assert plain.points == one.points == three.points > 0
+    assert plain.tsdb.n_points() == one.n_points() == three.n_points()
+    assert plain.tsdb.n_series() == one.n_series() == three.n_series()
+
+
+def test_flags_and_alerts_agree(runs):
+    (plain, c_plain), (one, c_one), (three, c_three) = runs
+    assert sorted(c_plain) == sorted(c_one) == sorted(c_three)
+    for jid in c_plain:
+        want = sorted(c_plain[jid].final_flags)
+        assert sorted(c_one[jid].final_flags) == want, jid
+        assert sorted(c_three[jid].final_flags) == want, jid
+    def ledger(p, hop=0):
+        # the sharded router is one extra broker hop, so its feeds see
+        # every delivery exactly one latency tick (1 sim-second) later;
+        # subtracting the hop must make the ledgers line up exactly
+        return sorted(
+            (a.rule, a.jobid, a.fired_at - hop) for a in p.alerts.ledger
+        )
+    assert ledger(one, hop=1) == ledger(three, hop=1) == ledger(plain)
+
+
+def test_tsdb_reads_bit_identical(runs):
+    (plain, _), (one, _), (three, _) = runs
+    for kw in (
+        {"group_by": ("host",)},
+        {"rate": True, "group_by": ("host", "event")},
+        {"rate": True, "downsample": (1800, "avg")},
+    ):
+        want = query(plain.tsdb, "stats", **kw)
+        assert want.series
+        for pipe in (one, three):
+            got = pipe.query("stats", **kw)
+            assert len(got.series) == len(want.series), kw
+            for a, b in zip(got.series, want.series):
+                assert a.tags == b.tags, kw
+                assert np.array_equal(a.times, b.times), kw
+                assert np.array_equal(
+                    np.asarray(a.values).view(np.uint64),
+                    np.asarray(b.values).view(np.uint64),
+                ), kw
+
+
+def test_window_stats_bit_identical(runs):
+    (plain, _), (one, _), (three, _) = runs
+    want = [repr(s) for s in window_stats(plain.tsdb, "stats")]
+    assert [repr(s) for s in one.window_stats("stats")] == want
+    assert [repr(s) for s in three.window_stats("stats")] == want
+
+
+def test_partitioning_actually_happened(runs):
+    _, _, (three, _) = runs
+    spread = three.shard_points()
+    assert sorted(spread) == [0, 1, 2]
+    assert sum(1 for n in spread.values() if n > 0) >= 2, spread
+    # every host's series sit on the ring owner's shard store
+    for k, store in three._shardset.stores.items():
+        for s in store.select("stats"):
+            assert three.map.place(s.tags["host"]) == k
+
+
+def test_live_cache_invalidation_tracks_feed_writes(runs):
+    _, _, (three, _) = runs
+    r1 = three.query("stats", group_by=("host",))
+    hits_before = three.coordinator.cache.hits
+    r2 = three.query("stats", group_by=("host",))
+    assert three.coordinator.cache.hits == hits_before + 1
+    assert len(r1.series) == len(r2.series)
