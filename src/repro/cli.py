@@ -15,13 +15,20 @@ analogous workflow over the simulator::
     python -m repro.cli fleet    --db quarter.db --top 10
     python -m repro.cli chaos    --seed 0 --minutes 30
     python -m repro.cli stream   --nodes 8 --hours 24 --verify
+    python -m repro.cli serve    --db quarter.db --port 8787 \\
+                                 --workers 8 --queue-cap 64
+    python -m repro.cli loadtest --users 200 --live-nodes 4 \\
+                                 --json BENCH_portal.json
 
 ``simulate`` runs a monitored cluster (daemon mode) on a preset
 workload and ingests the results; ``ingest`` runs the parallel,
 batched ETL pass over a directory of raw per-host stats files;
 ``popgen`` synthesises a database-scale population; ``stream`` runs a
 fleet with the real-time telemetry pipeline attached (live TSDB feed,
-streaming flags, alerts); the remaining commands are portal-style
+streaming flags, alerts); ``serve`` puts the
+portal behind the asyncio HTTP front-end with admission control;
+``loadtest`` drives it with closed-loop synthetic users and gates
+p99 latency + error rate; the remaining commands are portal-style
 queries over the resulting job table.
 """
 
@@ -422,6 +429,110 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_stream(nodes: int, minutes: int, seed: int):
+    """A small live fleet so /tsdb and /fleet health have data.
+
+    Runs a short simulated window with the streaming pipeline tapped
+    in, then hands the still-attached pipeline (and its live TSDB) to
+    the portal.
+    """
+    from repro.stream import StreamPipeline
+
+    sess = monitoring_session(nodes=nodes, seed=seed, interval=60)
+    stream = StreamPipeline(sess.broker, jobs=sess.cluster.jobs)
+    stream.start()
+    for user, app, n in PRESETS["standard"]:
+        sess.cluster.submit(JobSpec(
+            user=user,
+            app=make_app(app, runtime_mean=max(minutes * 30, 600)),
+            nodes=min(n, nodes),
+        ))
+    sess.cluster.run_for(minutes * 60)
+    return stream
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the portal over HTTP (asyncio front-end, §IV-B)."""
+    import asyncio
+
+    from repro.portal.app import PortalApp
+    from repro.portal.server import PortalServer
+
+    db = _open_db(args.db)
+    stream = None
+    if args.live_nodes:
+        stream = _demo_stream(args.live_nodes, args.live_minutes, args.seed)
+    app = PortalApp(db, stream=stream)
+    server = PortalServer(
+        app, host=args.host, port=args.port, workers=args.workers,
+        queue_cap=args.queue_cap, deadline=args.deadline,
+        page_cache_size=args.page_cache,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(f"portal serving on http://{server.host}:{server.port}/ "
+              f"(workers={server.workers} queue_cap={server.queue_cap} "
+              f"deadline={server.deadline:g}s); Ctrl-C to stop")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Closed-loop synthetic-user load test against a served portal."""
+    import json
+
+    from repro.portal.app import PortalApp
+    from repro.portal.loadgen import LoadGenerator, default_paths
+    from repro.portal.server import PortalServer
+
+    db = Database(args.db) if args.db else Database()
+    JobRecord.bind(db)
+    if not args.db:
+        generate_population(db, args.jobs, seed=args.seed)
+    stream = None
+    metric = ""
+    if args.live_nodes:
+        stream = _demo_stream(args.live_nodes, args.live_minutes, args.seed)
+        metric = stream.metric
+    jobids = [r.jobid for r in JobRecord.objects.all()[:4]]
+    app = PortalApp(db, stream=stream)
+    server = PortalServer(
+        app, workers=args.workers, queue_cap=args.queue_cap,
+        deadline=args.deadline,
+    )
+    host, port = server.start_background()
+    try:
+        gen = LoadGenerator(
+            host, port,
+            default_paths(jobids=jobids, with_tsdb=stream is not None,
+                          metric=metric),
+            users=args.users, requests_per_user=args.requests,
+            think_time=args.think, seed=args.seed,
+        )
+        report = gen.run()
+    finally:
+        server.close()
+    print(report.render_text())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    problems = report.gate(p99_ms=args.p99_ms)
+    if problems:
+        for msg in problems:
+            print(f"GATE FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(f"gate ok: p99 {report.percentile(99):.1f} ms <= "
+          f"{args.p99_ms:g} ms, zero 5xx, zero exceptions")
+    return 0
+
+
 def cmd_casestudy(args: argparse.Namespace) -> int:
     _open_db(args.db)
     try:
@@ -565,6 +676,50 @@ def build_parser() -> argparse.ArgumentParser:
                     help="after the run, batch-ingest the store and "
                          "assert the streaming flags match")
     st.set_defaults(fn=cmd_stream)
+
+    sv = sub.add_parser(
+        "serve", help="serve the portal over HTTP (asyncio front-end)"
+    )
+    sv.add_argument("--db", required=True)
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8787)
+    sv.add_argument("--workers", type=int, default=8)
+    sv.add_argument("--queue-cap", type=int, default=64,
+                    help="outstanding requests before shedding 503s")
+    sv.add_argument("--deadline", type=float, default=30.0,
+                    help="seconds before an admitted request gets a 504")
+    sv.add_argument("--page-cache", type=int, default=256,
+                    help="rendered-page LRU entries")
+    sv.add_argument("--live-nodes", type=int, default=0,
+                    help="attach a live demo stream on this many nodes")
+    sv.add_argument("--live-minutes", type=int, default=30)
+    sv.add_argument("--seed", type=int, default=42)
+    sv.set_defaults(fn=cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="closed-loop synthetic-user load test of the portal",
+    )
+    lt.add_argument("--db", default="",
+                    help="job DB; default synthesises one in memory")
+    lt.add_argument("--jobs", type=int, default=2000,
+                    help="synthetic jobs when no --db is given")
+    lt.add_argument("--users", type=int, default=200)
+    lt.add_argument("--requests", type=int, default=10,
+                    help="requests per synthetic user")
+    lt.add_argument("--think", type=float, default=0.02,
+                    help="mean think time between requests (s)")
+    lt.add_argument("--workers", type=int, default=8)
+    lt.add_argument("--queue-cap", type=int, default=64)
+    lt.add_argument("--deadline", type=float, default=30.0)
+    lt.add_argument("--live-nodes", type=int, default=0)
+    lt.add_argument("--live-minutes", type=int, default=30)
+    lt.add_argument("--p99-ms", type=float, default=2000.0,
+                    help="fail if p99 latency exceeds this")
+    lt.add_argument("--json", default="",
+                    help="write the report to this JSON file")
+    lt.add_argument("--seed", type=int, default=42)
+    lt.set_defaults(fn=cmd_loadtest)
 
     ch = sub.add_parser(
         "chaos",

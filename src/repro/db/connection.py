@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -11,12 +12,23 @@ class Database:
 
     Use ``Database()`` for an in-memory store (tests, small analyses)
     or ``Database(path)`` for a persistent file.
+
+    The connection is shared across threads: the portal server
+    (:mod:`repro.portal.server`) dispatches requests on a thread pool,
+    so ``check_same_thread`` is off and statement execution is
+    serialised on an internal lock.  Python's sqlite3 is built in
+    serialized threading mode (``sqlite3.threadsafety == 3``), which
+    makes the shared connection safe at the C level; the lock keeps
+    each ``execute``/``executemany`` call atomic at the Python level
+    too (each call returns its own cursor, already fully stepped for
+    the fetches the ORM performs).
     """
 
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
-        self.conn = sqlite3.connect(path)
+        self.conn = sqlite3.connect(path, check_same_thread=False)
         self.conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
         # pragmatic defaults for bulk ingest
         self.conn.execute("PRAGMA synchronous=OFF")
         self.conn.execute("PRAGMA journal_mode=MEMORY")
@@ -24,12 +36,14 @@ class Database:
     def execute(
         self, sql: str, params: Sequence[Any] = ()
     ) -> sqlite3.Cursor:
-        return self.conn.execute(sql, tuple(params))
+        with self._lock:
+            return self.conn.execute(sql, tuple(params))
 
     def executemany(
         self, sql: str, rows: Iterable[Sequence[Any]]
     ) -> sqlite3.Cursor:
-        return self.conn.executemany(sql, rows)
+        with self._lock:
+            return self.conn.executemany(sql, rows)
 
     def commit(self) -> None:
         self.conn.commit()

@@ -3,7 +3,8 @@
 The paper's portal is Django templates over the PostgreSQL job table
 (§IV-B).  The value reproduced here is the query/report semantics —
 what a consultant can ask and what comes back — rendered as plain-text
-and HTML rather than served over HTTP (see DESIGN.md substitutions):
+and HTML, and served over HTTP by :class:`PortalServer` (stdlib
+asyncio, thread-pool dispatch, admission control; ``repro serve``):
 
 * :class:`JobSearch` — metadata filters plus up to **three** search
   fields, each a Table I metric name with a comparison-operator
@@ -20,13 +21,19 @@ and HTML rather than served over HTTP (see DESIGN.md substitutions):
 from repro.portal.app import PortalApp, Response
 from repro.portal.daily import DailyReportGenerator
 from repro.portal.histograms import job_histograms
+from repro.portal.loadgen import LoadGenerator, LoadReport
 from repro.portal.plots import fig5_series
 from repro.portal.search import JobSearch, SearchField
+from repro.portal.server import PageCache, PortalServer
 from repro.portal.views import JobDetailView, JobListView
 
 __all__ = [
     "PortalApp",
     "Response",
+    "PortalServer",
+    "PageCache",
+    "LoadGenerator",
+    "LoadReport",
     "DailyReportGenerator",
     "JobSearch",
     "SearchField",

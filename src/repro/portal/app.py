@@ -43,6 +43,25 @@ from repro.portal.search import JobSearch, SearchField, browse_date
 from repro.portal.views import JobDetailView, JobListView
 
 
+def _int_param(name: str, raw: str) -> int:
+    """Parse a user-supplied integer param; ValueError → a 400 page."""
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _float_param(name: str, raw) -> float:
+    """Parse a user-supplied float param; ValueError → a 400 page."""
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value != value:  # NaN poisons thresholds and axis scaling
+        raise ValueError(f"{name} must not be NaN")
+    return value
+
+
 @dataclass
 class Response:
     """What a route handler returns."""
@@ -88,9 +107,24 @@ class PortalApp:
     # -- dispatch ----------------------------------------------------------
     def get_url(self, url: str) -> Response:
         """Handle a full URL with a query string, e.g.
-        ``/search?exe=wrf&f1=MetaDataRate__gt&v1=10000``."""
+        ``/search?exe=wrf&f1=MetaDataRate__gt&v1=10000``.
+
+        Duplicate query parameters are **first-wins**: repeating a key
+        with the same value is accepted (and collapsed), repeating it
+        with a *different* value is a 400 — silently keeping one of two
+        conflicting filters would report results for a query the user
+        did not ask.
+        """
         parts = urlsplit(url)
-        return self.get(parts.path, dict(parse_qsl(parts.query)))
+        params: Dict[str, str] = {}
+        for key, value in parse_qsl(parts.query):
+            if key in params and params[key] != value:
+                return Response(status=400, body=self._error(
+                    f"conflicting values for query parameter {key!r}: "
+                    f"{params[key]!r} vs {value!r}"
+                ))
+            params.setdefault(key, value)
+        return self.get(parts.path, params)
 
     def get(self, path: str, params: Optional[Dict[str, str]] = None) -> Response:
         """Handle one request path; returns a Response."""
@@ -136,13 +170,15 @@ class PortalApp:
             spec = params.get(f"f{i}")
             value = params.get(f"v{i}")
             if spec and value is not None:
-                fields.append(SearchField.parse(spec, float(value)))
+                fields.append(
+                    SearchField.parse(spec, _float_param(f"v{i}", value))
+                )
         search = JobSearch(
             user=params.get("user") or None,
             executable=params.get("exe") or None,
             queue=params.get("queue") or None,
             status=params.get("status") or None,
-            min_run_time=int(params["min_runtime"])
+            min_run_time=_int_param("min_runtime", params["min_runtime"])
             if params.get("min_runtime") else None,
             fields=fields,
         )
@@ -184,8 +220,14 @@ class PortalApp:
         return Response(body=page)
 
     def by_date(self, params: Dict[str, str], day: str) -> Response:
-        start = int(_dt.datetime.strptime(day, "%Y-%m-%d")
-                    .replace(tzinfo=_dt.timezone.utc).timestamp())
+        try:
+            start = int(_dt.datetime.strptime(day, "%Y-%m-%d")
+                        .replace(tzinfo=_dt.timezone.utc).timestamp())
+        except (OverflowError, OSError) as exc:
+            # strptime already raises ValueError (→ 400) for nonsense
+            # like month 13; .timestamp() can instead overflow on
+            # platform-edge dates, which must be a 400 too.
+            raise ValueError(f"date out of range: {day}") from exc
         records = browse_date(start)
         body = [f"<h2>Jobs completed on {day} ({len(records)})</h2>",
                 self._job_table(records)]
@@ -201,7 +243,7 @@ class PortalApp:
 
         sections: List[str] = []
         try:
-            rep = fleet_report(top=int(params.get("top", "10")))
+            rep = fleet_report(top=_int_param("top", params.get("top", "10")))
             sections.append(
                 "<pre>" + html.escape(rep.render_text()) + "</pre>"
             )
@@ -332,19 +374,29 @@ class PortalApp:
         )
         downsample = None
         if params.get("downsample"):
-            interval, _, agg = params["downsample"].partition(":")
-            downsample = (int(interval), agg or "avg")
+            interval_s, _, agg = params["downsample"].partition(":")
+            interval = _int_param("downsample interval", interval_s)
+            if interval <= 0:
+                raise ValueError(
+                    f"downsample interval must be positive, got {interval}"
+                )
+            downsample = (interval, agg or "avg")
         time_range = None
         if params.get("range"):
             lo, _, hi = params["range"].partition(":")
-            time_range = (int(lo), int(hi))
+            time_range = (
+                _int_param("range start", lo), _int_param("range end", hi)
+            )
+        width = _float_param("width", params.get("width", 2.0**64))
+        if width <= 0:
+            raise ValueError(f"counter width must be positive, got {width}")
         res = query(
             tsdb, metric,
             tags=tags or None,
             group_by=group_by,
             aggregate=params.get("agg", "sum"),
             rate=params.get("rate", "") in ("1", "true", "yes"),
-            counter_width=float(params.get("width", 2.0**64)),
+            counter_width=width,
             downsample=downsample,
             time_range=time_range,
         )

@@ -17,6 +17,7 @@ and renderable as ASCII sparklines for the terminal portal.
 
 from __future__ import annotations
 
+import html
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -121,7 +122,7 @@ def render_panel_svg(
         f'<svg width="{width}" height="{height}" '
         f'xmlns="http://www.w3.org/2000/svg">',
         f'<text x="{pad_l}" y="12" font-size="11" '
-        f'font-family="sans-serif">{panel.label}</text>',
+        f'font-family="sans-serif">{html.escape(panel.label)}</text>',
         f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w}" '
         f'height="{plot_h}" fill="none" stroke="#999"/>',
     ]

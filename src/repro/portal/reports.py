@@ -158,13 +158,15 @@ def render_detail_html(view: JobDetailView) -> str:
         klass = "" if chk.passed else ' class="fail"'
         status = "pass" if chk.passed else f"FAIL — {html.escape(chk.note)}"
         parts.append(
-            f"<tr{klass}><td>{chk.name}</td><td>{chk.value:.4g}</td>"
-            f"<td>{chk.unit}</td><td>{status}</td></tr>"
+            f"<tr{klass}><td>{html.escape(chk.name)}</td><td>{chk.value:.4g}</td>"
+            f"<td>{html.escape(chk.unit)}</td><td>{status}</td></tr>"
         )
     parts.append("</table>")
     parts.append(f"<h2>Flags</h2><ul>")
     for f in view.flags:
-        parts.append(f'<li class="flag">{f.name}: {html.escape(f.detail)}</li>')
+        parts.append(
+            f'<li class="flag">{html.escape(f.name)}: {html.escape(f.detail)}</li>'
+        )
     parts.append("</ul>")
     parts.append(f"<h2>Processes ({len(view.processes)})</h2>")
     return _PAGE.format(

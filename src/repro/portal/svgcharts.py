@@ -8,6 +8,7 @@ assembly — no plotting library.
 
 from __future__ import annotations
 
+import html
 from typing import Iterable, List, Sequence
 
 import numpy as np
@@ -30,7 +31,7 @@ def render_histogram_svg(
         f'<svg width="{width}" height="{height}" '
         f'xmlns="http://www.w3.org/2000/svg">',
         f'<text x="{pad_l}" y="12" font-size="11" '
-        f'font-family="sans-serif">{h.label} (n={h.total})</text>',
+        f'font-family="sans-serif">{html.escape(h.label)} (n={h.total})</text>',
         f'<line x1="{pad_l}" y1="{pad_t + plot_h}" '
         f'x2="{pad_l + plot_w}" y2="{pad_t + plot_h}" stroke="#333"/>',
         f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
@@ -95,7 +96,7 @@ def compose_figure(
     if title:
         parts.append(
             f'<text x="4" y="15" font-size="13" font-weight="bold" '
-            f'font-family="sans-serif">{title}</text>'
+            f'font-family="sans-serif">{html.escape(title)}</text>'
         )
     for i, frag in enumerate(fragments):
         col, row = i % columns, i // columns

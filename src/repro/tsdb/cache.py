@@ -25,10 +25,20 @@ Two caches with different invalidation rules front the TSDB:
 Hits and misses are exported on the shared obs registry as
 ``repro_tsdb_cache_{hits,misses}_total`` (results) and
 ``repro_tsdb_buffer_cache_{hits,misses}_total`` (decoded buffers).
+
+Both caches are shared mutable state on the portal's concurrent read
+path (``repro.portal.server`` dispatches requests on a thread pool),
+so every entry mutation — the LRU ``move_to_end``/``popitem`` pair
+most of all — happens under a per-cache :class:`threading.RLock`.
+Membership peeks against ``_entries`` from the store's scan planner
+stay lock-free: a stale answer only costs a redundant decode (the
+readers fall back to decoding when an entry vanished), never a wrong
+result, because chunk ids are process-unique.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterable, Optional, Tuple
 
@@ -40,47 +50,63 @@ __all__ = ["QueryCache", "BufferCache"]
 
 
 class QueryCache:
-    """Bounded LRU of query results keyed on (query shape, epoch)."""
+    """Bounded LRU of query results keyed on (query shape, epoch).
+
+    Thread-safe: ``get``/``put``/``clear`` and the hit/miss counters
+    are serialised on an internal lock, so concurrent portal readers
+    can never corrupt the LRU order or tear an eviction.
+    """
 
     def __init__(self, maxsize: int = 256) -> None:
         if maxsize <= 0:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable, epoch: int) -> Optional[Any]:
         """The cached result, or None on miss / stale entry."""
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] == epoch:
-            self._entries.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == epoch:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+                result = entry[1]
+            else:
+                if entry is not None:  # written since: drop stale result
+                    del self._entries[key]
+                self.misses += 1
+                hit = False
+                result = None
+        if hit:
             obs.counter(
                 "repro_tsdb_cache_hits_total",
                 "TSDB query results served from the result cache",
             ).inc()
-            return entry[1]
-        if entry is not None:  # written since: drop the stale result
-            del self._entries[key]
-        self.misses += 1
-        obs.counter(
-            "repro_tsdb_cache_misses_total",
-            "TSDB queries that had to be computed",
-        ).inc()
-        return None
+        else:
+            obs.counter(
+                "repro_tsdb_cache_misses_total",
+                "TSDB queries that had to be computed",
+            ).inc()
+        return result
 
     def put(self, key: Hashable, epoch: int, result: Any) -> None:
-        self._entries[key] = (epoch, result)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (epoch, result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_ratio(self) -> float:
@@ -104,21 +130,25 @@ class BufferCache:
         self._entries: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
             OrderedDict()
         )
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, chunk_id: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """The decoded columns, or None when the chunk must be decoded."""
-        entry = self._entries.get(chunk_id)
+        with self._lock:
+            entry = self._entries.get(chunk_id)
+            if entry is not None:
+                self._entries.move_to_end(chunk_id)
+                self.hits += 1
         if entry is not None:
-            self._entries.move_to_end(chunk_id)
-            self.hits += 1
             obs.counter(
                 "repro_tsdb_buffer_cache_hits_total",
                 "chunk decodes avoided by the decoded-buffer cache",
             ).inc()
             return entry
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         obs.counter(
             "repro_tsdb_buffer_cache_misses_total",
             "chunk decodes that had to run",
@@ -126,10 +156,11 @@ class BufferCache:
         return None
 
     def put(self, chunk_id: int, t: np.ndarray, v: np.ndarray) -> None:
-        self._entries[chunk_id] = (t, v)
-        self._entries.move_to_end(chunk_id)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[chunk_id] = (t, v)
+            self._entries.move_to_end(chunk_id)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def put_many(
         self, items: Iterable[Tuple[int, Tuple[np.ndarray, np.ndarray]]]
@@ -140,11 +171,12 @@ class BufferCache:
         so plain insertion already lands every entry at the MRU end;
         eviction runs once for the whole batch.
         """
-        entries = self._entries
-        for chunk_id, cols in items:
-            entries[chunk_id] = cols
-        while len(entries) > self.maxsize:
-            entries.popitem(last=False)
+        with self._lock:
+            entries = self._entries
+            for chunk_id, cols in items:
+                entries[chunk_id] = cols
+            while len(entries) > self.maxsize:
+                entries.popitem(last=False)
 
     def note_misses(self, n: int) -> None:
         """Account for ``n`` decodes planned against this cache.
@@ -155,7 +187,8 @@ class BufferCache:
         instead of through :meth:`get`.
         """
         if n:
-            self.misses += n
+            with self._lock:
+                self.misses += n
             obs.counter(
                 "repro_tsdb_buffer_cache_misses_total",
                 "chunk decodes that had to run",
@@ -163,14 +196,17 @@ class BufferCache:
 
     def invalidate(self, chunk_ids: Iterable[int]) -> None:
         """Drop entries for chunks that no longer exist (prune/reseal)."""
-        for cid in chunk_ids:
-            self._entries.pop(cid, None)
+        with self._lock:
+            for cid in chunk_ids:
+                self._entries.pop(cid, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_ratio(self) -> float:

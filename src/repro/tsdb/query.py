@@ -54,6 +54,7 @@ pre-aggregates sealed into the chunk — no decode, no cache, O(chunks)
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -70,6 +71,18 @@ _AGGS = {
     "max": np.nanmax,
     "min": np.nanmin,
 }
+
+
+def _read_locked(tsdb):
+    """The store's shared read lock, or a no-op for foreign engines.
+
+    Both query entry points hold it end-to-end: the epoch is captured,
+    the series scanned and the result cached as one atomic read, so a
+    concurrent writer can never leave a half-new result filed under an
+    epoch that would serve it stale.
+    """
+    lock = getattr(tsdb, "read_locked", None)
+    return lock() if lock is not None else nullcontext()
 
 
 @dataclass
@@ -155,14 +168,26 @@ def query(
     """
     if aggregate not in _AGGS:
         raise ValueError(f"unknown aggregator {aggregate!r}; use {_AGGS}")
+    with _read_locked(tsdb):
+        return _query_locked(
+            tsdb, metric, tags, group_by, aggregate, rate,
+            counter_width, downsample, time_range,
+        )
+
+
+def _query_locked(
+    tsdb, metric, tags, group_by, aggregate, rate,
+    counter_width, downsample, time_range,
+) -> QueryResult:
     cache = getattr(tsdb, "cache", None)
     cache_key = None
+    epoch = tsdb.epoch
     if cache is not None:
         cache_key = _cache_key(
             metric, tags, group_by, aggregate, rate, counter_width,
             downsample, time_range,
         )
-        cached = cache.get(cache_key, tsdb.epoch)
+        cached = cache.get(cache_key, epoch)
         if cached is not None:
             # fresh wrapper, shared (treat-as-immutable) series
             return QueryResult(series=list(cached.series))
@@ -246,7 +271,7 @@ def query(
             )
     result = QueryResult(series=out)
     if cache is not None:
-        cache.put(cache_key, tsdb.epoch, result)
+        cache.put(cache_key, epoch, result)
     return result
 
 
@@ -499,14 +524,24 @@ def window_stats(
     engines (the list baseline), fall back to one reduction over the
     merged window — same statistics, single-segment association.
     """
+    with _read_locked(tsdb):
+        return _window_stats_locked(
+            tsdb, metric, tags, time_range, use_preagg
+        )
+
+
+def _window_stats_locked(
+    tsdb, metric, tags, time_range, use_preagg
+) -> List[SeriesStats]:
     cache = getattr(tsdb, "cache", None)
     cache_key = None
+    epoch = tsdb.epoch
     if cache is not None:
         cache_key = (
             "window_stats", metric, _norm_tags(tags), time_range,
             bool(use_preagg),
         )
-        cached = cache.get(cache_key, tsdb.epoch)
+        cached = cache.get(cache_key, epoch)
         if cached is not None:
             return list(cached)
     lo, hi = time_range if time_range is not None else (None, None)
@@ -579,9 +614,15 @@ def window_stats(
                     t, v = t[m], v[m]
                 if len(t):
                     parts.append(_part_stats(t, v))
-            tsdb.preagg_windows += 1
-            if skipped:
+            stats_lock = getattr(tsdb, "_stats_lock", None)
+            if stats_lock is not None:
+                with stats_lock:
+                    tsdb.preagg_windows += 1
+                    tsdb.preagg_chunks_skipped += skipped
+            else:
+                tsdb.preagg_windows += 1
                 tsdb.preagg_chunks_skipped += skipped
+            if skipped:
                 obs.counter(
                     "repro_tsdb_preagg_skips_total",
                     "chunk decodes skipped by sealed pre-aggregates",
@@ -592,7 +633,7 @@ def window_stats(
                 parts.append(_part_stats(t, v))
         out.append(_fold_parts(dict(s.tags), parts))
     if cache is not None:
-        cache.put(cache_key, tsdb.epoch, tuple(out))
+        cache.put(cache_key, epoch, tuple(out))
     return out
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -59,6 +60,73 @@ def _scan_pool(threads: int) -> ThreadPoolExecutor:
             )
             _POOL_SIZE = threads
         return _POOL
+
+
+class RWLock:
+    """A writer-priority readers/writer lock for the store.
+
+    The portal serves many concurrent readers over one live store that
+    a single stream feed keeps appending to.  Readers share the lock
+    (queries against an unchanged store run fully in parallel) and are
+    re-entrant per thread, so ``query()`` holding a read lock can call
+    ``scan()`` which takes it again.  A writer waiting on the
+    turnstile blocks *new* reader generations, so the feed cannot be
+    starved by a steady stream of page loads.
+
+    A thread that holds the write lock may re-enter both ``write`` and
+    ``read`` (mutators that consult read paths stay deadlock-free).
+    """
+
+    def __init__(self) -> None:
+        #: writers queue here; held for the whole write so new readers
+        #: line up behind a waiting writer
+        self._turnstile = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._readers = 0
+        #: held whenever at least one reader is inside
+        self._no_readers = threading.Lock()
+        self._local = threading.local()
+        self._write_owner: Optional[int] = None
+
+    @contextmanager
+    def read(self):
+        me = threading.get_ident()
+        if self._write_owner == me:  # write lock already held: no-op
+            yield
+            return
+        depth = getattr(self._local, "depth", 0)
+        if depth == 0:
+            with self._turnstile:
+                pass  # queue behind any waiting/active writer
+            with self._counter_lock:
+                self._readers += 1
+                if self._readers == 1:
+                    self._no_readers.acquire()
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth = depth
+            if depth == 0:
+                with self._counter_lock:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._no_readers.release()
+
+    @contextmanager
+    def write(self):
+        me = threading.get_ident()
+        if self._write_owner == me:  # re-entrant write
+            yield
+            return
+        with self._turnstile:
+            self._no_readers.acquire()
+            self._write_owner = me
+            try:
+                yield
+            finally:
+                self._write_owner = None
+                self._no_readers.release()
 
 
 def _tagkey(tags: Mapping[str, str]) -> TagKey:
@@ -399,6 +467,21 @@ class TimeSeriesDB:
         #: chunk decodes skipped outright thanks to pre-aggregates
         self.preagg_windows = 0
         self.preagg_chunks_skipped = 0
+        #: readers share, writers exclude: the portal's thread pool
+        #: reads while the stream feed appends (see :class:`RWLock`)
+        self._rw = RWLock()
+        #: guards the preagg_* read-path counters (readers run in
+        #: parallel under the shared read lock)
+        self._stats_lock = threading.Lock()
+
+    # -- concurrency ---------------------------------------------------------
+    def read_locked(self):
+        """Shared-reader lock context; queries hold it while they scan."""
+        return self._rw.read()
+
+    def write_locked(self):
+        """Exclusive-writer lock context; every mutation holds it."""
+        return self._rw.write()
 
     # -- writing ------------------------------------------------------------
     def _get_series(self, metric: str, tags: Mapping[str, str]) -> _Series:
@@ -419,8 +502,9 @@ class TimeSeriesDB:
         self, metric: str, tags: Mapping[str, str], ts: int, value: float
     ) -> None:
         """Insert one data point."""
-        self._get_series(metric, tags).add(ts, value)
-        self.epoch += 1
+        with self.write_locked():
+            self._get_series(metric, tags).add(ts, value)
+            self.epoch += 1
 
     def put_many(
         self,
@@ -436,11 +520,12 @@ class TimeSeriesDB:
         """
         if len(times) == 0:
             return 0
-        n = self._get_series(metric, tags).extend(
-            np.asarray(times), np.asarray(values)
-        )
-        if n:
-            self.epoch += 1
+        with self.write_locked():
+            n = self._get_series(metric, tags).extend(
+                np.asarray(times), np.asarray(values)
+            )
+            if n:
+                self.epoch += 1
         return n
 
     def prune(self, before: int, metric: Optional[str] = None) -> int:
@@ -452,6 +537,10 @@ class TimeSeriesDB:
         discarded on metadata comparison alone.  Returns points
         dropped.
         """
+        with self.write_locked():
+            return self._prune_locked(before, metric)
+
+    def _prune_locked(self, before: int, metric: Optional[str]) -> int:
         if metric is None:
             keys = list(self._series)
         else:
@@ -482,8 +571,9 @@ class TimeSeriesDB:
 
     def seal_heads(self) -> None:
         """Seal every series head (at-rest sizing; not required)."""
-        for s in self._series.values():
-            s.seal()
+        with self.write_locked():
+            for s in self._series.values():
+                s.seal()
 
     # -- reading ------------------------------------------------------------
     def scan(
@@ -503,6 +593,15 @@ class TimeSeriesDB:
         ``threads``: chunks decode bit-exactly in isolation and
         assembly order is the caller's series order.
         """
+        with self.read_locked():
+            return self._scan_locked(series_list, time_range, threads)
+
+    def _scan_locked(
+        self,
+        series_list: Sequence[object],
+        time_range: Optional[Tuple[int, int]],
+        threads: Optional[int],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
         lo, hi = time_range if time_range is not None else (None, None)
         threads = self.scan_threads if threads is None else int(threads)
 
@@ -606,12 +705,13 @@ class TimeSeriesDB:
         cache and the query-result cache; the next query pays the full
         decode + compute cost, as a freshly restarted process would.
         """
-        for s in self._series.values():
-            s.drop_read_cache()
-        if self.buffer_cache is not None:
-            self.buffer_cache.clear()
-        if self.cache is not None:
-            self.cache.clear()
+        with self.write_locked():
+            for s in self._series.values():
+                s.drop_read_cache()
+            if self.buffer_cache is not None:
+                self.buffer_cache.clear()
+            if self.cache is not None:
+                self.cache.clear()
 
     def read_stats(self) -> Dict[str, object]:
         """Read-path accelerator counters for the portal ``/fleet`` page.

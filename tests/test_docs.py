@@ -137,6 +137,13 @@ def test_documented_cli_flags_exist():
     assert not bad, "\n".join(bad)
 
 
+def test_service_commands_stay_documented():
+    """`serve` and `loadtest` must keep worked examples in the docs —
+    that is what extends the flag-integrity check above to them."""
+    documented = {command for _d, command, _f in _documented_cli_invocations()}
+    assert {"serve", "loadtest"} <= documented
+
+
 def test_all_docs_linked_from_readme():
     """docs/*.md pages are discoverable from the README."""
     readme = (REPO / "README.md").read_text()

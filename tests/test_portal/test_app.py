@@ -117,3 +117,108 @@ def test_get_url_with_query_string(app):
 
 def test_get_url_without_query(app):
     assert app.get_url("/").ok
+
+
+# -- malformed query params must be 400s, never exceptions ----------------
+
+@pytest.fixture()
+def tsdb_app(fresh_db):
+    """An app with a minimal live-TSDB stream for /tsdb param tests."""
+    from types import SimpleNamespace
+
+    import numpy as np
+
+    from repro.portal.app import PortalApp
+    from repro.tsdb import TimeSeriesDB
+
+    tsdb = TimeSeriesDB()
+    tsdb.put_many(
+        "stats", {"host": "n0"},
+        (np.arange(32) * 60).tolist(), np.arange(32.0).tolist(),
+    )
+    return PortalApp(
+        fresh_db, stream=SimpleNamespace(tsdb=tsdb, metric="stats")
+    )
+
+
+@pytest.mark.parametrize("params", [
+    {"downsample": "x:avg"},       # non-numeric interval
+    {"downsample": "0:avg"},       # zero interval → div-by-zero upstream
+    {"downsample": "-60:avg"},     # negative interval
+    {"downsample": "60:bogus"},    # unknown bucket aggregator
+    {"range": "abc:100"},          # non-numeric range start
+    {"range": "0:xyz"},            # non-numeric range end
+    {"range": "100"},              # missing separator → empty end
+    {"width": "wide"},             # non-numeric counter width
+    {"width": "0"},                # zero counter width
+    {"width": "nan"},              # NaN counter width
+    {"agg": "bogus"},              # unknown aggregator
+])
+def test_tsdb_bad_params_are_400(tsdb_app, params):
+    resp = tsdb_app.get("/tsdb", params)
+    assert resp.status == 400, (params, resp.status)
+
+
+def test_tsdb_good_params_still_work(tsdb_app):
+    resp = tsdb_app.get("/tsdb", {
+        "downsample": "600:avg", "range": "0:1000", "agg": "avg",
+    })
+    assert resp.ok
+
+
+def test_bad_date_is_400(app):
+    assert app.get("/date/2015-13-01").status == 400
+    assert app.get("/date/2015-00-10").status == 400
+
+
+def test_search_bad_numbers_are_400(app):
+    assert app.get("/search", {"min_runtime": "soon"}).status == 400
+    assert app.get("/search", {"f1": "cpi__gt", "v1": "much"}).status == 400
+    assert app.get("/search", {"f1": "cpi__gt", "v1": "nan"}).status == 400
+
+
+def test_fleet_bad_top_is_400(app):
+    assert app.get("/fleet", {"top": "many"}).status == 400
+
+
+# -- XSS: user-supplied params must never echo back unescaped -------------
+
+def test_search_xss_username_escaped(app):
+    payload = "<script>alert(1)</script>"
+    resp = app.get("/search", {"user": payload})
+    assert resp.ok
+    assert "<script>" not in resp.body
+    assert "&lt;script&gt;" in resp.body
+
+
+def test_error_page_escapes_message(app):
+    resp = app.get("/search", {"f1": "<script>x__gt", "v1": "1"})
+    assert resp.status == 400
+    assert "<script>" not in resp.body
+
+
+def test_tsdb_metric_label_escaped_in_svg(tsdb_app):
+    import numpy as np
+
+    evil = '<script>alert(1)</script>'
+    tsdb_app.stream.tsdb.put_many(
+        evil, {"host": "n0"},
+        (np.arange(8) * 60).tolist(), np.arange(8.0).tolist(),
+    )
+    resp = tsdb_app.get("/tsdb", {"metric": evil})
+    assert resp.ok
+    assert "<script>" not in resp.body
+
+
+# -- duplicate query params: first-wins, 400 on conflict ------------------
+
+def test_get_url_duplicate_identical_params_collapse(app):
+    resp = app.get_url("/search?exe=wrf&exe=wrf")
+    assert resp.ok
+    assert "wrf.exe" in resp.body
+
+
+def test_get_url_conflicting_params_are_400(app):
+    resp = app.get_url("/search?exe=wrf&exe=namd")
+    assert resp.status == 400
+    assert "conflicting" in resp.body

@@ -1,0 +1,229 @@
+"""PortalServer: HTTP transport, admission control, tiered cache."""
+
+import http.client
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.popgen import generate_population
+from repro.db import Database
+from repro.pipeline.records import JobRecord
+from repro.portal.app import PortalApp, Response
+from repro.portal.server import PageCache, PortalServer
+from repro.tsdb import TimeSeriesDB
+
+
+def _make_app(n_jobs: int = 200):
+    db = Database()
+    generate_population(db, n_jobs, seed=33)
+    JobRecord.bind(db)
+    return PortalApp(db)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One server over a small synthetic population."""
+    app = _make_app()
+    server = PortalServer(app, workers=4, queue_cap=16, deadline=30.0)
+    host, port = server.start_background()
+    yield app, server, host, port
+    server.close()
+
+
+def _get(host, port, path, method="GET"):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def test_front_page_over_http(served):
+    _app, _srv, host, port = served
+    status, headers, body = _get(host, port, "/")
+    assert status == 200
+    assert "text/html" in headers["Content-Type"]
+    assert int(headers["Content-Length"]) == len(body)
+    assert b"Recent jobs" in body
+
+
+def test_unknown_route_is_404(served):
+    _app, _srv, host, port = served
+    status, _h, _b = _get(host, port, "/nope")
+    assert status == 404
+
+
+def test_bad_param_is_400_not_500(served):
+    _app, _srv, host, port = served
+    status, _h, body = _get(host, port, "/search?min_runtime=banana")
+    assert status == 400
+    assert b"min_runtime" in body
+
+
+def test_healthz_and_head(served):
+    _app, _srv, host, port = served
+    status, _h, body = _get(host, port, "/healthz")
+    assert (status, body) == (200, b"ok\n")
+    status, headers, body = _get(host, port, "/", method="HEAD")
+    assert status == 200
+    assert body == b""
+    assert int(headers["Content-Length"]) > 0
+
+
+def test_post_is_405(served):
+    _app, _srv, host, port = served
+    status, headers, _b = _get(host, port, "/", method="POST")
+    assert status == 405
+    assert headers["Allow"] == "GET, HEAD"
+
+
+def test_keep_alive_reuses_connection(served):
+    _app, _srv, host, port = served
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        for _ in range(3):
+            conn.request("GET", "/")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+    finally:
+        conn.close()
+
+
+def test_admission_control_sheds_503():
+    app = _make_app(50)
+    server = PortalServer(app, workers=2, queue_cap=0)
+    host, port = server.start_background()
+    try:
+        status, headers, _b = _get(host, port, "/")
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        # liveness keeps answering while everything else sheds
+        status, _h, _b = _get(host, port, "/healthz")
+        assert status == 200
+    finally:
+        server.close()
+
+
+def test_deadline_expiry_is_504():
+    app = _make_app(50)
+    orig = app.get_url
+
+    def slow(url):
+        time.sleep(0.5)
+        return orig(url)
+
+    app.get_url = slow
+    server = PortalServer(app, workers=2, queue_cap=8, deadline=0.05)
+    host, port = server.start_background()
+    try:
+        status, _h, body = _get(host, port, "/")
+        assert status == 504
+        assert b"deadline" in body
+    finally:
+        server.close()
+
+
+def test_render_exception_is_500_not_dead_connection():
+    app = _make_app(50)
+
+    def boom(url):
+        raise RuntimeError("kaput")
+
+    app.get_url = boom
+    server = PortalServer(app, workers=2, queue_cap=8)
+    host, port = server.start_background()
+    try:
+        status, _h, body = _get(host, port, "/")
+        assert status == 500
+        assert b"RuntimeError" in body
+    finally:
+        server.close()
+
+
+def test_page_cache_serves_identical_bytes(served):
+    _app, server, host, port = served
+    hits0 = server.page_cache.hits
+    _s, _h, first = _get(host, port, "/search?status=COMPLETED")
+    _s, _h, second = _get(host, port, "/search?status=COMPLETED")
+    assert first == second
+    assert server.page_cache.hits > hits0
+
+
+def test_metrics_exported(served):
+    _app, _srv, host, port = served
+    _get(host, port, "/")
+    text = obs.render_text()
+    assert "repro_portal_request_seconds" in text
+    assert "repro_portal_responses_total" in text
+    assert "repro_portal_inflight" in text
+
+
+def test_obs_page_not_cached(served):
+    _app, server, host, port = served
+    misses0 = server.page_cache.misses
+    hits0 = server.page_cache.hits
+    _get(host, port, "/obs")
+    _get(host, port, "/obs")
+    # neither request touched the page cache
+    assert server.page_cache.misses == misses0
+    assert server.page_cache.hits == hits0
+
+
+# -- PageCache unit behaviour ---------------------------------------------
+
+def test_page_cache_epoch_invalidation():
+    cache = PageCache(maxsize=8)
+    page = Response(body="old")
+    cache.put("/x", 1, page)
+    assert cache.get("/x", 1) is page
+    assert cache.get("/x", 2) is None  # write bumped the epoch
+    assert len(cache) == 0  # stale entry evicted on contact
+    cache.put("/x", 2, Response(body="new"))
+    assert cache.get("/x", 2).body == "new"
+
+
+def test_page_cache_lru_eviction():
+    cache = PageCache(maxsize=2)
+    for i in range(4):
+        cache.put(f"/p{i}", 0, Response(body=str(i)))
+    assert len(cache) == 2
+    assert cache.get("/p0", 0) is None
+    assert cache.get("/p3", 0).body == "3"
+
+
+def test_page_cache_rejects_bad_size():
+    with pytest.raises(ValueError):
+        PageCache(maxsize=0)
+
+
+def test_server_page_cache_invalidated_by_tsdb_write():
+    """A TSDB write must invalidate every cached /tsdb page."""
+    from types import SimpleNamespace
+
+    db = Database()
+    generate_population(db, 30, seed=33)
+    JobRecord.bind(db)
+    tsdb = TimeSeriesDB()
+    tsdb.put_many("stats", {"host": "n1"}, (np.arange(10) * 60).tolist(),
+                  np.arange(10.0).tolist())
+    stream = SimpleNamespace(tsdb=tsdb, metric="stats")
+    app = PortalApp(db, stream=stream)
+    server = PortalServer(app, workers=2, queue_cap=8)
+    host, port = server.start_background()
+    try:
+        _s, _h, before = _get(host, port, "/tsdb")
+        misses0 = server.page_cache.misses
+        _s, _h, again = _get(host, port, "/tsdb")
+        assert again == before  # epoch unchanged: cache hit
+        assert server.page_cache.misses == misses0
+        tsdb.put("stats", {"host": "n1"}, 700, 99.0)
+        _s, _h, after = _get(host, port, "/tsdb")
+        assert server.page_cache.misses > misses0  # re-rendered
+        assert after != before
+    finally:
+        server.close()
