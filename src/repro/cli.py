@@ -319,6 +319,22 @@ def cmd_obs(args: argparse.Namespace) -> int:
     result = parallel_ingest_jobs(
         sess.store, sess.cluster.jobs, Database(), workers=args.workers
     )
+    harvest = None
+    if args.shard_workers:
+        # re-load the raw store through worker-hosted shards, then
+        # harvest each worker's registry + spans into this process so
+        # the dump below shows the whole fleet (``shard`` label)
+        from repro.shard import ShardedTSDB, StoreSource
+
+        source = StoreSource(str(sess.store.root))
+        tsdb = ShardedTSDB(
+            shards=args.shard_workers, workers=args.shard_workers
+        )
+        try:
+            tsdb.ingest(source, hosts=source.hosts())
+            harvest = tsdb.harvest_obs()
+        finally:
+            tsdb.close()
     if args.format == "json":
         print(obs.render_json(indent=2))
     else:
@@ -332,6 +348,14 @@ def cmd_obs(args: argparse.Namespace) -> int:
     tracer = obs.get_tracer()
     print(f"# collections traced: {tracer.count('collector.collect')}")
     print(f"# ingested jobs: {result.ingested}")
+    if harvest is not None:
+        missing = (
+            " missing=" + ",".join(harvest.missing)
+            if harvest.partial else ""
+        )
+        print(f"# harvested workers: {len(harvest.sources)} "
+              f"({harvest.samples_merged} samples, "
+              f"{harvest.spans_merged} spans{missing})")
     print(f"# measured fleet overhead:  {measured * 100:.5f}%")
     print(f"# predicted (0.09 s model): {predicted * 100:.5f}%")
     if predicted > 0:
@@ -342,7 +366,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 def cmd_stream(args: argparse.Namespace) -> int:
     """Run a fleet with the real-time telemetry pipeline attached."""
     from repro import obs
-    from repro.stream import StreamPipeline, log_sink
+    from repro.stream import FleetAnalytics, StreamPipeline, log_sink
 
     obs.reset()
     sess = monitoring_session(
@@ -350,16 +374,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
     obs.set_clock(sess.cluster.clock.now)
     types = tuple(t for t in args.types.split(",") if t) or None
+    analytics = FleetAnalytics() if args.analytics else None
     if args.shards:
         from repro.shard import ShardedStreamPipeline
 
         stream = ShardedStreamPipeline(
             sess.broker, shards=args.shards, jobs=sess.cluster.jobs,
-            types=types,
+            types=types, analytics=analytics,
         )
     else:
         stream = StreamPipeline(
-            sess.broker, jobs=sess.cluster.jobs, types=types
+            sess.broker, jobs=sess.cluster.jobs, types=types,
+            analytics=analytics,
         )
     if not args.quiet_alerts:
         stream.alerts.add_sink(log_sink(sys.stdout))
@@ -403,6 +429,17 @@ def cmd_stream(args: argparse.Namespace) -> int:
                             int(0.99 * len(latencies)))]
         print(f"sample→flag latency (sim s): "
               f"median {latencies[len(latencies) // 2]}, p99 {p99}")
+    if analytics is not None:
+        s = analytics.summary()
+        eff = s["fleet_efficiency_mean"]
+        print(f"analytics: {s['jobs_scored']} jobs scored into "
+              f"{len(s['classes'])} classes; fleet efficiency "
+              + ("n/a" if eff is None else f"{eff:.3f}"))
+        for group in ("users", "apps"):
+            for name in sorted(s[group]):
+                g = s[group][name]
+                print(f"  {group[:-1]} {name}: {g['jobs']} jobs, "
+                      f"mean eff {g['mean']:.3f}")
     if args.verify:
         from repro.pipeline import ingest_jobs
 
@@ -436,10 +473,13 @@ def _demo_stream(nodes: int, minutes: int, seed: int):
     in, then hands the still-attached pipeline (and its live TSDB) to
     the portal.
     """
-    from repro.stream import StreamPipeline
+    from repro.stream import FleetAnalytics, StreamPipeline
 
     sess = monitoring_session(nodes=nodes, seed=seed, interval=60)
-    stream = StreamPipeline(sess.broker, jobs=sess.cluster.jobs)
+    stream = StreamPipeline(
+        sess.broker, jobs=sess.cluster.jobs,
+        analytics=FleetAnalytics(min_jobs=4),
+    )
     stream.start()
     for user, app, n in PRESETS["standard"]:
         sess.cluster.submit(JobSpec(
@@ -649,6 +689,10 @@ def build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--runtime", type=float, default=4000.0)
     ob.add_argument("--preset", choices=sorted(PRESETS), default="standard")
     ob.add_argument("--workers", type=int, default=2)
+    ob.add_argument("--shard-workers", type=int, default=0,
+                    help="also re-load the store through this many "
+                         "worker-hosted shards and harvest their "
+                         "metrics/spans into the dump (shard label)")
     ob.add_argument("--format", choices=("text", "json"), default="text")
     ob.set_defaults(fn=cmd_obs)
 
@@ -670,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--shards", type=int, default=0,
                     help="partition the live feed across a sharded "
                          "exchange (0 = single consumer)")
+    st.add_argument("--analytics", action="store_true",
+                    help="attach always-on fleet analytics: feed "
+                         "sketches, continuous efficiency scoring, "
+                         "fleet-quantile anomaly alerts")
     st.add_argument("--quiet-alerts", action="store_true",
                     help="suppress the per-alert log lines")
     st.add_argument("--verify", action="store_true",

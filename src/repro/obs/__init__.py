@@ -37,8 +37,11 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricRegistry,
+    Sketch,
     DEFAULT_BUCKETS,
+    SKETCH_QUANTILES,
 )
+from repro.obs.sketch import DEFAULT_ALPHA, DEFAULT_MAX_BINS, QuantileSketch
 from repro.obs.tracing import (
     SPAN_ID_HEADER,
     TRACE_ID_HEADER,
@@ -52,10 +55,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Sketch",
+    "QuantileSketch",
     "MetricRegistry",
     "Span",
     "Tracer",
     "DEFAULT_BUCKETS",
+    "DEFAULT_ALPHA",
+    "DEFAULT_MAX_BINS",
+    "SKETCH_QUANTILES",
     "TRACE_ID_HEADER",
     "SPAN_ID_HEADER",
     "inject_context",
@@ -63,6 +71,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "sketch",
     "span",
     "get_registry",
     "get_tracer",
@@ -98,6 +107,16 @@ def histogram(
     name: str, help: str = "", buckets: Optional[Iterable[float]] = None
 ) -> Histogram:
     return _REGISTRY.histogram(name, help, buckets=buckets)
+
+
+def sketch(
+    name: str,
+    help: str = "",
+    alpha: float = DEFAULT_ALPHA,
+    max_bins: int = DEFAULT_MAX_BINS,
+) -> Sketch:
+    """Get-or-create a mergeable quantile-sketch metric family."""
+    return _REGISTRY.sketch(name, help, alpha=alpha, max_bins=max_bins)
 
 
 def span(

@@ -1,0 +1,333 @@
+"""Cross-process obs harvest: one fleet-wide registry and trace store.
+
+PR 7's shard workers are spawn-started processes, so everything their
+code observes — TSDB chunk seals, ingest timings, spans — lands in a
+*worker-local* ``repro.obs`` registry the central exporter never sees.
+This module is the merge protocol that fixes that:
+
+* :func:`snapshot_process` runs **worker-side** and returns one
+  picklable cumulative snapshot of the process's registry and
+  finished spans (it travels over the existing ``(cmd, payload)``
+  pipe RPC as the ``obs_snapshot`` command);
+* :class:`HarvestMerger` runs **coordinator-side** and folds
+  snapshots into the central registry and tracer:
+
+  - **counters sum** — the merger keeps the previous cumulative
+    snapshot per source and applies only the *delta*, so harvesting
+    is idempotent: applying the same snapshot twice adds zero;
+  - **gauges overwrite** (a gauge is a statement about now);
+  - **histogram buckets add** (bucket-count deltas, min/max widen);
+  - **sketches merge exactly** (integer bucket deltas — the merged
+    distribution is bit-identical at any worker count);
+  - every merged sample gains a ``shard=<source>`` label, keeping
+    worker contributions separate and the exporter's ordering stable;
+  - **spans re-home**: worker span ids are remapped through the
+    central tracer's id allocator (parents before children — ids are
+    allocated at open, so a parent's id is always smaller), spans
+    that were remote-parented to a coordinator span keep that link,
+    and orphan worker roots re-parent under the harvest span so a
+    scatter-gather query renders as one tree.
+
+The failure mode is partial harvest: a worker that died
+(:class:`~repro.shard.pool.ShardWorkerDied`) simply contributes
+nothing this round, ``repro_obs_harvest_partial_total`` counts the
+gap, and the report names the missing sources — see
+docs/observability.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import Histogram, LabelKey, MetricRegistry, Sketch
+from repro.obs.tracing import Span, Tracer
+
+__all__ = ["SNAPSHOT_VERSION", "HarvestReport", "HarvestMerger",
+           "snapshot_process"]
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_process(
+    registry: Optional[MetricRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, object]:
+    """One picklable, *cumulative* snapshot of this process's obs state.
+
+    Runs in the worker.  Values are cumulative since process start —
+    the coordinator-side merger turns consecutive snapshots into
+    deltas, which is what makes double-harvesting idempotent.
+    """
+    if registry is None or tracer is None:
+        from repro import obs
+
+        registry = registry or obs.get_registry()
+        tracer = tracer or obs.get_tracer()
+    metrics: Dict[str, dict] = {}
+    for name in registry.names():
+        m = registry.get(name)
+        fam: Dict[str, object] = {"kind": m.kind, "help": m.help}
+        if isinstance(m, Histogram):
+            fam["bounds"] = tuple(m.bounds)
+            fam["samples"] = [
+                (key, {"count": s.count, "sum": s.sum, "min": s.min,
+                       "max": s.max, "buckets": list(s.buckets)})
+                for key, s in m.samples()
+            ]
+        elif isinstance(m, Sketch):
+            fam["alpha"] = m.alpha
+            fam["max_bins"] = m.max_bins
+            fam["samples"] = [(key, sk.to_dict()) for key, sk in m.samples()]
+        else:
+            fam["samples"] = list(m.samples())
+        metrics[name] = fam
+    spans = [
+        (s.name, s.span_id, s.trace_id, s.parent_id, s.remote_parent,
+         s.started, s.ended, s.status, dict(s.attrs))
+        for s in tracer.spans()
+    ]
+    return {
+        "v": SNAPSHOT_VERSION,
+        "metrics": metrics,
+        "spans": spans,
+        "spans_dropped": tracer.dropped,
+    }
+
+
+@dataclass
+class HarvestReport:
+    """What one harvest round merged (summed across sources)."""
+
+    sources: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    samples_merged: int = 0
+    spans_merged: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one worker could not be snapshotted."""
+        return bool(self.missing)
+
+    def merge(self, other: "HarvestReport") -> "HarvestReport":
+        self.sources.extend(other.sources)
+        self.missing.extend(other.missing)
+        self.samples_merged += other.samples_merged
+        self.spans_merged += other.spans_merged
+        return self
+
+
+class HarvestMerger:
+    """Folds worker snapshots into the central registry and tracer.
+
+    One merger instance per worker fleet: it remembers, per source,
+    the last cumulative snapshot (for delta idempotency) and the span
+    id remapping (so a parent harvested in an earlier round still
+    resolves for children harvested later).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        label: str = "shard",
+    ) -> None:
+        if registry is None or tracer is None:
+            from repro import obs
+
+            registry = registry or obs.get_registry()
+            tracer = tracer or obs.get_tracer()
+        self.registry = registry
+        self.tracer = tracer
+        self.label = label
+        #: source → last cumulative snapshot applied
+        self._prev: Dict[str, dict] = {}
+        #: source → highest worker span id already harvested
+        self._span_cursor: Dict[str, int] = {}
+        #: source → worker span id → (central span id, central trace id)
+        self._span_map: Dict[str, Dict[int, Tuple[int, int]]] = {}
+
+    # -- metrics -------------------------------------------------------------
+    def _labelled(self, key: LabelKey, source: str) -> LabelKey:
+        # a worker-side label with the same name loses to the harvest
+        # label — one sample must not carry two values for it
+        kept = tuple(p for p in key if p[0] != self.label)
+        return tuple(sorted(kept + ((self.label, source),)))
+
+    def _apply_metrics(
+        self, snapshot: Mapping[str, object], source: str
+    ) -> int:
+        merged = 0
+        prev_metrics = self._prev.get(source, {}).get("metrics", {})
+        for name, fam in snapshot["metrics"].items():
+            kind = fam["kind"]
+            prev_samples = dict(
+                prev_metrics.get(name, {}).get("samples", ())
+            )
+            if kind == "counter":
+                c = self.registry.counter(name, fam["help"])
+                for key, value in fam["samples"]:
+                    delta = value - prev_samples.get(key, 0.0)
+                    if delta:
+                        c.merge_delta(self._labelled(key, source), delta)
+                        merged += 1
+            elif kind == "gauge":
+                g = self.registry.gauge(name, fam["help"])
+                for key, value in fam["samples"]:
+                    if key in prev_samples and prev_samples[key] == value:
+                        continue
+                    g.merge_set(self._labelled(key, source), value)
+                    merged += 1
+            elif kind == "histogram":
+                h = self.registry.histogram(
+                    name, fam["help"], buckets=fam["bounds"]
+                )
+                if tuple(h.bounds) != tuple(fam["bounds"]):
+                    raise ValueError(
+                        f"histogram {name}: central bounds differ from "
+                        f"worker bounds; cannot merge"
+                    )
+                for key, s in fam["samples"]:
+                    p = prev_samples.get(key)
+                    d_count = s["count"] - (p["count"] if p else 0)
+                    if not d_count:
+                        continue
+                    d_sum = s["sum"] - (p["sum"] if p else 0.0)
+                    d_buckets = [
+                        b - (p["buckets"][i] if p else 0)
+                        for i, b in enumerate(s["buckets"])
+                    ]
+                    # min/max are cumulative envelopes: merging them
+                    # with min/max again is naturally idempotent
+                    h.merge_sample(
+                        self._labelled(key, source),
+                        d_count, d_sum, s["min"], s["max"], d_buckets,
+                    )
+                    merged += 1
+            elif kind == "sketch":
+                sk = self.registry.sketch(
+                    name, fam["help"],
+                    alpha=fam["alpha"], max_bins=fam["max_bins"],
+                )
+                for key, data in fam["samples"]:
+                    p = prev_samples.get(key)
+                    delta = _sketch_delta(data, p)
+                    if delta is None:
+                        continue
+                    sk.merge_sample(self._labelled(key, source), delta)
+                    merged += 1
+        return merged
+
+    # -- spans ---------------------------------------------------------------
+    def _apply_spans(
+        self,
+        snapshot: Mapping[str, object],
+        source: str,
+        parent: Optional[Span],
+    ) -> int:
+        cursor = self._span_cursor.get(source, 0)
+        idmap = self._span_map.setdefault(source, {})
+        fresh = sorted(
+            (s for s in snapshot["spans"] if s[1] > cursor),
+            key=lambda s: s[1],
+        )
+        for (name, span_id, trace_id, parent_id, remote, started, ended,
+             status, attrs) in fresh:
+            cursor = max(cursor, span_id)
+            if remote:
+                # remote parent: a coordinator-side span id carried
+                # over the RPC trace context — keep the link verbatim
+                # (span ids are per-process, so idmap must not apply)
+                new_parent, new_trace = parent_id, trace_id
+            elif parent_id is not None and parent_id in idmap:
+                # worker-local parent, already re-homed
+                new_parent, new_trace = idmap[parent_id]
+            elif parent is not None and parent.span_id:
+                # orphan worker root (or local parent lost to the
+                # ring buffer) → child of the harvest span
+                new_parent, new_trace = parent.span_id, parent.trace_id
+            else:
+                new_parent, new_trace = None, None
+            new_id = self.tracer.next_id()
+            if new_trace is None:
+                new_trace = new_id
+            s = Span(
+                name=name,
+                span_id=new_id,
+                trace_id=new_trace,
+                parent_id=new_parent,
+                started=started,
+                attrs=dict(attrs, **{self.label: source}),
+            )
+            s.ended = ended
+            s.status = status
+            idmap[span_id] = (new_id, new_trace)
+            self.tracer.adopt(s)
+        self._span_cursor[source] = cursor
+        return len(fresh)
+
+    # -- entry point ---------------------------------------------------------
+    def apply(
+        self,
+        snapshot: Mapping[str, object],
+        source: str,
+        parent: Optional[Span] = None,
+    ) -> HarvestReport:
+        """Fold one worker snapshot in; returns what changed.
+
+        Applying the same cumulative snapshot twice is a no-op for
+        every metric kind and for spans (the property suite pins it).
+        """
+        if snapshot.get("v") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"obs snapshot version {snapshot.get('v')!r} != "
+                f"{SNAPSHOT_VERSION}"
+            )
+        report = HarvestReport(sources=[source])
+        report.samples_merged = self._apply_metrics(snapshot, source)
+        report.spans_merged = self._apply_spans(snapshot, source, parent)
+        self._prev[source] = {
+            "metrics": {
+                name: {"samples": list(fam["samples"])}
+                for name, fam in snapshot["metrics"].items()
+            }
+        }
+        return report
+
+
+def _sketch_delta(
+    cur: Mapping[str, object], prev: Optional[Mapping[str, object]]
+) -> Optional[Dict[str, object]]:
+    """Cumulative-sketch subtraction: the increment since ``prev``.
+
+    Bucket counts subtract exactly (integers); ``min``/``max`` pass
+    through as the cumulative envelope, which the merge's min/max fold
+    keeps idempotent.  Returns ``None`` when nothing changed.
+    """
+    if prev is None:
+        return dict(cur)
+    if cur["count"] == prev["count"]:
+        return None
+    out = dict(cur)
+    for store in ("pos", "neg"):
+        old = dict(prev[store])
+        items = []
+        for k, c in cur[store]:
+            d = c - old.get(k, 0)
+            if d < 0:
+                # a worker-side max_bins collapse moved counts between
+                # buckets; a clean delta no longer exists — fall back
+                # to a full re-merge under a fresh epoch is not
+                # possible, so surface it loudly instead of silently
+                # double-counting
+                raise ValueError(
+                    "cumulative sketch went backwards (worker-side "
+                    "bucket collapse between harvests)"
+                )
+            if d:
+                items.append((k, d))
+        out[store] = items
+    for f in ("zero", "nan", "pos_inf", "neg_inf", "count", "collapsed"):
+        out[f] = cur[f] - prev[f]
+    out["sum"] = cur["sum"] - prev["sum"]
+    return out

@@ -28,15 +28,24 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from repro.obs.sketch import DEFAULT_ALPHA, DEFAULT_MAX_BINS, QuantileSketch
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Sketch",
     "MetricRegistry",
     "DEFAULT_BUCKETS",
+    "SKETCH_QUANTILES",
 ]
+
+#: quantiles every sketch family exports on the text/JSON surfaces
+SKETCH_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 #: (labelname, labelvalue) pairs, sorted — one metric sample's identity
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -126,6 +135,15 @@ class Counter(Metric):
     def samples(self) -> List[Tuple[LabelKey, float]]:
         return [(k, self._values[k]) for k in sorted(self._values)]
 
+    def merge_delta(self, key: LabelKey, delta: float) -> None:
+        """Harvest hook: add a worker-side delta under a raw label key."""
+        if delta < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        if not self._enabled() or not delta:
+            return
+        self._values[key] = self._values.get(key, 0.0) + float(delta)
+        self._stamp(key)
+
 
 class Gauge(Metric):
     """A value that can go up and down (queue depth, buffered samples)."""
@@ -161,6 +179,13 @@ class Gauge(Metric):
 
     def samples(self) -> List[Tuple[LabelKey, float]]:
         return [(k, self._values[k]) for k in sorted(self._values)]
+
+    def merge_set(self, key: LabelKey, value: float) -> None:
+        """Harvest hook: overwrite (last-snapshot-wins) a raw key."""
+        if not self._enabled():
+            return
+        self._values[key] = float(value)
+        self._stamp(key)
 
 
 class _HistSample:
@@ -242,6 +267,115 @@ class Histogram(Metric):
     def samples(self) -> List[Tuple[LabelKey, _HistSample]]:
         return [(k, self._values[k]) for k in sorted(self._values)]
 
+    def merge_sample(
+        self,
+        key: LabelKey,
+        count: int,
+        total: float,
+        min_v: float,
+        max_v: float,
+        buckets: Sequence[int],
+    ) -> None:
+        """Harvest hook: fold a worker-side delta sample under ``key``.
+
+        ``buckets`` must be cumulative counts over this histogram's own
+        ``bounds`` (the harvest layer checks bounds compatibility).
+        """
+        if not self._enabled() or count == 0:
+            return
+        if len(buckets) != len(self.bounds):
+            raise ValueError(
+                f"histogram {self.name}: bucket count mismatch "
+                f"({len(buckets)} vs {len(self.bounds)})"
+            )
+        s = self._values.get(key)
+        if s is None:
+            s = self._values[key] = _HistSample(len(self.bounds))
+        s.count += int(count)
+        s.sum += float(total)
+        s.min = min(s.min, float(min_v))
+        s.max = max(s.max, float(max_v))
+        for i, c in enumerate(buckets):
+            s.buckets[i] += int(c)
+        self._stamp(key)
+
+
+class Sketch(Metric):
+    """A mergeable quantile distribution (fleet value feeds).
+
+    Each labelled sample is one
+    :class:`~repro.obs.sketch.QuantileSketch` — bounded memory per
+    sample, exact deterministic merges across processes.  The text
+    exporter renders fixed quantiles plus ``_sum``/``_count``; the
+    harvest protocol moves the full bucket state.
+    """
+
+    kind = "sketch"
+
+    def __init__(
+        self, name, help="", registry=None,
+        alpha: float = DEFAULT_ALPHA, max_bins: int = DEFAULT_MAX_BINS,
+    ) -> None:
+        super().__init__(name, help, registry)
+        self.alpha = float(alpha)
+        self.max_bins = int(max_bins)
+        self._values: Dict[LabelKey, QuantileSketch] = {}
+
+    def _sketch(self, key: LabelKey) -> QuantileSketch:
+        sk = self._values.get(key)
+        if sk is None:
+            sk = self._values[key] = QuantileSketch(
+                alpha=self.alpha, max_bins=self.max_bins
+            )
+        return sk
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._enabled():
+            return
+        key = _label_key(labels)
+        self._sketch(key).observe(value)
+        self._stamp(key)
+
+    def observe_many(self, values, **labels: object) -> None:
+        """Columnar ingest — one vectorised pass per value column."""
+        if not self._enabled() or not len(values):
+            return
+        key = _label_key(labels)
+        self._sketch(key).observe_many(values)
+        self._stamp(key)
+
+    # -- reads -------------------------------------------------------------
+    def get_sketch(self, **labels: object) -> Optional[QuantileSketch]:
+        return self._values.get(_label_key(labels))
+
+    def quantile(self, q: float, **labels: object) -> float:
+        sk = self._values.get(_label_key(labels))
+        return sk.quantile(q) if sk is not None else float("nan")
+
+    def count(self, **labels: object) -> int:
+        sk = self._values.get(_label_key(labels))
+        return sk.count if sk is not None else 0
+
+    def merged(self) -> QuantileSketch:
+        """One sketch over every label combination (the fleet view)."""
+        out = QuantileSketch(alpha=self.alpha, max_bins=self.max_bins)
+        for key in sorted(self._values):
+            out.merge(self._values[key])
+        return out
+
+    def merge_sample(self, key: LabelKey, data: Mapping[str, object]) -> None:
+        """Harvest hook: merge a serialised sketch delta under ``key``."""
+        if not self._enabled():
+            return
+        self._sketch(key).merge(QuantileSketch.from_dict(dict(data)))
+        self._stamp(key)
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def samples(self) -> List[Tuple[LabelKey, QuantileSketch]]:
+        return [(k, self._values[k]) for k in sorted(self._values)]
+
 
 class MetricRegistry:
     """Named metric families plus the clock that stamps them.
@@ -285,6 +419,17 @@ class MetricRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
+    def sketch(
+        self,
+        name: str,
+        help: str = "",
+        alpha: float = DEFAULT_ALPHA,
+        max_bins: int = DEFAULT_MAX_BINS,
+    ) -> Sketch:
+        return self._get_or_create(
+            Sketch, name, help, alpha=alpha, max_bins=max_bins
+        )
+
     # -- management --------------------------------------------------------
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
@@ -321,6 +466,19 @@ class MetricRegistry:
                         )),
                         "updated_at": m._updated.get(key),
                     })
+            elif isinstance(m, Sketch):
+                for key, sk in m.samples():
+                    samples.append({
+                        "labels": dict(key),
+                        "count": sk.count,
+                        "sum": sk.sum,
+                        "min": sk.min if sk.count else None,
+                        "max": sk.max if sk.count else None,
+                        "quantiles": {
+                            str(q): sk.quantile(q) for q in SKETCH_QUANTILES
+                        },
+                        "updated_at": m._updated.get(key),
+                    })
             else:
                 for key, v in m.samples():
                     samples.append({
@@ -353,6 +511,16 @@ class MetricRegistry:
                     lines.append(f"{name}_bucket{_label_str(lk)} {s.count}")
                     lines.append(f"{name}_sum{_label_str(key)} {s.sum:g}")
                     lines.append(f"{name}_count{_label_str(key)} {s.count}")
+            elif isinstance(m, Sketch):
+                for key, sk in m.samples():
+                    base = dict(key)
+                    for q in SKETCH_QUANTILES:
+                        lk = _label_key({**base, "quantile": q})
+                        lines.append(
+                            f"{name}{_label_str(lk)} {sk.quantile(q):g}"
+                        )
+                    lines.append(f"{name}_sum{_label_str(key)} {sk.sum:g}")
+                    lines.append(f"{name}_count{_label_str(key)} {sk.count}")
             else:
                 for key, v in m.samples():
                     lines.append(f"{name}{_label_str(key)} {v:g}")

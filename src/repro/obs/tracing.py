@@ -92,7 +92,7 @@ class Span:
     """One timed, attributed operation."""
 
     __slots__ = (
-        "name", "span_id", "trace_id", "parent_id",
+        "name", "span_id", "trace_id", "parent_id", "remote_parent",
         "started", "ended", "attrs", "status",
     )
 
@@ -109,6 +109,11 @@ class Span:
         self.span_id = span_id
         self.trace_id = trace_id
         self.parent_id = parent_id
+        #: True when ``parent_id`` names a span in *another* process
+        #: (joined via extract_context / RPC ctx).  Span ids are only
+        #: unique per process, so the obs harvest needs this flag to
+        #: tell a remote parent from a same-process one.
+        self.remote_parent = False
         self.started = started
         self.ended: Optional[float] = None
         self.attrs = attrs
@@ -207,10 +212,12 @@ class Tracer:
             return
         parent = self._current.get()
         span_id = next(self._ids)
+        is_remote = False
         if parent is not None:
             trace_id, parent_id = parent.trace_id, parent.span_id
         elif remote_parent is not None:
             trace_id, parent_id = remote_parent
+            is_remote = True
         else:
             trace_id, parent_id = span_id, None
         s = Span(
@@ -221,6 +228,7 @@ class Tracer:
             started=self.timer(),
             attrs=dict(attrs),
         )
+        s.remote_parent = is_remote
         token = self._current.set(s)
         try:
             yield s
@@ -233,6 +241,14 @@ class Tracer:
             self._finish(s)
 
     def _finish(self, s: Span) -> None:
+        self._retain(s)
+        if self.registry is not None:
+            self.registry.histogram(
+                "repro_obs_span_seconds",
+                "wall-clock duration of traced operations",
+            ).observe(s.duration, span=s.name)
+
+    def _retain(self, s: Span) -> None:
         if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
             self.dropped += 1
             if self.registry is not None:
@@ -241,11 +257,20 @@ class Tracer:
                     "completed spans evicted from the tracer ring buffer",
                 ).inc()
         self._spans.append(s)
-        if self.registry is not None:
-            self.registry.histogram(
-                "repro_obs_span_seconds",
-                "wall-clock duration of traced operations",
-            ).observe(s.duration, span=s.name)
+
+    def adopt(self, span: Span) -> None:
+        """Retain a span completed in *another* process (obs harvest).
+
+        The span's ids must already be remapped into this tracer's id
+        space; its metrics are **not** re-observed here — the worker's
+        own ``repro_obs_span_seconds`` samples travel in the harvested
+        metric snapshot, so observing again would double-count.
+        """
+        self._retain(span)
+
+    def next_id(self) -> int:
+        """Allocate a span id (harvest remaps foreign ids through this)."""
+        return next(self._ids)
 
     # -- reads -------------------------------------------------------------
     def current(self) -> Optional[Span]:

@@ -23,6 +23,10 @@ Routes
                           ``downsample=<s>:<agg>``, ``range=<lo>:<hi>``
                           — served through the epoch-invalidated query
                           cache
+``/obs``                  the monitor's own metrics + span stats
+``/analytics``            continuous fleet analytics: job classes,
+                          per-user/app efficiency, feed sketches
+                          (``format=json`` for the raw summary)
 """
 
 from __future__ import annotations
@@ -102,6 +106,7 @@ class PortalApp:
             (re.compile(r"^/fleet$"), self.fleet),
             (re.compile(r"^/tsdb$"), self.tsdb_plot),
             (re.compile(r"^/obs$"), self.obs_page),
+            (re.compile(r"^/analytics$"), self.analytics_page),
         ]
 
     # -- dispatch ----------------------------------------------------------
@@ -445,6 +450,78 @@ class PortalApp:
         )
         return Response(body=_PAGE.format(title="Self-observability",
                                           body=body))
+
+    def analytics_page(self, params: Dict[str, str]) -> Response:
+        """Continuous fleet analytics: scores, classes, distributions.
+
+        Backed by the :class:`~repro.obs.analytics.FleetAnalytics`
+        attached to the live stream pipeline; without one the page
+        says so rather than 404ing (the route exists whenever the
+        portal does).
+        """
+        import json as _json
+
+        analytics = getattr(self.stream, "analytics", None)
+        if analytics is None:
+            if params.get("format") == "json":
+                return Response(
+                    content_type="application/json",
+                    body=_json.dumps({"enabled": False}),
+                )
+            return Response(body=_PAGE.format(
+                title="Fleet analytics",
+                body="<h2>Fleet analytics</h2>"
+                     "<p>No analytics attached — run the stream "
+                     "pipeline with a FleetAnalytics instance.</p>",
+            ))
+        summary = analytics.summary()
+        if params.get("format") == "json":
+            return Response(
+                content_type="application/json",
+                body=_json.dumps(
+                    {"enabled": True, **summary}, sort_keys=True
+                ),
+            )
+        mean = summary["fleet_efficiency_mean"]
+        parts = [
+            "<h2>Fleet analytics</h2>",
+            f"<p>{summary['jobs_scored']} jobs scored &middot; fleet "
+            f"efficiency "
+            + (f"{mean:.3f}" if mean is not None else "n/a")
+            + f" &middot; {len(summary['classes'])} job classes</p>",
+        ]
+        parts.append("<h3>Job classes</h3><table><tr><th>class</th>"
+                     "<th>jobs</th><th>centroid</th></tr>")
+        for cls in summary["classes"]:
+            centroid = ", ".join(f"{v:+.2f}" for v in cls["centroid"])
+            parts.append(
+                f"<tr><td>{cls['id']}</td><td>{cls['jobs']}</td>"
+                f"<td>{html.escape(centroid)}</td></tr>"
+            )
+        parts.append("</table>")
+        for title, key in (("Users", "users"), ("Applications", "apps")):
+            parts.append(
+                f"<h3>{title}</h3><table><tr><th>{title.lower()[:-1]}"
+                "</th><th>jobs</th><th>mean eff</th><th>min eff</th>"
+                "</tr>"
+            )
+            groups = summary[key]
+            for name in sorted(groups):
+                g = groups[name]
+                parts.append(
+                    f"<tr><td>{html.escape(name)}</td>"
+                    f"<td>{g['jobs']}</td><td>{g['mean']:.3f}</td>"
+                    f"<td>{g['min']:.3f}</td></tr>"
+                )
+            parts.append("</table>")
+        feeds = summary["feeds"]
+        parts.append(
+            f"<h3>Counter feeds</h3><p>{len(feeds)} feed sketches "
+            "(tiered retention; all-time quantiles on "
+            '<a href="/obs">/obs</a> as repro_stream_feed_sketch)</p>'
+        )
+        return Response(body=_PAGE.format(title="Fleet analytics",
+                                          body="".join(parts)))
 
     # -- fragments ----------------------------------------------------------
     @staticmethod

@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.sketch import QuantileSketch
+
 __all__ = ["LoadGenerator", "LoadReport", "default_paths"]
 
 
@@ -66,14 +68,26 @@ class LoadReport:
     server_errors: int = 0     # 5xx except 503
     exceptions: int = 0        # transport-level failures
     latencies_ms: List[float] = field(default_factory=list)
+    #: streaming quantile sketch over the same latencies — answers
+    #: percentile() in O(bins) without re-sorting the sample, and
+    #: merges exactly if reports are ever combined across generators
+    sketch: QuantileSketch = field(default_factory=QuantileSketch)
+
+    def record(self, latency_ms: float) -> None:
+        """Record one successful request's latency."""
+        self.latencies_ms.append(latency_ms)
+        self.sketch.observe(latency_ms)
 
     def percentile(self, q: float) -> float:
-        """Latency percentile in ms over successful (2xx) requests."""
-        if not self.latencies_ms:
+        """Latency percentile in ms over successful (2xx) requests.
+
+        Served from the mergeable :class:`QuantileSketch` (relative
+        value error ≤ its ``alpha``, 0.5 % by default); the raw
+        ``latencies_ms`` list is retained for exact offline analysis.
+        """
+        if not self.sketch.count:
             return 0.0
-        data = sorted(self.latencies_ms)
-        idx = min(len(data) - 1, max(0, round(q / 100 * (len(data) - 1))))
-        return data[idx]
+        return self.sketch.quantile(q / 100.0)
 
     @property
     def throughput_rps(self) -> float:
@@ -250,7 +264,7 @@ class LoadGenerator:
                 report.requests += 1
                 if 200 <= status < 300:
                     report.ok += 1
-                    report.latencies_ms.append(dt_ms)
+                    report.record(dt_ms)
                 elif status == 503:
                     report.shed += 1
                 elif status == 504:

@@ -180,7 +180,10 @@ class QueryCoordinator:
         >>> [(s.tags["host"], s.values.tolist()) for s in r.series]
         [('c001-001', [1.0, 3.0]), ('c001-002', [1.0, 3.0])]
         """
-        return _central_query(self, metric, **kw)
+        from repro import obs
+
+        with obs.span("shard.query", metric=metric):
+            return _central_query(self, metric, **kw)
 
 
 class ShardedTSDB:
@@ -218,6 +221,9 @@ class ShardedTSDB:
                 range(self.n_shards), chunk_size=chunk_size
             )
         self.coordinator = QueryCoordinator(self.backend, cache=cache)
+        #: coordinator-side merge state for obs harvest (pool backend
+        #: only); lazily built so workers=0 runs pay nothing
+        self._harvest_merger = None
 
     # -- write path (routed by the ring) -------------------------------------
     @property
@@ -292,6 +298,24 @@ class ShardedTSDB:
 
     def window_stats(self, metric: str, **kw) -> List[SeriesStats]:
         return self.coordinator.window_stats(metric, **kw)
+
+    # -- obs harvest ----------------------------------------------------------
+    def harvest_obs(self):
+        """Merge worker-process obs state into the central registry.
+
+        Only meaningful for the pool backend: in-process shard sets
+        (``workers=0``) already write straight into the central
+        registry, and harvesting them again would double-count.
+        Returns a :class:`~repro.obs.harvest.HarvestReport`, or
+        ``None`` when there are no worker processes to harvest.
+        """
+        if self.workers == 0:
+            return None
+        if self._harvest_merger is None:
+            from repro.obs.harvest import HarvestMerger
+
+            self._harvest_merger = HarvestMerger()
+        return self.backend.harvest_obs(self._harvest_merger)
 
     # -- bookkeeping ----------------------------------------------------------
     def shard_stats(self) -> Dict[int, Dict[str, int]]:

@@ -100,8 +100,10 @@ class ShardWorkerPool:
         conn = self._conns[w]
         if conn is None:
             raise ShardWorkerDied(w, self.assignment[w])
+        cur = obs.get_tracer().current()
+        ctx = (cur.trace_id, cur.span_id) if cur is not None and cur.span_id else None
         try:
-            conn.send((cmd, payload))
+            conn.send((cmd, payload, ctx))
         except (BrokenPipeError, OSError):
             self._mark_dead(w)
 
@@ -217,6 +219,56 @@ class ShardWorkerPool:
 
     def seal_heads(self) -> None:
         self._all("seal_heads", ())
+
+    # -- obs harvest ---------------------------------------------------------
+    def harvest_obs(self, merger) -> "HarvestReport":
+        """Pull every live worker's obs snapshot into ``merger``.
+
+        ``merger`` is a :class:`~repro.obs.harvest.HarvestMerger`
+        bound to the central registry/tracer; worker ``w`` merges
+        under source label ``shard="w<w>"``.  A dead worker does not
+        abort the round — it is recorded in the report's ``missing``
+        list and counted by ``repro_obs_harvest_partial_total``, and
+        the remaining workers still merge (partial-harvest failure
+        mode, see docs/observability.md).
+        """
+        from repro.obs.harvest import HarvestReport
+
+        report = HarvestReport()
+        with obs.span("obs.harvest") as hs:
+            for w in range(self.workers):
+                source = f"w{w}"
+                try:
+                    self._send(w, "obs_snapshot", ())
+                    snap = self._recv(w)
+                except ShardWorkerDied:
+                    report.missing.append(source)
+                    obs.counter(
+                        "repro_obs_harvest_partial_total",
+                        "workers that could not be snapshotted during "
+                        "an obs harvest round",
+                    ).inc()
+                    continue
+                report.merge(merger.apply(snap, source, parent=hs))
+            hs.set(
+                sources=len(report.sources),
+                missing=len(report.missing),
+                samples=report.samples_merged,
+                spans=report.spans_merged,
+            )
+        obs.counter(
+            "repro_obs_harvest_rounds_total",
+            "completed obs harvest rounds (partial rounds included)",
+        ).inc()
+        obs.counter(
+            "repro_obs_harvest_samples_total",
+            "metric samples merged from workers by obs harvest",
+        ).inc(report.samples_merged)
+        obs.counter(
+            "repro_obs_harvest_spans_total",
+            "worker spans adopted into the central tracer by obs harvest",
+        ).inc(report.spans_merged)
+        return report
 
     # -- lifecycle -----------------------------------------------------------
     def respawn(self, worker: int) -> List[int]:

@@ -65,10 +65,11 @@ class _ShardFeed(StreamPipeline):
     """
 
     def __init__(self, broker: Broker, shard: int, tsdb, analyzer,
-                 alerts: AlertRouter, retention, types, metric) -> None:
+                 alerts: AlertRouter, retention, types, metric,
+                 jobs=None, analytics=None) -> None:
         super().__init__(
-            broker, tsdb=tsdb, retention=retention, types=types,
-            metric=metric,
+            broker, tsdb=tsdb, jobs=jobs, retention=retention, types=types,
+            metric=metric, analytics=analytics,
         )
         self.shard = shard
         self.analyzer = analyzer
@@ -102,6 +103,7 @@ class ShardedStreamPipeline:
         metric: str = "stats",
         vnodes: int = DEFAULT_VNODES,
         chunk_size: int = CHUNK_POINTS,
+        analytics=None,
     ) -> None:
         self.broker = broker
         self.map = ShardMap(shards, vnodes=vnodes)
@@ -121,10 +123,15 @@ class ShardedStreamPipeline:
                     "nodes": job.nodes if job else len(hosts),
                 }
         self.analyzer = StreamingFlagAnalyzer(thresholds, job_meta=job_meta)
+        #: shared across every feed — FleetAnalytics scoring is
+        #: idempotent per jobid, so whichever feed sees a completion
+        #: first scores it and the rest skip
+        self.analytics = analytics
         self.feeds: List[_ShardFeed] = [
             _ShardFeed(
                 broker, k, self._shardset.stores[k], self.analyzer,
                 self.alerts, retention, types, metric,
+                jobs=jobs, analytics=analytics,
             )
             for k in range(shards)
         ]
@@ -214,6 +221,7 @@ class ShardedStreamPipeline:
         events = self.analyzer.finalize()
         if self.feeds:
             self.feeds[0]._route(events, self.last_seen, None)
+            self.feeds[0]._score_completed(self.last_seen, None)
         for feed in self.feeds:
             feed.writer.flush()
         obs.gauge(

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.obs.harvest import snapshot_process
 from repro.tsdb.chunks import CHUNK_POINTS
 from repro.tsdb.query import SeriesStats, window_stats
 from repro.tsdb.store import TagKey, TimeSeriesDB, _tagkey, ingest_file
@@ -186,21 +188,40 @@ def worker_main(conn, shard_ids: Sequence[int], chunk_size: int) -> None:
     """Process entry point: serve ShardSet operations over ``conn``.
 
     Spawn-safe: importable at module top level with picklable
-    arguments only.  The loop answers ``(cmd, payload)`` requests with
-    ``("ok", result)`` or ``("err", message)`` and exits on ``close``
-    or a dropped pipe (coordinator death must not leak workers).
+    arguments only.  The loop answers ``(cmd, payload, ctx)``
+    requests — ``ctx`` is the coordinator's ``(trace_id, span_id)``
+    or ``None`` — with ``("ok", result)`` or ``("err", message)`` and
+    exits on ``close`` or a dropped pipe (coordinator death must not
+    leak workers).  Bare ``(cmd, payload)`` 2-tuples still work, so
+    an older coordinator can drive a newer worker.
+
+    Every shard operation runs inside a ``shard.worker.<cmd>`` span
+    joined to the coordinator's trace via ``ctx``; the
+    ``obs_snapshot`` command (answered here, never dispatched to the
+    ShardSet) ships the worker's cumulative metrics and finished spans
+    back for the coordinator-side
+    :class:`~repro.obs.harvest.HarvestMerger`.  The snapshot itself is
+    deliberately *untraced* — every span in it is finished before the
+    reply leaves, which is what makes the merger's span-id cursor a
+    valid dedup watermark.
     """
     shards = ShardSet(shard_ids, chunk_size=chunk_size)
     while True:
         try:
-            cmd, payload = conn.recv()
+            msg = conn.recv()
         except (EOFError, OSError):
             break
+        cmd, payload = msg[0], msg[1]
+        ctx = msg[2] if len(msg) > 2 else None
         try:
             if cmd == "close":
                 conn.send(("ok", None))
                 break
-            result = getattr(shards, cmd)(*payload)
+            if cmd == "obs_snapshot":
+                conn.send(("ok", snapshot_process()))
+                continue
+            with obs.span(f"shard.worker.{cmd}", remote_parent=ctx):
+                result = getattr(shards, cmd)(*payload)
             conn.send(("ok", result))
         except Exception as exc:  # surfaced coordinator-side
             conn.send(("err", f"{type(exc).__name__}: {exc}"))

@@ -32,6 +32,7 @@ Typical wiring, next to an existing monitoring session::
 
 from __future__ import annotations
 
+from repro.obs.analytics import ContinuousScorer, FleetAnalytics, JobScore
 from repro.stream.alerts import Alert, AlertRouter, SEVERITY_BY_RULE, log_sink
 from repro.stream.analyzer import (
     STREAM_METRICS,
@@ -50,6 +51,9 @@ from repro.stream.retention import (
 __all__ = [
     "Alert",
     "AlertRouter",
+    "ContinuousScorer",
+    "FleetAnalytics",
+    "JobScore",
     "SEVERITY_BY_RULE",
     "log_sink",
     "STREAM_METRICS",

@@ -109,6 +109,10 @@ class StreamJobResult:
     diverged: bool = False
     #: fewer than two aligned samples: batch drops such jobs too
     short: bool = False
+    #: Table I metric values from the completion-time evaluation —
+    #: the counter signature continuous scoring consumes (empty for
+    #: short jobs, which are never evaluated)
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 class _HostState:
@@ -156,6 +160,8 @@ class _JobStream:
         self.times: List[int] = []  # consumed aligned timestamps
         self.fired: Dict[str, FlagResult] = {}
         self.diverged = False
+        #: metric values from the most recent evaluate() pass
+        self.last_metrics: Dict[str, float] = {}
 
     # -- sample intake -----------------------------------------------------
     def observe(self, host: str, sample, schemas: Mapping[str, object]) -> None:
@@ -358,6 +364,7 @@ class _JobStream:
         metrics = {
             name: METRIC_REGISTRY[name].fn(accum) for name in STREAM_METRICS
         }
+        self.last_metrics = metrics
         if meta_fn is not None:
             meta = meta_fn(self.jobid, accum.hosts)
         else:
@@ -439,6 +446,7 @@ class StreamingFlagAnalyzer:
             live_flags=sorted(js.fired),
             diverged=js.diverged,
             short=short,
+            metrics=dict(js.last_metrics),
         )
         del self.active[js.jobid]
         for jobs in self._host_jobs.values():

@@ -36,7 +36,8 @@ from repro.broker import Broker, Channel, Delivery
 from repro.cluster.jobs import Job
 from repro.core.daemon import EXCHANGE
 from repro.core.rawfile import RawFileParser
-from repro.metrics.flags import Thresholds
+from repro.metrics.flags import FlagResult, Thresholds
+from repro.obs.analytics import FleetAnalytics
 from repro.stream.alerts import AlertRouter
 from repro.stream.analyzer import StreamEvent, StreamingFlagAnalyzer
 from repro.stream.retention import RetainingWriter, RetentionPolicy
@@ -64,11 +65,16 @@ class StreamPipeline:
         alerts: Optional[AlertRouter] = None,
         types: Optional[Iterable[str]] = None,
         metric: str = "stats",
+        analytics: Optional[FleetAnalytics] = None,
     ) -> None:
         self.broker = broker
         self.tsdb = tsdb if tsdb is not None else TimeSeriesDB()
         self.writer = RetainingWriter(self.tsdb, retention)
         self.alerts = alerts if alerts is not None else AlertRouter()
+        #: optional always-on fleet analytics: feed sketches + per-job
+        #: continuous scoring (None keeps the pipeline cost-free)
+        self.analytics = analytics
+        self._jobs = jobs
         self.metric = metric
         self.types = set(types) if types is not None else None
         job_meta = None
@@ -150,6 +156,11 @@ class StreamPipeline:
             ).inc(n_samples)
             sp.set(samples=n_samples, sim_time=now)
             self._route(events, int(now), sp.trace_id or None)
+            if self.analytics is not None:
+                with obs.span("stream.analytics"):
+                    if batch:
+                        self.analytics.observe_batch(batch, int(now))
+                    self._score_completed(int(now), sp.trace_id or None)
         obs.gauge(
             "repro_stream_jobs_inflight",
             "jobs currently tracked by the streaming analyzer",
@@ -220,6 +231,42 @@ class StreamPipeline:
                 trace_id=trace_id,
             )
 
+    def _score_completed(
+        self, now: int, trace_id: Optional[int]
+    ) -> None:
+        """Run continuous scoring over jobs that just completed.
+
+        Scoring is idempotent per jobid inside
+        :class:`~repro.obs.analytics.FleetAnalytics`, so shard feeds
+        sharing one analyzer + analytics pair never double-score.
+        Fleet-quantile anomalies route through the same AlertRouter
+        as the §V-A flags (rules ``fleet_outlier_*`` /
+        ``fleet_low_efficiency``).
+        """
+        analytics = self.analytics
+        completed = self.analyzer.completed
+        if analytics is None or len(completed) == analytics.jobs_scored:
+            return
+        for jobid, result in completed.items():
+            if analytics.is_scored(jobid):
+                continue
+            job = self._jobs.get(jobid) if self._jobs is not None else None
+            score, anomalies = analytics.score_job(
+                jobid,
+                result.metrics,
+                user=job.user if job is not None else "?",
+                app=job.spec.name if job is not None else "?",
+                now=now,
+            )
+            for a in anomalies:
+                self.alerts.route(
+                    FlagResult(a.rule, a.value, a.threshold, a.detail),
+                    jobid,
+                    fired_at=now,
+                    data_time=now,
+                    trace_id=trace_id,
+                )
+
     # -- end of run ---------------------------------------------------------
     def finalize(self) -> Dict[str, "object"]:
         """Close the stream: drain the analyzer, flush rollup buckets.
@@ -229,6 +276,9 @@ class StreamPipeline:
         """
         events = self.analyzer.finalize()
         self._route(events, self.last_seen, None)
+        self._score_completed(self.last_seen, None)
+        if self.analytics is not None:
+            self.analytics.flush_feeds()
         self.writer.flush()
         obs.gauge(
             "repro_stream_jobs_inflight",

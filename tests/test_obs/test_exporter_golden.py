@@ -26,12 +26,26 @@ demo_queue_depth 2
 # TYPE demo_requests_total counter
 demo_requests_total{host="n1",zone="b"} 3
 demo_requests_total{host="n2",zone="a"} 1
+# HELP demo_value_dist observed value distribution
+# TYPE demo_value_dist sketch
+demo_value_dist{quantile="0.5",shard="w0"} 2
+demo_value_dist{quantile="0.9",shard="w0"} 2
+demo_value_dist{quantile="0.99",shard="w0"} 2
+demo_value_dist_sum{shard="w0"} 4
+demo_value_dist_count{shard="w0"} 2
+demo_value_dist{quantile="0.5",shard="w1"} 8
+demo_value_dist{quantile="0.9",shard="w1"} 8
+demo_value_dist{quantile="0.99",shard="w1"} 8
+demo_value_dist_sum{shard="w1"} 8
+demo_value_dist_count{shard="w1"} 1
 """
 
 
 def _populate(reg: MetricRegistry, scrambled: bool) -> None:
     """Same metric state, two different insertion orders."""
     if scrambled:
+        sk = reg.sketch("demo_value_dist", "observed value distribution")
+        sk.observe(8.0, shard="w1")
         c = reg.counter("demo_requests_total", "requests handled")
         c.inc(1, zone="a", host="n2")
         h = reg.histogram("demo_latency_seconds", "time spent parsing",
@@ -40,6 +54,8 @@ def _populate(reg: MetricRegistry, scrambled: bool) -> None:
         h.observe(0.05, stage="parse")
         reg.gauge("demo_queue_depth").set(2)
         c.inc(3, host="n1", zone="b")
+        sk.observe(2.0, shard="w0")
+        sk.observe(2.0, shard="w0")
     else:
         reg.gauge("demo_queue_depth").set(2)
         h = reg.histogram("demo_latency_seconds", "time spent parsing",
@@ -49,6 +65,10 @@ def _populate(reg: MetricRegistry, scrambled: bool) -> None:
         c = reg.counter("demo_requests_total", "requests handled")
         c.inc(3, zone="b", host="n1")
         c.inc(1, host="n2", zone="a")
+        sk = reg.sketch("demo_value_dist", "observed value distribution")
+        sk.observe(2.0, shard="w0")
+        sk.observe(2.0, shard="w0")
+        sk.observe(8.0, shard="w1")
 
 
 def test_render_text_matches_golden():
@@ -83,6 +103,14 @@ def test_render_json_structure_is_sorted():
     assert labels == [
         {"host": "n1", "zone": "b"}, {"host": "n2", "zone": "a"}
     ]
+    dist = data["demo_value_dist"]
+    assert dist["kind"] == "sketch"
+    # samples ordered by label key: harvested shard w0 before w1
+    assert [s["labels"]["shard"] for s in dist["samples"]] == ["w0", "w1"]
+    w0 = dist["samples"][0]
+    assert w0["count"] == 2 and w0["sum"] == 4.0
+    assert w0["quantiles"] == {"0.5": 2.0, "0.9": 2.0, "0.99": 2.0}
+    assert w0["min"] == 2.0 and w0["max"] == 2.0
 
 
 def test_empty_registry_renders_empty():

@@ -1,0 +1,261 @@
+"""Cross-process obs harvest: delta idempotency and span re-homing.
+
+The protocol contract (docs/observability.md, "Cross-process
+harvest"): workers ship *cumulative* snapshots; the coordinator-side
+:class:`~repro.obs.harvest.HarvestMerger` applies only deltas, so
+
+* applying the same snapshot twice merges exactly nothing;
+* counters sum, gauges overwrite, histogram buckets add, sketches
+  merge with a bit-identical distribution state;
+* every merged sample gains a ``shard=<source>`` label;
+* worker spans re-home into the central tracer — remote-parented
+  spans keep their coordinator link, local parents remap, orphan
+  roots land under the harvest span.
+
+Deterministic cases pin each rule; the hypothesis property drives
+arbitrary counter schedules through arbitrary harvest cadences.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.harvest import (
+    SNAPSHOT_VERSION,
+    HarvestMerger,
+    HarvestReport,
+    snapshot_process,
+)
+from repro.obs.registry import MetricRegistry
+from repro.obs.sketch import QuantileSketch
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def worker():
+    """An isolated worker-side (registry, tracer) pair."""
+    reg = MetricRegistry()
+    return reg, Tracer(registry=reg, timer=lambda: 0.0)
+
+
+@pytest.fixture
+def central():
+    """An isolated coordinator-side (registry, tracer, merger)."""
+    reg = MetricRegistry()
+    tracer = Tracer(registry=reg, timer=lambda: 0.0)
+    return reg, tracer, HarvestMerger(registry=reg, tracer=tracer)
+
+
+def snap(worker):
+    reg, tracer = worker
+    return snapshot_process(registry=reg, tracer=tracer)
+
+
+# -- protocol framing ---------------------------------------------------------
+
+
+def test_snapshot_is_versioned_and_merger_rejects_unknown(worker, central):
+    s = snap(worker)
+    assert s["v"] == SNAPSHOT_VERSION
+    _, _, merger = central
+    with pytest.raises(ValueError):
+        merger.apply(dict(s, v=99), "w0")
+
+
+def test_report_partial_and_merge():
+    a = HarvestReport(sources=["w0"], samples_merged=3, spans_merged=1)
+    b = HarvestReport(missing=["w1"])
+    assert not a.partial and b.partial
+    a.merge(b)
+    assert a.partial and a.sources == ["w0"] and a.missing == ["w1"]
+
+
+# -- metric merge rules -------------------------------------------------------
+
+
+def test_counters_sum_and_double_apply_is_noop(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    wreg.counter("jobs_total", "jobs").inc(5, stage="parse")
+    s1 = snap(worker)
+    r1 = merger.apply(s1, "w0")
+    assert r1.samples_merged >= 1
+    assert creg.counter("jobs_total").value(
+        stage="parse", shard="w0") == 5.0
+    r2 = merger.apply(s1, "w0")
+    assert r2.samples_merged == 0 and r2.spans_merged == 0
+    assert creg.counter("jobs_total").value(
+        stage="parse", shard="w0") == 5.0
+    # next increment arrives as a delta, not a re-add of the total
+    wreg.counter("jobs_total").inc(2, stage="parse")
+    merger.apply(snap(worker), "w0")
+    assert creg.counter("jobs_total").value(
+        stage="parse", shard="w0") == 7.0
+
+
+def test_sources_stay_separate_and_totals_sum(worker, central):
+    creg, _, merger = central
+    for source, n in (("w0", 3), ("w1", 4)):
+        reg = MetricRegistry()
+        reg.counter("points_total", "p").inc(n)
+        merger.apply(
+            snapshot_process(registry=reg, tracer=Tracer()), source
+        )
+    c = creg.counter("points_total")
+    assert c.value(shard="w0") == 3.0
+    assert c.value(shard="w1") == 4.0
+    assert c.total() == 7.0
+
+
+def test_gauges_overwrite_and_skip_unchanged(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    wreg.gauge("depth", "d").set(10)
+    merger.apply(snap(worker), "w0")
+    assert creg.gauge("depth").value(shard="w0") == 10.0
+    # unchanged → not re-merged (idempotency of the round)
+    assert merger.apply(snap(worker), "w0").samples_merged == 0
+    wreg.gauge("depth").set(4)
+    assert merger.apply(snap(worker), "w0").samples_merged == 1
+    assert creg.gauge("depth").value(shard="w0") == 4.0
+
+
+def test_histogram_buckets_add_as_deltas(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    h = wreg.histogram("lat", "l", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+    merger.apply(snap(worker), "w0")
+    h.observe(50.0)
+    merger.apply(snap(worker), "w0")
+    merger.apply(snap(worker), "w0")  # and once more: no change
+    ch = creg.histogram("lat", buckets=(1.0, 10.0))
+    assert ch.count(shard="w0") == 3
+    assert ch.sum(shard="w0") == pytest.approx(55.5)
+
+
+def test_histogram_bounds_mismatch_is_loud(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    creg.histogram("lat", "l", buckets=(2.0, 20.0))
+    wreg.histogram("lat", "l", buckets=(1.0, 10.0)).observe(0.5)
+    with pytest.raises(ValueError):
+        merger.apply(snap(worker), "w0")
+
+
+def test_sketch_merges_bit_identically(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    values = [1.5 ** i for i in range(40)] + [0.0, -3.0, math.inf]
+    wsk = wreg.sketch("dist", "d")
+    for i, v in enumerate(values):
+        wsk.observe(v)
+        if i == 20:
+            merger.apply(snap(worker), "w0")  # mid-stream harvest
+    merger.apply(snap(worker), "w0")
+    merger.apply(snap(worker), "w0")  # idempotent tail
+    want = QuantileSketch()
+    want.observe_many(values)
+    got = creg.sketch("dist").get_sketch(shard="w0")
+    assert got.dist_state() == want.dist_state()
+
+
+def test_harvest_label_beats_a_worker_side_shard_label(worker, central):
+    wreg, _ = worker
+    creg, _, merger = central
+    wreg.counter("x_total", "x").inc(2, shard="9")
+    merger.apply(snap(worker), "w0")
+    # one value for the label, the harvest's — never two
+    assert creg.counter("x_total").value(shard="w0") == 2.0
+
+
+# -- the hypothesis property: any schedule, any cadence -----------------------
+
+
+@given(
+    st.lists(st.integers(1, 100), min_size=1, max_size=30),
+    st.sets(st.integers(0, 29)),
+    st.integers(1, 3),
+)
+def test_harvest_totals_exact_at_any_cadence(incs, harvest_after, repeats):
+    """Counters harvested at arbitrary points, each snapshot applied
+    an arbitrary number of times, always sum to the exact total."""
+    wreg, wtr = MetricRegistry(), Tracer()
+    creg = MetricRegistry()
+    merger = HarvestMerger(registry=creg, tracer=Tracer())
+    for i, inc in enumerate(incs):
+        wreg.counter("n_total", "n").inc(inc)
+        if i in harvest_after:
+            s = snapshot_process(registry=wreg, tracer=wtr)
+            for _ in range(repeats):
+                merger.apply(s, "w0")
+    merger.apply(snapshot_process(registry=wreg, tracer=wtr), "w0")
+    assert creg.counter("n_total").value(shard="w0") == float(sum(incs))
+
+
+# -- span re-homing -----------------------------------------------------------
+
+
+def test_worker_trees_rehome_under_the_harvest_span(worker, central):
+    wreg, wtr = worker
+    creg, ctr, merger = central
+    with wtr.span("worker.outer"):
+        with wtr.span("worker.inner"):
+            pass
+    with ctr.span("obs.harvest") as hs:
+        merger.apply(snap(worker), "w0", parent=hs)
+    spans = {s.name: s for s in ctr.spans()}
+    outer, inner = spans["worker.outer"], spans["worker.inner"]
+    harvest = spans["obs.harvest"]
+    # orphan worker root → child of the harvest span, same trace
+    assert outer.parent_id == harvest.span_id
+    assert outer.trace_id == harvest.trace_id
+    # local parentage remapped, not lost
+    assert inner.parent_id == outer.span_id
+    assert inner.trace_id == outer.trace_id
+    assert outer.attrs["shard"] == "w0"
+
+
+def test_remote_parented_spans_keep_the_coordinator_link(worker, central):
+    wreg, wtr = worker
+    creg, ctr, merger = central
+    with ctr.span("shard.query") as q:
+        ctx = (q.trace_id, q.span_id)
+        with wtr.span("shard.worker.query", remote_parent=ctx):
+            pass
+        merger.apply(snap(worker), "w0", parent=q)
+    wspan = ctr.spans("shard.worker.query")[0]
+    qspan = ctr.spans("shard.query")[0]
+    assert wspan.parent_id == qspan.span_id
+    assert wspan.trace_id == qspan.trace_id
+
+
+def test_double_harvest_never_duplicates_spans(worker, central):
+    wreg, wtr = worker
+    _, ctr, merger = central
+    with wtr.span("work"):
+        pass
+    s = snap(worker)
+    assert merger.apply(s, "w0").spans_merged == 1
+    assert merger.apply(s, "w0").spans_merged == 0
+    with wtr.span("more"):
+        pass
+    assert merger.apply(snap(worker), "w0").spans_merged == 1
+    assert ctr.count("work") == 1 and ctr.count("more") == 1
+
+
+def test_adopt_does_not_reobserve_span_metrics(worker, central):
+    """The worker's own span histogram travels in the metric snapshot;
+    adopting its spans must not observe it a second time."""
+    wreg, wtr = worker
+    creg, ctr, merger = central
+    with wtr.span("work"):
+        pass
+    merger.apply(snap(worker), "w0")
+    h = creg.histogram("repro_obs_span_seconds")
+    # exactly the worker's one sample, under the shard label
+    assert h.count(span="work", shard="w0") == 1
+    assert h.count(span="work") == 0

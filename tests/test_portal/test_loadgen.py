@@ -1,5 +1,8 @@
 """Load generator: report math, gating contract, a small live run."""
 
+import math
+import random
+
 import pytest
 
 from repro.analysis.popgen import generate_population
@@ -12,7 +15,8 @@ from repro.portal.server import PortalServer
 
 def test_report_percentiles_and_dict():
     rep = LoadReport(users=4, duration_s=2.0, requests=100, ok=100)
-    rep.latencies_ms = [float(i) for i in range(1, 101)]
+    for i in range(1, 101):
+        rep.record(float(i))
     assert rep.percentile(50) == pytest.approx(50.0, abs=1)
     assert rep.percentile(99) == pytest.approx(99.0, abs=1)
     assert rep.throughput_rps == 50.0
@@ -21,9 +25,51 @@ def test_report_percentiles_and_dict():
     assert d["p99_ms"] >= d["p50_ms"]
 
 
+def test_empty_report_percentile_is_zero():
+    rep = LoadReport(users=1, duration_s=1.0)
+    assert rep.percentile(99) == 0.0
+
+
+def test_record_keeps_raw_list_and_sketch_in_sync():
+    rep = LoadReport(users=1, duration_s=1.0)
+    for v in (3.0, 7.0, 11.0):
+        rep.record(v)
+    assert rep.latencies_ms == [3.0, 7.0, 11.0]
+    assert rep.sketch.count == 3
+
+
+def test_sketch_percentiles_within_one_percent_rank_of_exact():
+    """The satellite contract: replacing nearest-rank percentiles
+    with the sketch costs at most 1 % rank error on a realistic
+    latency sample (lognormal — long-tailed like real page loads)."""
+    rep = LoadReport(users=1, duration_s=1.0)
+    rng = random.Random(7)
+    for _ in range(5000):
+        rep.record(rng.lognormvariate(3.0, 0.6))
+    xs = sorted(rep.latencies_ms)
+    n = len(xs)
+    for q in (50, 95, 99):
+        est = rep.percentile(q)
+        lo = xs[max(0, math.floor((q / 100 - 0.01) * (n - 1)))]
+        hi = xs[min(n - 1, math.ceil((q / 100 + 0.01) * (n - 1)))]
+        # value tolerance covers the sketch's own 0.5 % bucket width
+        assert lo * 0.99 <= est <= hi * 1.01, (q, est, lo, hi)
+
+
+def test_reports_merge_through_the_sketch():
+    """Two generators' reports combine without re-sorting raw lists."""
+    a, b = (LoadReport(users=1, duration_s=1.0) for _ in range(2))
+    for i in range(1, 101):
+        (a if i % 2 else b).record(float(i))
+    a.sketch.merge(b.sketch)
+    assert a.sketch.count == 100
+    assert a.sketch.quantile(0.5) == pytest.approx(50.0, rel=0.02)
+
+
 def test_report_gate_contract():
     rep = LoadReport(users=1, duration_s=1.0, requests=10, ok=10)
-    rep.latencies_ms = [5.0] * 10
+    for _ in range(10):
+        rep.record(5.0)
     assert rep.gate(p99_ms=100.0) == []
     # shed 503s are fine; 5xx and exceptions are not
     rep.shed = 3
@@ -34,8 +80,10 @@ def test_report_gate_contract():
     rep.exceptions = 2
     assert any("exception" in p for p in rep.gate(p99_ms=100.0))
     rep.exceptions = 0
-    rep.latencies_ms = [500.0] * 10
-    assert any("p99" in p for p in rep.gate(p99_ms=100.0))
+    slow = LoadReport(users=1, duration_s=1.0, requests=10, ok=10)
+    for _ in range(10):
+        slow.record(500.0)
+    assert any("p99" in p for p in slow.gate(p99_ms=100.0))
 
 
 def test_gate_requires_some_success():

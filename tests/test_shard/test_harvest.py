@@ -1,0 +1,162 @@
+"""Fleet-wide obs truth over worker processes: the harvest contract.
+
+The acceptance property: a pool-backed ``ShardedTSDB`` (workers >= 2)
+whose worker registries are harvested must report *bit-identical
+totals* for the deterministic engine counters to the same ingest run
+in-process (workers=0), where the engine writes into the central
+registry directly.  Chunk seals and sealed bytes are exact integers
+decided by the data and the chunk size — if harvest dropped, doubled
+or mislabelled anything, these diverge.
+
+Also pinned here: trace propagation over the ``(cmd, payload, ctx)``
+RPC — a scatter-gather query renders as exactly one root span with
+the workers' spans re-homed under it — and the partial-harvest
+failure mode when a worker died.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.harvest import HarvestReport
+from repro.shard import ShardedTSDB, StoreSource
+from repro.shard.pool import ShardWorkerDied
+
+CHUNK_SIZE = 32
+TYPES = ("mdc",)
+
+#: counters written by the storage engine itself (worker-side in a
+#: pool, central in-process): deterministic given data + chunk size
+ENGINE_COUNTERS = (
+    "repro_tsdb_chunk_seals_total",
+    "repro_tsdb_chunk_bytes_total",
+)
+
+
+def _counter_totals():
+    reg = obs.get_registry()
+    return {
+        name: reg.get(name).total()
+        for name in reg.names()
+        if reg.get(name).kind == "counter"
+    }
+
+
+@pytest.fixture(scope="module")
+def inproc_totals(fleet_day):
+    """Counter totals after an in-process (workers=0) sharded load."""
+    obs.reset()
+    db = ShardedTSDB(shards=4, workers=0, chunk_size=CHUNK_SIZE)
+    db.ingest(StoreSource(str(fleet_day.store.root)), types=TYPES)
+    totals = _counter_totals()
+    db.close()
+    return totals
+
+
+@pytest.fixture(scope="module")
+def harvested(fleet_day, inproc_totals):
+    """A pool-backed load (workers=2) with one harvest applied.
+
+    Depends on ``inproc_totals`` so the reference run (and its
+    ``obs.reset``) happens strictly before this one.
+    """
+    obs.reset()
+    db = ShardedTSDB(shards=4, workers=2, chunk_size=CHUNK_SIZE)
+    db.ingest(StoreSource(str(fleet_day.store.root)), types=TYPES)
+    report = db.harvest_obs()
+    yield db, report
+    db.close()
+
+
+def test_harvest_reaches_every_worker(harvested):
+    _, report = harvested
+    assert report.sources == ["w0", "w1"]
+    assert not report.partial
+    assert report.samples_merged > 0 and report.spans_merged > 0
+
+
+def test_engine_totals_bit_identical_to_inproc(inproc_totals, harvested):
+    got = _counter_totals()
+    for name in ENGINE_COUNTERS:
+        assert name in inproc_totals, name
+        assert got[name] == inproc_totals[name], name
+
+
+def test_worker_contributions_carry_the_shard_label(harvested):
+    reg = obs.get_registry()
+    seals = reg.get("repro_tsdb_chunk_seals_total")
+    per_worker = {}
+    for key, value in seals.samples():
+        labels = dict(key)
+        assert "shard" in labels, (
+            "harvested engine counter sample without a shard label"
+        )
+        per_worker[labels["shard"]] = (
+            per_worker.get(labels["shard"], 0.0) + value
+        )
+    assert set(per_worker) == {"w0", "w1"}
+    assert sum(per_worker.values()) == seals.total()
+    assert all(v > 0 for v in per_worker.values())
+
+
+def test_second_harvest_with_no_new_work_merges_nothing(harvested):
+    db, _ = harvested
+    again = db.harvest_obs()
+    assert isinstance(again, HarvestReport)
+    assert again.samples_merged == 0 and again.spans_merged == 0
+
+
+def test_workerless_db_has_nothing_to_harvest(fleet_day):
+    db = ShardedTSDB(shards=2, workers=0, chunk_size=CHUNK_SIZE)
+    assert db.harvest_obs() is None
+    db.close()
+
+
+# -- trace propagation (satellite: one root span per query) -------------------
+
+
+def test_coordinator_query_yields_exactly_one_root_span(harvested):
+    db, _ = harvested
+    tracer = obs.get_tracer()
+    before = tracer.count("shard.query")
+    db.query("stats", group_by=("host",))
+    assert tracer.count("shard.query") == before + 1
+    db.harvest_obs()
+    q = tracer.spans("shard.query")[-1]
+    in_trace = [s for s in tracer.spans() if s.trace_id == q.trace_id]
+    roots = [s for s in in_trace if s.parent_id is None]
+    assert roots == [q], (
+        f"expected the query span as the only root, got "
+        f"{[(s.name, s.parent_id) for s in roots]}"
+    )
+    # the workers' spans joined the query's trace, under its id
+    workers = [s for s in in_trace if s.name.startswith("shard.worker.")]
+    assert len(workers) >= 2
+    assert {s.attrs.get("shard") for s in workers} >= {"w0", "w1"}
+    ids = {s.span_id for s in in_trace}
+    assert all(s.parent_id in ids for s in workers)
+
+
+# -- partial harvest (ShardWorkerDied) ----------------------------------------
+
+
+def test_dead_worker_makes_the_harvest_partial(fleet_day):
+    obs.reset()
+    db = ShardedTSDB(shards=4, workers=2, chunk_size=CHUNK_SIZE)
+    db.ingest(StoreSource(str(fleet_day.store.root)), types=TYPES)
+    victim = 0
+    db.backend._procs[victim].terminate()
+    db.backend._procs[victim].join()
+    report = db.harvest_obs()
+    assert report.partial
+    assert report.missing == ["w0"]
+    assert report.sources == ["w1"]  # the survivor still merged
+    assert report.samples_merged > 0
+    assert obs.counter(
+        "repro_obs_harvest_partial_total",
+        "workers that could not be snapshotted during an obs harvest "
+        "round",
+    ).total() == 1.0
+    # the RPC layer still reports the death to queries as usual
+    with pytest.raises(ShardWorkerDied):
+        db.window_stats("stats")
+    db.close()
