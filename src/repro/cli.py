@@ -115,7 +115,11 @@ def _cmd_ingest_sharded(args: argparse.Namespace) -> int:
         print(f"no .raw files under {args.store}", file=sys.stderr)
         return 1
     workers = max(args.shard_workers, 0)
-    tsdb = ShardedTSDB(shards=args.shards, workers=workers)
+    transport_kw = dict(
+        arena_bytes=max(0, args.arena_kb) * 1024,
+        rpc_window=max(1, args.rpc_window),
+    )
+    tsdb = ShardedTSDB(shards=args.shards, workers=workers, **transport_kw)
     shard_loads: dict = {}
     if workers:
         hints = source.load_hints(hosts)
@@ -126,7 +130,7 @@ def _cmd_ingest_sharded(args: argparse.Namespace) -> int:
         tsdb.close()
         tsdb = ShardedTSDB(
             shards=args.shards, workers=workers,
-            scheduler=scheduler, loads=shard_loads,
+            scheduler=scheduler, loads=shard_loads, **transport_kw,
         )
     types = tuple(t for t in args.types.split(",") if t) or None
     report = tsdb.ingest(source, hosts=hosts, types=types)
@@ -381,6 +385,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         stream = ShardedStreamPipeline(
             sess.broker, shards=args.shards, jobs=sess.cluster.jobs,
             types=types, analytics=analytics,
+            coalesce_points=max(0, args.coalesce_points),
         )
     else:
         stream = StreamPipeline(
@@ -629,6 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
     ing.add_argument("--shard-workers", type=int, default=0,
                      help="OS processes hosting the shards "
                           "(0 = in-process)")
+    ing.add_argument("--arena-kb", type=int, default=4096,
+                     help="per-worker shared-memory reply arena in KiB "
+                          "(0 disables: large columns spill into the "
+                          "pipe; sharded mode only)")
+    ing.add_argument("--rpc-window", type=int, default=64,
+                     help="pipelined writes allowed in flight per shard "
+                          "worker before a sync barrier (sharded mode "
+                          "only)")
     ing.add_argument("--types", default="",
                      help="comma-separated device types for the sharded "
                           "TSDB load (default: all)")
@@ -714,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--shards", type=int, default=0,
                     help="partition the live feed across a sharded "
                          "exchange (0 = single consumer)")
+    st.add_argument("--coalesce-points", type=int, default=0,
+                    help="buffer at least this many points per shard "
+                         "feed before writing through (0 = write per "
+                         "delivery; sharded mode only)")
     st.add_argument("--analytics", action="store_true",
                     help="attach always-on fleet analytics: feed "
                          "sketches, continuous efficiency scoring, "

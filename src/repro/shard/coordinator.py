@@ -205,16 +205,26 @@ class ShardedTSDB:
         scheduler=None,
         loads: Optional[Mapping[int, float]] = None,
         start_method: str = "spawn",
+        arena_bytes: Optional[int] = None,
+        rpc_window: Optional[int] = None,
     ) -> None:
         self.map = shard_map or ShardMap(shards, vnodes=vnodes)
         self.n_shards = self.map.shards
         self.workers = int(workers)
         if self.workers > 0:
-            from repro.shard.pool import ShardWorkerPool
+            from repro.shard import transport
+            from repro.shard.pool import DEFAULT_RPC_WINDOW, ShardWorkerPool
 
             self.backend = ShardWorkerPool(
                 self.n_shards, self.workers, chunk_size=chunk_size,
                 scheduler=scheduler, loads=loads, start_method=start_method,
+                arena_bytes=(
+                    transport.DEFAULT_ARENA_BYTES
+                    if arena_bytes is None else arena_bytes
+                ),
+                rpc_window=(
+                    DEFAULT_RPC_WINDOW if rpc_window is None else rpc_window
+                ),
             )
         else:
             self.backend = ShardSet(
@@ -279,6 +289,23 @@ class ShardedTSDB:
             per_shard=per_shard,
             workers=self.workers,
         )
+
+    def flush(self) -> None:
+        """Write barrier for the pipelined RPC transport.
+
+        With worker processes, ``put``/``put_many`` are posted without
+        waiting for a reply (a bounded in-flight window per worker);
+        ``flush()`` forces the round-trip, so afterwards every prior
+        write either landed or this call raised (``RuntimeError`` for
+        worker-side write failures,
+        :class:`~repro.shard.pool.ShardWorkerDied` for a lost
+        process).  Queries and ``close()`` are barriers too — an
+        explicit flush just lets callers pick *where* failures
+        surface.  A no-op for the in-process backend.
+        """
+        flush = getattr(self.backend, "flush", None)
+        if flush is not None:
+            flush()
 
     def prune(self, before: int, metric: Optional[str] = None) -> int:
         n = self.backend.prune(before, metric)

@@ -4,10 +4,21 @@
 ``workers`` OS processes.  The shard→worker assignment comes from the
 resource-aware :class:`~repro.shard.scheduler.ResourceScheduler`
 (load-hinted LPT packing), every process runs
-:func:`~repro.shard.worker.worker_main`, and all traffic is
-``(cmd, payload)`` request/response over one duplex pipe per worker.
+:func:`~repro.shard.worker.worker_main`, and all traffic rides the
+zero-copy frames of :mod:`repro.shard.transport` — protocol-5
+envelopes over ``Connection.send_bytes`` with numeric columns shipped
+as out-of-band raw buffers (or, for large replies, written straight
+into the worker's shared-memory arena and delivered by reference).
 Scatter-gather calls send to every worker first and only then collect
 replies, so workers genuinely overlap on multi-core hosts.
+
+Writes are *pipelined*: ``put``/``put_many`` post without waiting for
+a reply, keeping up to ``rpc_window`` un-acknowledged messages in
+flight per worker.  Worker-side write failures are buffered and
+surfaced — together with :class:`ShardWorkerDied` — at the next
+barrier: an explicit :meth:`flush`, any query or sync command, or
+:meth:`close`.  No barrier, no guarantee; after a barrier, everything
+before it either landed or raised.
 
 Failure behaviour is deliberately simple and visible: a worker whose
 pipe drops raises :class:`ShardWorkerDied` naming the worker and the
@@ -22,12 +33,19 @@ from __future__ import annotations
 import multiprocessing as mp
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import obs
+from repro.shard import transport
 from repro.shard.scheduler import ResourceScheduler
 from repro.shard.worker import worker_main
 from repro.tsdb.chunks import CHUNK_POINTS
 
-__all__ = ["ShardWorkerDied", "ShardWorkerPool"]
+__all__ = ["ShardWorkerDied", "ShardWorkerPool", "DEFAULT_RPC_WINDOW"]
+
+#: un-acknowledged writes allowed in flight per worker before the
+#: pool inserts a sync barrier (one round-trip per window)
+DEFAULT_RPC_WINDOW = 64
 
 
 class ShardWorkerDied(RuntimeError):
@@ -45,6 +63,18 @@ class ShardWorkerDied(RuntimeError):
         self.shards = list(shards)
 
 
+def _as_time_col(times) -> np.ndarray:
+    if isinstance(times, np.ndarray):
+        return np.ascontiguousarray(times)
+    return np.asarray(list(times), dtype=np.int64)
+
+
+def _as_value_col(values) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        return np.ascontiguousarray(values)
+    return np.asarray(list(values), dtype=np.float64)
+
+
 class ShardWorkerPool:
     """``shards`` chunked TSDBs served by ``workers`` processes."""
 
@@ -56,18 +86,29 @@ class ShardWorkerPool:
         scheduler: Optional[ResourceScheduler] = None,
         loads: Optional[Mapping[int, float]] = None,
         start_method: str = "spawn",
+        arena_bytes: int = transport.DEFAULT_ARENA_BYTES,
+        rpc_window: int = DEFAULT_RPC_WINDOW,
     ) -> None:
         if shards < 1 or workers < 1:
             raise ValueError("shards and workers must be >= 1")
         self.n_shards = int(shards)
         self.workers = int(workers)
         self.chunk_size = int(chunk_size)
+        self.arena_bytes = max(0, int(arena_bytes))
+        self.rpc_window = max(1, int(rpc_window))
         self.scheduler = scheduler or ResourceScheduler(self.workers)
         #: worker index → sorted shard ids it owns
         self.assignment = self.scheduler.plan(range(self.n_shards), loads)
         self._ctx = mp.get_context(start_method)
         self._procs: List[Optional[mp.process.BaseProcess]] = []
         self._conns: List[Optional[object]] = []
+        self._arenas: List[Optional[transport.CoordinatorArena]] = []
+        #: per-worker posted-but-unacknowledged write count
+        self._unacked: List[int] = []
+        #: per-worker replies to discard (queued by an aborted gather)
+        self._stale: List[int] = []
+        #: per-worker deferred write errors awaiting the next barrier
+        self._write_errors: List[List[str]] = []
         self._worker_of: Dict[int, int] = {}
         for w, sids in enumerate(self.assignment):
             for sid in sids:
@@ -75,10 +116,19 @@ class ShardWorkerPool:
             self._spawn(w, sids, append=True)
 
     def _spawn(self, w: int, sids: Sequence[int], append: bool) -> None:
+        arena: Optional[transport.CoordinatorArena] = None
+        if self.arena_bytes > 0:
+            arena = transport.CoordinatorArena(self.arena_bytes)
         parent, child = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=worker_main,
-            args=(child, tuple(sids), self.chunk_size),
+            args=(
+                child,
+                tuple(sids),
+                self.chunk_size,
+                arena.name if arena is not None else None,
+                self.arena_bytes,
+            ),
             name=f"repro-shard-w{w}",
             daemon=True,
         )
@@ -87,54 +137,199 @@ class ShardWorkerPool:
         if append:
             self._procs.append(proc)
             self._conns.append(parent)
+            self._arenas.append(arena)
+            self._unacked.append(0)
+            self._stale.append(0)
+            self._write_errors.append([])
         else:
+            old = self._arenas[w]
+            if old is not None:
+                old.retire()
             self._procs[w] = proc
             self._conns[w] = parent
+            self._arenas[w] = arena
+            self._unacked[w] = 0
+            self._stale[w] = 0
         obs.counter(
             "repro_shard_workers_spawned_total",
             "shard worker processes started (including respawns)",
         ).inc()
 
     # -- RPC plumbing --------------------------------------------------------
-    def _send(self, w: int, cmd: str, payload: tuple) -> None:
+    def _count_frame(self, info: transport.FrameInfo, direction: str) -> None:
+        obs.counter(
+            "repro_shard_rpc_frames_total",
+            "RPC frames crossing shard worker pipes",
+        ).inc(1, dir=direction)
+        obs.counter(
+            "repro_shard_rpc_wire_bytes_total",
+            "bytes of RPC frames crossing shard worker pipes",
+        ).inc(info.frame_bytes, dir=direction)
+        if info.inline_oob_bytes:
+            obs.counter(
+                "repro_shard_rpc_oob_bytes_total",
+                "out-of-band column bytes moved by the shard RPC, by "
+                "placement (frame = in the pipe, arena = shared memory)",
+            ).inc(info.inline_oob_bytes, placement="frame")
+        if info.arena_bytes:
+            obs.counter(
+                "repro_shard_rpc_oob_bytes_total",
+                "out-of-band column bytes moved by the shard RPC, by "
+                "placement (frame = in the pipe, arena = shared memory)",
+            ).inc(info.arena_bytes, placement="arena")
+        if info.arena_hits:
+            obs.counter(
+                "repro_shard_arena_hits_total",
+                "reply columns delivered by shared-memory reference "
+                "instead of through the pipe",
+            ).inc(info.arena_hits)
+
+    def _gauge_inflight(self, w: int) -> None:
+        obs.gauge(
+            "repro_shard_rpc_inflight",
+            "un-acknowledged pipelined writes currently in flight",
+        ).set(self._unacked[w], worker=str(w))
+
+    def _send(self, w: int, cmd: str, payload: tuple,
+              ack: bool = True) -> None:
         conn = self._conns[w]
         if conn is None:
             raise ShardWorkerDied(w, self.assignment[w])
         cur = obs.get_tracer().current()
         ctx = (cur.trace_id, cur.span_id) if cur is not None and cur.span_id else None
+        arena = self._arenas[w]
+        frees = arena.drain_frees() if arena is not None else ()
+        frame, info = transport.encode(
+            (cmd, payload, ctx, {"ack": ack, "frees": frees})
+        )
         try:
-            conn.send((cmd, payload, ctx))
+            conn.send_bytes(frame)
         except (BrokenPipeError, OSError):
-            self._mark_dead(w)
+            self._note_death(w)
+            raise ShardWorkerDied(w, self.assignment[w])
+        self._count_frame(info, "tx")
+        if ack:
+            obs.counter(
+                "repro_shard_rpc_roundtrips_total",
+                "synchronous request/reply exchanges with shard workers",
+            ).inc()
+        else:
+            obs.counter(
+                "repro_shard_rpc_writes_pipelined_total",
+                "write commands posted without waiting for a reply",
+            ).inc()
 
-    def _recv(self, w: int):
+    def _recv_frame(self, w: int) -> bytes:
         conn = self._conns[w]
         if conn is None:
             raise ShardWorkerDied(w, self.assignment[w])
         try:
-            status, result = conn.recv()
+            return conn.recv_bytes()
         except (EOFError, OSError):
-            self._mark_dead(w)
+            self._note_death(w)
+            raise ShardWorkerDied(w, self.assignment[w])
+
+    def _recv_reply(self, w: int):
+        """Collect one reply from ``w`` — every reply is a barrier.
+
+        Death raises :class:`ShardWorkerDied` *here, explicitly* —
+        :meth:`_note_death` only records it.  Replies queued by an
+        aborted gather are discarded first (``self._stale``), so the
+        stream can never answer a request with an earlier command's
+        reply.
+        """
+        while self._stale[w]:
+            frame = self._recv_frame(w)
+            self._stale[w] -= 1
+            try:
+                # decode so arena regions named by the discarded reply
+                # are tracked (and freed) rather than leaked
+                transport.decode(frame, arena=self._arenas[w])
+            except transport.FrameError:  # pragma: no cover - corrupt
+                pass                      # stale frame: drop it
+        frame = self._recv_frame(w)
+        reply, info = transport.decode(frame, arena=self._arenas[w])
+        self._count_frame(info, "rx")
+        status, result, deferred = reply
+        self._unacked[w] = 0
+        self._gauge_inflight(w)
+        if deferred:
+            self._write_errors[w].extend(deferred)
         if status != "ok":
             raise RuntimeError(f"shard worker {w}: {result}")
         return result
 
-    def _mark_dead(self, w: int) -> None:
+    def _note_death(self, w: int) -> None:
+        """Record a dead worker; callers raise :class:`ShardWorkerDied`."""
+        if self._conns[w] is None:
+            return
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already gone
+            pass
         self._conns[w] = None
         proc = self._procs[w]
         if proc is not None:
             proc.join(timeout=1.0)
+        self._unacked[w] = 0
+        self._stale[w] = 0
+        self._gauge_inflight(w)
         obs.counter(
             "repro_shard_worker_deaths_total",
             "shard worker processes lost mid-conversation",
         ).inc()
-        raise ShardWorkerDied(w, self.assignment[w])
+
+    def _raise_deferred(self) -> None:
+        """Surface buffered pipelined-write failures (barrier point)."""
+        if not any(self._write_errors):
+            return
+        detail = "; ".join(
+            f"worker {w}: {msg}"
+            for w, errs in enumerate(self._write_errors)
+            for msg in errs
+        )
+        for errs in self._write_errors:
+            errs.clear()
+        raise RuntimeError(f"pipelined shard writes failed: {detail}")
+
+    def _exchange(self, w: int, cmd: str, payload: tuple):
+        """One synchronous round-trip (implicitly a per-worker barrier)."""
+        self._send(w, cmd, payload)
+        return self._recv_reply(w)
+
+    def _post(self, w: int, cmd: str, payload: tuple) -> None:
+        """Pipeline a write; sync when the credit window is exhausted."""
+        self._send(w, cmd, payload, ack=False)
+        self._unacked[w] += 1
+        self._gauge_inflight(w)
+        if self._unacked[w] >= self.rpc_window:
+            self._exchange(w, "flush", ())
+            self._raise_deferred()
 
     def _scatter(self, calls: Dict[int, Tuple[str, tuple]]) -> Dict[int, object]:
-        """Send every request, then gather every reply (true overlap)."""
-        for w, (cmd, payload) in calls.items():
-            self._send(w, cmd, payload)
-        return {w: self._recv(w) for w in calls}
+        """Send every request, then gather every reply (true overlap).
+
+        If the gather aborts (a worker died, or one replied with an
+        error), the replies still queued on the *other* pipes are
+        marked stale and discarded by the next :meth:`_recv_reply`, so
+        an aborted scatter can never desynchronise the reply streams.
+        """
+        sent: List[int] = []
+        got: set = set()
+        out: Dict[int, object] = {}
+        try:
+            for w, (cmd, payload) in calls.items():
+                self._send(w, cmd, payload)
+                sent.append(w)
+            for w in calls:
+                out[w] = self._recv_reply(w)
+                got.add(w)
+        finally:
+            for w in sent:
+                if w not in got and self._conns[w] is not None:
+                    self._stale[w] += 1
+        self._raise_deferred()
+        return out
 
     def _all(self, cmd: str, payload: tuple) -> Dict[int, object]:
         live = [
@@ -146,14 +341,23 @@ class ShardWorkerPool:
     # -- backend operations (mirror ShardSet) --------------------------------
     def put(self, shard, metric, tags, ts, value) -> None:
         w = self._worker_of[shard]
-        self._send(w, "put", (shard, metric, dict(tags), ts, value))
-        self._recv(w)
+        self._post(w, "put", (shard, metric, dict(tags), ts, value))
 
     def put_many(self, shard, metric, tags, times, values) -> int:
+        t = _as_time_col(times)
+        v = _as_value_col(values)
         w = self._worker_of[shard]
-        self._send(w, "put_many", (shard, metric, dict(tags),
-                                   list(times), list(values)))
-        return self._recv(w)
+        self._post(w, "put_many", (shard, metric, dict(tags), t, v))
+        # the store's extend() accepts the whole aligned batch or
+        # raises; a failure surfaces at the next barrier
+        return len(t)
+
+    def flush(self) -> None:
+        """Barrier: every pipelined write landed, or this raises."""
+        for w, conn in enumerate(self._conns):
+            if conn is not None and self._unacked[w]:
+                self._exchange(w, "flush", ())
+        self._raise_deferred()
 
     def ingest(self, source, host_shards, types=None, metric="stats"):
         groups: Dict[int, list] = {}
@@ -224,32 +428,44 @@ class ShardWorkerPool:
     def harvest_obs(self, merger) -> "HarvestReport":
         """Pull every live worker's obs snapshot into ``merger``.
 
-        ``merger`` is a :class:`~repro.obs.harvest.HarvestMerger`
-        bound to the central registry/tracer; worker ``w`` merges
-        under source label ``shard="w<w>"``.  A dead worker does not
-        abort the round — it is recorded in the report's ``missing``
-        list and counted by ``repro_obs_harvest_partial_total``, and
-        the remaining workers still merge (partial-harvest failure
-        mode, see docs/observability.md).
+        Scatter-then-gather, like every other fan-out: all snapshot
+        requests go out before the first reply is read, so workers
+        build their snapshots concurrently.  ``merger`` is a
+        :class:`~repro.obs.harvest.HarvestMerger` bound to the central
+        registry/tracer; worker ``w`` merges under source label
+        ``shard="w<w>"``.  A dead worker does not abort the round — it
+        is recorded in the report's ``missing`` list and counted by
+        ``repro_obs_harvest_partial_total``, and the remaining workers
+        still merge (partial-harvest failure mode, see
+        docs/observability.md).
         """
         from repro.obs.harvest import HarvestReport
 
         report = HarvestReport()
+
+        def miss(source: str) -> None:
+            report.missing.append(source)
+            obs.counter(
+                "repro_obs_harvest_partial_total",
+                "workers that could not be snapshotted during "
+                "an obs harvest round",
+            ).inc()
+
         with obs.span("obs.harvest") as hs:
+            sent: List[int] = []
             for w in range(self.workers):
-                source = f"w{w}"
                 try:
                     self._send(w, "obs_snapshot", ())
-                    snap = self._recv(w)
+                    sent.append(w)
                 except ShardWorkerDied:
-                    report.missing.append(source)
-                    obs.counter(
-                        "repro_obs_harvest_partial_total",
-                        "workers that could not be snapshotted during "
-                        "an obs harvest round",
-                    ).inc()
+                    miss(f"w{w}")
+            for w in sent:
+                try:
+                    snap = self._recv_reply(w)
+                except ShardWorkerDied:
+                    miss(f"w{w}")
                     continue
-                report.merge(merger.apply(snap, source, parent=hs))
+                report.merge(merger.apply(snap, f"w{w}", parent=hs))
             hs.set(
                 sources=len(report.sources),
                 missing=len(report.missing),
@@ -276,30 +492,53 @@ class ShardWorkerPool:
 
         Returns the shard ids that must be re-ingested from their
         durable raw files before the shard answers queries again.
+        The dead worker's arena stays mapped until the last decoded
+        view over it dies; the respawned worker gets a fresh one.
         """
         proc = self._procs[worker]
         if proc is not None and proc.is_alive():
             proc.terminate()
             proc.join(timeout=2.0)
+        self._write_errors[worker].clear()
         self._spawn(worker, self.assignment[worker], append=False)
         return list(self.assignment[worker])
 
     def close(self) -> None:
-        for w, conn in enumerate(self._conns):
-            if conn is None:
+        """Drain, stop and reap every worker.
+
+        ``close`` is a barrier like any other: pipelined writes that
+        failed — or a worker found dead while draining — raise *after*
+        every process is stopped and joined, so shutdown never leaks
+        workers but never swallows data loss either.
+        """
+        first: Optional[BaseException] = None
+        for w in range(len(self._conns)):
+            if self._conns[w] is None:
                 continue
             try:
-                conn.send(("close", ()))
-                conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            conn.close()
-            self._conns[w] = None
+                self._exchange(w, "close", ())
+            except (ShardWorkerDied, RuntimeError) as exc:
+                if first is None:
+                    first = exc
+            conn = self._conns[w]
+            if conn is not None:
+                conn.close()
+                self._conns[w] = None
         for proc in self._procs:
             if proc is not None:
                 proc.join(timeout=2.0)
                 if proc.is_alive():  # pragma: no cover - stuck worker
                     proc.terminate()
+        for arena in self._arenas:
+            if arena is not None:
+                arena.retire()
+        try:
+            self._raise_deferred()
+        except RuntimeError as exc:
+            if first is None:
+                first = exc
+        if first is not None:
+            raise first
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

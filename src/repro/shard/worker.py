@@ -184,16 +184,36 @@ class ShardSet:
             store.seal_heads()
 
 
-def worker_main(conn, shard_ids: Sequence[int], chunk_size: int) -> None:
+def worker_main(
+    conn,
+    shard_ids: Sequence[int],
+    chunk_size: int,
+    arena_name: Optional[str] = None,
+    arena_size: int = 0,
+) -> None:
     """Process entry point: serve ShardSet operations over ``conn``.
 
     Spawn-safe: importable at module top level with picklable
-    arguments only.  The loop answers ``(cmd, payload, ctx)``
-    requests — ``ctx`` is the coordinator's ``(trace_id, span_id)``
-    or ``None`` — with ``("ok", result)`` or ``("err", message)`` and
-    exits on ``close`` or a dropped pipe (coordinator death must not
-    leak workers).  Bare ``(cmd, payload)`` 2-tuples still work, so
-    an older coordinator can drive a newer worker.
+    arguments only.  Every message is one
+    :mod:`repro.shard.transport` frame carrying
+    ``(cmd, payload, ctx, meta)`` — ``ctx`` is the coordinator's
+    ``(trace_id, span_id)`` or ``None``; ``meta["frees"]`` returns
+    arena regions the coordinator no longer references, and
+    ``meta["ack"]`` selects the reply discipline:
+
+    * **acked** commands answer ``("ok", result, deferred)`` or
+      ``("err", message, deferred)``, where ``deferred`` drains every
+      error buffered by earlier un-acked writes (the coordinator's
+      error-at-barrier contract);
+    * **un-acked** commands (pipelined ``put``/``put_many``) send no
+      reply at all — a failure is buffered and rides out on the next
+      acked exchange.
+
+    Reply columns above the arena threshold are written into the
+    shared-memory arena (when one was handed over) and travel as
+    ``(offset, length)`` references; everything else goes out-of-band
+    inside the frame.  The loop exits on ``close`` or a dropped pipe
+    (coordinator death must not leak workers).
 
     Every shard operation runs inside a ``shard.worker.<cmd>`` span
     joined to the coordinator's trace via ``ctx``; the
@@ -205,24 +225,68 @@ def worker_main(conn, shard_ids: Sequence[int], chunk_size: int) -> None:
     reply leaves, which is what makes the merger's span-id cursor a
     valid dedup watermark.
     """
+    from repro.shard import transport
+
     shards = ShardSet(shard_ids, chunk_size=chunk_size)
+    arena = (
+        transport.WorkerArena.attach(arena_name, arena_size)
+        if arena_name is not None and arena_size > 0
+        else None
+    )
+    deferred: list = []
+
+    def reply(status: str, result) -> None:
+        frame, _ = transport.encode(
+            (status, result, tuple(deferred)), arena=arena
+        )
+        deferred.clear()
+        conn.send_bytes(frame)
+
     while True:
         try:
-            msg = conn.recv()
+            frame = conn.recv_bytes()
         except (EOFError, OSError):
+            break
+        try:
+            msg, _ = transport.decode(frame)
+        except Exception:  # corrupt request: die visibly, not wrongly
             break
         cmd, payload = msg[0], msg[1]
         ctx = msg[2] if len(msg) > 2 else None
+        meta = msg[3] if len(msg) > 3 else {}
+        if arena is not None and meta.get("frees"):
+            arena.free_many(meta["frees"])
+        ack = meta.get("ack", True)
         try:
             if cmd == "close":
-                conn.send(("ok", None))
+                reply("ok", None)
                 break
+            if cmd == "flush":
+                # pure barrier: everything before it already ran (the
+                # pipe is FIFO); the reply carries the deferred errors
+                reply("ok", None)
+                continue
             if cmd == "obs_snapshot":
-                conn.send(("ok", snapshot_process()))
+                reply("ok", snapshot_process())
                 continue
             with obs.span(f"shard.worker.{cmd}", remote_parent=ctx):
                 result = getattr(shards, cmd)(*payload)
-            conn.send(("ok", result))
+            if ack:
+                reply("ok", result)
         except Exception as exc:  # surfaced coordinator-side
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            err = f"{type(exc).__name__}: {exc}"
+            if ack:
+                try:
+                    reply("err", err)
+                except Exception:  # reply itself unserialisable/dead
+                    break
+            else:
+                deferred.append(f"{cmd}: {err}")
+                obs.counter(
+                    "repro_shard_rpc_deferred_errors_total",
+                    "pipelined write failures buffered for the next "
+                    "barrier",
+                ).inc()
+    if arena is not None:
+        arena.close()
     conn.close()

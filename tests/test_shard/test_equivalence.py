@@ -147,16 +147,44 @@ def pooled(fleet_day):
     db.close()
 
 
-def test_pool_query_battery_bit_identical(single, pooled):
+# the transport acceptance matrix: every shard/worker combination,
+# with the shared-memory reply arena both enabled and disabled (the
+# disabled runs take the inline-frame spill path for every column)
+POOL_MATRIX = [
+    (s, w, arena)
+    for s in (1, 3, 7)
+    for w in (1, 2)
+    for arena in ("arena", "noarena")
+]
+
+
+@pytest.fixture(
+    scope="module",
+    params=POOL_MATRIX,
+    ids=[f"s{s}-w{w}-{a}" for s, w, a in POOL_MATRIX],
+)
+def pooled_matrix(request, fleet_day):
+    shards, workers, arena = request.param
+    db = ShardedTSDB(
+        shards=shards, workers=workers, chunk_size=CHUNK_SIZE,
+        arena_bytes=0 if arena == "noarena" else None,
+    )
+    report = db.ingest(StoreSource(fleet_day.store.root), types=TYPES)
+    assert report.points > 0 and report.workers == workers
+    yield db
+    db.close()
+
+
+def test_pool_query_battery_bit_identical(single, pooled_matrix):
     for kw in QUERIES:
         want = query(single, "stats", **kw)
-        got = pooled.query("stats", **kw)
+        got = pooled_matrix.query("stats", **kw)
         assert_bit_identical(got, want, ctx=f"pool/{kw}")
 
 
-def test_pool_window_stats_identical(single, pooled):
+def test_pool_window_stats_identical(single, pooled_matrix):
     want = window_stats(single, "stats")
-    got = pooled.window_stats("stats")
+    got = pooled_matrix.window_stats("stats")
     assert [repr(s) for s in got] == [repr(s) for s in want]
 
 

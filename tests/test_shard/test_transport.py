@@ -1,0 +1,387 @@
+"""The zero-copy shard RPC plane: codec, arena, pipelining, chaos.
+
+Three layers under test:
+
+* the **frame codec** — protocol-5 envelopes with out-of-band column
+  buffers must round-trip bit-exactly (NaN, ±inf, ``-0.0``, empty and
+  single-point columns included), decode to zero-copy read-only
+  views, and refuse *any* truncated frame rather than surface a
+  truncated column;
+* the **shared-memory arena** — first-fit allocation with coalescing,
+  spill-to-frame when full or below threshold, and region lifetime
+  tied to the decoded arrays (freed regions come back through
+  ``drain_frees`` for the worker's allocator);
+* the **pool protocol** — a death during ``recv`` raises
+  :class:`ShardWorkerDied` (never ``UnboundLocalError``), a worker
+  killed mid-frame or mid-pipelined-window surfaces at the next
+  barrier with no silent data loss, and deferred worker-side write
+  errors arrive at ``flush()``.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.pool import ShardWorkerDied, ShardWorkerPool
+from repro.shard.transport import (
+    MIN_ARENA_BYTES,
+    ArenaAllocator,
+    CoordinatorArena,
+    FrameError,
+    WorkerArena,
+    decode,
+    encode,
+)
+from repro.tsdb.store import _tagkey
+
+# -- allocator ----------------------------------------------------------------
+
+
+def test_allocator_first_fit_and_alignment():
+    a = ArenaAllocator(1024)
+    assert a.alloc(10) == 0          # rounds to 16
+    assert a.alloc(1) == 16          # rounds to 8
+    assert a.alloc(100) == 24
+    assert a.free_bytes == 1024 - 16 - 8 - 104
+
+
+def test_allocator_exhaustion_returns_none():
+    a = ArenaAllocator(64)
+    assert a.alloc(64) == 0
+    assert a.alloc(1) is None
+    a.free(0, 64)
+    assert a.alloc(64) == 0
+
+
+def test_allocator_free_coalesces_neighbours():
+    a = ArenaAllocator(96)
+    offs = [a.alloc(32) for _ in range(3)]
+    assert offs == [0, 32, 64]
+    assert a.alloc(1) is None
+    # free middle, then left, then right: one contiguous span again
+    a.free(32, 32)
+    a.free(0, 32)
+    a.free(64, 32)
+    assert a.spans == [(0, 96)]
+    assert a.alloc(96) == 0
+
+
+def test_allocator_zero_size_arena_never_allocates():
+    a = ArenaAllocator(0)
+    assert a.alloc(1) is None
+
+
+# -- frame codec: inline round-trips ------------------------------------------
+
+
+def _roundtrip(msg, encode_arena=None, decode_arena=None):
+    frame, _ = encode(msg, arena=encode_arena)
+    out, _ = decode(frame, arena=decode_arena)
+    return out
+
+
+def assert_cols_bitwise(got, want):
+    t_g, v_g = got
+    t_w, v_w = want
+    assert np.array_equal(t_g, t_w)
+    assert t_g.dtype == t_w.dtype
+    assert v_g.dtype == v_w.dtype
+    assert np.array_equal(
+        np.asarray(v_g, dtype=np.float64).view(np.uint64),
+        np.asarray(v_w, dtype=np.float64).view(np.uint64),
+    )
+
+
+def test_plain_envelope_roundtrip():
+    msg = ("ok", {"a": 1, "b": [1.5, None, "x"]}, ())
+    assert _roundtrip(msg) == msg
+
+
+@pytest.mark.parametrize("values", [
+    [],                                  # empty column
+    [0.0],                               # single point
+    [float("nan"), float("inf"), float("-inf"), -0.0, 0.0],
+    [1e-308, -1e308, 2.0**-1074],        # subnormal edges
+])
+def test_special_value_columns_roundtrip_bitwise(values):
+    t = np.arange(len(values), dtype=np.int64)
+    v = np.asarray(values, dtype=np.float64)
+    out = _roundtrip(("ok", [(t, v)], ()))
+    assert out[0] == "ok" and out[2] == ()
+    assert_cols_bitwise(out[1][0], (t, v))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+        max_size=200,
+    ),
+    st.integers(min_value=-2**40, max_value=2**40),
+)
+def test_codec_roundtrip_property(values, t0):
+    t = t0 + np.arange(len(values), dtype=np.int64) * 7
+    v = np.asarray(values, dtype=np.float64)
+    msg = ("ok", [(t, v), (t[:1], v[:1])], ("err one", "err two"))
+    out = _roundtrip(msg)
+    assert out[0] == "ok" and out[2] == ("err one", "err two")
+    assert_cols_bitwise(out[1][0], (t, v))
+    assert_cols_bitwise(out[1][1], (t[:1], v[:1]))
+
+
+def test_decoded_inline_columns_are_readonly_views():
+    v = np.arange(1000, dtype=np.float64)
+    out = _roundtrip(("ok", [v], ()))
+    arr = out[1][0]
+    assert np.array_equal(arr, v)
+    # a view over the received frame, not a list-materialised copy
+    assert not arr.flags.writeable
+
+
+# -- frame codec: truncation & corruption -------------------------------------
+
+
+def test_any_truncated_frame_raises_frame_error():
+    t = np.arange(512, dtype=np.int64)
+    v = np.sqrt(np.arange(512, dtype=np.float64))
+    frame, _ = encode(("ok", [(t, v)], ()))
+    # every strict prefix must refuse to decode: a short read can
+    # never silently deliver a truncated column
+    for cut in list(range(0, 64)) + [len(frame) // 2, len(frame) - 1]:
+        with pytest.raises(FrameError):
+            decode(frame[:cut])
+    # the full frame still decodes
+    out, _ = decode(frame)
+    assert_cols_bitwise(out[1][0], (t, v))
+
+
+def test_bad_magic_and_unknown_kind_raise():
+    frame, _ = encode(("ok", [np.arange(8, dtype=np.int64)], ()))
+    with pytest.raises(FrameError):
+        decode(b"XXXX" + frame[4:])
+    mangled = bytearray(frame)
+    mangled[12] = 9  # first entry's kind byte
+    with pytest.raises(FrameError):
+        decode(bytes(mangled))
+
+
+def test_arena_reference_without_arena_raises():
+    arena = CoordinatorArena(1 << 16)
+    worker = WorkerArena.attach(arena.name, 1 << 16)
+    try:
+        frame, info = encode(
+            ("ok", [np.arange(4096, dtype=np.float64)], ()), arena=worker
+        )
+        assert info.arena_hits == 1
+        with pytest.raises(FrameError):
+            decode(frame, arena=None)
+    finally:
+        worker.close()
+        arena.retire()
+
+
+# -- the shared-memory arena --------------------------------------------------
+
+
+def test_arena_roundtrip_and_region_lifecycle():
+    arena = CoordinatorArena(1 << 18)
+    worker = WorkerArena.attach(arena.name, 1 << 18)
+    try:
+        t = np.arange(8192, dtype=np.int64)
+        v = np.where(t % 97 == 0, np.nan, np.sqrt(t.astype(np.float64)))
+        frame, info = encode(("ok", [(t, v)], ()), arena=worker)
+        assert info.arena_hits == 2
+        assert info.arena_bytes == t.nbytes + v.nbytes
+        assert info.inline_oob_bytes == 0
+        # the frame itself carries only the envelope
+        assert info.frame_bytes < 1024
+
+        out, rinfo = decode(frame, arena=arena)
+        assert rinfo.arena_hits == 2
+        got_t, got_v = out[1][0]
+        assert_cols_bitwise((got_t, got_v), (t, v))
+        assert not got_t.flags.writeable and not got_v.flags.writeable
+        assert arena.outstanding == 2
+
+        # dropping the decoded arrays releases their regions
+        del out, got_t, got_v
+        gc.collect()
+        frees = arena.drain_frees()
+        assert sorted(n for _, n in frees) == sorted([t.nbytes, v.nbytes])
+        assert arena.outstanding == 0
+        worker.free_many(frees)
+        assert worker.allocator.free_bytes == 1 << 18
+    finally:
+        worker.close()
+        arena.retire()
+
+
+def test_small_columns_stay_inline_even_with_arena():
+    arena = CoordinatorArena(1 << 16)
+    worker = WorkerArena.attach(arena.name, 1 << 16)
+    try:
+        small = np.arange(MIN_ARENA_BYTES // 8 - 1, dtype=np.float64)
+        frame, info = encode(("ok", [small], ()), arena=worker)
+        assert info.arena_hits == 0 and info.inline_oob_bytes == small.nbytes
+        out, _ = decode(frame, arena=arena)
+        assert np.array_equal(out[1][0], small)
+    finally:
+        worker.close()
+        arena.retire()
+
+
+def test_oversize_column_spills_to_frame():
+    size = 1 << 14  # 16 KiB arena
+    arena = CoordinatorArena(size)
+    worker = WorkerArena.attach(arena.name, size)
+    try:
+        big = np.arange(size // 4, dtype=np.float64)  # 2× the arena
+        frame, info = encode(("ok", [big], ()), arena=worker)
+        assert info.arena_hits == 0
+        assert info.inline_oob_bytes == big.nbytes
+        assert worker.spilled == 1
+        out, _ = decode(frame, arena=arena)
+        assert np.array_equal(out[1][0], big)
+    finally:
+        worker.close()
+        arena.retire()
+
+
+def test_full_arena_spills_then_recovers_after_frees():
+    size = 1 << 14
+    arena = CoordinatorArena(size)
+    worker = WorkerArena.attach(arena.name, size)
+    try:
+        col = np.arange(size // 16, dtype=np.float64)  # half the arena
+        f1, i1 = encode(("ok", [col], ()), arena=worker)
+        f2, i2 = encode(("ok", [col + 1], ()), arena=worker)
+        f3, i3 = encode(("ok", [col + 2], ()), arena=worker)
+        assert (i1.arena_hits, i2.arena_hits, i3.arena_hits) == (1, 1, 0)
+        assert i3.inline_oob_bytes == col.nbytes  # spilled, not lost
+        outs = [decode(f, arena=arena)[0] for f in (f1, f2, f3)]
+        for k, out in enumerate(outs):
+            assert np.array_equal(out[1][0], col + k)
+        del outs, out
+        gc.collect()
+        worker.free_many(arena.drain_frees())
+        _, i4 = encode(("ok", [col + 3], ()), arena=worker)
+        assert i4.arena_hits == 1  # space reclaimed
+    finally:
+        worker.close()
+        arena.retire()
+
+
+# -- pool protocol: death, pipelining, barriers -------------------------------
+
+
+def test_recv_death_raises_shard_worker_died():
+    """The satellite pin: a death during recv is ShardWorkerDied —
+    not the UnboundLocalError the old ``status, result = conn.recv()``
+    control flow would produce if the death path ever fell through."""
+    pool = ShardWorkerPool(2, 2, chunk_size=32)
+    try:
+        pool._procs[0].terminate()
+        pool._procs[0].join()
+        with pytest.raises(ShardWorkerDied) as err:
+            pool._recv_reply(0)
+        assert err.value.worker == 0
+        assert err.value.shards == list(pool.assignment[0])
+        # the death is recorded: the next use raises cleanly too
+        with pytest.raises(ShardWorkerDied):
+            pool._exchange(0, "stats", ())
+    finally:
+        pool.close()
+
+
+def test_kill_mid_frame_raises_died_never_truncated():
+    """Kill a worker while a multi-megabyte reply is mid-pipe: the
+    coordinator must raise ShardWorkerDied, never hand back a
+    truncated column (arena off so the columns ride the pipe)."""
+    pool = ShardWorkerPool(2, 2, chunk_size=4096, arena_bytes=0)
+    try:
+        sid = pool.assignment[0][0]
+        n = 500_000  # 8 MB of values: far beyond any pipe buffer
+        t = np.arange(n, dtype=np.int64)
+        v = np.sqrt(np.arange(n, dtype=np.float64))
+        pool.put_many(sid, "stats", {"host": "h"}, t, v)
+        pool.flush()
+        pool._send(0, "scan", ("stats", [(sid, _tagkey({"host": "h"}))], None))
+        # wait until the reply starts flowing — the worker is now
+        # blocked mid-frame (the message dwarfs the pipe buffer)
+        assert pool._conns[0].poll(30.0)
+        pool._procs[0].terminate()
+        pool._procs[0].join()
+        with pytest.raises(ShardWorkerDied):
+            pool._recv_reply(0)
+    finally:
+        pool.close()
+
+
+def test_kill_mid_window_surfaces_at_flush_and_respawn_recovers():
+    """The acceptance chaos: pipelined writes + SIGKILL mid-window →
+    ShardWorkerDied at the next barrier, then respawn + re-write
+    restores full service with no silent loss."""
+    pool = ShardWorkerPool(2, 2, chunk_size=64, rpc_window=10_000)
+    try:
+        sid = pool.assignment[0][0]
+        for i in range(50):
+            pool.put_many(sid, "stats", {"host": "h"}, [i * 10], [float(i)])
+        pool._procs[0].kill()
+        pool._procs[0].join()
+        with pytest.raises(ShardWorkerDied) as err:
+            pool.flush()
+        assert err.value.worker == 0
+        # recovery: respawn empty, re-ingest the durable copy
+        assert pool.respawn(0) == sorted(pool.assignment[0])
+        for i in range(50):
+            pool.put_many(sid, "stats", {"host": "h"}, [i * 10], [float(i)])
+        pool.flush()
+        assert pool.stats()[sid]["points"] == 50
+    finally:
+        pool.close()
+
+
+def test_pipelined_write_errors_surface_at_barrier():
+    pool = ShardWorkerPool(2, 1, chunk_size=32)
+    try:
+        # misaligned columns: the worker-side extend raises, the
+        # error is buffered, and the *flush* is where it surfaces
+        pool.put_many(0, "stats", {"host": "x"}, [1, 2, 3], [1.0])
+        with pytest.raises(RuntimeError, match="pipelined shard writes"):
+            pool.flush()
+        # one barrier drains the buffer: the pool stays usable
+        pool.put_many(0, "stats", {"host": "x"}, [1, 2], [1.0, 2.0])
+        pool.flush()
+        assert pool.stats()[0]["points"] == 2
+    finally:
+        pool.close()
+
+
+def test_query_is_a_write_barrier():
+    pool = ShardWorkerPool(2, 1, chunk_size=32)
+    try:
+        pool.put_many(0, "stats", {"host": "x"}, [5, 6], [1.0])
+        with pytest.raises(RuntimeError, match="pipelined shard writes"):
+            pool.window_stats("stats")
+    finally:
+        pool.close()
+
+
+def test_window_exhaustion_inserts_sync_barrier():
+    pool = ShardWorkerPool(1, 1, chunk_size=32, rpc_window=4)
+    try:
+        # the 4th posted write trips the window and syncs: unacked
+        # drops back to zero without an explicit flush
+        for i in range(4):
+            pool.put(0, "stats", {"host": "x"}, i, float(i))
+        assert pool._unacked[0] == 0
+        pool.put(0, "stats", {"host": "x"}, 99, 1.0)
+        assert pool._unacked[0] == 1
+        pool.flush()
+        assert pool._unacked[0] == 0
+        assert pool.stats()[0]["points"] == 5
+    finally:
+        pool.close()
