@@ -244,9 +244,13 @@ class ShardWorkerPool:
             try:
                 # decode so arena regions named by the discarded reply
                 # are tracked (and freed) rather than leaked
-                transport.decode(frame, arena=self._arenas[w])
+                stale, _ = transport.decode(frame, arena=self._arenas[w])
             except transport.FrameError:  # pragma: no cover - corrupt
-                pass                      # stale frame: drop it
+                continue                  # stale frame: drop it
+            # the worker drained its deferred-error buffer into this
+            # reply; the reply is discarded, the errors must not be
+            if isinstance(stale, tuple) and len(stale) == 3 and stale[2]:
+                self._write_errors[w].extend(stale[2])
         frame = self._recv_frame(w)
         reply, info = transport.decode(frame, arena=self._arenas[w])
         self._count_frame(info, "rx")
@@ -313,20 +317,30 @@ class ShardWorkerPool:
         error), the replies still queued on the *other* pipes are
         marked stale and discarded by the next :meth:`_recv_reply`, so
         an aborted scatter can never desynchronise the reply streams.
+        Only replies that were never *read* are marked stale: an
+        ``err``-status reply is fully consumed before
+        :meth:`_recv_reply` raises, so marking it stale would make the
+        next call discard that worker's fresh reply and block forever.
         """
         sent: List[int] = []
-        got: set = set()
+        consumed: set = set()
         out: Dict[int, object] = {}
         try:
             for w, (cmd, payload) in calls.items():
                 self._send(w, cmd, payload)
                 sent.append(w)
             for w in calls:
-                out[w] = self._recv_reply(w)
-                got.add(w)
+                try:
+                    out[w] = self._recv_reply(w)
+                finally:
+                    # reaching _recv_reply consumes w's reply frame
+                    # whatever happens next (an err reply raises only
+                    # after the frame is read; a death closes the
+                    # conn, which the filter below already skips)
+                    consumed.add(w)
         finally:
             for w in sent:
-                if w not in got and self._conns[w] is not None:
+                if w not in consumed and self._conns[w] is not None:
                     self._stale[w] += 1
         self._raise_deferred()
         return out
@@ -433,7 +447,8 @@ class ShardWorkerPool:
         build their snapshots concurrently.  ``merger`` is a
         :class:`~repro.obs.harvest.HarvestMerger` bound to the central
         registry/tracer; worker ``w`` merges under source label
-        ``shard="w<w>"``.  A dead worker does not abort the round — it
+        ``shard="w<w>"``.  A dead worker — or one whose snapshot
+        command answered with an error — does not abort the round; it
         is recorded in the report's ``missing`` list and counted by
         ``repro_obs_harvest_partial_total``, and the remaining workers
         still merge (partial-harvest failure mode, see
@@ -460,9 +475,12 @@ class ShardWorkerPool:
                 except ShardWorkerDied:
                     miss(f"w{w}")
             for w in sent:
+                # RuntimeError is an "err"-status reply: the frame was
+                # consumed, so treating it as a miss keeps the gather
+                # going and the remaining reply streams in sync
                 try:
                     snap = self._recv_reply(w)
-                except ShardWorkerDied:
+                except (ShardWorkerDied, RuntimeError):
                     miss(f"w{w}")
                     continue
                 report.merge(merger.apply(snap, f"w{w}", parent=hs))

@@ -418,10 +418,13 @@ class CoordinatorArena:
                 weakref.finalize(arr, self._release, off, n, state)
 
     def _release(self, off: int, n: int, state: dict) -> None:
-        state["left"] -= 1
-        if state["left"]:
-            return
+        # finalizers can run concurrently on any thread: the
+        # decrement-and-test must share the lock with the append, or
+        # two racing finalizers could free the region twice (or never)
         with self._lock:
+            state["left"] -= 1
+            if state["left"]:
+                return
             self._pending.append((off, n))
             self._outstanding -= 1
 
@@ -444,6 +447,11 @@ class CoordinatorArena:
         drop our handles: the fd closes now, and the mmap is torn down
         by the last view's release — never by ``SharedMemory.__del__``
         at interpreter exit, which would spray ``BufferError`` noise.
+
+        The handle-dropping pokes at ``SharedMemory`` internals
+        (``_mmap``/``_fd``), which are CPython implementation details;
+        on a runtime that doesn't have them we leave the handle for GC
+        instead — a deferred unmap, never an error.
         """
         with self._lock:
             if self._retired:
@@ -459,15 +467,17 @@ class CoordinatorArena:
         except BufferError:
             pass
         shm = self.shm
-        shm._mmap = None
+        if not (hasattr(shm, "_mmap") and hasattr(shm, "_fd")):
+            return  # pragma: no cover - unfamiliar runtime: GC owns it
         try:
+            shm._mmap = None
             if shm._fd >= 0:
                 import os
 
                 os.close(shm._fd)
                 shm._fd = -1
-        except OSError:  # pragma: no cover - already closed
-            pass
+        except (AttributeError, TypeError, OSError):  # pragma: no cover
+            pass  # internals drifted or fd already closed: GC owns it
 
 
 def _collect_arrays(obj: object, out: List[np.ndarray], depth: int = 0) -> None:

@@ -344,6 +344,78 @@ def test_kill_mid_window_surfaces_at_flush_and_respawn_recovers():
         pool.close()
 
 
+def test_scatter_err_reply_is_not_marked_stale():
+    """An "err"-status reply is fully consumed before ``_recv_reply``
+    raises; marking it stale would make the next call to that worker
+    discard its *fresh* reply and block forever on the pipe."""
+    pool = ShardWorkerPool(2, 2, chunk_size=32)
+    try:
+        sid0 = pool.assignment[0][0]
+        bad = ("stats", [(sid0, _tagkey({"host": "nope"}))], None)
+        with pytest.raises(RuntimeError, match="shard worker 0"):
+            pool._scatter({0: ("scan", bad), 1: ("stats", ())})
+        # worker 0's err frame was read: only worker 1's genuinely
+        # unread reply is stale, and the pool still answers
+        assert pool._stale[0] == 0
+        assert pool._stale[1] == 1
+        assert pool.stats()[sid0]["points"] == 0
+        assert pool._stale == [0, 0]  # stale reply drained exactly once
+    finally:
+        pool.close()
+
+
+def test_deferred_errors_survive_a_stale_discarded_reply():
+    """A stale-discarded reply may be the one carrying buffered
+    pipelined-write failures out of the worker (``reply()`` drains the
+    deferred buffer on *every* acked exchange); the discard must keep
+    the errors for the next barrier, or they are silently lost."""
+    pool = ShardWorkerPool(2, 2, chunk_size=32)
+    try:
+        sid0 = pool.assignment[0][0]
+        sid1 = pool.assignment[1][0]
+        # misaligned columns: worker 1 buffers a deferred write error
+        pool.put_many(sid1, "stats", {"host": "x"}, [1, 2, 3], [1.0])
+        # a scatter in which worker 0 errs first: worker 1's reply —
+        # the one draining the deferred error — is marked stale
+        bad = ("stats", [(sid0, _tagkey({"host": "nope"}))], None)
+        with pytest.raises(RuntimeError, match="shard worker 0"):
+            pool._scatter({0: ("scan", bad), 1: ("stats", ())})
+        assert pool._stale[1] == 1
+        # the stale reply is discarded at the next barrier, but the
+        # write failure it carried must still raise there
+        with pytest.raises(RuntimeError, match="pipelined shard writes"):
+            pool.flush()
+    finally:
+        pool.close()
+
+
+def test_harvest_err_reply_is_a_miss_not_an_abort():
+    """A worker answering ``obs_snapshot`` with an "err" reply joins
+    the report's ``missing`` list like a dead worker does; aborting
+    the gather would leave the other workers' queued replies unread
+    and desynchronise their streams."""
+    from repro.obs.harvest import HarvestMerger
+
+    pool = ShardWorkerPool(2, 2, chunk_size=32)
+    try:
+        real = pool._recv_reply
+
+        def flaky(w):
+            snap = real(w)  # consume the frame, like a real err reply
+            if w == 0:
+                raise RuntimeError("shard worker 0: snapshot failed")
+            return snap
+
+        pool._recv_reply = flaky
+        report = pool.harvest_obs(HarvestMerger())
+        assert report.missing == ["w0"]
+        assert report.sources == ["w1"]
+        pool._recv_reply = real
+        assert pool.stats()  # reply streams still in sync
+    finally:
+        pool.close()
+
+
 def test_pipelined_write_errors_surface_at_barrier():
     pool = ShardWorkerPool(2, 1, chunk_size=32)
     try:
